@@ -1,0 +1,433 @@
+package oaas
+
+// Benchmark harness regenerating the paper's evaluation (see
+// EXPERIMENTS.md for the experiment index):
+//
+//   BenchmarkFigure3          – the scalability sweep of §V Figure 3
+//                               (4 systems × 3/6/9/12 worker VMs);
+//                               the "ops/s" metric is the figure's
+//                               y-axis.
+//   BenchmarkAblationBatchSize – A1: DB write amplification under
+//                               write-through vs write-behind.
+//   BenchmarkAblationColdStart – A2: scale-from-zero invocation.
+//   BenchmarkAblationDataflow  – A3: parallel fan vs sequential chain.
+//   BenchmarkAblationLocality  – A4: co-located vs remote state read.
+//   BenchmarkMicro*            – substrate micro-benchmarks.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure 3 points are closed-loop measurements against a full platform
+// per point, so the sweep takes a couple of minutes at default
+// benchtime; pass -benchtime=0.3s for a quick pass.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/hpcclab/oparaca-go/internal/dataflow"
+	"github.com/hpcclab/oparaca-go/internal/experiment"
+	"github.com/hpcclab/oparaca-go/internal/invoker"
+	"github.com/hpcclab/oparaca-go/internal/kvstore"
+	"github.com/hpcclab/oparaca-go/internal/memtable"
+	"github.com/hpcclab/oparaca-go/internal/model"
+	"github.com/hpcclab/oparaca-go/internal/objectstore"
+	"github.com/hpcclab/oparaca-go/internal/runtime"
+	"github.com/hpcclab/oparaca-go/internal/yamlx"
+)
+
+// BenchmarkFigure3 regenerates the paper's Figure 3: one sub-benchmark
+// per (system, worker-count) point. The reported "ops/s" metric is the
+// figure's y-axis; expect knative to plateau at the DB write ceiling
+// (~6 VMs) while the Oparaca variants keep scaling in the order
+// oprc < oprc-bypass < oprc-bypass-nonpersist.
+func BenchmarkFigure3(b *testing.B) {
+	params := experiment.DefaultParams()
+	ctx := context.Background()
+	for _, system := range experiment.AllSystems() {
+		for _, workers := range params.Workers {
+			name := fmt.Sprintf("%s/vms-%d", system, workers)
+			b.Run(name, func(b *testing.B) {
+				plat, ids, err := experiment.SetupPlatform(ctx, system, workers, params)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer plat.Close()
+				b.SetParallelism(16) // 16*GOMAXPROCS closed-loop clients
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					i := 0
+					for pb.Next() {
+						id := ids[i%len(ids)]
+						i++
+						if _, err := plat.Invoke(ctx, id, "randomize", nil, nil); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				})
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationBatchSize (A1) measures invocation throughput and
+// DB write amplification for write-through vs write-behind at several
+// flush intervals (9 VMs, as in the ablation table).
+func BenchmarkAblationBatchSize(b *testing.B) {
+	params := experiment.DefaultParams()
+	ctx := context.Background()
+	configs := []struct {
+		name  string
+		table memtable.Mode
+		flush time.Duration
+	}{
+		{"write-through", memtable.ModeWriteThrough, 0},
+		{"write-behind-5ms", memtable.ModeWriteBehind, 5 * time.Millisecond},
+		{"write-behind-20ms", memtable.ModeWriteBehind, 20 * time.Millisecond},
+		{"write-behind-80ms", memtable.ModeWriteBehind, 80 * time.Millisecond},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			tmpl := runtime.Template{
+				Name:       cfg.name,
+				EngineMode: EngineDeployment, TableMode: cfg.table,
+				FlushInterval: cfg.flush, FlushBatchSize: 512,
+				DefaultConcurrency: 16, InitialScale: 18, MaxScale: 400,
+				InvokeCost: 1.33,
+			}
+			plat, ids, err := experiment.SetupCustomPlatform(ctx, tmpl, 9, params)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer plat.Close()
+			before := plat.Backing().Stats()
+			b.SetParallelism(16)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, err := plat.Invoke(ctx, ids[i%len(ids)], "randomize", nil, nil); err != nil {
+						b.Error(err)
+						return
+					}
+					i++
+				}
+			})
+			b.StopTimer()
+			after := plat.Backing().Stats()
+			writes := float64(after.WriteOps - before.WriteOps)
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+			b.ReportMetric(writes/float64(b.N)*1000, "dbwrites/1kops")
+		})
+	}
+}
+
+// BenchmarkAblationColdStart (A2) measures a full scale-from-zero
+// invocation (idle wait + activator + cold start) per iteration.
+func BenchmarkAblationColdStart(b *testing.B) {
+	row, err := experiment.RunColdStartAblation(context.Background(), 3, 100*time.Millisecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(row.ColdP50.Microseconds()), "cold-p50-µs")
+	b.ReportMetric(float64(row.WarmP50.Microseconds()), "warm-p50-µs")
+	// Also exercise the steady path under the bench loop so the ns/op
+	// column is meaningful (warm invocations).
+	plat, ids, err := experiment.SetupPlatform(context.Background(),
+		experiment.SystemOprcBypassNonpersist, 2, experiment.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer plat.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plat.Invoke(ctx, ids[i%len(ids)], "randomize", nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDataflow (A3) compares the makespan of a parallel
+// fan-out dataflow against the equivalent sequential chain.
+func BenchmarkAblationDataflow(b *testing.B) {
+	for _, shape := range []string{"fan", "chain"} {
+		b.Run(shape, func(b *testing.B) {
+			ctx := context.Background()
+			plat, obj := setupDataflowBench(b, 4)
+			defer plat.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := plat.Invoke(ctx, obj, shape, nil, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// setupDataflowBench deploys a class with "fan" and "chain" dataflows
+// of the given width over a 2ms step function.
+func setupDataflowBench(b *testing.B, width int) (*Platform, string) {
+	b.Helper()
+	noServe := false
+	tmpl := Template{
+		Name:       "dfbench",
+		EngineMode: EngineDeployment, TableMode: TableMemoryOnly,
+		DefaultConcurrency: 64, InitialScale: 2, MaxScale: 16,
+	}
+	plat, err := New(Config{Workers: 2, Templates: []Template{tmpl}, ServeObjectStore: &noServe})
+	if err != nil {
+		b.Fatal(err)
+	}
+	plat.Images().Register("img/slow", HandlerFunc(func(ctx context.Context, _ Task) (Result, error) {
+		select {
+		case <-time.After(2 * time.Millisecond):
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		}
+		return Result{Output: json.RawMessage(`"ok"`)}, nil
+	}))
+	pkg := `classes:
+  - name: Flow
+    functions:
+      - name: work
+        image: img/slow
+    dataflows:
+      - name: fan
+        output: sink
+        steps:
+          - name: src
+            function: work
+`
+	for i := 0; i < width; i++ {
+		pkg += fmt.Sprintf("          - name: mid%d\n            function: work\n            after: [src]\n", i)
+	}
+	pkg += "          - name: sink\n            function: work\n            after: ["
+	for i := 0; i < width; i++ {
+		if i > 0 {
+			pkg += ", "
+		}
+		pkg += fmt.Sprintf("mid%d", i)
+	}
+	pkg += "]\n      - name: chain\n        steps:\n          - name: s0\n            function: work\n"
+	for i := 1; i < width+2; i++ {
+		pkg += fmt.Sprintf("          - name: s%d\n            function: work\n            after: [s%d]\n", i, i-1)
+	}
+	ctx := context.Background()
+	if _, err := plat.DeployYAML(ctx, []byte(pkg)); err != nil {
+		b.Fatal(err)
+	}
+	id, err := plat.CreateObject(ctx, "Flow", "bench-flow")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return plat, id
+}
+
+// BenchmarkAblationLocality (A4) reports cold (read-through from the
+// remote store) vs warm (co-located) invocation latency.
+func BenchmarkAblationLocality(b *testing.B) {
+	row, err := experiment.RunLocalityAblation(context.Background(), 64, 5*time.Millisecond)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(row.ColdP50.Microseconds()), "cold-p50-µs")
+	b.ReportMetric(float64(row.WarmP50.Microseconds()), "warm-p50-µs")
+}
+
+// --- Substrate micro-benchmarks --------------------------------------
+
+// BenchmarkMicroYAMLDecode parses the paper's Listing 1.
+func BenchmarkMicroYAMLDecode(b *testing.B) {
+	src := []byte(`classes:
+  - name: Image
+    qos:
+      throughput: 100
+    constraint:
+      persistent: true
+    keySpecs:
+      - name: image
+        kind: file
+    functions:
+      - name: resize
+        image: img/resize
+  - name: LabelledImage
+    parent: Image
+    functions:
+      - name: detectObject
+        image: img/detect-object
+`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := yamlx.Decode(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroModelResolve flattens a three-level hierarchy.
+func BenchmarkMicroModelResolve(b *testing.B) {
+	pkg := &model.Package{Classes: []model.ClassDef{
+		{Name: "A", Functions: []model.FunctionDef{{Name: "f1", Image: "i"}}},
+		{Name: "B", Parent: "A", Functions: []model.FunctionDef{{Name: "f2", Image: "i"}}},
+		{Name: "C", Parent: "B", Functions: []model.FunctionDef{{Name: "f1", Image: "j"}}},
+	}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Resolve(pkg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroRingOwner measures consistent-hash lookup.
+func BenchmarkMicroRingOwner(b *testing.B) {
+	ring := memtable.NewRing(64)
+	for i := 0; i < 12; i++ {
+		ring.Add(fmt.Sprintf("vm-%02d", i))
+	}
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("state/Class/obj-%04d/key", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = ring.Owner(keys[i%len(keys)])
+	}
+}
+
+// BenchmarkMicroKVStorePut measures the document store write path
+// (unlimited capacity).
+func BenchmarkMicroKVStorePut(b *testing.B) {
+	s := kvstore.Open(kvstore.Config{})
+	defer s.Close()
+	ctx := context.Background()
+	val := json.RawMessage(`{"seq":123,"score":4.5,"flag":true}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Put(ctx, fmt.Sprintf("k%05d", i%1024), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroMemtablePut measures the write-behind table's in-memory
+// write path.
+func BenchmarkMicroMemtablePut(b *testing.B) {
+	db := kvstore.Open(kvstore.Config{})
+	defer db.Close()
+	tbl, err := memtable.New(memtable.Config{Mode: memtable.ModeWriteBehind, Backing: db, FlushInterval: time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tbl.Close()
+	ctx := context.Background()
+	val := json.RawMessage(`{"seq":123}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tbl.Put(ctx, fmt.Sprintf("k%05d", i%1024), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroPresign measures presigned-URL generation+verification.
+func BenchmarkMicroPresign(b *testing.B) {
+	s := objectstore.New("bench-secret", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q := s.Presign("GET", "bucket", "obj/key.png", time.Minute)
+		if err := s.Verify("GET", "bucket", "obj/key.png", q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroInvokeTask measures the in-process pure-function
+// offload path (task encode -> handler -> state merge).
+func BenchmarkMicroInvokeTask(b *testing.B) {
+	reg := invoker.NewRegistry()
+	reg.Register("img/echo", invoker.HandlerFunc(func(_ context.Context, task invoker.Task) (invoker.Result, error) {
+		return invoker.Result{Output: task.Payload, State: map[string]json.RawMessage{"k": task.Payload}}, nil
+	}))
+	local := invoker.NewLocal(reg)
+	ctx := context.Background()
+	task := invoker.Task{
+		ID: "bench", Class: "C", Object: "o", Function: "f",
+		State:   map[string]json.RawMessage{"k": json.RawMessage(`1`)},
+		Payload: json.RawMessage(`{"x":1}`),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := local.Offload(ctx, "img/echo", task)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = invoker.MergeState(task.State, res.State)
+	}
+}
+
+// BenchmarkMicroDataflowCompile measures DAG validation+planning.
+func BenchmarkMicroDataflowCompile(b *testing.B) {
+	def := model.DataflowDef{Name: "d", Steps: []model.DataflowStep{
+		{Name: "a", Function: "f"},
+		{Name: "b", Function: "f", After: []string{"a"}},
+		{Name: "c", Function: "f", After: []string{"a"}},
+		{Name: "d", Function: "f", After: []string{"b", "c"}},
+	}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := dataflow.Compile(def); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroEndToEndInvoke measures a full platform invocation
+// (state load -> task bundle -> engine -> state merge) on a warm
+// nonpersist deployment.
+func BenchmarkMicroEndToEndInvoke(b *testing.B) {
+	noServe := false
+	tmpl := Template{
+		Name:       "micro",
+		EngineMode: EngineDeployment, TableMode: TableMemoryOnly,
+		DefaultConcurrency: 64, InitialScale: 2, MaxScale: 16,
+	}
+	plat, err := New(Config{Workers: 2, OpsPerMilliCPU: 1000, Templates: []Template{tmpl}, ServeObjectStore: &noServe})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer plat.Close()
+	plat.Images().Register("img/echo", HandlerFunc(func(_ context.Context, task Task) (Result, error) {
+		return Result{Output: task.Payload}, nil
+	}))
+	ctx := context.Background()
+	pkg := "classes:\n  - name: E\n    keySpecs:\n      - name: k\n        default: 0\n    functions:\n      - name: f\n        image: img/echo\n"
+	if _, err := plat.DeployYAML(ctx, []byte(pkg)); err != nil {
+		b.Fatal(err)
+	}
+	id, err := plat.CreateObject(ctx, "E", "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := json.RawMessage(`{"n":1}`)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plat.Invoke(ctx, id, "f", payload, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

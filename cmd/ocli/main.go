@@ -1,0 +1,263 @@
+// Command ocli is the Oparaca command-line client (paper §IV step 2:
+// "Oparaca includes the CLI to facilitate the Oparaca API
+// interaction"). It speaks the REST gateway served by cmd/oparaca.
+//
+// Usage:
+//
+//	ocli [-s http://localhost:8020] <command> [args]
+//
+// Commands:
+//
+//	apply <package.yaml|json>          deploy a class package
+//	classes                            list deployed classes
+//	class <name>                       show a resolved class
+//	create <class> [id]                create an object
+//	objects [class]                    list objects
+//	object <id>                        show an object's class
+//	delete <id>                        delete an object
+//	invoke <id> <fn> [-d payload] [-a k=v]...   invoke a method/dataflow
+//	state-get <id> <key>               read a structured state key
+//	state-set <id> <key> <json>        write a structured state key
+//	file-url <id> <key> [GET|PUT|DELETE]  presigned URL for a file key
+//	stats                              platform statistics
+//	actions                            optimizer decision log
+//
+// The server address can also be set via the OPARACA_URL environment
+// variable.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+func main() {
+	server := flag.String("s", envOr("OPARACA_URL", "http://localhost:8020"), "gateway base URL")
+	flag.Usage = usage
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	c := &client{base: strings.TrimRight(*server, "/")}
+	if err := c.dispatch(args); err != nil {
+		fmt.Fprintln(os.Stderr, "ocli:", err)
+		os.Exit(1)
+	}
+}
+
+func envOr(key, def string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return def
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `ocli — Oparaca CLI
+
+usage: ocli [-s http://localhost:8020] <command> [args]
+
+commands:
+  apply <package.yaml|json>
+  classes | class <name>
+  create <class> [id] | objects [class] | object <id> | delete <id>
+  invoke <id> <fn> [-d payload] [-a k=v]...
+  state-get <id> <key> | state-set <id> <key> <json>
+  file-url <id> <key> [GET|PUT|DELETE]
+  stats | actions
+`)
+}
+
+type client struct {
+	base string
+}
+
+// dispatch routes one CLI invocation.
+func (c *client) dispatch(args []string) error {
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "apply":
+		return c.apply(rest)
+	case "classes":
+		return c.getAndPrint("/api/classes")
+	case "class":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: class <name>")
+		}
+		return c.getAndPrint("/api/classes/" + url.PathEscape(rest[0]))
+	case "create":
+		return c.create(rest)
+	case "objects":
+		path := "/api/objects"
+		if len(rest) == 1 {
+			path += "?class=" + url.QueryEscape(rest[0])
+		}
+		return c.getAndPrint(path)
+	case "object":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: object <id>")
+		}
+		return c.getAndPrint("/api/objects/" + url.PathEscape(rest[0]))
+	case "delete":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: delete <id>")
+		}
+		return c.request(http.MethodDelete, "/api/objects/"+url.PathEscape(rest[0]), "", nil, nil)
+	case "invoke":
+		return c.invoke(rest)
+	case "state-get":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: state-get <id> <key>")
+		}
+		return c.getAndPrint(fmt.Sprintf("/api/objects/%s/state/%s", url.PathEscape(rest[0]), url.PathEscape(rest[1])))
+	case "state-set":
+		if len(rest) != 3 {
+			return fmt.Errorf("usage: state-set <id> <key> <json>")
+		}
+		return c.request(http.MethodPut,
+			fmt.Sprintf("/api/objects/%s/state/%s", url.PathEscape(rest[0]), url.PathEscape(rest[1])),
+			"application/json", []byte(rest[2]), nil)
+	case "file-url":
+		return c.fileURL(rest)
+	case "stats":
+		return c.getAndPrint("/api/stats")
+	case "actions":
+		return c.getAndPrint("/api/optimizer/actions")
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// apply deploys a package file.
+func (c *client) apply(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: apply <package.yaml|json>")
+	}
+	raw, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	ct := "application/yaml"
+	if strings.EqualFold(filepath.Ext(args[0]), ".json") {
+		ct = "application/json"
+	}
+	return c.request(http.MethodPost, "/api/packages", ct, raw, printJSON)
+}
+
+// create makes an object.
+func (c *client) create(args []string) error {
+	if len(args) < 1 || len(args) > 2 {
+		return fmt.Errorf("usage: create <class> [id]")
+	}
+	body := map[string]string{"class": args[0]}
+	if len(args) == 2 {
+		body["id"] = args[1]
+	}
+	raw, _ := json.Marshal(body)
+	return c.request(http.MethodPost, "/api/objects", "application/json", raw, printJSON)
+}
+
+// invoke calls a method; -d sets the payload, repeated -a k=v set args.
+func (c *client) invoke(args []string) error {
+	fs := flag.NewFlagSet("invoke", flag.ContinueOnError)
+	payload := fs.String("d", "", "JSON payload")
+	var kvs multiFlag
+	fs.Var(&kvs, "a", "invocation arg k=v (repeatable)")
+	// Positional args come first: <id> <fn>.
+	if len(args) < 2 {
+		return fmt.Errorf("usage: invoke <id> <fn> [-d payload] [-a k=v]...")
+	}
+	id, fn := args[0], args[1]
+	if err := fs.Parse(args[2:]); err != nil {
+		return err
+	}
+	q := url.Values{}
+	for _, kv := range kvs {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("bad -a %q (want k=v)", kv)
+		}
+		q.Set(k, v)
+	}
+	path := fmt.Sprintf("/api/objects/%s/invoke/%s", url.PathEscape(id), url.PathEscape(fn))
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	return c.request(http.MethodPost, path, "application/json", []byte(*payload), printJSON)
+}
+
+// fileURL prints a presigned URL.
+func (c *client) fileURL(args []string) error {
+	if len(args) < 2 || len(args) > 3 {
+		return fmt.Errorf("usage: file-url <id> <key> [GET|PUT|DELETE]")
+	}
+	method := "GET"
+	if len(args) == 3 {
+		method = strings.ToUpper(args[2])
+	}
+	path := fmt.Sprintf("/api/objects/%s/files/%s/url?method=%s",
+		url.PathEscape(args[0]), url.PathEscape(args[1]), url.QueryEscape(method))
+	return c.getAndPrint(path)
+}
+
+// multiFlag collects repeated flag values.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error { *m = append(*m, s); return nil }
+
+// getAndPrint issues a GET and pretty-prints the JSON response.
+func (c *client) getAndPrint(path string) error {
+	return c.request(http.MethodGet, path, "", nil, printJSON)
+}
+
+// request performs one HTTP call; non-2xx responses become errors
+// carrying the server's error message.
+func (c *client) request(method, path, contentType string, body []byte, onOK func([]byte)) error {
+	req, err := http.NewRequest(method, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	if onOK != nil && len(raw) > 0 {
+		onOK(raw)
+	}
+	return nil
+}
+
+// printJSON pretty-prints a JSON body.
+func printJSON(raw []byte) {
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, raw, "", "  "); err != nil {
+		fmt.Println(strings.TrimSpace(string(raw)))
+		return
+	}
+	fmt.Println(buf.String())
+}

@@ -1,0 +1,155 @@
+// Command oparaca runs the OaaS platform daemon: the REST gateway, the
+// simulated worker cluster, the document store, the S3-style object
+// store (served for presigned URL access), and the QoS optimizer
+// (paper §IV steps 1–2: install the platform, access it through its
+// API).
+//
+// A library of built-in container images is registered so the tutorial
+// flow works out of the box (see builtinImages). Classes can also
+// reference remote images by URL ("http://host:port/img/name"), which
+// are offloaded over HTTP to any code-execution runtime speaking the
+// invoker protocol.
+//
+// Usage:
+//
+//	oparaca [-addr :8020] [-workers 3] [-db-write-cap 0] [-optimize]
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/hpcclab/oparaca-go/internal/core"
+	"github.com/hpcclab/oparaca-go/internal/gateway"
+	"github.com/hpcclab/oparaca-go/internal/invoker"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8020", "gateway listen address")
+		workers  = flag.Int("workers", 3, "simulated worker VM count")
+		dbCap    = flag.Float64("db-write-cap", 0, "document store write ops/sec ceiling (0 = unlimited)")
+		optimize = flag.Bool("optimize", true, "enable the QoS optimizer control loop")
+		apply    = flag.String("apply", "", "optional package YAML to deploy at startup")
+	)
+	flag.Parse()
+
+	p, err := core.New(core.Config{
+		Workers:          *workers,
+		DBWriteOpsPerSec: *dbCap,
+		EnableOptimizer:  *optimize,
+	})
+	if err != nil {
+		log.Fatalf("oparaca: %v", err)
+	}
+	defer p.Close()
+	registerBuiltinImages(p.Images())
+
+	if *apply != "" {
+		raw, err := os.ReadFile(*apply)
+		if err != nil {
+			log.Fatalf("oparaca: reading %s: %v", *apply, err)
+		}
+		names, err := p.DeployYAML(context.Background(), raw)
+		if err != nil {
+			log.Fatalf("oparaca: deploying %s: %v", *apply, err)
+		}
+		log.Printf("deployed classes: %s", strings.Join(names, ", "))
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: gateway.New(p)}
+	go func() {
+		log.Printf("oparaca gateway listening on %s (workers=%d, object store at %s)",
+			*addr, *workers, p.ObjectStoreURL())
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("oparaca: %v", err)
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Println("oparaca: shutting down")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+}
+
+// registerBuiltinImages installs the stock function library. Each
+// image follows the pure-function contract: reads come from the task,
+// writes go into the result.
+func registerBuiltinImages(reg *invoker.Registry) {
+	// img/echo returns its payload unchanged.
+	reg.Register("img/echo", invoker.HandlerFunc(func(_ context.Context, task invoker.Task) (invoker.Result, error) {
+		return invoker.Result{Output: task.Payload}, nil
+	}))
+	// img/uppercase upper-cases a JSON string payload.
+	reg.Register("img/uppercase", invoker.HandlerFunc(func(_ context.Context, task invoker.Task) (invoker.Result, error) {
+		var s string
+		if err := json.Unmarshal(task.Payload, &s); err != nil {
+			return invoker.Result{}, fmt.Errorf("payload must be a JSON string: %w", err)
+		}
+		out, _ := json.Marshal(strings.ToUpper(s))
+		return invoker.Result{Output: out}, nil
+	}))
+	// img/set-state writes the payload into the state key named by
+	// args["key"].
+	reg.Register("img/set-state", invoker.HandlerFunc(func(_ context.Context, task invoker.Task) (invoker.Result, error) {
+		key := task.Args["key"]
+		if key == "" {
+			return invoker.Result{}, fmt.Errorf("arg %q is required", "key")
+		}
+		return invoker.Result{
+			Output: task.Payload,
+			State:  map[string]json.RawMessage{key: task.Payload},
+		}, nil
+	}))
+	// img/get-state returns the state key named by args["key"].
+	reg.Register("img/get-state", invoker.HandlerFunc(func(_ context.Context, task invoker.Task) (invoker.Result, error) {
+		key := task.Args["key"]
+		v, ok := task.State[key]
+		if !ok {
+			return invoker.Result{Output: json.RawMessage("null")}, nil
+		}
+		return invoker.Result{Output: v}, nil
+	}))
+	// img/counter-incr increments the numeric "count" state key.
+	reg.Register("img/counter-incr", invoker.HandlerFunc(func(_ context.Context, task invoker.Task) (invoker.Result, error) {
+		var n float64
+		if raw, ok := task.State["count"]; ok {
+			_ = json.Unmarshal(raw, &n)
+		}
+		out, _ := json.Marshal(n + 1)
+		return invoker.Result{Output: out, State: map[string]json.RawMessage{"count": out}}, nil
+	}))
+	// img/json-random replaces the "doc" state key with a randomized
+	// document (the evaluation workload).
+	reg.Register("img/json-random", invoker.HandlerFunc(func(_ context.Context, task invoker.Task) (invoker.Result, error) {
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(task.ID))
+		seed := h.Sum64() | 1
+		next := func() uint64 {
+			seed ^= seed << 13
+			seed ^= seed >> 7
+			seed ^= seed << 17
+			return seed
+		}
+		doc := map[string]any{
+			"seq":   next() % 1_000_000,
+			"score": float64(next()%10_000) / 100,
+			"flag":  next()%2 == 0,
+		}
+		raw, _ := json.Marshal(doc)
+		return invoker.Result{Output: raw, State: map[string]json.RawMessage{"doc": raw}}, nil
+	}))
+}

@@ -1,0 +1,38 @@
+package main
+
+import "testing"
+
+func TestParseWorkers(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+		ok   bool
+	}{
+		{"3,6,9,12", []int{3, 6, 9, 12}, true},
+		{" 2 , 4 ", []int{2, 4}, true},
+		{"5", []int{5}, true},
+		{"", nil, false},
+		{"a,b", nil, false},
+		{"0", nil, false},
+		{"-3", nil, false},
+	}
+	for _, c := range cases {
+		got, err := parseWorkers(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("parseWorkers(%q) err = %v", c.in, err)
+			continue
+		}
+		if !c.ok {
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("parseWorkers(%q) = %v", c.in, got)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("parseWorkers(%q)[%d] = %d, want %d", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package oaas_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+
+	oaas "github.com/hpcclab/oparaca-go"
+)
+
+// Example shows the minimal OaaS flow: register function code, deploy
+// a class, create an object, invoke a method, and read state.
+func Example() {
+	ctx := context.Background()
+	platform, err := oaas.New(oaas.Config{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer platform.Close()
+
+	platform.Images().Register("img/incr", oaas.HandlerFunc(
+		func(_ context.Context, task oaas.Task) (oaas.Result, error) {
+			var n float64
+			if raw, ok := task.State["count"]; ok {
+				if err := json.Unmarshal(raw, &n); err != nil {
+					return oaas.Result{}, err
+				}
+			}
+			out, _ := json.Marshal(n + 1)
+			return oaas.Result{
+				Output: out,
+				State:  map[string]json.RawMessage{"count": out},
+			}, nil
+		}))
+
+	if _, err := platform.DeployYAML(ctx, []byte(`classes:
+  - name: Counter
+    keySpecs:
+      - name: count
+        kind: number
+        default: 0
+    functions:
+      - name: incr
+        image: img/incr
+`)); err != nil {
+		log.Fatal(err)
+	}
+
+	counter, err := oaas.NewObject(ctx, platform, "Counter", "c1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := counter.Invoke(ctx, "incr", nil, nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	count, err := counter.State(ctx, "count")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(count))
+	// Output: 2
+}
+
+// ExampleParseYAML demonstrates parsing the paper's Listing 1 class
+// definition, including inheritance.
+func ExampleParseYAML() {
+	pkg, err := oaas.ParseYAML([]byte(`classes:
+  - name: Image
+    qos:
+      throughput: 100
+    functions:
+      - name: resize
+        image: img/resize
+  - name: LabelledImage
+    parent: Image
+    functions:
+      - name: detectObject
+        image: img/detect-object
+`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(pkg.Classes[1].Name, "extends", pkg.Classes[1].Parent)
+	// Output: LabelledImage extends Image
+}
+
+// ExampleMergeState shows the pure-function state-merge semantics:
+// updates overwrite, null deletes, untouched keys persist.
+func ExampleMergeState() {
+	base := map[string]json.RawMessage{
+		"keep":   json.RawMessage(`1`),
+		"update": json.RawMessage(`2`),
+		"drop":   json.RawMessage(`3`),
+	}
+	delta := map[string]json.RawMessage{
+		"update": json.RawMessage(`20`),
+		"drop":   json.RawMessage(`null`),
+	}
+	merged := oaas.MergeState(base, delta)
+	fmt.Println(string(merged["keep"]), string(merged["update"]), len(merged))
+	// Output: 1 20 2
+}

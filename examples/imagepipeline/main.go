@@ -1,0 +1,183 @@
+// Imagepipeline reproduces the paper's Listing 1 — the Image /
+// LabelledImage classes for image processing — and exercises the three
+// OaaS features the listing motivates: inheritance (LabelledImage
+// extends Image), unstructured state (the image file, accessed by
+// function code through presigned URLs only), and a dataflow composing
+// the methods.
+//
+// Run with: go run ./examples/imagepipeline
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+
+	oaas "github.com/hpcclab/oparaca-go"
+)
+
+// packageYAML is Listing 1 with the detectObject dataflow added.
+const packageYAML = `classes:
+  - name: Image
+    qos:
+      throughput: 100 # rps
+    constraint:
+      persistent: true
+    keySpecs:
+      - name: image          # the unstructured image file
+        kind: file
+      - name: format
+        kind: string
+        default: "png"
+    functions:
+      - name: resize
+        image: img/resize
+      - name: changeFormat
+        image: img/change-format
+  - name: LabelledImage
+    parent: Image
+    keySpecs:
+      - name: labels
+        default: []
+    functions:
+      - name: detectObject
+        image: img/detect-object
+    dataflows:
+      - name: prepareAndLabel
+        steps:
+          - name: shrink
+            function: resize
+          - name: label
+            function: detectObject
+            after: [shrink]
+`
+
+func main() {
+	ctx := context.Background()
+	platform, err := oaas.New(oaas.Config{Workers: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer platform.Close()
+	registerImages(platform)
+
+	if _, err := platform.DeployYAML(ctx, []byte(packageYAML)); err != nil {
+		log.Fatal(err)
+	}
+
+	// LabelledImage inherits Image's state and methods (paper §II-A).
+	photo, err := oaas.NewObject(ctx, platform, "LabelledImage", "vacation-photo")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Upload the "image file" through a presigned URL — the developer
+	// (and the function code) never see storage credentials (§III-D).
+	putURL, err := photo.FileURL("image", http.MethodPut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fakePNG := bytes.Repeat([]byte("pixel"), 100)
+	req, _ := http.NewRequest(http.MethodPut, putURL, bytes.NewReader(fakePNG))
+	req.Header.Set("Content-Type", "image/png")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("uploaded %d bytes via presigned URL (status %d)\n", len(fakePNG), resp.StatusCode)
+
+	// Invoke the inherited resize method on the subclass object.
+	out, err := photo.Invoke(ctx, "resize", nil, map[string]string{"w": "640", "h": "480"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("resize -> %s\n", out)
+
+	// Run the dataflow: resize then detectObject, chained by the
+	// platform (§II-B) — the function code knows nothing about the
+	// flow.
+	out, err = photo.Invoke(ctx, "prepareAndLabel", nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("prepareAndLabel -> %s\n", out)
+
+	labels, err := photo.State(ctx, "labels")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("state[labels] = %s\n", labels)
+}
+
+// registerImages installs the three function images of Listing 1. The
+// resize function demonstrates real unstructured-data access: it
+// downloads the image bytes through the presigned GET URL it received
+// with the task and re-uploads the "resized" result through the
+// presigned PUT URL.
+func registerImages(platform *oaas.Platform) {
+	platform.Images().Register("img/resize", oaas.HandlerFunc(
+		func(ctx context.Context, task oaas.Task) (oaas.Result, error) {
+			getURL, putURL := task.Refs["image"], task.Refs["image!put"]
+			if getURL == "" || putURL == "" {
+				return oaas.Result{}, fmt.Errorf("missing presigned refs")
+			}
+			resp, err := http.Get(getURL)
+			if err != nil {
+				return oaas.Result{}, err
+			}
+			data, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				return oaas.Result{}, err
+			}
+			// "Resize": cut the byte count in half.
+			resized := data[:len(data)/2]
+			req, err := http.NewRequestWithContext(ctx, http.MethodPut, putURL, bytes.NewReader(resized))
+			if err != nil {
+				return oaas.Result{}, err
+			}
+			up, err := http.DefaultClient.Do(req)
+			if err != nil {
+				return oaas.Result{}, err
+			}
+			up.Body.Close()
+			out, _ := json.Marshal(fmt.Sprintf("resized %d -> %d bytes (w=%s h=%s)",
+				len(data), len(resized), task.Args["w"], task.Args["h"]))
+			return oaas.Result{Output: out}, nil
+		}))
+
+	platform.Images().Register("img/change-format", oaas.HandlerFunc(
+		func(_ context.Context, task oaas.Task) (oaas.Result, error) {
+			format := task.Args["to"]
+			if format == "" {
+				format = "jpeg"
+			}
+			raw, _ := json.Marshal(format)
+			return oaas.Result{
+				Output: raw,
+				State:  map[string]json.RawMessage{"format": raw},
+			}, nil
+		}))
+
+	platform.Images().Register("img/detect-object", oaas.HandlerFunc(
+		func(_ context.Context, task oaas.Task) (oaas.Result, error) {
+			// A toy "detector": label based on the stored format.
+			var format string
+			_ = json.Unmarshal(task.State["format"], &format)
+			labels := []string{"beach", "sky"}
+			if strings.Contains(format, "png") {
+				labels = append(labels, "screenshot")
+			}
+			raw, _ := json.Marshal(labels)
+			return oaas.Result{
+				Output: raw,
+				State:  map[string]json.RawMessage{"labels": raw},
+			}, nil
+		}))
+}

@@ -1,0 +1,182 @@
+// Iotfleet demonstrates the paper's §II-D extension: treating IoT
+// devices as cloud objects. Each device object encapsulates its
+// telemetry state and exposes methods to reconfigure the device and
+// ingest readings; a fleet-wide QoS requirement drives the optimizer.
+//
+// Run with: go run ./examples/iotfleet
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"time"
+
+	oaas "github.com/hpcclab/oparaca-go"
+)
+
+const packageYAML = `classes:
+  - name: Device
+    qos:
+      throughput: 200    # fleet must sustain 200 readings/sec
+      latencyMs: 250
+    keySpecs:
+      - name: config
+        default: {"interval_s": 60, "unit": "celsius"}
+      - name: lastReading
+      - name: readingCount
+        kind: number
+        default: 0
+    functions:
+      - name: ingest
+        image: img/ingest
+      - name: reconfigure
+        image: img/reconfigure
+      - name: status
+        image: img/status
+  - name: Thermostat
+    parent: Device
+    keySpecs:
+      - name: setpoint
+        kind: number
+        default: 21
+    functions:
+      - name: setTarget
+        image: img/set-target
+`
+
+func main() {
+	ctx := context.Background()
+	platform, err := oaas.New(oaas.Config{
+		Workers:           3,
+		EnableOptimizer:   true,
+		OptimizerInterval: 100 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer platform.Close()
+	registerDeviceImages(platform)
+
+	if _, err := platform.DeployYAML(ctx, []byte(packageYAML)); err != nil {
+		log.Fatal(err)
+	}
+
+	// Provision a small fleet: plain sensors plus thermostats (a
+	// subclass adding a setpoint and a setTarget method).
+	var fleet []oaas.Object
+	for i := 0; i < 4; i++ {
+		dev, err := oaas.NewObject(ctx, platform, "Device", fmt.Sprintf("sensor-%02d", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fleet = append(fleet, dev)
+	}
+	thermo, err := oaas.NewObject(ctx, platform, "Thermostat", "thermostat-00")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fleet = append(fleet, thermo)
+
+	// Devices report readings; the object abstraction keeps per-device
+	// state without any developer-managed database.
+	for round := 0; round < 3; round++ {
+		for i, dev := range fleet {
+			reading, _ := json.Marshal(map[string]any{
+				"temp": 20.0 + float64(i) + float64(round)/10,
+				"ts":   time.Now().UnixMilli(),
+			})
+			if _, err := dev.Invoke(ctx, "ingest", reading, nil); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	// Reconfigure one device — management is just a method call.
+	if _, err := fleet[0].Invoke(ctx, "reconfigure", json.RawMessage(`{"interval_s": 5}`), nil); err != nil {
+		log.Fatal(err)
+	}
+	// Thermostats expose their subclass method while inheriting all
+	// Device behaviour.
+	if _, err := thermo.Invoke(ctx, "setTarget", json.RawMessage(`23.5`), nil); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := thermo.Invoke(ctx, "ingest", json.RawMessage(`{"temp": 22.1}`), nil); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, dev := range fleet {
+		out, err := dev.Invoke(ctx, "status", nil, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s %s\n", dev.ID, out)
+	}
+
+	// The optimizer watches the declared fleet QoS in the background;
+	// show any decisions it made.
+	for _, act := range platform.Optimizer().Actions() {
+		fmt.Printf("optimizer: %s %s.%s -> %d replicas (%s)\n",
+			act.Kind, act.Class, act.Function, act.Replicas, act.Reason)
+	}
+}
+
+// registerDeviceImages installs the device function images.
+func registerDeviceImages(platform *oaas.Platform) {
+	platform.Images().Register("img/ingest", oaas.HandlerFunc(
+		func(_ context.Context, task oaas.Task) (oaas.Result, error) {
+			var count float64
+			if raw, ok := task.State["readingCount"]; ok {
+				_ = json.Unmarshal(raw, &count)
+			}
+			countRaw, _ := json.Marshal(count + 1)
+			return oaas.Result{
+				Output: countRaw,
+				State: map[string]json.RawMessage{
+					"lastReading":  task.Payload,
+					"readingCount": countRaw,
+				},
+			}, nil
+		}))
+	platform.Images().Register("img/reconfigure", oaas.HandlerFunc(
+		func(_ context.Context, task oaas.Task) (oaas.Result, error) {
+			cfg := map[string]any{}
+			if raw, ok := task.State["config"]; ok {
+				_ = json.Unmarshal(raw, &cfg)
+			}
+			patch := map[string]any{}
+			if err := json.Unmarshal(task.Payload, &patch); err != nil {
+				return oaas.Result{}, fmt.Errorf("config patch must be a JSON object: %w", err)
+			}
+			for k, v := range patch {
+				cfg[k] = v
+			}
+			raw, _ := json.Marshal(cfg)
+			return oaas.Result{Output: raw, State: map[string]json.RawMessage{"config": raw}}, nil
+		}))
+	platform.Images().Register("img/status", oaas.HandlerFunc(
+		func(_ context.Context, task oaas.Task) (oaas.Result, error) {
+			status := map[string]json.RawMessage{
+				"config":       task.State["config"],
+				"lastReading":  task.State["lastReading"],
+				"readingCount": task.State["readingCount"],
+			}
+			if sp, ok := task.State["setpoint"]; ok {
+				status["setpoint"] = sp
+			}
+			raw, _ := json.Marshal(status)
+			return oaas.Result{Output: raw}, nil
+		}))
+	platform.Images().Register("img/set-target", oaas.HandlerFunc(
+		func(_ context.Context, task oaas.Task) (oaas.Result, error) {
+			var target float64
+			if err := json.Unmarshal(task.Payload, &target); err != nil {
+				return oaas.Result{}, fmt.Errorf("setpoint must be a number: %w", err)
+			}
+			return oaas.Result{
+				Output: task.Payload,
+				State:  map[string]json.RawMessage{"setpoint": task.Payload},
+			}, nil
+		}))
+}

@@ -1,0 +1,109 @@
+// Quickstart walks the paper's tutorial flow (§IV) end to end against
+// the public API: define a class in YAML, register its function image,
+// deploy the package, create an object, invoke methods, and read the
+// object's state back.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+
+	oaas "github.com/hpcclab/oparaca-go"
+)
+
+// packageYAML is the deployment package: one Counter class whose state
+// is a single number and whose logic is two serverless functions.
+const packageYAML = `classes:
+  - name: Counter
+    qos:
+      throughput: 100   # rps
+    constraint:
+      persistent: true
+    keySpecs:
+      - name: count
+        kind: number
+        default: 0
+    functions:
+      - name: incr
+        image: img/incr
+      - name: report
+        image: img/report
+`
+
+func main() {
+	ctx := context.Background()
+
+	// 1. Install the platform (paper §IV step 1) — here an in-process
+	// platform with three simulated worker VMs.
+	platform, err := oaas.New(oaas.Config{Workers: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer platform.Close()
+
+	// 2. Create the functions (step 3). Function code follows the
+	// pure-function contract: state arrives with the task, modified
+	// state returns with the result.
+	platform.Images().Register("img/incr", oaas.HandlerFunc(
+		func(_ context.Context, task oaas.Task) (oaas.Result, error) {
+			var n float64
+			if raw, ok := task.State["count"]; ok {
+				if err := json.Unmarshal(raw, &n); err != nil {
+					return oaas.Result{}, err
+				}
+			}
+			out, _ := json.Marshal(n + 1)
+			return oaas.Result{
+				Output: out,
+				State:  map[string]json.RawMessage{"count": out},
+			}, nil
+		}))
+	platform.Images().Register("img/report", oaas.HandlerFunc(
+		func(_ context.Context, task oaas.Task) (oaas.Result, error) {
+			out, _ := json.Marshal(fmt.Sprintf("object %s has count %s",
+				task.Object, task.State["count"]))
+			return oaas.Result{Output: out}, nil
+		}))
+
+	// 3. Deploy the class definition (steps 4-5). The platform picks a
+	// class-runtime template from the declared requirements.
+	classes, err := platform.DeployYAML(ctx, []byte(packageYAML))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("deployed classes:", classes)
+
+	// 4. Create an object and interact with it (step 5).
+	counter, err := oaas.NewObject(ctx, platform, "Counter", "demo-counter")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		out, err := counter.Invoke(ctx, "incr", nil, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("incr -> %s\n", out)
+	}
+	report, err := counter.Invoke(ctx, "report", nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("report -> %s\n", report)
+
+	// 5. State is managed by the platform, not the function code: read
+	// it directly through the object abstraction.
+	count, err := counter.State(ctx, "count")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("state[count] = %s\n", count)
+
+	stats := platform.Stats()
+	fmt.Printf("platform: %d workers, %d objects, %d invocations\n",
+		stats.Workers, stats.Objects, stats.Invocations)
+}

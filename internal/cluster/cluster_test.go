@@ -1,0 +1,325 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func std() Resources { return Resources{MilliCPU: 1000, MemoryMB: 1024} }
+
+func newCluster(t *testing.T, nodes int) *Cluster {
+	t.Helper()
+	c := New(Config{})
+	for i := 0; i < nodes; i++ {
+		if _, err := c.AddNode(fmt.Sprintf("vm-%02d", i), Resources{MilliCPU: 4000, MemoryMB: 8192}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestAddNodeValidation(t *testing.T) {
+	c := New(Config{})
+	if _, err := c.AddNode("", std()); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if _, err := c.AddNode("n", Resources{}); err == nil {
+		t.Fatal("zero CPU accepted")
+	}
+	if _, err := c.AddNode("n", std()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddNode("n", std()); !errors.Is(err, ErrNodeExists) {
+		t.Fatalf("duplicate add = %v", err)
+	}
+}
+
+func TestNodeLookup(t *testing.T) {
+	c := newCluster(t, 2)
+	n, err := c.Node("vm-00")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name() != "vm-00" {
+		t.Fatalf("Name = %q", n.Name())
+	}
+	if _, err := c.Node("absent"); !errors.Is(err, ErrNodeNotFound) {
+		t.Fatalf("lookup absent = %v", err)
+	}
+}
+
+func TestNodesSorted(t *testing.T) {
+	c := newCluster(t, 3)
+	nodes := c.Nodes()
+	if len(nodes) != 3 {
+		t.Fatalf("len = %d", len(nodes))
+	}
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i-1].Name() > nodes[i].Name() {
+			t.Fatal("nodes not sorted")
+		}
+	}
+}
+
+func TestComputeRateProportionalToCPU(t *testing.T) {
+	c := New(Config{OpsPerMilliCPU: 2})
+	n, err := c.AddNode("big", Resources{MilliCPU: 4000, MemoryMB: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Compute().Rate(); got != 8000 {
+		t.Fatalf("compute rate = %v, want 8000", got)
+	}
+}
+
+func TestTotalComputeRateScalesWithNodes(t *testing.T) {
+	c := New(Config{OpsPerMilliCPU: 1})
+	for i := 0; i < 3; i++ {
+		if _, err := c.AddNode(fmt.Sprintf("n%d", i), Resources{MilliCPU: 1000, MemoryMB: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.TotalComputeRate(); got != 3000 {
+		t.Fatalf("TotalComputeRate = %v, want 3000", got)
+	}
+}
+
+func TestCreateDeploymentPlacesReplicas(t *testing.T) {
+	c := newCluster(t, 3)
+	d, err := c.CreateDeployment("fn", std(), 6, StrategySpread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Replicas(); got != 6 {
+		t.Fatalf("Replicas = %d, want 6", got)
+	}
+	var total int
+	for _, n := range c.Nodes() {
+		total += n.PodCount()
+	}
+	if total != 6 {
+		t.Fatalf("cluster pod count = %d, want 6", total)
+	}
+}
+
+func TestSpreadBalances(t *testing.T) {
+	c := newCluster(t, 3)
+	if _, err := c.CreateDeployment("fn", std(), 6, StrategySpread); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.Nodes() {
+		if got := n.PodCount(); got != 2 {
+			t.Fatalf("node %s has %d pods, want 2 (spread)", n.Name(), got)
+		}
+	}
+}
+
+func TestBinPackFillsOneNodeFirst(t *testing.T) {
+	c := newCluster(t, 3)
+	if _, err := c.CreateDeployment("fn", std(), 4, StrategyBinPack); err != nil {
+		t.Fatal(err)
+	}
+	// 4000 mCPU nodes fit 4 pods of 1000 each: binpack puts all 4 on
+	// one node.
+	var full int
+	for _, n := range c.Nodes() {
+		switch n.PodCount() {
+		case 4:
+			full++
+		case 0:
+		default:
+			t.Fatalf("node %s has %d pods; binpack should fill one node", n.Name(), n.PodCount())
+		}
+	}
+	if full != 1 {
+		t.Fatalf("%d full nodes, want exactly 1", full)
+	}
+}
+
+func TestScaleUpAndDown(t *testing.T) {
+	c := newCluster(t, 2)
+	d, err := c.CreateDeployment("fn", std(), 2, StrategySpread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Scale(5); err != nil {
+		t.Fatal(err)
+	}
+	if d.Replicas() != 5 {
+		t.Fatalf("Replicas = %d after scale up", d.Replicas())
+	}
+	if err := d.Scale(1); err != nil {
+		t.Fatal(err)
+	}
+	if d.Replicas() != 1 {
+		t.Fatalf("Replicas = %d after scale down", d.Replicas())
+	}
+	// Resources released.
+	var alloc int64
+	for _, n := range c.Nodes() {
+		alloc += n.Allocated().MilliCPU
+	}
+	if alloc != 1000 {
+		t.Fatalf("allocated mCPU = %d, want 1000", alloc)
+	}
+}
+
+func TestScaleToZero(t *testing.T) {
+	c := newCluster(t, 1)
+	d, _ := c.CreateDeployment("fn", std(), 2, StrategyBinPack)
+	if err := d.Scale(0); err != nil {
+		t.Fatal(err)
+	}
+	if d.Replicas() != 0 {
+		t.Fatalf("Replicas = %d", d.Replicas())
+	}
+	if got := c.Nodes()[0].Allocated().MilliCPU; got != 0 {
+		t.Fatalf("allocation leak: %d mCPU", got)
+	}
+}
+
+func TestScaleNegativeRejected(t *testing.T) {
+	c := newCluster(t, 1)
+	d, _ := c.CreateDeployment("fn", std(), 0, StrategyBinPack)
+	if err := d.Scale(-1); err == nil {
+		t.Fatal("negative scale accepted")
+	}
+}
+
+func TestCapacityExhaustion(t *testing.T) {
+	c := newCluster(t, 1) // 4000 mCPU
+	d, err := c.CreateDeployment("fn", std(), 4, StrategyBinPack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Scale(5); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("over-scale = %v, want ErrNoCapacity", err)
+	}
+	// Partial state preserved.
+	if d.Replicas() != 4 {
+		t.Fatalf("Replicas = %d after failed scale", d.Replicas())
+	}
+}
+
+func TestCreateDeploymentOverCapacityCleansUp(t *testing.T) {
+	c := newCluster(t, 1)
+	if _, err := c.CreateDeployment("huge", std(), 100, StrategyBinPack); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("err = %v", err)
+	}
+	// The failed deployment must not linger.
+	if _, err := c.Deployment("huge"); !errors.Is(err, ErrDeploymentNotFound) {
+		t.Fatalf("failed deployment still registered: %v", err)
+	}
+}
+
+func TestDuplicateDeployment(t *testing.T) {
+	c := newCluster(t, 1)
+	if _, err := c.CreateDeployment("fn", std(), 1, StrategyBinPack); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateDeployment("fn", std(), 1, StrategyBinPack); !errors.Is(err, ErrDeploymentExists) {
+		t.Fatalf("duplicate = %v", err)
+	}
+}
+
+func TestDeleteDeployment(t *testing.T) {
+	c := newCluster(t, 1)
+	c.CreateDeployment("fn", std(), 2, StrategyBinPack)
+	if err := c.DeleteDeployment("fn"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Deployment("fn"); !errors.Is(err, ErrDeploymentNotFound) {
+		t.Fatalf("lookup after delete = %v", err)
+	}
+	if got := c.Nodes()[0].Allocated().MilliCPU; got != 0 {
+		t.Fatalf("allocation leak after delete: %d", got)
+	}
+	if err := c.DeleteDeployment("fn"); !errors.Is(err, ErrDeploymentNotFound) {
+		t.Fatalf("double delete = %v", err)
+	}
+}
+
+func TestRemoveNodeDropsItsPods(t *testing.T) {
+	c := newCluster(t, 2)
+	d, _ := c.CreateDeployment("fn", std(), 4, StrategySpread)
+	if err := c.RemoveNode("vm-00"); err != nil {
+		t.Fatal(err)
+	}
+	if c.NodeCount() != 1 {
+		t.Fatalf("NodeCount = %d", c.NodeCount())
+	}
+	// The deployment lost the pods on vm-00.
+	if got := d.Replicas(); got != 2 {
+		t.Fatalf("Replicas after node removal = %d, want 2", got)
+	}
+	// Scale heals back using the remaining node.
+	if err := d.Scale(4); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range d.Pods() {
+		if p.Node != "vm-01" {
+			t.Fatalf("pod %s on removed node %s", p.ID, p.Node)
+		}
+	}
+}
+
+func TestRemoveAbsentNode(t *testing.T) {
+	c := newCluster(t, 1)
+	if err := c.RemoveNode("ghost"); !errors.Is(err, ErrNodeNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPodsSnapshotSorted(t *testing.T) {
+	c := newCluster(t, 2)
+	d, _ := c.CreateDeployment("fn", std(), 3, StrategySpread)
+	pods := d.Pods()
+	if len(pods) != 3 {
+		t.Fatalf("len = %d", len(pods))
+	}
+	for i := 1; i < len(pods); i++ {
+		if pods[i-1].ID > pods[i].ID {
+			t.Fatal("pods not sorted")
+		}
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if StrategyBinPack.String() != "binpack" || StrategySpread.String() != "spread" {
+		t.Fatal("strategy strings wrong")
+	}
+	if Strategy(9).String() != "Strategy(9)" {
+		t.Fatal("unknown strategy string wrong")
+	}
+}
+
+// Property: for any sequence of scale operations, total allocated
+// resources equal the sum of live pod requests (no leaks, no double
+// frees).
+func TestAllocationConservationProperty(t *testing.T) {
+	prop := func(scales []uint8) bool {
+		c := New(Config{})
+		for i := 0; i < 4; i++ {
+			if _, err := c.AddNode(fmt.Sprintf("n%d", i), Resources{MilliCPU: 8000, MemoryMB: 1 << 20}); err != nil {
+				return false
+			}
+		}
+		d, err := c.CreateDeployment("fn", Resources{MilliCPU: 500, MemoryMB: 64}, 0, StrategySpread)
+		if err != nil {
+			return false
+		}
+		for _, s := range scales {
+			_ = d.Scale(int(s % 40))
+		}
+		var alloc int64
+		for _, n := range c.Nodes() {
+			alloc += n.Allocated().MilliCPU
+		}
+		return alloc == int64(d.Replicas())*500
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,692 @@
+// Package core implements the Oparaca platform façade: the package
+// manager that deploys class definitions through template-selected
+// class runtimes, and the object manager that creates objects and
+// routes method/dataflow invocations (paper §III).
+//
+// The platform owns the shared substrates — simulated cluster,
+// document store, object store (served over HTTP for presigned URL
+// access), function-image registry — and exposes the developer-facing
+// operations the Oparaca CLI and REST gateway build on.
+package core
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hpcclab/oparaca-go/internal/cluster"
+	"github.com/hpcclab/oparaca-go/internal/invoker"
+	"github.com/hpcclab/oparaca-go/internal/kvstore"
+	"github.com/hpcclab/oparaca-go/internal/model"
+	"github.com/hpcclab/oparaca-go/internal/objectstore"
+	"github.com/hpcclab/oparaca-go/internal/optimizer"
+	"github.com/hpcclab/oparaca-go/internal/runtime"
+	"github.com/hpcclab/oparaca-go/internal/vclock"
+)
+
+// Sentinel errors.
+var (
+	// ErrClassNotFound is returned for operations on unknown classes.
+	ErrClassNotFound = errors.New("core: class not found")
+	// ErrObjectNotFound is returned for operations on unknown objects.
+	ErrObjectNotFound = errors.New("core: object not found")
+	// ErrObjectExists is returned when creating a duplicate object ID.
+	ErrObjectExists = errors.New("core: object already exists")
+	// ErrMemberNotFound is returned when an invoked name is neither a
+	// function nor a dataflow of the class.
+	ErrMemberNotFound = errors.New("core: no such function or dataflow")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("core: platform closed")
+)
+
+// Config sizes and tunes a Platform.
+type Config struct {
+	// Workers is the number of simulated worker VMs. Defaults to 3
+	// (the paper's smallest configuration).
+	Workers int
+	// VMResources is each worker's capacity. Defaults to 4 vCPU /
+	// 8 GiB.
+	VMResources cluster.Resources
+	// OpsPerMilliCPU converts VM CPU into function executions/sec.
+	// Defaults to 1 (i.e. 4000 ops/s per 4-vCPU VM).
+	OpsPerMilliCPU float64
+	// DBWriteOpsPerSec caps the document store's write throughput —
+	// the bottleneck behind the paper's Figure 3. 0 = unlimited.
+	DBWriteOpsPerSec float64
+	// DBWriteLatency / DBReadLatency are per-operation service times.
+	DBWriteLatency time.Duration
+	DBReadLatency  time.Duration
+	// KnativeOverhead / BypassOverhead / ColdStart parameterize the
+	// FaaS engines (see internal/faas).
+	KnativeOverhead time.Duration
+	BypassOverhead  time.Duration
+	ColdStart       time.Duration
+	// ScaleInterval / IdleTimeout drive Knative-mode autoscalers.
+	ScaleInterval time.Duration
+	IdleTimeout   time.Duration
+	// Templates is the provider's template set; defaults to
+	// runtime.DefaultTemplates().
+	Templates []runtime.Template
+	// EnableOptimizer starts the QoS control loop. Defaults off; the
+	// gateway/daemon turns it on.
+	EnableOptimizer bool
+	// OptimizerInterval overrides the control-loop period.
+	OptimizerInterval time.Duration
+	// Regions adds extra data centers beyond the default region's
+	// Workers (paper §VI future work: multi-datacenter deployment).
+	// Classes whose Jurisdiction constraint names a region have their
+	// function pods pinned there.
+	Regions []RegionSpec
+	// InterRegionLatency is the one-way network latency charged to an
+	// invocation whose client region differs from the object's home
+	// region (see InvokeFrom). Defaults to 0.
+	InterRegionLatency time.Duration
+	// ServeObjectStore starts a loopback HTTP server for the object
+	// store so presigned URLs are fetchable. Defaults to true; benches
+	// that never touch file keys can disable it.
+	ServeObjectStore *bool
+	// Secret signs presigned URLs. Defaults to a random value.
+	Secret string
+	// Clock supplies time; defaults to the real clock.
+	Clock vclock.Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 3
+	}
+	if c.VMResources.MilliCPU <= 0 {
+		c.VMResources = cluster.Resources{MilliCPU: 4000, MemoryMB: 8192}
+	}
+	if c.OpsPerMilliCPU <= 0 {
+		c.OpsPerMilliCPU = 1
+	}
+	if len(c.Templates) == 0 {
+		c.Templates = runtime.DefaultTemplates()
+	}
+	if c.Secret == "" {
+		c.Secret = randomID()
+	}
+	if c.Clock == nil {
+		c.Clock = vclock.NewReal()
+	}
+	if c.ServeObjectStore == nil {
+		yes := true
+		c.ServeObjectStore = &yes
+	}
+	return c
+}
+
+// RegionSpec sizes one additional data center.
+type RegionSpec struct {
+	// Name is the region identifier referenced by jurisdiction
+	// constraints.
+	Name string
+	// Workers is the VM count in this region.
+	Workers int
+	// VMResources overrides the per-VM capacity (defaults to the
+	// platform's VMResources).
+	VMResources cluster.Resources
+}
+
+// objectRecord is the directory entry for one object.
+type objectRecord struct {
+	Class   string    `json:"class"`
+	Created time.Time `json:"created"`
+}
+
+// Platform is the Oparaca control plane plus its simulated data plane.
+type Platform struct {
+	cfg       Config
+	cluster   *cluster.Cluster
+	backing   *kvstore.Store
+	objects   *objectstore.Store
+	objectsLn net.Listener
+	objectsSv *http.Server
+	images    *invoker.Registry
+	templates *runtime.TemplateRegistry
+	optim     *optimizer.Optimizer
+
+	mu       sync.Mutex
+	classes  map[string]*model.Class
+	runtimes map[string]*runtime.ClassRuntime
+	dir      map[string]objectRecord
+	closed   bool
+
+	triggersFired atomic.Int64
+}
+
+// New builds a platform: worker VMs, document store, object store
+// (optionally served over loopback HTTP), template registry and
+// optimizer.
+func New(cfg Config) (*Platform, error) {
+	cfg = cfg.withDefaults()
+	cl := cluster.New(cluster.Config{OpsPerMilliCPU: cfg.OpsPerMilliCPU, Clock: cfg.Clock})
+	for i := 0; i < cfg.Workers; i++ {
+		if _, err := cl.AddNode(fmt.Sprintf("vm-%02d", i), cfg.VMResources); err != nil {
+			return nil, fmt.Errorf("core: adding worker: %w", err)
+		}
+	}
+	for _, region := range cfg.Regions {
+		if region.Name == "" || region.Workers <= 0 {
+			return nil, fmt.Errorf("core: region spec needs a name and positive workers: %+v", region)
+		}
+		res := region.VMResources
+		if res.MilliCPU <= 0 {
+			res = cfg.VMResources
+		}
+		for i := 0; i < region.Workers; i++ {
+			name := fmt.Sprintf("%s-vm-%02d", region.Name, i)
+			if _, err := cl.AddRegionNode(name, region.Name, res); err != nil {
+				return nil, fmt.Errorf("core: adding worker in %s: %w", region.Name, err)
+			}
+		}
+	}
+	templates, err := runtime.NewTemplateRegistry(cfg.Templates...)
+	if err != nil {
+		return nil, err
+	}
+	p := &Platform{
+		cfg:     cfg,
+		cluster: cl,
+		backing: kvstore.Open(kvstore.Config{
+			WriteOpsPerSec: cfg.DBWriteOpsPerSec,
+			WriteLatency:   cfg.DBWriteLatency,
+			ReadLatency:    cfg.DBReadLatency,
+			Clock:          cfg.Clock,
+		}),
+		objects:   objectstore.New(cfg.Secret, cfg.Clock),
+		images:    invoker.NewRegistry(),
+		templates: templates,
+		classes:   make(map[string]*model.Class),
+		runtimes:  make(map[string]*runtime.ClassRuntime),
+		dir:       make(map[string]objectRecord),
+	}
+	p.optim = optimizer.New(optimizer.Config{Interval: cfg.OptimizerInterval, Clock: cfg.Clock})
+	if *cfg.ServeObjectStore {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			p.backing.Close()
+			return nil, fmt.Errorf("core: object store listener: %w", err)
+		}
+		p.objectsLn = ln
+		p.objectsSv = &http.Server{Handler: p.objects.Handler()}
+		go func() { _ = p.objectsSv.Serve(ln) }()
+	}
+	if cfg.EnableOptimizer {
+		p.optim.Start()
+	}
+	// Upload triggers (paper §II-D): object-store writes fire the
+	// functions declared in class trigger definitions.
+	p.objects.Subscribe(p.handleUpload)
+	return p, nil
+}
+
+// handleUpload dispatches object-store upload events to the triggers
+// declared on the owning class. Like S3+Lambda, a trigger function
+// that writes back to its own trigger key will loop; avoiding that is
+// the application's responsibility.
+func (p *Platform) handleUpload(ev objectstore.UploadEvent) {
+	p.mu.Lock()
+	var rt *runtime.ClassRuntime
+	for _, r := range p.runtimes {
+		if r.Bucket() == ev.Bucket {
+			rt = r
+			break
+		}
+	}
+	closed := p.closed
+	p.mu.Unlock()
+	if rt == nil || closed {
+		return
+	}
+	idx := strings.LastIndex(ev.Key, "/")
+	if idx <= 0 {
+		return
+	}
+	objectID, fileKey := ev.Key[:idx], ev.Key[idx+1:]
+	tr, ok := rt.Class().Trigger(fileKey)
+	if !ok {
+		return
+	}
+	if _, err := p.ObjectClass(objectID); err != nil {
+		return // upload to an unknown object: nothing to trigger
+	}
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := p.Invoke(ctx, objectID, tr.Function, payload, map[string]string{"trigger": "onUpload"}); err == nil {
+		p.triggersFired.Add(1)
+	}
+}
+
+// TriggersFired reports how many upload triggers have successfully
+// invoked their function.
+func (p *Platform) TriggersFired() int64 { return p.triggersFired.Load() }
+
+// randomID returns an 8-byte hex identifier.
+func randomID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("core: crypto/rand unavailable: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Images returns the container-image registry. Developers register
+// their function handlers here, keyed by the image names used in
+// class definitions.
+func (p *Platform) Images() *invoker.Registry { return p.images }
+
+// Cluster exposes the simulated cluster (benches scale VM counts).
+func (p *Platform) Cluster() *cluster.Cluster { return p.cluster }
+
+// Backing exposes the document store (benches inspect write stats).
+func (p *Platform) Backing() *kvstore.Store { return p.backing }
+
+// ObjectStore exposes the unstructured store.
+func (p *Platform) ObjectStore() *objectstore.Store { return p.objects }
+
+// ObjectStoreURL returns the loopback base URL of the served object
+// store ("" when serving is disabled).
+func (p *Platform) ObjectStoreURL() string {
+	if p.objectsLn == nil {
+		return ""
+	}
+	return "http://" + p.objectsLn.Addr().String()
+}
+
+// Optimizer exposes the QoS control loop.
+func (p *Platform) Optimizer() *optimizer.Optimizer { return p.optim }
+
+// Templates exposes the provider's template registry.
+func (p *Platform) Templates() *runtime.TemplateRegistry { return p.templates }
+
+// infra assembles the Infra view handed to class runtimes.
+func (p *Platform) infra() runtime.Infra {
+	return runtime.Infra{
+		Cluster:         p.cluster,
+		Transport:       newRoutingTransport(p.images),
+		Backing:         p.backing,
+		Objects:         p.objects,
+		ObjectsBaseURL:  p.ObjectStoreURL(),
+		KnativeOverhead: p.cfg.KnativeOverhead,
+		BypassOverhead:  p.cfg.BypassOverhead,
+		ColdStart:       p.cfg.ColdStart,
+		ScaleInterval:   p.cfg.ScaleInterval,
+		IdleTimeout:     p.cfg.IdleTimeout,
+		Clock:           p.cfg.Clock,
+	}
+}
+
+// DeployPackage resolves and deploys every class in pkg, selecting a
+// template per class from the declared non-functional requirements and
+// instantiating a dedicated class runtime (paper §IV step 5).
+// Redeploying an existing class replaces its runtime; object state
+// survives in the shared stores.
+func (p *Platform) DeployPackage(ctx context.Context, pkg *model.Package) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := pkg.Validate(); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrClosed
+	}
+	resolved, err := model.Resolve(pkg, p.classes)
+	if err != nil {
+		return nil, err
+	}
+	// Cross-member checks need the flattened view (triggers may
+	// reference inherited keys/functions).
+	for _, class := range resolved {
+		if err := class.ValidateResolved(); err != nil {
+			return nil, err
+		}
+	}
+	// Select templates first so a selection failure deploys nothing.
+	selections := make(map[string]runtime.Template, len(resolved))
+	for name, class := range resolved {
+		tmpl, err := p.templates.Select(class)
+		if err != nil {
+			return nil, err
+		}
+		selections[name] = tmpl
+	}
+	deployed := make([]string, 0, len(resolved))
+	for name, class := range resolved {
+		rt, err := runtime.New(p.infra(), class, selections[name])
+		if err != nil {
+			return nil, fmt.Errorf("core: deploying class %s: %w", name, err)
+		}
+		if old, ok := p.runtimes[name]; ok {
+			p.optim.Unmanage(name)
+			old.Close()
+		}
+		p.classes[name] = class
+		p.runtimes[name] = rt
+		p.optim.Manage(rt)
+		deployed = append(deployed, name)
+	}
+	sort.Strings(deployed)
+	return deployed, nil
+}
+
+// DeployYAML parses and deploys a YAML package.
+func (p *Platform) DeployYAML(ctx context.Context, data []byte) ([]string, error) {
+	pkg, err := model.ParseYAML(data)
+	if err != nil {
+		return nil, err
+	}
+	return p.DeployPackage(ctx, pkg)
+}
+
+// Class returns a deployed, resolved class.
+func (p *Platform) Class(name string) (*model.Class, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, ok := p.classes[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrClassNotFound, name)
+	}
+	return c, nil
+}
+
+// Classes returns deployed class names, sorted.
+func (p *Platform) Classes() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.classes))
+	for name := range p.classes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Runtime returns the class runtime for a deployed class.
+func (p *Platform) Runtime(class string) (*runtime.ClassRuntime, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rt, ok := p.runtimes[class]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrClassNotFound, class)
+	}
+	return rt, nil
+}
+
+// CreateObject instantiates an object of a class. Empty id generates
+// one. The object's default state is initialized and the directory
+// entry persisted.
+func (p *Platform) CreateObject(ctx context.Context, class, id string) (string, error) {
+	rt, err := p.Runtime(class)
+	if err != nil {
+		return "", err
+	}
+	if id == "" {
+		id = class + "-" + randomID()
+	}
+	if strings.ContainsAny(id, "/ ") {
+		return "", fmt.Errorf("core: object id %q must not contain '/' or spaces", id)
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return "", ErrClosed
+	}
+	if _, exists := p.dir[id]; exists {
+		p.mu.Unlock()
+		return "", fmt.Errorf("%w: %q", ErrObjectExists, id)
+	}
+	rec := objectRecord{Class: class, Created: p.cfg.Clock.Now()}
+	p.dir[id] = rec
+	p.mu.Unlock()
+	if err := rt.InitObjectState(ctx, id); err != nil {
+		p.mu.Lock()
+		delete(p.dir, id)
+		p.mu.Unlock()
+		return "", err
+	}
+	// Persist the directory entry (control plane write).
+	raw, _ := json.Marshal(rec)
+	if _, err := p.backing.Put(ctx, "objects/"+id, raw); err != nil {
+		p.mu.Lock()
+		delete(p.dir, id)
+		p.mu.Unlock()
+		return "", fmt.Errorf("core: persisting object record: %w", err)
+	}
+	return id, nil
+}
+
+// DeleteObject removes an object and all its state.
+func (p *Platform) DeleteObject(ctx context.Context, id string) error {
+	rt, _, err := p.objectRuntime(id)
+	if err != nil {
+		return err
+	}
+	if err := rt.DeleteObjectState(ctx, id); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	delete(p.dir, id)
+	p.mu.Unlock()
+	return p.backing.Delete(ctx, "objects/"+id)
+}
+
+// ObjectClass returns the class name of an object.
+func (p *Platform) ObjectClass(id string) (string, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rec, ok := p.dir[id]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrObjectNotFound, id)
+	}
+	return rec.Class, nil
+}
+
+// ListObjects returns object IDs (optionally filtered by class),
+// sorted. The filter honors polymorphism: objects of subclasses are
+// included when listing a parent class.
+func (p *Platform) ListObjects(class string) []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []string
+	for id, rec := range p.dir {
+		if class != "" {
+			c, ok := p.classes[rec.Class]
+			if !ok || !c.IsSubclassOf(class) {
+				continue
+			}
+		}
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// objectRuntime resolves an object ID to its class runtime.
+func (p *Platform) objectRuntime(id string) (*runtime.ClassRuntime, string, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, "", ErrClosed
+	}
+	rec, ok := p.dir[id]
+	if !ok {
+		return nil, "", fmt.Errorf("%w: %q", ErrObjectNotFound, id)
+	}
+	rt, ok := p.runtimes[rec.Class]
+	if !ok {
+		return nil, "", fmt.Errorf("%w: %q (object %q orphaned)", ErrClassNotFound, rec.Class, id)
+	}
+	return rt, rec.Class, nil
+}
+
+// HomeRegion returns the data center an object's class runtime lives
+// in: its class's jurisdiction constraint, or the default region.
+func (p *Platform) HomeRegion(objectID string) (string, error) {
+	rt, _, err := p.objectRuntime(objectID)
+	if err != nil {
+		return "", err
+	}
+	if j := rt.Class().Constraint.Jurisdiction; j != "" {
+		return j, nil
+	}
+	return cluster.DefaultRegion, nil
+}
+
+// InvokeFrom executes a method or dataflow on an object on behalf of a
+// client in clientRegion, charging the configured inter-region latency
+// when the object's home region differs (paper §VI: multi-datacenter
+// deployments unlock latency-aware placement). Empty clientRegion
+// means the default region.
+func (p *Platform) InvokeFrom(ctx context.Context, clientRegion, objectID, member string, payload json.RawMessage, args map[string]string) (json.RawMessage, error) {
+	if clientRegion == "" {
+		clientRegion = cluster.DefaultRegion
+	}
+	home, err := p.HomeRegion(objectID)
+	if err != nil {
+		return nil, err
+	}
+	if home != clientRegion && p.cfg.InterRegionLatency > 0 {
+		// Round trip: request in, response out.
+		if err := p.cfg.Clock.Sleep(ctx, 2*p.cfg.InterRegionLatency); err != nil {
+			return nil, err
+		}
+	}
+	return p.Invoke(ctx, objectID, member, payload, args)
+}
+
+// Invoke executes a method or dataflow on an object. Dataflow results
+// return the designated output step's output.
+func (p *Platform) Invoke(ctx context.Context, objectID, member string, payload json.RawMessage, args map[string]string) (json.RawMessage, error) {
+	rt, _, err := p.objectRuntime(objectID)
+	if err != nil {
+		return nil, err
+	}
+	class := rt.Class()
+	if _, ok := class.Function(member); ok {
+		return rt.Invoke(ctx, objectID, member, payload, args)
+	}
+	if _, ok := class.Dataflow(member); ok {
+		res, err := rt.InvokeDataflow(ctx, objectID, member, payload)
+		if err != nil {
+			return nil, err
+		}
+		return res.Output, nil
+	}
+	return nil, fmt.Errorf("%w: %s.%s", ErrMemberNotFound, class.Name, member)
+}
+
+// GetState reads one structured state key of an object.
+func (p *Platform) GetState(ctx context.Context, objectID, key string) (json.RawMessage, error) {
+	rt, _, err := p.objectRuntime(objectID)
+	if err != nil {
+		return nil, err
+	}
+	return rt.GetState(ctx, objectID, key)
+}
+
+// PutState writes one structured state key of an object.
+func (p *Platform) PutState(ctx context.Context, objectID, key string, value json.RawMessage) error {
+	rt, _, err := p.objectRuntime(objectID)
+	if err != nil {
+		return err
+	}
+	return rt.PutState(ctx, objectID, key, value)
+}
+
+// PresignFile returns a presigned URL for an object's file key.
+func (p *Platform) PresignFile(objectID, key, method string) (string, error) {
+	rt, _, err := p.objectRuntime(objectID)
+	if err != nil {
+		return "", err
+	}
+	return rt.PresignFile(objectID, key, method)
+}
+
+// Stats is a platform-wide snapshot.
+type Stats struct {
+	Workers     int                `json:"workers"`
+	Classes     []string           `json:"classes"`
+	Objects     int                `json:"objects"`
+	DB          kvstore.Stats      `json:"db"`
+	ByClass     map[string]float64 `json:"throughput_rps"`
+	Invocations int64              `json:"invocations"`
+}
+
+// Stats snapshots the platform.
+func (p *Platform) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := Stats{
+		Workers: p.cluster.NodeCount(),
+		Objects: len(p.dir),
+		DB:      p.backing.Stats(),
+		ByClass: make(map[string]float64, len(p.runtimes)),
+	}
+	for name := range p.classes {
+		s.Classes = append(s.Classes, name)
+	}
+	sort.Strings(s.Classes)
+	for name, rt := range p.runtimes {
+		s.ByClass[name] = rt.ThroughputRPS()
+		s.Invocations += rt.Metrics().Counter("invoke.total").Value()
+	}
+	return s
+}
+
+// Flush forces all runtimes' pending state to the backing store.
+func (p *Platform) Flush(ctx context.Context) {
+	p.mu.Lock()
+	rts := make([]*runtime.ClassRuntime, 0, len(p.runtimes))
+	for _, rt := range p.runtimes {
+		rts = append(rts, rt)
+	}
+	p.mu.Unlock()
+	for _, rt := range rts {
+		rt.Flush(ctx)
+	}
+}
+
+// Close tears the platform down: optimizer, runtimes (final state
+// flushes), object store server, and document store.
+func (p *Platform) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	rts := make([]*runtime.ClassRuntime, 0, len(p.runtimes))
+	for _, rt := range p.runtimes {
+		rts = append(rts, rt)
+	}
+	p.mu.Unlock()
+	p.optim.Stop()
+	for _, rt := range rts {
+		rt.Close()
+	}
+	if p.objectsSv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_ = p.objectsSv.Shutdown(ctx)
+		cancel()
+	}
+	p.backing.Close()
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hpcclab/oparaca-go/internal/cluster"
+	"github.com/hpcclab/oparaca-go/internal/invoker"
+)
+
+// euPackage declares a class pinned to the "eu" region and an
+// unpinned sibling.
+const euPackage = `classes:
+  - name: EuRecords
+    constraint:
+      jurisdiction: eu
+    keySpecs:
+      - name: doc
+        default: {}
+    functions:
+      - name: touch
+        image: img/touch
+  - name: Anywhere
+    keySpecs:
+      - name: doc
+        default: {}
+    functions:
+      - name: touch
+        image: img/touch
+`
+
+func newRegionPlatform(t *testing.T, interRegion time.Duration) *Platform {
+	t.Helper()
+	p, err := New(Config{
+		Workers:            2, // default region
+		Regions:            []RegionSpec{{Name: "eu", Workers: 2}},
+		InterRegionLatency: interRegion,
+		ColdStart:          time.Millisecond,
+		IdleTimeout:        time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	p.Images().Register("img/touch", invoker.HandlerFunc(func(_ context.Context, task invoker.Task) (invoker.Result, error) {
+		return invoker.Result{Output: json.RawMessage(`"touched"`)}, nil
+	}))
+	if _, err := p.DeployYAML(context.Background(), []byte(euPackage)); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestJurisdictionPinsPodsToRegion(t *testing.T) {
+	p := newRegionPlatform(t, 0)
+	ctx := context.Background()
+	id, err := p.CreateObject(ctx, "EuRecords", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Invoke(ctx, id, "touch", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := p.Runtime("EuRecords")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := rt.Engine().Stats()
+	if len(stats) != 1 || stats[0].Replicas < 1 {
+		t.Fatalf("engine stats = %+v", stats)
+	}
+	// Every pod of the jurisdiction-pinned class must sit on an eu
+	// node: verify through the cluster deployment's pod placements.
+	dep, err := p.Cluster().Deployment(deploymentNameFor(t, p, "EuRecords.touch"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.Region() != "eu" {
+		t.Fatalf("deployment region = %q", dep.Region())
+	}
+	for _, pod := range dep.Pods() {
+		node, err := p.Cluster().Node(pod.Node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if node.Region() != "eu" {
+			t.Fatalf("pod %s placed on %s (region %s)", pod.ID, pod.Node, node.Region())
+		}
+	}
+}
+
+// deploymentNameFor finds the cluster deployment backing an engine
+// function. Engine namespaces are random, so match the
+// "fn-<namespace>-<function>" suffix.
+func deploymentNameFor(t *testing.T, p *Platform, fn string) string {
+	t.Helper()
+	for _, name := range p.Cluster().Deployments() {
+		if strings.HasSuffix(name, "-"+fn) {
+			return name
+		}
+	}
+	t.Fatalf("deployment for %s not found", fn)
+	return ""
+}
+
+func TestJurisdictionWithoutRegionFails(t *testing.T) {
+	p, err := New(Config{Workers: 1, ColdStart: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.Images().Register("img/touch", invoker.HandlerFunc(func(context.Context, invoker.Task) (invoker.Result, error) {
+		return invoker.Result{}, nil
+	}))
+	pkg := `classes:
+  - name: Mars
+    constraint:
+      jurisdiction: mars
+    functions:
+      - name: f
+        image: img/touch
+`
+	// Deployment-mode templates need initial replicas which cannot be
+	// placed: the deploy must fail rather than silently place pods
+	// outside the jurisdiction.
+	yes := false
+	_ = yes
+	if _, err := p.DeployYAML(context.Background(), []byte(pkg)); err == nil {
+		// Knative-mode standard template starts at 0 replicas, so the
+		// deploy may succeed; the invocation must then fail.
+		id, err := p.CreateObject(context.Background(), "Mars", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if _, err := p.Invoke(ctx, id, "f", nil, nil); err == nil {
+			t.Fatal("invocation succeeded with no nodes in the jurisdiction")
+		}
+	}
+}
+
+func TestHomeRegion(t *testing.T) {
+	p := newRegionPlatform(t, 0)
+	ctx := context.Background()
+	eu, _ := p.CreateObject(ctx, "EuRecords", "")
+	anywhere, _ := p.CreateObject(ctx, "Anywhere", "")
+	if r, err := p.HomeRegion(eu); err != nil || r != "eu" {
+		t.Fatalf("HomeRegion(eu obj) = %q, %v", r, err)
+	}
+	if r, err := p.HomeRegion(anywhere); err != nil || r != cluster.DefaultRegion {
+		t.Fatalf("HomeRegion(default obj) = %q, %v", r, err)
+	}
+	if _, err := p.HomeRegion("ghost"); !errors.Is(err, ErrObjectNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInvokeFromChargesCrossRegionLatency(t *testing.T) {
+	const rtt = 25 * time.Millisecond
+	p := newRegionPlatform(t, rtt)
+	ctx := context.Background()
+	id, err := p.CreateObject(ctx, "EuRecords", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up so we are not measuring cold start.
+	if _, err := p.InvokeFrom(ctx, "eu", id, "touch", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	if _, err := p.InvokeFrom(ctx, "eu", id, "touch", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	local := time.Since(start)
+
+	start = time.Now()
+	if _, err := p.InvokeFrom(ctx, "", id, "touch", nil, nil); err != nil { // default region client
+		t.Fatal(err)
+	}
+	remote := time.Since(start)
+
+	if remote < 2*rtt {
+		t.Fatalf("cross-region invoke took %v, want >= %v", remote, 2*rtt)
+	}
+	if local > remote {
+		t.Fatalf("same-region invoke (%v) slower than cross-region (%v)", local, remote)
+	}
+}
+
+func TestInvokeFromSameRegionNoPenalty(t *testing.T) {
+	p := newRegionPlatform(t, 100*time.Millisecond)
+	ctx := context.Background()
+	id, _ := p.CreateObject(ctx, "Anywhere", "")
+	p.InvokeFrom(ctx, "", id, "touch", nil, nil) // warm
+	start := time.Now()
+	if _, err := p.InvokeFrom(ctx, "", id, "touch", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 80*time.Millisecond {
+		t.Fatalf("same-region invoke charged a penalty: %v", elapsed)
+	}
+}
+
+func TestRegionSpecValidation(t *testing.T) {
+	if _, err := New(Config{Regions: []RegionSpec{{Name: "", Workers: 1}}}); err == nil {
+		t.Fatal("empty region name accepted")
+	}
+	if _, err := New(Config{Regions: []RegionSpec{{Name: "x", Workers: 0}}}); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+}
+
+func TestClusterRegionsListed(t *testing.T) {
+	p := newRegionPlatform(t, 0)
+	regions := p.Cluster().Regions()
+	if strings.Join(regions, ",") != "default,eu" {
+		t.Fatalf("regions = %v", regions)
+	}
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/hpcclab/oparaca-go/internal/invoker"
+)
+
+func TestSplitRemoteImage(t *testing.T) {
+	cases := []struct {
+		in         string
+		base, name string
+		ok         bool
+	}{
+		{"img/resize", "", "", false},
+		{"http://10.0.0.1:8080/img/resize", "http://10.0.0.1:8080", "img/resize", true},
+		{"https://faas.example/fn", "https://faas.example", "fn", true},
+		{"http://hostonly", "", "", false},
+	}
+	for _, c := range cases {
+		base, name, ok := splitRemoteImage(c.in)
+		if base != c.base || name != c.name || ok != c.ok {
+			t.Errorf("splitRemoteImage(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.in, base, name, ok, c.base, c.name, c.ok)
+		}
+	}
+}
+
+// TestRemoteImageOffloadedOverHTTP stands up an external function
+// runtime (an invoker.Server) and deploys a class whose image is that
+// runtime's URL — the paper's "any FaaS engine, configure the URL"
+// integration path.
+func TestRemoteImageOffloadedOverHTTP(t *testing.T) {
+	remoteReg := invoker.NewRegistry()
+	remoteReg.Register("img/remote-echo", invoker.HandlerFunc(func(_ context.Context, task invoker.Task) (invoker.Result, error) {
+		return invoker.Result{Output: json.RawMessage(`"from-remote"`)}, nil
+	}))
+	remote := httptest.NewServer(invoker.Server(remoteReg))
+	defer remote.Close()
+
+	p, err := New(Config{Workers: 1, ColdStart: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	pkg := "classes:\n  - name: R\n    functions:\n      - name: f\n        image: " + remote.URL + "/img/remote-echo\n"
+	ctx := context.Background()
+	if _, err := p.DeployYAML(ctx, []byte(pkg)); err != nil {
+		t.Fatal(err)
+	}
+	id, err := p.CreateObject(ctx, "R", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Invoke(ctx, id, "f", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != `"from-remote"` {
+		t.Fatalf("out = %s", out)
+	}
+}

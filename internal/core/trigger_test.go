@@ -1,0 +1,228 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/hpcclab/oparaca-go/internal/invoker"
+	"github.com/hpcclab/oparaca-go/internal/model"
+)
+
+// triggerPackage declares a multimedia-style class whose thumbnail
+// method fires automatically when a photo is uploaded (paper §II-D's
+// motivating scenario).
+const triggerPackage = `classes:
+  - name: Photo
+    keySpecs:
+      - name: photo
+        kind: file
+      - name: thumbnailed
+        kind: bool
+        default: false
+      - name: lastEvent
+    functions:
+      - name: makeThumbnail
+        image: img/thumbnail
+    triggers:
+      - onUpload: photo
+        function: makeThumbnail
+`
+
+// newTriggerPlatform builds a platform recording thumbnail calls.
+func newTriggerPlatform(t *testing.T) (*Platform, *sync.Map) {
+	t.Helper()
+	p, err := New(Config{Workers: 2, ColdStart: time.Millisecond, IdleTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	var calls sync.Map
+	p.Images().Register("img/thumbnail", invoker.HandlerFunc(func(_ context.Context, task invoker.Task) (invoker.Result, error) {
+		calls.Store(task.Object, string(task.Payload))
+		return invoker.Result{
+			Output: json.RawMessage(`"thumbnail-done"`),
+			State: map[string]json.RawMessage{
+				"thumbnailed": json.RawMessage(`true`),
+				"lastEvent":   task.Payload,
+			},
+		}, nil
+	}))
+	if _, err := p.DeployYAML(context.Background(), []byte(triggerPackage)); err != nil {
+		t.Fatal(err)
+	}
+	return p, &calls
+}
+
+func TestUploadTriggerFiresFunction(t *testing.T) {
+	p, calls := newTriggerPlatform(t)
+	ctx := context.Background()
+	id, err := p.CreateObject(ctx, "Photo", "pic-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Upload through the presigned URL, exactly like a customer would.
+	putURL, err := p.PresignFile(id, "photo", http.MethodPut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPut, putURL, strings.NewReader("jpegbytes"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("upload status = %d", resp.StatusCode)
+	}
+	// The trigger runs asynchronously; wait for it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := calls.Load(id); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("trigger never fired")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := p.TriggersFired(); got < 1 {
+		t.Fatalf("TriggersFired = %d", got)
+	}
+	// The trigger's state delta persisted.
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		v, err := p.GetState(ctx, id, "thumbnailed")
+		if err == nil && string(v) == "true" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("state after trigger = %s, %v", v, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// The event payload carried bucket/key/etag.
+	raw, _ := calls.Load(id)
+	var ev struct {
+		Bucket string `json:"bucket"`
+		Key    string `json:"key"`
+		ETag   string `json:"etag"`
+		Size   int    `json:"size"`
+	}
+	if err := json.Unmarshal([]byte(raw.(string)), &ev); err != nil {
+		t.Fatalf("event payload %q: %v", raw, err)
+	}
+	if ev.Bucket != "cls-photo" || ev.Key != id+"/photo" || ev.Size != len("jpegbytes") || ev.ETag == "" {
+		t.Fatalf("event = %+v", ev)
+	}
+}
+
+func TestUploadToUnknownObjectDoesNotTrigger(t *testing.T) {
+	p, calls := newTriggerPlatform(t)
+	// Direct store write for an object that was never created.
+	if _, err := p.ObjectStore().Put("cls-photo", "ghost/photo", []byte("x"), ""); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	count := 0
+	calls.Range(func(_, _ any) bool { count++; return true })
+	if count != 0 {
+		t.Fatalf("trigger fired for unknown object")
+	}
+}
+
+func TestUploadToUntriggeredKeyDoesNotFire(t *testing.T) {
+	p, calls := newTriggerPlatform(t)
+	ctx := context.Background()
+	id, _ := p.CreateObject(ctx, "Photo", "")
+	// Write under an undeclared key path: no trigger is bound to it.
+	if _, err := p.ObjectStore().Put("cls-photo", id+"/otherkey", []byte("x"), ""); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if _, ok := calls.Load(id); ok {
+		t.Fatal("trigger fired for unbound key")
+	}
+}
+
+func TestTriggerValidationRejectsBadReferences(t *testing.T) {
+	p, _ := newTriggerPlatform(t)
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		pkg  string
+	}{
+		{"non-file key", `classes:
+  - name: BadA
+    keySpecs:
+      - name: notafile
+    functions:
+      - name: f
+        image: img/thumbnail
+    triggers:
+      - onUpload: notafile
+        function: f
+`},
+		{"unknown function", `classes:
+  - name: BadB
+    keySpecs:
+      - name: photo
+        kind: file
+    triggers:
+      - onUpload: photo
+        function: ghost
+`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := p.DeployYAML(ctx, []byte(c.pkg)); !errors.Is(err, model.ErrValidation) {
+				t.Fatalf("err = %v, want ErrValidation", err)
+			}
+		})
+	}
+}
+
+func TestTriggerInherited(t *testing.T) {
+	p, calls := newTriggerPlatform(t)
+	ctx := context.Background()
+	// A subclass inherits the photo key, the function and the trigger.
+	sub := `classes:
+  - name: ProfilePhoto
+    parent: Photo
+`
+	if _, err := p.DeployYAML(ctx, []byte(sub)); err != nil {
+		t.Fatal(err)
+	}
+	id, err := p.CreateObject(ctx, "ProfilePhoto", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ObjectStore().Put("cls-profilephoto", id+"/photo", []byte("y"), ""); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := calls.Load(id); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("inherited trigger never fired")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestCreateObjectRejectsSlashIDs(t *testing.T) {
+	p, _ := newTriggerPlatform(t)
+	if _, err := p.CreateObject(context.Background(), "Photo", "has/slash"); err == nil {
+		t.Fatal("slash id accepted")
+	}
+	if _, err := p.CreateObject(context.Background(), "Photo", "has space"); err == nil {
+		t.Fatal("space id accepted")
+	}
+}

@@ -1,0 +1,291 @@
+// Package gateway exposes the Oparaca platform over a REST API (paper
+// §IV step 5: "Developers can use CLI, REST API, or gRPC to interact
+// with objects"). The CLI (cmd/ocli) and external clients speak this
+// API; gRPC is substituted by the same JSON framing over HTTP per the
+// stdlib-only constraint.
+package gateway
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"github.com/hpcclab/oparaca-go/internal/core"
+	"github.com/hpcclab/oparaca-go/internal/model"
+)
+
+// Gateway serves the REST API over a core.Platform.
+type Gateway struct {
+	platform *core.Platform
+	mux      *http.ServeMux
+}
+
+// New builds a gateway for the platform.
+func New(p *core.Platform) *Gateway {
+	g := &Gateway{platform: p, mux: http.NewServeMux()}
+	g.routes()
+	return g
+}
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mux.ServeHTTP(w, r)
+}
+
+func (g *Gateway) routes() {
+	g.mux.HandleFunc("GET /healthz", g.handleHealth)
+	g.mux.HandleFunc("GET /api/stats", g.handleStats)
+	g.mux.HandleFunc("GET /api/classes", g.handleListClasses)
+	g.mux.HandleFunc("GET /api/classes/{name}", g.handleGetClass)
+	g.mux.HandleFunc("POST /api/packages", g.handleDeploy)
+	g.mux.HandleFunc("POST /api/objects", g.handleCreateObject)
+	g.mux.HandleFunc("GET /api/objects", g.handleListObjects)
+	g.mux.HandleFunc("GET /api/objects/{id}", g.handleGetObject)
+	g.mux.HandleFunc("DELETE /api/objects/{id}", g.handleDeleteObject)
+	g.mux.HandleFunc("POST /api/objects/{id}/invoke/{fn}", g.handleInvoke)
+	g.mux.HandleFunc("GET /api/objects/{id}/state/{key}", g.handleGetState)
+	g.mux.HandleFunc("PUT /api/objects/{id}/state/{key}", g.handlePutState)
+	g.mux.HandleFunc("GET /api/objects/{id}/files/{key}/url", g.handlePresign)
+	g.mux.HandleFunc("GET /api/optimizer/actions", g.handleOptimizerActions)
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeJSON writes v as JSON with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps platform errors onto HTTP statuses.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, core.ErrClassNotFound),
+		errors.Is(err, core.ErrObjectNotFound),
+		errors.Is(err, core.ErrMemberNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, core.ErrObjectExists):
+		status = http.StatusConflict
+	case errors.Is(err, model.ErrValidation),
+		errors.Is(err, model.ErrInheritanceCycle),
+		errors.Is(err, model.ErrClassNotFound):
+		status = http.StatusBadRequest
+	case errors.Is(err, core.ErrClosed):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func (g *Gateway) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, g.platform.Stats())
+}
+
+func (g *Gateway) handleListClasses(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]string{"classes": g.platform.Classes()})
+}
+
+// classView is the API shape of a resolved class.
+type classView struct {
+	Name      string              `json:"name"`
+	Parent    string              `json:"parent,omitempty"`
+	Ancestry  []string            `json:"ancestry,omitempty"`
+	Keys      []model.KeySpec     `json:"keys,omitempty"`
+	Functions []model.FunctionDef `json:"functions,omitempty"`
+	Dataflows []model.DataflowDef `json:"dataflows,omitempty"`
+	QoS       model.QoS           `json:"qos"`
+	Template  string              `json:"template"`
+}
+
+func (g *Gateway) handleGetClass(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	c, err := g.platform.Class(name)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	view := classView{
+		Name: c.Name, Parent: c.Parent, Ancestry: c.Ancestry,
+		Keys: c.Keys, Functions: c.Functions, Dataflows: c.Dataflows,
+		QoS: c.QoS,
+	}
+	if rt, err := g.platform.Runtime(name); err == nil {
+		view.Template = rt.Template().Name
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (g *Gateway) handleDeploy(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "unreadable body"})
+		return
+	}
+	ct := r.Header.Get("Content-Type")
+	var pkg *model.Package
+	if strings.Contains(ct, "json") {
+		pkg, err = model.ParseJSON(body)
+	} else {
+		pkg, err = model.ParseYAML(body)
+	}
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	names, err := g.platform.DeployPackage(r.Context(), pkg)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string][]string{"deployed": names})
+}
+
+// createObjectRequest is the POST /api/objects body.
+type createObjectRequest struct {
+	Class string `json:"class"`
+	ID    string `json:"id,omitempty"`
+}
+
+func (g *Gateway) handleCreateObject(w http.ResponseWriter, r *http.Request) {
+	var req createObjectRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	if req.Class == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "class is required"})
+		return
+	}
+	id, err := g.platform.CreateObject(r.Context(), req.Class, req.ID)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": id, "class": req.Class})
+}
+
+func (g *Gateway) handleListObjects(w http.ResponseWriter, r *http.Request) {
+	class := r.URL.Query().Get("class")
+	ids := g.platform.ListObjects(class)
+	if ids == nil {
+		ids = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"objects": ids})
+}
+
+func (g *Gateway) handleGetObject(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	class, err := g.platform.ObjectClass(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": id, "class": class})
+}
+
+func (g *Gateway) handleDeleteObject(w http.ResponseWriter, r *http.Request) {
+	if err := g.platform.DeleteObject(r.Context(), r.PathValue("id")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	id, fn := r.PathValue("id"), r.PathValue("fn")
+	payload, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "unreadable body"})
+		return
+	}
+	if len(payload) > 0 && !json.Valid(payload) {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "payload must be JSON"})
+		return
+	}
+	var args map[string]string
+	for k, vs := range r.URL.Query() {
+		if len(vs) == 0 {
+			continue
+		}
+		if args == nil {
+			args = make(map[string]string)
+		}
+		args[k] = vs[0]
+	}
+	// Clients declare their region via header so cross-datacenter
+	// invocations are charged the configured inter-region latency.
+	out, err := g.platform.InvokeFrom(r.Context(), r.Header.Get("X-Oprc-Region"), id, fn, payload, args)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]json.RawMessage{"output": orNull(out)})
+}
+
+// orNull substitutes JSON null for empty outputs so the envelope stays
+// valid JSON.
+func orNull(v json.RawMessage) json.RawMessage {
+	if len(v) == 0 {
+		return json.RawMessage("null")
+	}
+	return v
+}
+
+func (g *Gateway) handleGetState(w http.ResponseWriter, r *http.Request) {
+	v, err := g.platform.GetState(r.Context(), r.PathValue("id"), r.PathValue("key"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]json.RawMessage{"value": orNull(v)})
+}
+
+func (g *Gateway) handlePutState(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil || len(body) == 0 || !json.Valid(body) {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "body must be a JSON value"})
+		return
+	}
+	if err := g.platform.PutState(r.Context(), r.PathValue("id"), r.PathValue("key"), body); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (g *Gateway) handlePresign(w http.ResponseWriter, r *http.Request) {
+	method := strings.ToUpper(r.URL.Query().Get("method"))
+	if method == "" {
+		method = http.MethodGet
+	}
+	if method != http.MethodGet && method != http.MethodPut && method != http.MethodDelete {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("unsupported method %q", method)})
+		return
+	}
+	url, err := g.platform.PresignFile(r.PathValue("id"), r.PathValue("key"), method)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"url": url, "method": method})
+}
+
+func (g *Gateway) handleOptimizerActions(w http.ResponseWriter, _ *http.Request) {
+	acts := g.platform.Optimizer().Actions()
+	if acts == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"actions": []any{}})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"actions": acts})
+}

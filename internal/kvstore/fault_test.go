@@ -1,0 +1,76 @@
+package kvstore
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+var errInjected = errors.New("injected disk failure")
+
+func TestInjectWriteFailuresFailsExactlyN(t *testing.T) {
+	s := Open(Config{})
+	defer s.Close()
+	ctx := context.Background()
+	s.InjectWriteFailures(2, errInjected)
+	for i := 0; i < 2; i++ {
+		if _, err := s.Put(ctx, "k", json.RawMessage(`1`)); !errors.Is(err, errInjected) {
+			t.Fatalf("write #%d err = %v, want injected", i, err)
+		}
+	}
+	if _, err := s.Put(ctx, "k", json.RawMessage(`1`)); err != nil {
+		t.Fatalf("write after faults exhausted = %v", err)
+	}
+	if got := s.FaultsServed(); got != 2 {
+		t.Fatalf("FaultsServed = %d", got)
+	}
+}
+
+func TestInjectedFailureDoesNotMutateState(t *testing.T) {
+	s := Open(Config{})
+	defer s.Close()
+	ctx := context.Background()
+	s.Put(ctx, "k", json.RawMessage(`"before"`))
+	s.InjectWriteFailures(1, errInjected)
+	if _, err := s.Put(ctx, "k", json.RawMessage(`"after"`)); !errors.Is(err, errInjected) {
+		t.Fatalf("err = %v", err)
+	}
+	doc, err := s.Get(ctx, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(doc.Value) != `"before"` || doc.Version != 1 {
+		t.Fatalf("failed write mutated state: %+v", doc)
+	}
+}
+
+func TestInjectedFailureAffectsAllWriteKinds(t *testing.T) {
+	s := Open(Config{})
+	defer s.Close()
+	ctx := context.Background()
+	s.InjectWriteFailures(3, errInjected)
+	if err := s.BatchPut(ctx, map[string]json.RawMessage{"a": nil}); !errors.Is(err, errInjected) {
+		t.Fatalf("BatchPut err = %v", err)
+	}
+	if _, err := s.CompareAndPut(ctx, "a", nil, 0); !errors.Is(err, errInjected) {
+		t.Fatalf("CompareAndPut err = %v", err)
+	}
+	if err := s.Delete(ctx, "a"); !errors.Is(err, errInjected) {
+		t.Fatalf("Delete err = %v", err)
+	}
+}
+
+func TestReadsUnaffectedByWriteFaults(t *testing.T) {
+	s := Open(Config{})
+	defer s.Close()
+	ctx := context.Background()
+	s.Put(ctx, "k", json.RawMessage(`1`))
+	s.InjectWriteFailures(10, errInjected)
+	if _, err := s.Get(ctx, "k"); err != nil {
+		t.Fatalf("Get during write faults = %v", err)
+	}
+	if _, err := s.List(ctx, ""); err != nil {
+		t.Fatalf("List during write faults = %v", err)
+	}
+}

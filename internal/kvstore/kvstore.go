@@ -1,0 +1,409 @@
+// Package kvstore implements the persistent document database
+// substrate that backs object state in Oparaca and in the Knative
+// baseline.
+//
+// The paper's evaluation (§V) attributes the Knative baseline's
+// throughput plateau to "the database write operation throughput
+// bottleneck"; this store therefore models write capacity as a
+// first-class, configurable parameter (writes admitted through a token
+// bucket), plus a per-operation service latency. Batch writes consume
+// capacity per batch with a small per-document increment, which is the
+// property Oparaca's write-behind memtable exploits.
+//
+// Documents are versioned; Put returns the new version and
+// CompareAndPut implements optimistic concurrency.
+package kvstore
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/hpcclab/oparaca-go/internal/vclock"
+)
+
+// Sentinel errors.
+var (
+	// ErrNotFound is returned when a key has no document.
+	ErrNotFound = errors.New("kvstore: key not found")
+	// ErrVersionMismatch is returned by CompareAndPut on a stale version.
+	ErrVersionMismatch = errors.New("kvstore: version mismatch")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("kvstore: store closed")
+)
+
+// Document is a versioned value.
+type Document struct {
+	Key     string          `json:"key"`
+	Value   json.RawMessage `json:"value"`
+	Version int64           `json:"version"`
+	Updated time.Time       `json:"updated"`
+}
+
+// Config tunes the store's simulated performance characteristics.
+type Config struct {
+	// WriteOpsPerSec caps admitted write operations per second
+	// (a batch counts as one operation plus BatchDocCost per extra
+	// document). Zero means unlimited.
+	WriteOpsPerSec float64
+	// WriteBurst is the token-bucket burst for writes. Defaults to
+	// max(1, WriteOpsPerSec/10) when zero.
+	WriteBurst float64
+	// WriteLatency is the service time charged to each write
+	// operation after admission.
+	WriteLatency time.Duration
+	// ReadLatency is the service time charged to each read.
+	ReadLatency time.Duration
+	// BatchDocCost is the fractional write-capacity cost of each
+	// document in a batch beyond the first. The paper's design
+	// consolidates writes so a batch is far cheaper than N singles;
+	// 0.02 means a 100-doc batch costs ~3 ops. Defaults to 0.02.
+	BatchDocCost float64
+	// Clock supplies time; defaults to the real clock.
+	Clock vclock.Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clock == nil {
+		c.Clock = vclock.NewReal()
+	}
+	if c.WriteBurst <= 0 {
+		c.WriteBurst = c.WriteOpsPerSec / 10
+		if c.WriteBurst < 1 {
+			c.WriteBurst = 1
+		}
+	}
+	if c.BatchDocCost <= 0 {
+		c.BatchDocCost = 0.02
+	}
+	return c
+}
+
+// Store is an in-memory versioned document store with simulated write
+// capacity. It is safe for concurrent use.
+type Store struct {
+	cfg    Config
+	writes *vclock.TokenBucket // nil when unlimited
+
+	mu     sync.RWMutex
+	docs   map[string]Document
+	closed bool
+
+	statsMu     sync.Mutex
+	writeOps    int64 // admitted write operations (batches count once)
+	docsWritten int64 // total documents written
+	readOps     int64
+	deleteOps   int64
+
+	faultMu      sync.Mutex
+	failRemain   int   // write ops left to fail
+	failErr      error // injected error
+	faultsServed int64
+}
+
+// Open creates a store with the given configuration.
+func Open(cfg Config) *Store {
+	cfg = cfg.withDefaults()
+	s := &Store{cfg: cfg, docs: make(map[string]Document)}
+	if cfg.WriteOpsPerSec > 0 {
+		s.writes = vclock.NewTokenBucket(cfg.Clock, cfg.WriteOpsPerSec, cfg.WriteBurst)
+	}
+	return s
+}
+
+// Close marks the store closed. Subsequent operations fail with
+// ErrClosed.
+func (s *Store) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	if s.writes != nil {
+		s.writes.Close()
+	}
+}
+
+// InjectWriteFailures makes the next n write operations (Put,
+// CompareAndPut, BatchPut, Delete) fail with err before consuming any
+// capacity. Resilience tests use this to exercise retry paths such as
+// the memtable's write-behind flusher.
+func (s *Store) InjectWriteFailures(n int, err error) {
+	s.faultMu.Lock()
+	defer s.faultMu.Unlock()
+	s.failRemain = n
+	s.failErr = err
+}
+
+// FaultsServed reports how many injected failures have fired.
+func (s *Store) FaultsServed() int64 {
+	s.faultMu.Lock()
+	defer s.faultMu.Unlock()
+	return s.faultsServed
+}
+
+// takeFault consumes one injected failure if armed.
+func (s *Store) takeFault() error {
+	s.faultMu.Lock()
+	defer s.faultMu.Unlock()
+	if s.failRemain <= 0 {
+		return nil
+	}
+	s.failRemain--
+	s.faultsServed++
+	return s.failErr
+}
+
+// admitWrite charges cost write-capacity tokens and the write latency.
+func (s *Store) admitWrite(ctx context.Context, cost float64) error {
+	if err := s.takeFault(); err != nil {
+		return err
+	}
+	if s.writes != nil {
+		if err := s.writes.Take(ctx, cost); err != nil {
+			if errors.Is(err, vclock.ErrBucketClosed) {
+				return ErrClosed
+			}
+			return err
+		}
+	}
+	if s.cfg.WriteLatency > 0 {
+		if err := s.cfg.Clock.Sleep(ctx, s.cfg.WriteLatency); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Get returns the document stored at key.
+func (s *Store) Get(ctx context.Context, key string) (Document, error) {
+	if s.cfg.ReadLatency > 0 {
+		if err := s.cfg.Clock.Sleep(ctx, s.cfg.ReadLatency); err != nil {
+			return Document{}, err
+		}
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return Document{}, ErrClosed
+	}
+	doc, ok := s.docs[key]
+	if !ok {
+		return Document{}, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	s.statsMu.Lock()
+	s.readOps++
+	s.statsMu.Unlock()
+	return doc, nil
+}
+
+// Put stores value at key unconditionally and returns the stored
+// document (with its new version).
+func (s *Store) Put(ctx context.Context, key string, value json.RawMessage) (Document, error) {
+	if err := s.admitWrite(ctx, 1); err != nil {
+		return Document{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Document{}, ErrClosed
+	}
+	doc := s.putLocked(key, value)
+	s.statsMu.Lock()
+	s.writeOps++
+	s.docsWritten++
+	s.statsMu.Unlock()
+	return doc, nil
+}
+
+// putLocked inserts or updates a document. Caller holds mu.
+func (s *Store) putLocked(key string, value json.RawMessage) Document {
+	prev := s.docs[key]
+	doc := Document{
+		Key:     key,
+		Value:   append(json.RawMessage(nil), value...),
+		Version: prev.Version + 1,
+		Updated: s.cfg.Clock.Now(),
+	}
+	s.docs[key] = doc
+	return doc
+}
+
+// CompareAndPut stores value only if the current version equals
+// expect. expect 0 requires the key to be absent.
+func (s *Store) CompareAndPut(ctx context.Context, key string, value json.RawMessage, expect int64) (Document, error) {
+	if err := s.admitWrite(ctx, 1); err != nil {
+		return Document{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Document{}, ErrClosed
+	}
+	cur := s.docs[key] // zero Document has Version 0
+	if cur.Version != expect {
+		return Document{}, fmt.Errorf("%w: key %q at version %d, expected %d",
+			ErrVersionMismatch, key, cur.Version, expect)
+	}
+	doc := s.putLocked(key, value)
+	s.statsMu.Lock()
+	s.writeOps++
+	s.docsWritten++
+	s.statsMu.Unlock()
+	return doc, nil
+}
+
+// BatchPut stores all entries as one consolidated write operation.
+// This is the primitive Oparaca's memtable flusher uses: a batch of N
+// documents costs 1 + (N-1)*BatchDocCost capacity tokens instead of N.
+func (s *Store) BatchPut(ctx context.Context, entries map[string]json.RawMessage) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	cost := 1 + float64(len(entries)-1)*s.cfg.BatchDocCost
+	if err := s.admitWrite(ctx, cost); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	for k, v := range entries {
+		s.putLocked(k, v)
+	}
+	s.statsMu.Lock()
+	s.writeOps++
+	s.docsWritten += int64(len(entries))
+	s.statsMu.Unlock()
+	return nil
+}
+
+// Delete removes key. Deleting an absent key is not an error.
+func (s *Store) Delete(ctx context.Context, key string) error {
+	if err := s.admitWrite(ctx, 1); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	delete(s.docs, key)
+	s.statsMu.Lock()
+	s.deleteOps++
+	s.statsMu.Unlock()
+	return nil
+}
+
+// List returns the keys with the given prefix, sorted.
+func (s *Store) List(ctx context.Context, prefix string) ([]string, error) {
+	if s.cfg.ReadLatency > 0 {
+		if err := s.cfg.Clock.Sleep(ctx, s.cfg.ReadLatency); err != nil {
+			return nil, err
+		}
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	var keys []string
+	for k := range s.docs {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Len returns the number of stored documents.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.docs)
+}
+
+// Stats is a point-in-time view of operation counts.
+type Stats struct {
+	WriteOps    int64 `json:"write_ops"`
+	DocsWritten int64 `json:"docs_written"`
+	ReadOps     int64 `json:"read_ops"`
+	DeleteOps   int64 `json:"delete_ops"`
+}
+
+// Stats returns operation counters since Open.
+func (s *Store) Stats() Stats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return Stats{
+		WriteOps:    s.writeOps,
+		DocsWritten: s.docsWritten,
+		ReadOps:     s.readOps,
+		DeleteOps:   s.deleteOps,
+	}
+}
+
+// snapshotFile is the on-disk representation used by Save/Load.
+type snapshotFile struct {
+	SavedAt time.Time  `json:"saved_at"`
+	Docs    []Document `json:"docs"`
+}
+
+// Save writes a JSON snapshot of all documents to path. It provides
+// the durability component of the paper's "persistent: true"
+// constraint in a form that is testable offline.
+func (s *Store) Save(path string) error {
+	s.mu.RLock()
+	snap := snapshotFile{SavedAt: s.cfg.Clock.Now(), Docs: make([]Document, 0, len(s.docs))}
+	for _, d := range s.docs {
+		snap.Docs = append(snap.Docs, d)
+	}
+	s.mu.RUnlock()
+	sort.Slice(snap.Docs, func(i, j int) bool { return snap.Docs[i].Key < snap.Docs[j].Key })
+	raw, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("kvstore: encoding snapshot: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("kvstore: writing snapshot: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load replaces the store contents from a snapshot written by Save.
+func (s *Store) Load(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("kvstore: reading snapshot: %w", err)
+	}
+	var snap snapshotFile
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return fmt.Errorf("kvstore: decoding snapshot: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.docs = make(map[string]Document, len(snap.Docs))
+	for _, d := range snap.Docs {
+		s.docs[d.Key] = d
+	}
+	return nil
+}
+
+// SetWriteRate retunes the write-capacity cap at runtime, which the
+// benchmark harness uses for capacity sweeps. It is a no-op for
+// unlimited stores.
+func (s *Store) SetWriteRate(opsPerSec float64) {
+	if s.writes != nil && opsPerSec > 0 {
+		s.writes.SetRate(opsPerSec)
+	}
+}

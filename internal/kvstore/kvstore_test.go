@@ -1,0 +1,394 @@
+package kvstore
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/hpcclab/oparaca-go/internal/vclock"
+)
+
+func openFast() *Store { return Open(Config{}) }
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openFast()
+	defer s.Close()
+	ctx := context.Background()
+	doc, err := s.Put(ctx, "a", json.RawMessage(`{"x":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Version != 1 {
+		t.Fatalf("first Put version = %d, want 1", doc.Version)
+	}
+	got, err := s.Get(ctx, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Value) != `{"x":1}` {
+		t.Fatalf("Get value = %s", got.Value)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	s := openFast()
+	defer s.Close()
+	_, err := s.Get(context.Background(), "nope")
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestPutIncrementsVersion(t *testing.T) {
+	s := openFast()
+	defer s.Close()
+	ctx := context.Background()
+	for i := 1; i <= 5; i++ {
+		doc, err := s.Put(ctx, "k", json.RawMessage(`1`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if doc.Version != int64(i) {
+			t.Fatalf("version = %d, want %d", doc.Version, i)
+		}
+	}
+}
+
+func TestPutCopiesValue(t *testing.T) {
+	s := openFast()
+	defer s.Close()
+	ctx := context.Background()
+	buf := []byte(`{"x":1}`)
+	if _, err := s.Put(ctx, "k", buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[2] = 'y' // mutate caller's buffer
+	got, _ := s.Get(ctx, "k")
+	if string(got.Value) != `{"x":1}` {
+		t.Fatalf("store aliased caller buffer: %s", got.Value)
+	}
+}
+
+func TestCompareAndPut(t *testing.T) {
+	s := openFast()
+	defer s.Close()
+	ctx := context.Background()
+
+	// expect 0 = create-if-absent
+	doc, err := s.CompareAndPut(ctx, "k", json.RawMessage(`1`), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Version != 1 {
+		t.Fatalf("version = %d", doc.Version)
+	}
+	// stale expect fails
+	if _, err := s.CompareAndPut(ctx, "k", json.RawMessage(`2`), 0); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("err = %v, want ErrVersionMismatch", err)
+	}
+	// correct expect succeeds
+	if _, err := s.CompareAndPut(ctx, "k", json.RawMessage(`2`), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareAndPutSerializesConcurrentWriters(t *testing.T) {
+	s := openFast()
+	defer s.Close()
+	ctx := context.Background()
+	if _, err := s.Put(ctx, "ctr", json.RawMessage(`0`)); err != nil {
+		t.Fatal(err)
+	}
+	var wins Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				cur, err := s.Get(ctx, "ctr")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var n int
+				_ = json.Unmarshal(cur.Value, &n)
+				raw, _ := json.Marshal(n + 1)
+				if _, err := s.CompareAndPut(ctx, "ctr", raw, cur.Version); err == nil {
+					wins.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	final, _ := s.Get(ctx, "ctr")
+	var n int
+	_ = json.Unmarshal(final.Value, &n)
+	if int64(n) != wins.Load() {
+		t.Fatalf("final counter %d != successful CAS count %d (lost update)", n, wins.Load())
+	}
+}
+
+// Counter is a tiny atomic counter for tests.
+type Counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (c *Counter) Add(d int64) { c.mu.Lock(); c.n += d; c.mu.Unlock() }
+func (c *Counter) Load() int64 { c.mu.Lock(); defer c.mu.Unlock(); return c.n }
+
+func TestDelete(t *testing.T) {
+	s := openFast()
+	defer s.Close()
+	ctx := context.Background()
+	s.Put(ctx, "k", json.RawMessage(`1`))
+	if err := s.Delete(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(ctx, "k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("after delete err = %v", err)
+	}
+	// deleting absent key is fine
+	if err := s.Delete(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestListPrefix(t *testing.T) {
+	s := openFast()
+	defer s.Close()
+	ctx := context.Background()
+	for _, k := range []string{"obj/b", "obj/a", "cls/x"} {
+		s.Put(ctx, k, json.RawMessage(`1`))
+	}
+	keys, err := s.List(ctx, "obj/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != "obj/a" || keys[1] != "obj/b" {
+		t.Fatalf("List = %v", keys)
+	}
+}
+
+func TestBatchPut(t *testing.T) {
+	s := openFast()
+	defer s.Close()
+	ctx := context.Background()
+	entries := map[string]json.RawMessage{
+		"a": json.RawMessage(`1`),
+		"b": json.RawMessage(`2`),
+	}
+	if err := s.BatchPut(ctx, entries); err != nil {
+		t.Fatal(err)
+	}
+	for k := range entries {
+		if _, err := s.Get(ctx, k); err != nil {
+			t.Fatalf("Get(%q) after batch: %v", k, err)
+		}
+	}
+	st := s.Stats()
+	if st.WriteOps != 1 {
+		t.Fatalf("batch counted as %d write ops, want 1", st.WriteOps)
+	}
+	if st.DocsWritten != 2 {
+		t.Fatalf("docs written = %d, want 2", st.DocsWritten)
+	}
+}
+
+func TestBatchPutEmptyIsNoop(t *testing.T) {
+	s := openFast()
+	defer s.Close()
+	if err := s.BatchPut(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().WriteOps != 0 {
+		t.Fatal("empty batch consumed a write op")
+	}
+}
+
+func TestWriteCapacityThrottles(t *testing.T) {
+	clock := vclock.NewManual(time.Unix(0, 0))
+	s := Open(Config{WriteOpsPerSec: 10, WriteBurst: 2, Clock: clock})
+	defer s.Close()
+	ctx := context.Background()
+	// Burst of 2 admits immediately.
+	for i := 0; i < 2; i++ {
+		if _, err := s.Put(ctx, "k", json.RawMessage(`1`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Third write must block until the clock advances.
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Put(ctx, "k", json.RawMessage(`1`))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("third write admitted without capacity: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	for clock.Pending() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	clock.Advance(time.Second)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("write never admitted after refill")
+	}
+}
+
+func TestBatchCheaperThanSingles(t *testing.T) {
+	// With a real clock and a tight write cap, 64 docs via batch must
+	// complete far faster than 64 single puts would be admitted.
+	s := Open(Config{WriteOpsPerSec: 50, WriteBurst: 2, BatchDocCost: 0.02})
+	defer s.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	entries := make(map[string]json.RawMessage, 64)
+	for i := 0; i < 64; i++ {
+		entries[fmt.Sprintf("k%02d", i)] = json.RawMessage(`1`)
+	}
+	start := time.Now()
+	if err := s.BatchPut(ctx, entries); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	// Cost = 1 + 63*0.02 ≈ 2.26 tokens; burst 2 → waits ~5ms.
+	// 64 singles would need ~1.24s. Assert well under that.
+	if elapsed > 500*time.Millisecond {
+		t.Fatalf("batch took %v; batching not amortizing capacity", elapsed)
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	s := openFast()
+	s.Close()
+	ctx := context.Background()
+	if _, err := s.Get(ctx, "k"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get after close = %v", err)
+	}
+	if _, err := s.Put(ctx, "k", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after close = %v", err)
+	}
+	if err := s.BatchPut(ctx, map[string]json.RawMessage{"k": nil}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("BatchPut after close = %v", err)
+	}
+	if _, err := s.List(ctx, ""); !errors.Is(err, ErrClosed) {
+		t.Fatalf("List after close = %v", err)
+	}
+}
+
+func TestContextCancelDuringThrottle(t *testing.T) {
+	clock := vclock.NewManual(time.Unix(0, 0))
+	s := Open(Config{WriteOpsPerSec: 0.001, WriteBurst: 1, Clock: clock})
+	defer s.Close()
+	ctx := context.Background()
+	if _, err := s.Put(ctx, "k", nil); err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Put(cctx, "k", nil)
+		done <- err
+	}()
+	for clock.Pending() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.json")
+	s := openFast()
+	ctx := context.Background()
+	s.Put(ctx, "a", json.RawMessage(`{"n":1}`))
+	s.Put(ctx, "b", json.RawMessage(`"two"`))
+	s.Put(ctx, "b", json.RawMessage(`"two-v2"`))
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := openFast()
+	defer s2.Close()
+	if err := s2.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Get(ctx, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Value) != `"two-v2"` || got.Version != 2 {
+		t.Fatalf("restored doc = %+v", got)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s2.Len())
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	s := openFast()
+	defer s.Close()
+	if err := s.Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("Load of absent file succeeded")
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	s := openFast()
+	defer s.Close()
+	ctx := context.Background()
+	s.Put(ctx, "a", nil)
+	s.Get(ctx, "a")
+	s.Delete(ctx, "a")
+	st := s.Stats()
+	if st.WriteOps != 1 || st.ReadOps != 1 || st.DeleteOps != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// Property: any sequence of puts leaves version == number of puts for
+// that key and the last value stored.
+func TestVersionMonotonicProperty(t *testing.T) {
+	prop := func(values []uint32) bool {
+		if len(values) == 0 {
+			return true
+		}
+		s := openFast()
+		defer s.Close()
+		ctx := context.Background()
+		var last json.RawMessage
+		for _, v := range values {
+			raw, _ := json.Marshal(v)
+			last = raw
+			if _, err := s.Put(ctx, "k", raw); err != nil {
+				return false
+			}
+		}
+		doc, err := s.Get(ctx, "k")
+		if err != nil {
+			return false
+		}
+		return doc.Version == int64(len(values)) && string(doc.Value) == string(last)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,132 @@
+// Package loadgen provides closed-loop and open-loop workload
+// generators plus latency/throughput reporting for the benchmark
+// harness that regenerates the paper's evaluation (§V).
+package loadgen
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hpcclab/oparaca-go/internal/metrics"
+	"github.com/hpcclab/oparaca-go/internal/vclock"
+)
+
+// Op is one unit of workload. The worker index lets operations spread
+// across objects or keys.
+type Op func(ctx context.Context, worker int) error
+
+// Config shapes a load run.
+type Config struct {
+	// Concurrency is the number of closed-loop workers. Defaults 8.
+	Concurrency int
+	// Duration is the measured run length. Defaults to 1s.
+	Duration time.Duration
+	// Warmup runs the workload unmeasured first. Default 0.
+	Warmup time.Duration
+	// TargetRPS, when > 0, makes the run open-loop: operations are
+	// admitted at this rate regardless of completion.
+	TargetRPS float64
+	// Clock supplies time; defaults to the real clock.
+	Clock vclock.Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = vclock.NewReal()
+	}
+	return c
+}
+
+// Report summarizes a load run.
+type Report struct {
+	// Elapsed is the measured wall time.
+	Elapsed time.Duration `json:"elapsed"`
+	// Ops / Errors count completed operations.
+	Ops    int64 `json:"ops"`
+	Errors int64 `json:"errors"`
+	// ThroughputOPS is Ops divided by Elapsed.
+	ThroughputOPS float64 `json:"throughput_ops"`
+	// Latency summarizes successful-op latencies.
+	Latency metrics.HistogramSnapshot `json:"latency"`
+}
+
+// Run drives op under cfg and reports the measured throughput.
+func Run(ctx context.Context, cfg Config, op Op) Report {
+	cfg = cfg.withDefaults()
+	if cfg.Warmup > 0 {
+		warmCfg := cfg
+		warmCfg.Warmup = 0
+		warmCfg.Duration = cfg.Warmup
+		_ = Run(ctx, warmCfg, op)
+	}
+
+	var (
+		okOps  atomic.Int64
+		errOps atomic.Int64
+		hist   metrics.Histogram
+	)
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var admit *vclock.TokenBucket
+	if cfg.TargetRPS > 0 {
+		admit = vclock.NewTokenBucket(cfg.Clock, cfg.TargetRPS, cfg.TargetRPS/10+1)
+	}
+
+	start := cfg.Clock.Now()
+	deadline := start.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				if cfg.Clock.Now().After(deadline) || runCtx.Err() != nil {
+					return
+				}
+				if admit != nil {
+					if err := admit.Take(runCtx, 1); err != nil {
+						return
+					}
+				}
+				opStart := cfg.Clock.Now()
+				err := op(runCtx, worker)
+				if runCtx.Err() != nil {
+					return // do not count operations cut off at the end
+				}
+				if err != nil {
+					errOps.Add(1)
+					continue
+				}
+				hist.Observe(cfg.Clock.Since(opStart))
+				okOps.Add(1)
+			}
+		}(w)
+	}
+
+	// End the run exactly at the deadline even if ops block.
+	go func() {
+		_ = cfg.Clock.Sleep(runCtx, cfg.Duration)
+		cancel()
+	}()
+	wg.Wait()
+	elapsed := cfg.Clock.Since(start)
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	return Report{
+		Elapsed:       elapsed,
+		Ops:           okOps.Load(),
+		Errors:        errOps.Load(),
+		ThroughputOPS: float64(okOps.Load()) / elapsed.Seconds(),
+		Latency:       hist.Snapshot(),
+	}
+}

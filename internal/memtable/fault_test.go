@@ -1,0 +1,108 @@
+package memtable
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/hpcclab/oparaca-go/internal/kvstore"
+)
+
+// TestFlusherRecoversFromTransientBackingFailures injects a burst of
+// write failures into the backing store and verifies the write-behind
+// flusher retries until every acknowledged write is durable — the
+// no-lost-acknowledged-write invariant under a flaky database.
+func TestFlusherRecoversFromTransientBackingFailures(t *testing.T) {
+	db := kvstore.Open(kvstore.Config{})
+	defer db.Close()
+	tbl, err := New(Config{
+		Mode:          ModeWriteBehind,
+		Backing:       db,
+		FlushInterval: 5 * time.Millisecond,
+		Shards:        2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	db.InjectWriteFailures(6, errors.New("transient outage"))
+	want := map[string]string{}
+	for i := 0; i < 32; i++ {
+		k := fmt.Sprintf("k%02d", i)
+		v := fmt.Sprintf(`"v%02d"`, i)
+		if err := tbl.Put(ctx, k, json.RawMessage(v)); err != nil {
+			t.Fatal(err)
+		}
+		want[k] = v
+	}
+	// Wait for the flusher to burn through the failures and drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for tbl.DirtyCount() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("flusher never drained; %d dirty, faults served %d",
+				tbl.DirtyCount(), db.FaultsServed())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	tbl.Close()
+	if db.FaultsServed() == 0 {
+		t.Fatal("no faults were actually injected; test is vacuous")
+	}
+	for k, v := range want {
+		doc, err := db.Get(ctx, k)
+		if err != nil {
+			t.Fatalf("key %s lost after transient failures: %v", k, err)
+		}
+		if string(doc.Value) != v {
+			t.Fatalf("key %s = %s, want %s", k, doc.Value, v)
+		}
+	}
+}
+
+// TestReadsServeFromMemoryDuringOutage verifies that in-memory state
+// remains readable while the backing store rejects writes.
+func TestReadsServeFromMemoryDuringOutage(t *testing.T) {
+	db := kvstore.Open(kvstore.Config{})
+	defer db.Close()
+	tbl, err := New(Config{Mode: ModeWriteBehind, Backing: db, FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+	ctx := context.Background()
+	if err := tbl.Put(ctx, "k", json.RawMessage(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	db.InjectWriteFailures(1000, errors.New("outage"))
+	tbl.Flush(ctx) // fails, keys stay dirty
+	v, err := tbl.Get(ctx, "k")
+	if err != nil || string(v) != `1` {
+		t.Fatalf("Get during outage = %s, %v", v, err)
+	}
+	// New writes are still accepted (buffered).
+	if err := tbl.Put(ctx, "k2", json.RawMessage(`2`)); err != nil {
+		t.Fatalf("Put during outage = %v", err)
+	}
+}
+
+// TestWriteThroughSurfacesBackingErrors verifies the baseline mode
+// (each op writes synchronously) propagates store failures to callers
+// — the behaviour that makes the Knative baseline DB-bound.
+func TestWriteThroughSurfacesBackingErrors(t *testing.T) {
+	db := kvstore.Open(kvstore.Config{})
+	defer db.Close()
+	tbl, err := New(Config{Mode: ModeWriteThrough, Backing: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+	ctx := context.Background()
+	sentinel := errors.New("db down")
+	db.InjectWriteFailures(1, sentinel)
+	if err := tbl.Put(ctx, "k", json.RawMessage(`1`)); !errors.Is(err, sentinel) {
+		t.Fatalf("write-through err = %v, want sentinel", err)
+	}
+}

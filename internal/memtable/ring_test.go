@@ -1,0 +1,150 @@
+package memtable
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingEmptyOwner(t *testing.T) {
+	r := NewRing(16)
+	if got := r.Owner("k"); got != "" {
+		t.Fatalf("Owner on empty ring = %q", got)
+	}
+}
+
+func TestRingSingleNodeOwnsAll(t *testing.T) {
+	r := NewRing(16)
+	r.Add("n1")
+	for i := 0; i < 100; i++ {
+		if got := r.Owner(fmt.Sprintf("key-%d", i)); got != "n1" {
+			t.Fatalf("Owner = %q, want n1", got)
+		}
+	}
+}
+
+func TestRingAddIdempotent(t *testing.T) {
+	r := NewRing(16)
+	r.Add("n1")
+	r.Add("n1")
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate add", r.Len())
+	}
+}
+
+func TestRingRemove(t *testing.T) {
+	r := NewRing(16)
+	r.Add("n1")
+	r.Add("n2")
+	r.Remove("n1")
+	for i := 0; i < 50; i++ {
+		if got := r.Owner(fmt.Sprintf("key-%d", i)); got != "n2" {
+			t.Fatalf("Owner = %q after removing n1", got)
+		}
+	}
+	r.Remove("absent") // no-op
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	r := NewRing(32)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("n%d", i))
+	}
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		a, b := r.Owner(k), r.Owner(k)
+		if a != b {
+			t.Fatalf("Owner(%q) flapped: %q vs %q", k, a, b)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(128)
+	const nodes = 8
+	for i := 0; i < nodes; i++ {
+		r.Add(fmt.Sprintf("n%d", i))
+	}
+	counts := make(map[string]int)
+	const keys = 8000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("object-%d", i))]++
+	}
+	mean := keys / nodes
+	for n, c := range counts {
+		if c < mean/3 || c > mean*3 {
+			t.Errorf("node %s owns %d keys (mean %d): ring badly imbalanced", n, c, mean)
+		}
+	}
+	if len(counts) != nodes {
+		t.Fatalf("only %d of %d nodes own keys", len(counts), nodes)
+	}
+}
+
+// TestRingMinimalDisruption checks the consistent-hashing property:
+// removing one node must not remap keys owned by the others.
+func TestRingMinimalDisruption(t *testing.T) {
+	r := NewRing(64)
+	for i := 0; i < 6; i++ {
+		r.Add(fmt.Sprintf("n%d", i))
+	}
+	before := make(map[string]string)
+	for i := 0; i < 2000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		before[k] = r.Owner(k)
+	}
+	r.Remove("n3")
+	moved := 0
+	for k, prev := range before {
+		now := r.Owner(k)
+		if prev == "n3" {
+			if now == "n3" {
+				t.Fatalf("key %q still owned by removed node", k)
+			}
+			continue
+		}
+		if now != prev {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys not owned by the removed node were remapped", moved)
+	}
+}
+
+func TestRingNodesSorted(t *testing.T) {
+	r := NewRing(8)
+	r.Add("zeta")
+	r.Add("alpha")
+	nodes := r.Nodes()
+	if len(nodes) != 2 || nodes[0] != "alpha" || nodes[1] != "zeta" {
+		t.Fatalf("Nodes = %v", nodes)
+	}
+}
+
+func TestRingPanicsOnBadReplicas(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRing(0) did not panic")
+		}
+	}()
+	NewRing(0)
+}
+
+// Property: every key has an owner in the node set.
+func TestRingOwnerMembershipProperty(t *testing.T) {
+	r := NewRing(32)
+	nodes := map[string]bool{"a": true, "b": true, "c": true}
+	for n := range nodes {
+		r.Add(n)
+	}
+	prop := func(key string) bool {
+		return nodes[r.Owner(key)]
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,375 @@
+package memtable
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/hpcclab/oparaca-go/internal/kvstore"
+	"github.com/hpcclab/oparaca-go/internal/vclock"
+)
+
+// Sentinel errors.
+var (
+	// ErrNotFound is returned when a key exists neither in memory nor
+	// in the backing store.
+	ErrNotFound = errors.New("memtable: key not found")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("memtable: table closed")
+)
+
+// Mode selects the table's persistence behaviour, mirroring the
+// paper's evaluation variants.
+type Mode int
+
+const (
+	// ModeWriteBehind keeps entries in memory and flushes dirty keys
+	// to the backing store in consolidated batches (the `oprc` and
+	// `oprc-bypass` configurations).
+	ModeWriteBehind Mode = iota + 1
+	// ModeWriteThrough writes each update synchronously to the
+	// backing store (what the Knative baseline effectively does).
+	ModeWriteThrough
+	// ModeMemoryOnly never touches the backing store (the
+	// `oprc-bypass-nonpersist` configuration).
+	ModeMemoryOnly
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeWriteBehind:
+		return "write-behind"
+	case ModeWriteThrough:
+		return "write-through"
+	case ModeMemoryOnly:
+		return "memory-only"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config configures a Table.
+type Config struct {
+	// Mode selects persistence behaviour; defaults to ModeWriteBehind.
+	Mode Mode
+	// Backing is the persistent store; required unless ModeMemoryOnly.
+	Backing *kvstore.Store
+	// Shards is the number of in-memory shard maps (per-VM partitions
+	// in the paper's deployment). Defaults to 16.
+	Shards int
+	// FlushInterval is the write-behind flush period. Defaults 50ms.
+	FlushInterval time.Duration
+	// FlushBatchSize triggers an early flush of a shard once that many
+	// keys are dirty. Defaults to 256.
+	FlushBatchSize int
+	// Clock supplies time; defaults to the real clock.
+	Clock vclock.Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.Mode == 0 {
+		c.Mode = ModeWriteBehind
+	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 50 * time.Millisecond
+	}
+	if c.FlushBatchSize <= 0 {
+		c.FlushBatchSize = 256
+	}
+	if c.Clock == nil {
+		c.Clock = vclock.NewReal()
+	}
+	return c
+}
+
+// shard is one partition of the table.
+type shard struct {
+	mu    sync.Mutex
+	data  map[string]json.RawMessage
+	dirty map[string]bool
+}
+
+// Table is the distributed in-memory hash table. It is safe for
+// concurrent use.
+type Table struct {
+	cfg      Config
+	shards   []*shard
+	ring     *Ring
+	shardIdx map[string]int // ring node name -> shard index
+
+	closeOnce sync.Once
+	closed    chan struct{}
+	flushWake chan struct{}
+	done      chan struct{} // flusher exited
+
+	statsMu   sync.Mutex
+	hits      int64
+	misses    int64
+	flushes   int64
+	flushDocs int64
+}
+
+// New creates a table. It returns an error when a persistent mode has
+// no backing store.
+func New(cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Mode != ModeMemoryOnly && cfg.Backing == nil {
+		return nil, fmt.Errorf("memtable: mode %v requires a backing store", cfg.Mode)
+	}
+	t := &Table{
+		cfg:       cfg,
+		shards:    make([]*shard, cfg.Shards),
+		ring:      NewRing(64),
+		closed:    make(chan struct{}),
+		flushWake: make(chan struct{}, 1),
+		done:      make(chan struct{}),
+	}
+	t.shardIdx = make(map[string]int, cfg.Shards)
+	for i := range t.shards {
+		t.shards[i] = &shard{data: make(map[string]json.RawMessage), dirty: make(map[string]bool)}
+		name := shardName(i)
+		t.ring.Add(name)
+		t.shardIdx[name] = i
+	}
+	if cfg.Mode == ModeWriteBehind {
+		go t.flushLoop()
+	} else {
+		close(t.done)
+	}
+	return t, nil
+}
+
+func shardName(i int) string { return fmt.Sprintf("shard-%03d", i) }
+
+// shardFor returns the shard owning key via the consistent-hash ring.
+func (t *Table) shardFor(key string) *shard {
+	idx, ok := t.shardIdx[t.ring.Owner(key)]
+	if !ok {
+		idx = int(hashKey(key)) % len(t.shards)
+	}
+	return t.shards[idx]
+}
+
+// OwnerShard exposes the ring decision for locality-aware routing
+// (paper §II-A: distribute data close to the deployed method).
+func (t *Table) OwnerShard(key string) string { return t.ring.Owner(key) }
+
+// isClosed reports whether Close has been called.
+func (t *Table) isClosed() bool {
+	select {
+	case <-t.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// Get returns the value for key, reading through to the backing store
+// on a miss (and caching the result).
+func (t *Table) Get(ctx context.Context, key string) (json.RawMessage, error) {
+	if t.isClosed() {
+		return nil, ErrClosed
+	}
+	sh := t.shardFor(key)
+	sh.mu.Lock()
+	if v, ok := sh.data[key]; ok {
+		sh.mu.Unlock()
+		t.statsMu.Lock()
+		t.hits++
+		t.statsMu.Unlock()
+		return v, nil
+	}
+	sh.mu.Unlock()
+	t.statsMu.Lock()
+	t.misses++
+	t.statsMu.Unlock()
+	if t.cfg.Mode == ModeMemoryOnly {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	doc, err := t.cfg.Backing.Get(ctx, key)
+	if err != nil {
+		if errors.Is(err, kvstore.ErrNotFound) {
+			return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+		}
+		return nil, fmt.Errorf("memtable: read-through: %w", err)
+	}
+	sh.mu.Lock()
+	// Another writer may have raced us; do not clobber a dirty entry.
+	if v, ok := sh.data[key]; ok {
+		sh.mu.Unlock()
+		return v, nil
+	}
+	sh.data[key] = doc.Value
+	sh.mu.Unlock()
+	return doc.Value, nil
+}
+
+// Put stores value at key. In write-through mode the backing write is
+// synchronous; in write-behind mode the key is marked dirty for the
+// flusher.
+func (t *Table) Put(ctx context.Context, key string, value json.RawMessage) error {
+	if t.isClosed() {
+		return ErrClosed
+	}
+	val := append(json.RawMessage(nil), value...)
+	switch t.cfg.Mode {
+	case ModeWriteThrough:
+		if _, err := t.cfg.Backing.Put(ctx, key, val); err != nil {
+			return fmt.Errorf("memtable: write-through: %w", err)
+		}
+		sh := t.shardFor(key)
+		sh.mu.Lock()
+		sh.data[key] = val
+		sh.mu.Unlock()
+		return nil
+	case ModeMemoryOnly:
+		sh := t.shardFor(key)
+		sh.mu.Lock()
+		sh.data[key] = val
+		sh.mu.Unlock()
+		return nil
+	default: // ModeWriteBehind
+		sh := t.shardFor(key)
+		sh.mu.Lock()
+		sh.data[key] = val
+		sh.dirty[key] = true
+		n := len(sh.dirty)
+		sh.mu.Unlock()
+		if n >= t.cfg.FlushBatchSize {
+			select {
+			case t.flushWake <- struct{}{}:
+			default:
+			}
+		}
+		return nil
+	}
+}
+
+// Delete removes key from memory and, in persistent modes, from the
+// backing store.
+func (t *Table) Delete(ctx context.Context, key string) error {
+	if t.isClosed() {
+		return ErrClosed
+	}
+	sh := t.shardFor(key)
+	sh.mu.Lock()
+	delete(sh.data, key)
+	delete(sh.dirty, key)
+	sh.mu.Unlock()
+	if t.cfg.Mode == ModeMemoryOnly {
+		return nil
+	}
+	if err := t.cfg.Backing.Delete(ctx, key); err != nil {
+		return fmt.Errorf("memtable: delete: %w", err)
+	}
+	return nil
+}
+
+// flushLoop periodically consolidates dirty keys into batch writes.
+func (t *Table) flushLoop() {
+	defer close(t.done)
+	for {
+		select {
+		case <-t.closed:
+			// Final synchronous flush so Close is durable.
+			t.flushAll(context.Background())
+			return
+		case <-t.flushWake:
+		case <-t.cfg.Clock.After(t.cfg.FlushInterval):
+		}
+		t.flushAll(context.Background())
+	}
+}
+
+// flushAll writes every dirty key, one consolidated batch per shard.
+func (t *Table) flushAll(ctx context.Context) {
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		if len(sh.dirty) == 0 {
+			sh.mu.Unlock()
+			continue
+		}
+		batch := make(map[string]json.RawMessage, len(sh.dirty))
+		for k := range sh.dirty {
+			batch[k] = sh.data[k]
+		}
+		sh.dirty = make(map[string]bool)
+		sh.mu.Unlock()
+		if err := t.cfg.Backing.BatchPut(ctx, batch); err != nil {
+			// Mark the keys dirty again so no update is lost; they
+			// will be retried on the next flush tick.
+			sh.mu.Lock()
+			for k := range batch {
+				sh.dirty[k] = true
+			}
+			sh.mu.Unlock()
+			continue
+		}
+		t.statsMu.Lock()
+		t.flushes++
+		t.flushDocs += int64(len(batch))
+		t.statsMu.Unlock()
+	}
+}
+
+// Flush synchronously persists all dirty entries (no-op outside
+// write-behind mode).
+func (t *Table) Flush(ctx context.Context) {
+	if t.cfg.Mode == ModeWriteBehind {
+		t.flushAll(ctx)
+	}
+}
+
+// DirtyCount returns the number of keys awaiting flush.
+func (t *Table) DirtyCount() int {
+	var n int
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		n += len(sh.dirty)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Len returns the number of in-memory entries.
+func (t *Table) Len() int {
+	var n int
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		n += len(sh.data)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Close stops the flusher after a final flush and marks the table
+// closed. It blocks until the flusher exits.
+func (t *Table) Close() {
+	t.closeOnce.Do(func() { close(t.closed) })
+	<-t.done
+}
+
+// Stats is a point-in-time view of cache behaviour.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Flushes   int64 `json:"flushes"`
+	FlushDocs int64 `json:"flush_docs"`
+}
+
+// Stats returns counters since New.
+func (t *Table) Stats() Stats {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	return Stats{Hits: t.hits, Misses: t.misses, Flushes: t.flushes, FlushDocs: t.flushDocs}
+}
+
+// Mode returns the configured persistence mode.
+func (t *Table) Mode() Mode { return t.cfg.Mode }

@@ -1,0 +1,367 @@
+package memtable
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/hpcclab/oparaca-go/internal/kvstore"
+)
+
+func newBacked(t *testing.T, mode Mode) (*Table, *kvstore.Store) {
+	t.Helper()
+	db := kvstore.Open(kvstore.Config{})
+	tbl, err := New(Config{Mode: mode, Backing: db, FlushInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		tbl.Close()
+		db.Close()
+	})
+	return tbl, db
+}
+
+func TestNewRequiresBackingForPersistentModes(t *testing.T) {
+	if _, err := New(Config{Mode: ModeWriteBehind}); err == nil {
+		t.Fatal("write-behind without backing succeeded")
+	}
+	if _, err := New(Config{Mode: ModeWriteThrough}); err == nil {
+		t.Fatal("write-through without backing succeeded")
+	}
+	tbl, err := New(Config{Mode: ModeMemoryOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Close()
+}
+
+func TestPutGetMemoryOnly(t *testing.T) {
+	tbl, err := New(Config{Mode: ModeMemoryOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+	ctx := context.Background()
+	if err := tbl.Put(ctx, "k", json.RawMessage(`{"a":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := tbl.Get(ctx, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != `{"a":1}` {
+		t.Fatalf("Get = %s", v)
+	}
+	if _, err := tbl.Get(ctx, "missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing key err = %v", err)
+	}
+}
+
+func TestWriteThroughPersistsImmediately(t *testing.T) {
+	tbl, db := newBacked(t, ModeWriteThrough)
+	ctx := context.Background()
+	if err := tbl.Put(ctx, "k", json.RawMessage(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := db.Get(ctx, "k")
+	if err != nil {
+		t.Fatalf("backing store missing key after write-through: %v", err)
+	}
+	if string(doc.Value) != `1` {
+		t.Fatalf("backing value = %s", doc.Value)
+	}
+}
+
+func TestWriteBehindFlushesEventually(t *testing.T) {
+	tbl, db := newBacked(t, ModeWriteBehind)
+	ctx := context.Background()
+	if err := tbl.Put(ctx, "k", json.RawMessage(`7`)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if _, err := db.Get(ctx, "k"); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("write-behind entry never flushed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestWriteBehindConsolidatesBatches(t *testing.T) {
+	db := kvstore.Open(kvstore.Config{})
+	defer db.Close()
+	// Long interval so only our manual Flush writes.
+	tbl, err := New(Config{Mode: ModeWriteBehind, Backing: db, FlushInterval: time.Hour, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 100; i++ {
+		if err := tbl.Put(ctx, fmt.Sprintf("k%03d", i), json.RawMessage(`1`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl.Flush(ctx)
+	st := db.Stats()
+	if st.DocsWritten != 100 {
+		t.Fatalf("docs written = %d, want 100", st.DocsWritten)
+	}
+	// 100 docs over 2 shards => at most 2 write operations.
+	if st.WriteOps > 2 {
+		t.Fatalf("write ops = %d; batching failed to consolidate", st.WriteOps)
+	}
+	tbl.Close()
+}
+
+func TestCloseFlushesDirtyEntries(t *testing.T) {
+	db := kvstore.Open(kvstore.Config{})
+	defer db.Close()
+	tbl, err := New(Config{Mode: ModeWriteBehind, Backing: db, FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := tbl.Put(ctx, "durable", json.RawMessage(`42`)); err != nil {
+		t.Fatal(err)
+	}
+	tbl.Close()
+	if _, err := db.Get(ctx, "durable"); err != nil {
+		t.Fatalf("Close lost a dirty entry: %v", err)
+	}
+}
+
+func TestReadThroughPopulatesCache(t *testing.T) {
+	tbl, db := newBacked(t, ModeWriteBehind)
+	ctx := context.Background()
+	if _, err := db.Put(ctx, "cold", json.RawMessage(`"disk"`)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := tbl.Get(ctx, "cold")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != `"disk"` {
+		t.Fatalf("read-through value = %s", v)
+	}
+	st := tbl.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", st.Misses)
+	}
+	if _, err := tbl.Get(ctx, "cold"); err != nil {
+		t.Fatal(err)
+	}
+	st = tbl.Stats()
+	if st.Hits != 1 {
+		t.Fatalf("hits = %d after cached read, want 1", st.Hits)
+	}
+}
+
+func TestDeleteRemovesEverywhere(t *testing.T) {
+	tbl, db := newBacked(t, ModeWriteThrough)
+	ctx := context.Background()
+	tbl.Put(ctx, "k", json.RawMessage(`1`))
+	if err := tbl.Delete(ctx, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Get(ctx, "k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after delete = %v", err)
+	}
+	if _, err := db.Get(ctx, "k"); !errors.Is(err, kvstore.ErrNotFound) {
+		t.Fatalf("backing Get after delete = %v", err)
+	}
+}
+
+func TestClosedTableErrors(t *testing.T) {
+	tbl, _ := New(Config{Mode: ModeMemoryOnly})
+	tbl.Close()
+	ctx := context.Background()
+	if err := tbl.Put(ctx, "k", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after close = %v", err)
+	}
+	if _, err := tbl.Get(ctx, "k"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get after close = %v", err)
+	}
+	if err := tbl.Delete(ctx, "k"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Delete after close = %v", err)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	tbl, _ := New(Config{Mode: ModeMemoryOnly})
+	tbl.Close()
+	tbl.Close() // must not panic or deadlock
+}
+
+func TestPutCopiesValue(t *testing.T) {
+	tbl, _ := New(Config{Mode: ModeMemoryOnly})
+	defer tbl.Close()
+	ctx := context.Background()
+	buf := []byte(`{"a":1}`)
+	tbl.Put(ctx, "k", buf)
+	buf[2] = 'z'
+	v, _ := tbl.Get(ctx, "k")
+	if string(v) != `{"a":1}` {
+		t.Fatalf("table aliased caller buffer: %s", v)
+	}
+}
+
+func TestDirtyCountAndLen(t *testing.T) {
+	db := kvstore.Open(kvstore.Config{})
+	defer db.Close()
+	tbl, err := New(Config{Mode: ModeWriteBehind, Backing: db, FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		tbl.Put(ctx, fmt.Sprintf("k%d", i), json.RawMessage(`1`))
+	}
+	if got := tbl.DirtyCount(); got != 10 {
+		t.Fatalf("DirtyCount = %d, want 10", got)
+	}
+	if got := tbl.Len(); got != 10 {
+		t.Fatalf("Len = %d, want 10", got)
+	}
+	tbl.Flush(ctx)
+	if got := tbl.DirtyCount(); got != 0 {
+		t.Fatalf("DirtyCount after flush = %d", got)
+	}
+	tbl.Close()
+}
+
+func TestFlushRetryOnBackingFailure(t *testing.T) {
+	// A closed backing store makes BatchPut fail; the dirty keys must
+	// be retained for retry rather than dropped.
+	db := kvstore.Open(kvstore.Config{})
+	tbl, err := New(Config{Mode: ModeWriteBehind, Backing: db, FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	tbl.Put(ctx, "k", json.RawMessage(`1`))
+	db.Close()
+	tbl.Flush(ctx)
+	if got := tbl.DirtyCount(); got != 1 {
+		t.Fatalf("DirtyCount after failed flush = %d, want 1 (keys must not be lost)", got)
+	}
+	// Value still readable from memory.
+	if _, err := tbl.Get(ctx, "k"); err != nil {
+		t.Fatalf("Get after failed flush = %v", err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	cases := map[Mode]string{
+		ModeWriteBehind:  "write-behind",
+		ModeWriteThrough: "write-through",
+		ModeMemoryOnly:   "memory-only",
+		Mode(99):         "Mode(99)",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), got, want)
+		}
+	}
+}
+
+func TestEarlyFlushOnBatchThreshold(t *testing.T) {
+	db := kvstore.Open(kvstore.Config{})
+	defer db.Close()
+	tbl, err := New(Config{
+		Mode: ModeWriteBehind, Backing: db,
+		FlushInterval: time.Hour, FlushBatchSize: 8, Shards: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		tbl.Put(ctx, fmt.Sprintf("k%d", i), json.RawMessage(`1`))
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for tbl.DirtyCount() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("threshold flush never happened")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Property: last write wins — after an arbitrary sequence of puts on a
+// fixed key set, Get returns the latest value per key.
+func TestLastWriteWinsProperty(t *testing.T) {
+	type op struct {
+		Key byte
+		Val uint16
+	}
+	prop := func(ops []op) bool {
+		tbl, err := New(Config{Mode: ModeMemoryOnly})
+		if err != nil {
+			return false
+		}
+		defer tbl.Close()
+		ctx := context.Background()
+		want := map[string]string{}
+		for _, o := range ops {
+			k := fmt.Sprintf("key-%d", o.Key%8)
+			raw, _ := json.Marshal(o.Val)
+			if err := tbl.Put(ctx, k, raw); err != nil {
+				return false
+			}
+			want[k] = string(raw)
+		}
+		for k, w := range want {
+			v, err := tbl.Get(ctx, k)
+			if err != nil || string(v) != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: write-behind never loses an acknowledged write once
+// flushed: backing holds the latest value for every key.
+func TestWriteBehindDurabilityProperty(t *testing.T) {
+	prop := func(keys []byte) bool {
+		db := kvstore.Open(kvstore.Config{})
+		defer db.Close()
+		tbl, err := New(Config{Mode: ModeWriteBehind, Backing: db, FlushInterval: time.Hour})
+		if err != nil {
+			return false
+		}
+		ctx := context.Background()
+		want := map[string]string{}
+		for i, k := range keys {
+			key := fmt.Sprintf("k%d", k%16)
+			raw, _ := json.Marshal(i)
+			if err := tbl.Put(ctx, key, raw); err != nil {
+				return false
+			}
+			want[key] = string(raw)
+		}
+		tbl.Close() // final flush
+		for k, w := range want {
+			doc, err := db.Get(ctx, k)
+			if err != nil || string(doc.Value) != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

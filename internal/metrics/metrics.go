@@ -1,0 +1,357 @@
+// Package metrics implements the monitoring substrate that Oparaca's
+// requirement-driven optimizer consumes (paper §III-B: "Oparaca
+// connects the runtime to the monitoring system and reacts to changes
+// in workload or performance").
+//
+// It provides counters, gauges, latency histograms with percentile
+// estimation, and sliding-window throughput meters, all grouped under a
+// Registry so the optimizer and the gateway can take consistent
+// snapshots.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter. The zero value is
+// ready to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1 to the counter.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n to the counter. n must be non-negative; negative values
+// are ignored to preserve monotonicity.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous value that can go up and down. The zero
+// value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (which may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histogramBuckets are exponential latency buckets from 10µs to ~84s.
+var histogramBuckets = func() []time.Duration {
+	var b []time.Duration
+	for d := 10 * time.Microsecond; d < 90*time.Second; d = d * 3 / 2 {
+		b = append(b, d)
+	}
+	return b
+}()
+
+// Histogram records durations into exponential buckets and estimates
+// percentiles by linear interpolation inside the matched bucket. The
+// zero value is ready to use.
+type Histogram struct {
+	mu     sync.Mutex
+	counts []int64
+	total  int64
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
+}
+
+// Observe records one duration sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.counts == nil {
+		h.counts = make([]int64, len(histogramBuckets)+1)
+	}
+	i := sort.Search(len(histogramBuckets), func(i int) bool {
+		return histogramBuckets[i] >= d
+	})
+	h.counts[i]++
+	h.total++
+	h.sum += d
+	if h.total == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of samples recorded.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Mean returns the arithmetic mean of all samples (0 if empty).
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.total)
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1). It returns 0 for
+// an empty histogram.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	rank := q * float64(h.total)
+	var cum float64
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if next >= rank && c > 0 {
+			lo, hi := h.bucketBounds(i)
+			if next == cum {
+				return hi
+			}
+			frac := (rank - cum) / float64(c)
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		cum = next
+	}
+	return h.max
+}
+
+// bucketBounds returns the [lo, hi] duration range of bucket i.
+// Caller holds mu.
+func (h *Histogram) bucketBounds(i int) (lo, hi time.Duration) {
+	switch {
+	case i == 0:
+		return 0, histogramBuckets[0]
+	case i >= len(histogramBuckets):
+		return histogramBuckets[len(histogramBuckets)-1], h.max
+	default:
+		return histogramBuckets[i-1], histogramBuckets[i]
+	}
+}
+
+// Snapshot returns a point-in-time summary of the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		Min:   h.minVal(),
+		Max:   h.maxVal(),
+	}
+}
+
+func (h *Histogram) minVal() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
+
+func (h *Histogram) maxVal() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// HistogramSnapshot is an immutable summary of a Histogram.
+type HistogramSnapshot struct {
+	Count               int64
+	Mean, P50, P95, P99 time.Duration
+	Min, Max            time.Duration
+}
+
+// Meter measures event throughput over a sliding window of fixed-width
+// slots. It answers "events per second over the last window".
+type Meter struct {
+	mu       sync.Mutex
+	slotSize time.Duration
+	slots    []int64
+	times    []time.Time
+	now      func() time.Time
+}
+
+// NewMeter returns a meter with the given window divided into nSlots
+// slots. now supplies the time source (pass clock.Now).
+func NewMeter(window time.Duration, nSlots int, now func() time.Time) *Meter {
+	if nSlots <= 0 {
+		panic("metrics: NewMeter requires positive nSlots")
+	}
+	if window <= 0 {
+		panic("metrics: NewMeter requires positive window")
+	}
+	return &Meter{
+		slotSize: window / time.Duration(nSlots),
+		slots:    make([]int64, nSlots),
+		times:    make([]time.Time, nSlots),
+		now:      now,
+	}
+}
+
+// Mark records n events at the current time.
+func (m *Meter) Mark(n int64) {
+	t := m.now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	i := m.slotIndex(t)
+	slotStart := t.Truncate(m.slotSize)
+	if !m.times[i].Equal(slotStart) {
+		m.times[i] = slotStart
+		m.slots[i] = 0
+	}
+	m.slots[i] += n
+}
+
+func (m *Meter) slotIndex(t time.Time) int {
+	return int(t.UnixNano()/int64(m.slotSize)) % len(m.slots)
+}
+
+// Rate returns the event rate in events/second over the window,
+// excluding the current partial slot's extrapolation.
+func (m *Meter) Rate() float64 {
+	t := m.now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	window := m.slotSize * time.Duration(len(m.slots))
+	cutoff := t.Add(-window)
+	var total int64
+	for i := range m.slots {
+		if m.times[i].After(cutoff) {
+			total += m.slots[i]
+		}
+	}
+	secs := window.Seconds()
+	if secs == 0 {
+		return 0
+	}
+	return float64(total) / secs
+}
+
+// Registry groups named metrics. The zero value is ready to use.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = make(map[string]*Gauge)
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.histograms == nil {
+		r.histograms = make(map[string]*Histogram)
+	}
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time dump of every metric in a registry.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures all metrics at once.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for k, c := range r.counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range r.gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range r.histograms {
+		s.Histograms[k] = h.Snapshot()
+	}
+	return s
+}
+
+// FormatRate renders an ops/sec value compactly, e.g. "8.2e4" style
+// magnitudes are avoided in favor of "82000" or "8.2k".
+func FormatRate(r float64) string {
+	switch {
+	case math.IsInf(r, 0) || math.IsNaN(r):
+		return "n/a"
+	case r >= 1e6:
+		return fmt.Sprintf("%.2fM", r/1e6)
+	case r >= 1e3:
+		return fmt.Sprintf("%.1fk", r/1e3)
+	default:
+		return fmt.Sprintf("%.1f", r)
+	}
+}

@@ -1,0 +1,251 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatal("zero counter not 0")
+	}
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	var c Counter
+	c.Add(-3)
+	if got := c.Value(); got != 0 {
+		t.Fatalf("counter went negative: %d", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 16000 {
+		t.Fatalf("Value = %d, want 16000", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("Value = %d, want 7", got)
+	}
+}
+
+func TestHistogramCountMean(t *testing.T) {
+	var h Histogram
+	h.Observe(10 * time.Millisecond)
+	h.Observe(20 * time.Millisecond)
+	h.Observe(30 * time.Millisecond)
+	if got := h.Count(); got != 3 {
+		t.Fatalf("Count = %d, want 3", got)
+	}
+	if got := h.Mean(); got != 20*time.Millisecond {
+		t.Fatalf("Mean = %v, want 20ms", got)
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("Quantile on empty = %v, want 0", got)
+	}
+	if got := h.Mean(); got != 0 {
+		t.Fatalf("Mean on empty = %v, want 0", got)
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	p50 := h.Quantile(0.5)
+	p95 := h.Quantile(0.95)
+	p99 := h.Quantile(0.99)
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Fatalf("quantiles not monotone: p50=%v p95=%v p99=%v", p50, p95, p99)
+	}
+	// p50 of a uniform 1..1000ms distribution should be around 500ms;
+	// the exponential buckets are coarse, allow a generous band.
+	if p50 < 250*time.Millisecond || p50 > 900*time.Millisecond {
+		t.Fatalf("p50 = %v, outside plausible band", p50)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(-5 * time.Second)
+	if got := h.Quantile(1); got < 0 {
+		t.Fatalf("negative observation leaked through: %v", got)
+	}
+}
+
+func TestHistogramQuantileClampsQ(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Second)
+	if h.Quantile(-1) < 0 || h.Quantile(2) < 0 {
+		t.Fatal("out-of-range q mishandled")
+	}
+}
+
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	h.Observe(1 * time.Millisecond)
+	h.Observe(100 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 2 {
+		t.Fatalf("snapshot count = %d", s.Count)
+	}
+	if s.Min > s.Max {
+		t.Fatalf("min %v > max %v", s.Min, s.Max)
+	}
+}
+
+// Property: quantile estimates never fall outside [0, max observed].
+func TestHistogramQuantileBoundsProperty(t *testing.T) {
+	prop := func(samples []uint16, qRaw uint8) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		var h Histogram
+		var max time.Duration
+		for _, s := range samples {
+			d := time.Duration(s) * time.Millisecond
+			if d > max {
+				max = d
+			}
+			h.Observe(d)
+		}
+		q := float64(qRaw) / 255
+		got := h.Quantile(q)
+		// Allow one bucket width of slack above max.
+		return got >= 0 && got <= max*2+time.Millisecond
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeterRate(t *testing.T) {
+	now := time.Unix(1000, 0)
+	m := NewMeter(10*time.Second, 10, func() time.Time { return now })
+	for i := 0; i < 100; i++ {
+		m.Mark(1)
+	}
+	// 100 events over a 10s window = 10/s.
+	if got := m.Rate(); got != 10 {
+		t.Fatalf("Rate = %v, want 10", got)
+	}
+}
+
+func TestMeterSlidesOldSlotsOut(t *testing.T) {
+	now := time.Unix(1000, 0)
+	m := NewMeter(10*time.Second, 10, func() time.Time { return now })
+	m.Mark(100)
+	now = now.Add(11 * time.Second)
+	if got := m.Rate(); got != 0 {
+		t.Fatalf("Rate after window passed = %v, want 0", got)
+	}
+}
+
+func TestMeterSlotReuseResetsCount(t *testing.T) {
+	now := time.Unix(0, 0)
+	m := NewMeter(2*time.Second, 2, func() time.Time { return now })
+	m.Mark(10)
+	now = now.Add(2 * time.Second) // wraps to the same slot index
+	m.Mark(1)
+	// Only the new slot's 1 event should remain in-window along with
+	// nothing from the stale slot occupancy.
+	if got := m.Rate(); got != 0.5 {
+		t.Fatalf("Rate = %v, want 0.5", got)
+	}
+}
+
+func TestMeterPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMeter(0 slots) did not panic")
+		}
+	}()
+	NewMeter(time.Second, 0, time.Now)
+}
+
+func TestRegistryReturnsSameInstance(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x")
+	b := r.Counter("x")
+	if a != b {
+		t.Fatal("Counter returned different instances for same name")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("Gauge returned different instances")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("Histogram returned different instances")
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs").Add(5)
+	r.Gauge("replicas").Set(3)
+	r.Histogram("lat").Observe(time.Millisecond)
+	s := r.Snapshot()
+	if s.Counters["reqs"] != 5 {
+		t.Fatalf("snapshot counter = %d", s.Counters["reqs"])
+	}
+	if s.Gauges["replicas"] != 3 {
+		t.Fatalf("snapshot gauge = %d", s.Gauges["replicas"])
+	}
+	if s.Histograms["lat"].Count != 1 {
+		t.Fatalf("snapshot histogram count = %d", s.Histograms["lat"].Count)
+	}
+}
+
+func TestRegistryZeroValueUsable(t *testing.T) {
+	var r Registry
+	r.Counter("a").Inc()
+	if r.Counter("a").Value() != 1 {
+		t.Fatal("zero-value registry not usable")
+	}
+}
+
+func TestFormatRate(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0.0"},
+		{999, "999.0"},
+		{1500, "1.5k"},
+		{2.5e6, "2.50M"},
+	}
+	for _, c := range cases {
+		if got := FormatRate(c.in); got != c.want {
+			t.Errorf("FormatRate(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,439 @@
+package runtime
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/hpcclab/oparaca-go/internal/cluster"
+	"github.com/hpcclab/oparaca-go/internal/dataflow"
+	"github.com/hpcclab/oparaca-go/internal/faas"
+	"github.com/hpcclab/oparaca-go/internal/invoker"
+	"github.com/hpcclab/oparaca-go/internal/kvstore"
+	"github.com/hpcclab/oparaca-go/internal/memtable"
+	"github.com/hpcclab/oparaca-go/internal/metrics"
+	"github.com/hpcclab/oparaca-go/internal/model"
+	"github.com/hpcclab/oparaca-go/internal/objectstore"
+	"github.com/hpcclab/oparaca-go/internal/vclock"
+)
+
+// Sentinel errors.
+var (
+	// ErrFunctionUnknown is returned for invocations of undeclared
+	// methods.
+	ErrFunctionUnknown = errors.New("runtime: function not declared on class")
+	// ErrDataflowUnknown is returned for undeclared dataflows.
+	ErrDataflowUnknown = errors.New("runtime: dataflow not declared on class")
+)
+
+// Infra bundles the shared platform substrates a class runtime is
+// wired to.
+type Infra struct {
+	// Cluster hosts function pods; required.
+	Cluster *cluster.Cluster
+	// Transport executes invocation tasks; required.
+	Transport invoker.Transport
+	// Backing is the persistent document store (required unless every
+	// template is memory-only).
+	Backing *kvstore.Store
+	// Objects stores unstructured state; optional (file keys fail
+	// without it).
+	Objects *objectstore.Store
+	// ObjectsBaseURL is the address the object store is served on,
+	// used to render presigned URLs.
+	ObjectsBaseURL string
+	// PresignTTL bounds presigned URL validity. Defaults to 15min.
+	PresignTTL time.Duration
+	// KnativeOverhead / BypassOverhead are the per-request data-path
+	// costs of the two engine modes (activator hop vs direct).
+	KnativeOverhead time.Duration
+	BypassOverhead  time.Duration
+	// ColdStart is the pod warmup delay.
+	ColdStart time.Duration
+	// ScaleInterval / IdleTimeout drive the Knative autoscaler.
+	ScaleInterval time.Duration
+	IdleTimeout   time.Duration
+	// Clock supplies time; defaults to the real clock.
+	Clock vclock.Clock
+}
+
+func (i Infra) withDefaults() Infra {
+	if i.Clock == nil {
+		i.Clock = vclock.NewReal()
+	}
+	if i.PresignTTL <= 0 {
+		i.PresignTTL = 15 * time.Minute
+	}
+	return i
+}
+
+// ClassRuntime is the dedicated deployment for one class.
+type ClassRuntime struct {
+	class *model.Class
+	tmpl  Template
+	infra Infra
+
+	engine *faas.Engine
+	table  *memtable.Table
+	plans  map[string]*dataflow.Plan
+
+	reg   *metrics.Registry
+	meter *metrics.Meter
+}
+
+// New instantiates a class runtime from a template (paper Figure 2:
+// "for a specific class, Oparaca uses one of its predefined templates
+// to create a class runtime").
+func New(infra Infra, class *model.Class, tmpl Template) (*ClassRuntime, error) {
+	if class == nil {
+		return nil, errors.New("runtime: nil class")
+	}
+	if err := tmpl.Validate(); err != nil {
+		return nil, err
+	}
+	infra = infra.withDefaults()
+	if infra.Cluster == nil || infra.Transport == nil {
+		return nil, errors.New("runtime: Infra needs Cluster and Transport")
+	}
+	if tmpl.TableMode != memtable.ModeMemoryOnly && infra.Backing == nil {
+		return nil, fmt.Errorf("runtime: template %q needs Infra.Backing", tmpl.Name)
+	}
+
+	table, err := memtable.New(memtable.Config{
+		Mode:           tmpl.TableMode,
+		Backing:        infra.Backing,
+		Shards:         tmpl.Shards,
+		FlushInterval:  tmpl.FlushInterval,
+		FlushBatchSize: tmpl.FlushBatchSize,
+		Clock:          infra.Clock,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("runtime: creating state table: %w", err)
+	}
+
+	overhead := infra.KnativeOverhead
+	if tmpl.EngineMode == faas.ModeDeployment {
+		overhead = infra.BypassOverhead
+	}
+	engine, err := faas.NewEngine(faas.Config{
+		Mode:            tmpl.EngineMode,
+		Cluster:         infra.Cluster,
+		Transport:       infra.Transport,
+		ScaleInterval:   infra.ScaleInterval,
+		IdleTimeout:     infra.IdleTimeout,
+		ColdStart:       infra.ColdStart,
+		RequestOverhead: overhead,
+		Clock:           infra.Clock,
+	})
+	if err != nil {
+		table.Close()
+		return nil, fmt.Errorf("runtime: creating engine: %w", err)
+	}
+
+	rt := &ClassRuntime{
+		class:  class,
+		tmpl:   tmpl,
+		infra:  infra,
+		engine: engine,
+		table:  table,
+		plans:  make(map[string]*dataflow.Plan, len(class.Dataflows)),
+		reg:    metrics.NewRegistry(),
+		meter:  metrics.NewMeter(10*time.Second, 10, infra.Clock.Now),
+	}
+
+	for _, fn := range class.Functions {
+		conc := fn.Concurrency
+		if conc <= 0 {
+			conc = tmpl.DefaultConcurrency
+		}
+		spec := faas.FunctionSpec{
+			Name:         rt.fnKey(fn.Name),
+			Image:        fn.Image,
+			Concurrency:  conc,
+			Cost:         tmpl.InvokeCost,
+			MinScale:     tmpl.MinScale,
+			MaxScale:     tmpl.MaxScale,
+			InitialScale: tmpl.InitialScale,
+			// The jurisdiction constraint pins function pods to the
+			// matching data center (paper §II-C).
+			Region: class.Constraint.Jurisdiction,
+		}
+		if err := engine.Deploy(spec); err != nil {
+			rt.Close()
+			return nil, fmt.Errorf("runtime: deploying %s: %w", spec.Name, err)
+		}
+	}
+	for _, df := range class.Dataflows {
+		plan, err := dataflow.Compile(df)
+		if err != nil {
+			rt.Close()
+			return nil, fmt.Errorf("runtime: compiling dataflow %s.%s: %w", class.Name, df.Name, err)
+		}
+		rt.plans[df.Name] = plan
+	}
+	if rt.infra.Objects != nil && len(class.FileKeys()) > 0 {
+		if err := rt.infra.Objects.EnsureBucket(rt.Bucket()); err != nil {
+			rt.Close()
+			return nil, fmt.Errorf("runtime: creating bucket: %w", err)
+		}
+	}
+	return rt, nil
+}
+
+// Class returns the runtime's resolved class.
+func (rt *ClassRuntime) Class() *model.Class { return rt.class }
+
+// Template returns the template the runtime was instantiated from.
+func (rt *ClassRuntime) Template() Template { return rt.tmpl }
+
+// Engine exposes the runtime's FaaS engine (used by the optimizer).
+func (rt *ClassRuntime) Engine() *faas.Engine { return rt.engine }
+
+// Table exposes the runtime's state table (used by benches/tests).
+func (rt *ClassRuntime) Table() *memtable.Table { return rt.table }
+
+// Metrics exposes the runtime's metric registry.
+func (rt *ClassRuntime) Metrics() *metrics.Registry { return rt.reg }
+
+// ThroughputRPS reports the invocation rate over the last window.
+func (rt *ClassRuntime) ThroughputRPS() float64 { return rt.meter.Rate() }
+
+// Bucket returns the class's object-store bucket name.
+func (rt *ClassRuntime) Bucket() string {
+	return "cls-" + strings.ToLower(rt.class.Name)
+}
+
+// fnKey is the engine-level function name for a class method.
+func (rt *ClassRuntime) fnKey(fn string) string {
+	return rt.class.Name + "." + fn
+}
+
+// stateKey is the table key for one object's state attribute.
+func (rt *ClassRuntime) stateKey(objectID, key string) string {
+	return "state/" + rt.class.Name + "/" + objectID + "/" + key
+}
+
+// fileKey is the object-store key for one object's file attribute.
+func (rt *ClassRuntime) fileKey(objectID, key string) string {
+	return objectID + "/" + key
+}
+
+// InitObjectState writes the class's default values for a new object.
+func (rt *ClassRuntime) InitObjectState(ctx context.Context, objectID string) error {
+	for _, k := range rt.class.Keys {
+		if k.Kind == model.KindFile || len(k.Default) == 0 {
+			continue
+		}
+		if err := rt.table.Put(ctx, rt.stateKey(objectID, k.Name), k.Default); err != nil {
+			return fmt.Errorf("runtime: initializing %s/%s: %w", objectID, k.Name, err)
+		}
+	}
+	return nil
+}
+
+// DeleteObjectState removes all of an object's state.
+func (rt *ClassRuntime) DeleteObjectState(ctx context.Context, objectID string) error {
+	for _, k := range rt.class.Keys {
+		if k.Kind == model.KindFile {
+			if rt.infra.Objects != nil {
+				if err := rt.infra.Objects.Delete(rt.Bucket(), rt.fileKey(objectID, k.Name)); err != nil &&
+					!errors.Is(err, objectstore.ErrNoSuchBucket) {
+					return err
+				}
+			}
+			continue
+		}
+		if err := rt.table.Delete(ctx, rt.stateKey(objectID, k.Name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GetState reads one structured state key of an object. Missing keys
+// resolve to the class default (or kvstore.ErrNotFound-compatible
+// memtable.ErrNotFound when there is none).
+func (rt *ClassRuntime) GetState(ctx context.Context, objectID, key string) (json.RawMessage, error) {
+	spec, ok := rt.class.Key(key)
+	if !ok {
+		return nil, fmt.Errorf("runtime: class %s has no key %q", rt.class.Name, key)
+	}
+	if spec.Kind == model.KindFile {
+		return nil, fmt.Errorf("runtime: key %q is a file; use PresignFile", key)
+	}
+	v, err := rt.table.Get(ctx, rt.stateKey(objectID, key))
+	if errors.Is(err, memtable.ErrNotFound) && len(spec.Default) > 0 {
+		return spec.Default, nil
+	}
+	return v, err
+}
+
+// PutState writes one structured state key of an object directly
+// (outside a method invocation — used by the gateway's state API).
+func (rt *ClassRuntime) PutState(ctx context.Context, objectID, key string, value json.RawMessage) error {
+	spec, ok := rt.class.Key(key)
+	if !ok {
+		return fmt.Errorf("runtime: class %s has no key %q", rt.class.Name, key)
+	}
+	if spec.Kind == model.KindFile {
+		return fmt.Errorf("runtime: key %q is a file; upload via presigned URL", key)
+	}
+	return rt.table.Put(ctx, rt.stateKey(objectID, key), value)
+}
+
+// PresignFile returns a presigned URL authorizing method on an
+// object's file key (paper §III-D).
+func (rt *ClassRuntime) PresignFile(objectID, key, method string) (string, error) {
+	spec, ok := rt.class.Key(key)
+	if !ok || spec.Kind != model.KindFile {
+		return "", fmt.Errorf("runtime: class %s has no file key %q", rt.class.Name, key)
+	}
+	if rt.infra.Objects == nil {
+		return "", errors.New("runtime: no object store configured")
+	}
+	return rt.infra.Objects.PresignURL(rt.infra.ObjectsBaseURL, method, rt.Bucket(),
+		rt.fileKey(objectID, key), rt.infra.PresignTTL), nil
+}
+
+// loadState gathers an object's structured state for task bundling.
+func (rt *ClassRuntime) loadState(ctx context.Context, objectID string) (map[string]json.RawMessage, error) {
+	state := make(map[string]json.RawMessage)
+	for _, k := range rt.class.Keys {
+		if k.Kind == model.KindFile {
+			continue
+		}
+		v, err := rt.table.Get(ctx, rt.stateKey(objectID, k.Name))
+		switch {
+		case err == nil:
+			state[k.Name] = v
+		case errors.Is(err, memtable.ErrNotFound):
+			if len(k.Default) > 0 {
+				state[k.Name] = k.Default
+			}
+		default:
+			return nil, fmt.Errorf("runtime: loading state %s/%s: %w", objectID, k.Name, err)
+		}
+	}
+	return state, nil
+}
+
+// buildRefs assembles presigned URLs for the object's file keys: for
+// each file key K the task gets K (GET) and "K!put" (PUT).
+func (rt *ClassRuntime) buildRefs(objectID string) (map[string]string, error) {
+	files := rt.class.FileKeys()
+	if len(files) == 0 {
+		return nil, nil
+	}
+	if rt.infra.Objects == nil {
+		return nil, errors.New("runtime: class has file keys but no object store configured")
+	}
+	refs := make(map[string]string, 2*len(files))
+	for _, k := range files {
+		refs[k] = rt.infra.Objects.PresignURL(rt.infra.ObjectsBaseURL, http.MethodGet,
+			rt.Bucket(), rt.fileKey(objectID, k), rt.infra.PresignTTL)
+		refs[k+"!put"] = rt.infra.Objects.PresignURL(rt.infra.ObjectsBaseURL, http.MethodPut,
+			rt.Bucket(), rt.fileKey(objectID, k), rt.infra.PresignTTL)
+	}
+	return refs, nil
+}
+
+// Invoke executes one method on an object: it bundles the object's
+// state and the request into a standalone task, offloads it to the
+// FaaS engine, and merges the returned state delta back into the state
+// table (the pure-function contract, paper §III-C).
+func (rt *ClassRuntime) Invoke(ctx context.Context, objectID, function string, payload json.RawMessage, args map[string]string) (json.RawMessage, error) {
+	fn, ok := rt.class.Function(function)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s.%s", ErrFunctionUnknown, rt.class.Name, function)
+	}
+	start := rt.infra.Clock.Now()
+	out, err := rt.invokeFn(ctx, objectID, fn, payload, args)
+	rt.reg.Histogram("invoke.latency").Observe(rt.infra.Clock.Since(start))
+	rt.reg.Counter("invoke.total").Inc()
+	rt.meter.Mark(1)
+	if err != nil {
+		rt.reg.Counter("invoke.errors").Inc()
+		return nil, err
+	}
+	return out, nil
+}
+
+// invokeFn is the uninstrumented invocation path.
+func (rt *ClassRuntime) invokeFn(ctx context.Context, objectID string, fn model.FunctionDef, payload json.RawMessage, args map[string]string) (json.RawMessage, error) {
+	state, err := rt.loadState(ctx, objectID)
+	if err != nil {
+		return nil, err
+	}
+	refs, err := rt.buildRefs(objectID)
+	if err != nil {
+		return nil, err
+	}
+	task := invoker.Task{
+		ID:       fmt.Sprintf("%s-%s-%d", objectID, fn.Name, rt.infra.Clock.Now().UnixNano()),
+		Class:    rt.class.Name,
+		Object:   objectID,
+		Function: fn.Name,
+		State:    state,
+		Payload:  payload,
+		Args:     args,
+		Refs:     refs,
+	}
+	res, err := rt.engine.Invoke(ctx, rt.fnKey(fn.Name), task)
+	if err != nil {
+		return nil, err
+	}
+	// Persist the state delta.
+	for k, v := range res.State {
+		if _, ok := rt.class.Key(k); !ok {
+			return nil, fmt.Errorf("runtime: function %s.%s wrote undeclared key %q", rt.class.Name, fn.Name, k)
+		}
+		key := rt.stateKey(objectID, k)
+		if isNull(v) {
+			if err := rt.table.Delete(ctx, key); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := rt.table.Put(ctx, key, v); err != nil {
+			return nil, err
+		}
+	}
+	return res.Output, nil
+}
+
+func isNull(v json.RawMessage) bool {
+	s := strings.TrimSpace(string(v))
+	return s == "" || s == "null"
+}
+
+// InvokeDataflow runs a declared dataflow on an object. Each step
+// invokes a class method on the same object; state deltas persist
+// step-by-step per the pure-function contract.
+func (rt *ClassRuntime) InvokeDataflow(ctx context.Context, objectID, flow string, payload json.RawMessage) (dataflow.Result, error) {
+	plan, ok := rt.plans[flow]
+	if !ok {
+		return dataflow.Result{}, fmt.Errorf("%w: %s.%s", ErrDataflowUnknown, rt.class.Name, flow)
+	}
+	invoke := func(ctx context.Context, function string, payload json.RawMessage) (json.RawMessage, error) {
+		return rt.Invoke(ctx, objectID, function, payload, nil)
+	}
+	return plan.Execute(ctx, payload, invoke)
+}
+
+// Flush forces pending state to the backing store.
+func (rt *ClassRuntime) Flush(ctx context.Context) { rt.table.Flush(ctx) }
+
+// Close tears the runtime down: engine first (stops traffic), then the
+// state table (final flush).
+func (rt *ClassRuntime) Close() {
+	if rt.engine != nil {
+		rt.engine.Close()
+	}
+	if rt.table != nil {
+		rt.table.Close()
+	}
+}

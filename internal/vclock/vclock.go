@@ -1,0 +1,273 @@
+// Package vclock provides a clock abstraction so that every
+// time-dependent component in the platform can run against either the
+// real wall clock or a manually advanced test clock.
+//
+// The package also provides rate-limiting primitives (token buckets)
+// built on top of the Clock interface; these are used by the cluster
+// and kvstore simulators to enforce compute and write-throughput
+// capacities.
+package vclock
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for testability. The zero value of concrete
+// implementations is not useful; use NewReal or NewManual.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep blocks until d has elapsed or ctx is done. It returns
+	// ctx.Err() when the context ends the wait early, nil otherwise.
+	Sleep(ctx context.Context, d time.Duration) error
+	// After returns a channel that receives the current time once d
+	// has elapsed.
+	After(d time.Duration) <-chan time.Time
+	// Since returns the elapsed time since t.
+	Since(t time.Time) time.Duration
+}
+
+// Real is a Clock backed by the system wall clock.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// NewReal returns a Clock backed by the system wall clock.
+func NewReal() Real { return Real{} }
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Since implements Clock.
+func (Real) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Sleep implements Clock.
+func (Real) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// waiter is a pending timer on a Manual clock.
+type waiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// Manual is a Clock whose time only moves when Advance is called.
+// It is safe for concurrent use.
+type Manual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*waiter
+}
+
+var _ Clock = (*Manual)(nil)
+
+// NewManual returns a Manual clock starting at start.
+func NewManual(start time.Time) *Manual {
+	return &Manual{now: start}
+}
+
+// Now implements Clock.
+func (m *Manual) Now() time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.now
+}
+
+// Since implements Clock.
+func (m *Manual) Since(t time.Time) time.Duration {
+	return m.Now().Sub(t)
+}
+
+// After implements Clock.
+func (m *Manual) After(d time.Duration) <-chan time.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- m.now
+		return ch
+	}
+	m.waiters = append(m.waiters, &waiter{at: m.now.Add(d), ch: ch})
+	return ch
+}
+
+// Sleep implements Clock. It blocks until Advance moves the clock past
+// the deadline or ctx is done.
+func (m *Manual) Sleep(ctx context.Context, d time.Duration) error {
+	select {
+	case <-m.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Advance moves the clock forward by d, firing any timers whose
+// deadline is reached.
+func (m *Manual) Advance(d time.Duration) {
+	m.mu.Lock()
+	m.now = m.now.Add(d)
+	now := m.now
+	var remaining []*waiter
+	var fired []*waiter
+	for _, w := range m.waiters {
+		if !w.at.After(now) {
+			fired = append(fired, w)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	m.waiters = remaining
+	m.mu.Unlock()
+	for _, w := range fired {
+		w.ch <- now
+	}
+}
+
+// Pending reports the number of unfired timers, which tests use to
+// synchronize with goroutines that are about to sleep.
+func (m *Manual) Pending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.waiters)
+}
+
+// ErrBucketClosed is returned by TokenBucket.Take after Close.
+var ErrBucketClosed = errors.New("vclock: token bucket closed")
+
+// TokenBucket is a classic token-bucket rate limiter driven by a Clock.
+// It refills at rate tokens/second up to burst. It is safe for
+// concurrent use.
+type TokenBucket struct {
+	clock Clock
+
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	closed bool
+}
+
+// NewTokenBucket returns a bucket that refills at rate tokens per
+// second with the given burst capacity. The bucket starts full.
+// rate and burst must be positive.
+func NewTokenBucket(clock Clock, rate, burst float64) *TokenBucket {
+	if rate <= 0 || burst <= 0 {
+		panic("vclock: NewTokenBucket requires positive rate and burst")
+	}
+	return &TokenBucket{
+		clock:  clock,
+		rate:   rate,
+		burst:  burst,
+		tokens: burst,
+		last:   clock.Now(),
+	}
+}
+
+// refillLocked credits tokens for elapsed time. Caller holds mu.
+func (b *TokenBucket) refillLocked(now time.Time) {
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed <= 0 {
+		return
+	}
+	b.tokens += elapsed * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+}
+
+// TryTake removes n tokens if available without blocking, reporting
+// whether it succeeded.
+func (b *TokenBucket) TryTake(n float64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return false
+	}
+	b.refillLocked(b.clock.Now())
+	if b.tokens >= n {
+		b.tokens -= n
+		return true
+	}
+	return false
+}
+
+// Take blocks until n tokens are available (or ctx is done), then
+// removes them. n may exceed burst transiently: the bucket goes into
+// debt so a single oversized request is still admitted at rate-limited
+// pace rather than deadlocking.
+func (b *TokenBucket) Take(ctx context.Context, n float64) error {
+	for {
+		b.mu.Lock()
+		if b.closed {
+			b.mu.Unlock()
+			return ErrBucketClosed
+		}
+		now := b.clock.Now()
+		b.refillLocked(now)
+		if b.tokens >= n || b.tokens >= b.burst {
+			// Either enough tokens, or the bucket is full and the
+			// request is larger than the burst: go into debt.
+			b.tokens -= n
+			b.mu.Unlock()
+			return nil
+		}
+		need := n
+		if need > b.burst {
+			need = b.burst
+		}
+		wait := time.Duration((need - b.tokens) / b.rate * float64(time.Second))
+		b.mu.Unlock()
+		if wait < time.Microsecond {
+			wait = time.Microsecond
+		}
+		if err := b.clock.Sleep(ctx, wait); err != nil {
+			return err
+		}
+	}
+}
+
+// SetRate changes the refill rate. Pending Take calls observe the new
+// rate on their next wakeup.
+func (b *TokenBucket) SetRate(rate float64) {
+	if rate <= 0 {
+		panic("vclock: SetRate requires positive rate")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.refillLocked(b.clock.Now())
+	b.rate = rate
+}
+
+// Rate returns the current refill rate in tokens per second.
+func (b *TokenBucket) Rate() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rate
+}
+
+// Close marks the bucket closed; subsequent Take calls fail fast.
+func (b *TokenBucket) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.closed = true
+}

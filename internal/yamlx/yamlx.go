@@ -1,0 +1,535 @@
+// Package yamlx implements a YAML-subset decoder sufficient for
+// Oparaca class-definition packages (paper §IV, Listing 1), without
+// third-party dependencies.
+//
+// Supported subset:
+//   - block mappings and nested mappings via indentation
+//   - block sequences ("- item"), including sequences of mappings
+//   - scalars: strings (plain, 'single', "double" with escapes),
+//     integers, floats, booleans (true/false), null (~ / null / empty)
+//   - comments ("# ..." to end of line, outside quotes)
+//   - flow-style sequences [a, b] and mappings {k: v} on one line
+//   - multi-document input is rejected (one document per file)
+//
+// Decode produces a tree of map[string]any / []any / scalar values.
+// Unmarshal bridges that tree into typed structs via encoding/json,
+// so struct tags follow `json:"..."` conventions.
+package yamlx
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SyntaxError describes a parse failure with its 1-based line number.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements error.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("yamlx: line %d: %s", e.Line, e.Msg)
+}
+
+func errAt(line int, format string, args ...any) error {
+	return &SyntaxError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ErrEmptyDocument is returned when the input holds no content.
+var ErrEmptyDocument = errors.New("yamlx: empty document")
+
+// line is one significant (non-blank, non-comment-only) input line.
+type line struct {
+	num    int    // 1-based line number in the source
+	indent int    // count of leading spaces
+	text   string // content with indentation stripped, comments removed
+}
+
+// Decode parses a single YAML document into a generic tree of
+// map[string]any, []any, string, int64, float64, bool, or nil.
+func Decode(data []byte) (any, error) {
+	lines, err := splitLines(string(data))
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, ErrEmptyDocument
+	}
+	p := &parser{lines: lines}
+	v, err := p.parseBlock(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos < len(p.lines) {
+		return nil, errAt(p.lines[p.pos].num, "unexpected content after document (indentation mismatch?)")
+	}
+	return v, nil
+}
+
+// Unmarshal decodes YAML into v using encoding/json struct-tag
+// conventions: the generic tree is re-marshalled to JSON and
+// json.Unmarshal-ed into v.
+func Unmarshal(data []byte, v any) error {
+	tree, err := Decode(data)
+	if err != nil {
+		return err
+	}
+	raw, err := json.Marshal(tree)
+	if err != nil {
+		return fmt.Errorf("yamlx: bridging to JSON: %w", err)
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		return fmt.Errorf("yamlx: %w", err)
+	}
+	return nil
+}
+
+// splitLines tokenizes the input into significant lines.
+func splitLines(src string) ([]line, error) {
+	var out []line
+	for i, raw := range strings.Split(src, "\n") {
+		num := i + 1
+		if strings.HasPrefix(strings.TrimSpace(raw), "---") {
+			if len(out) > 0 {
+				return nil, errAt(num, "multi-document input is not supported")
+			}
+			continue // leading document marker is tolerated
+		}
+		if strings.ContainsRune(raw, '\t') {
+			trimmed := strings.TrimLeft(raw, " ")
+			if strings.HasPrefix(trimmed, "\t") {
+				return nil, errAt(num, "tabs are not allowed for indentation")
+			}
+		}
+		content := stripComment(raw)
+		trimmed := strings.TrimRight(content, " \r")
+		if strings.TrimSpace(trimmed) == "" {
+			continue
+		}
+		indent := len(trimmed) - len(strings.TrimLeft(trimmed, " "))
+		out = append(out, line{num: num, indent: indent, text: strings.TrimLeft(trimmed, " ")})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing "# ..." comment that is not inside a
+// quoted string.
+func stripComment(s string) string {
+	inSingle, inDouble := false, false
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '\'' && !inDouble:
+			inSingle = !inSingle
+		case c == '"' && !inSingle:
+			if i == 0 || s[i-1] != '\\' {
+				inDouble = !inDouble
+			}
+		case c == '#' && !inSingle && !inDouble:
+			// A '#' begins a comment only at start of line or after
+			// whitespace, per YAML.
+			if i == 0 || s[i-1] == ' ' {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+type parser struct {
+	lines []line
+	pos   int
+}
+
+func (p *parser) peek() (line, bool) {
+	if p.pos >= len(p.lines) {
+		return line{}, false
+	}
+	return p.lines[p.pos], true
+}
+
+// parseBlock parses a block value (mapping, sequence, or scalar) whose
+// lines sit at exactly the given indent.
+func (p *parser) parseBlock(indent int) (any, error) {
+	ln, ok := p.peek()
+	if !ok {
+		return nil, nil
+	}
+	if ln.indent != indent {
+		return nil, errAt(ln.num, "unexpected indentation %d (expected %d)", ln.indent, indent)
+	}
+	if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+		return p.parseSequence(indent)
+	}
+	if isMappingLine(ln.text) {
+		return p.parseMapping(indent)
+	}
+	// Bare scalar document.
+	p.pos++
+	return parseScalar(ln.text, ln.num)
+}
+
+// isMappingLine reports whether the line looks like "key: ..." with a
+// colon outside quotes and flow delimiters.
+func isMappingLine(s string) bool {
+	_, _, ok := splitKeyValue(s)
+	return ok
+}
+
+// splitKeyValue splits "key: value" at the first top-level ": " (or a
+// trailing ":"). It respects quotes and flow brackets in the key.
+func splitKeyValue(s string) (key, value string, ok bool) {
+	inSingle, inDouble := false, false
+	depth := 0
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '\'' && !inDouble:
+			inSingle = !inSingle
+		case c == '"' && !inSingle:
+			if i == 0 || s[i-1] != '\\' {
+				inDouble = !inDouble
+			}
+		case inSingle || inDouble:
+		case c == '[' || c == '{':
+			depth++
+		case c == ']' || c == '}':
+			depth--
+		case c == ':' && depth == 0:
+			if i == len(s)-1 {
+				return strings.TrimSpace(s[:i]), "", true
+			}
+			if s[i+1] == ' ' {
+				return strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+2:]), true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// parseMapping parses consecutive "key: value" lines at indent.
+func (p *parser) parseMapping(indent int) (any, error) {
+	m := make(map[string]any)
+	for {
+		ln, ok := p.peek()
+		if !ok || ln.indent < indent {
+			return m, nil
+		}
+		if ln.indent > indent {
+			return nil, errAt(ln.num, "unexpected indent %d inside mapping at indent %d", ln.indent, indent)
+		}
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			return m, nil // sibling sequence belongs to the caller
+		}
+		key, value, ok := splitKeyValue(ln.text)
+		if !ok {
+			return nil, errAt(ln.num, "expected 'key: value', got %q", ln.text)
+		}
+		key, err := unquoteKey(key, ln.num)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, errAt(ln.num, "duplicate mapping key %q", key)
+		}
+		p.pos++
+		if value == "" {
+			// Nested block (mapping or sequence) or null.
+			child, ok := p.peek()
+			switch {
+			case ok && child.indent > indent:
+				v, err := p.parseBlock(child.indent)
+				if err != nil {
+					return nil, err
+				}
+				m[key] = v
+			case ok && child.indent == indent && (strings.HasPrefix(child.text, "- ") || child.text == "-"):
+				// Sequences are commonly indented at the same level
+				// as their key.
+				v, err := p.parseSequence(indent)
+				if err != nil {
+					return nil, err
+				}
+				m[key] = v
+			default:
+				m[key] = nil
+			}
+			continue
+		}
+		v, err := parseScalar(value, ln.num)
+		if err != nil {
+			return nil, err
+		}
+		m[key] = v
+	}
+}
+
+// parseSequence parses consecutive "- item" lines at indent.
+func (p *parser) parseSequence(indent int) (any, error) {
+	var seq []any
+	for {
+		ln, ok := p.peek()
+		if !ok || ln.indent != indent || !(strings.HasPrefix(ln.text, "- ") || ln.text == "-") {
+			if ok && ln.indent > indent {
+				return nil, errAt(ln.num, "unexpected indent %d inside sequence at indent %d", ln.indent, indent)
+			}
+			return seq, nil
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(ln.text, "-"))
+		if rest == "" {
+			// "-" alone: nested block on following lines.
+			p.pos++
+			child, ok := p.peek()
+			if !ok || child.indent <= indent {
+				seq = append(seq, nil)
+				continue
+			}
+			v, err := p.parseBlock(child.indent)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+			continue
+		}
+		if isMappingLine(rest) {
+			// "- key: value" starts an inline mapping whose further
+			// keys are indented past the dash.
+			v, err := p.parseInlineSeqMapping(indent, rest, ln.num)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+			continue
+		}
+		p.pos++
+		v, err := parseScalar(rest, ln.num)
+		if err != nil {
+			return nil, err
+		}
+		seq = append(seq, v)
+	}
+}
+
+// parseInlineSeqMapping handles "- key: value" plus continuation keys
+// indented deeper than the dash.
+func (p *parser) parseInlineSeqMapping(dashIndent int, first string, num int) (any, error) {
+	m := make(map[string]any)
+	// Rewrite the current line as if it were the first key of a
+	// mapping indented at dashIndent+2 and parse forward.
+	key, value, _ := splitKeyValue(first)
+	key, err := unquoteKey(key, num)
+	if err != nil {
+		return nil, err
+	}
+	p.pos++
+	childIndent := dashIndent + 2
+	if value == "" {
+		child, ok := p.peek()
+		switch {
+		case ok && child.indent > childIndent:
+			v, err := p.parseBlock(child.indent)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		case ok && child.indent == childIndent && (strings.HasPrefix(child.text, "- ") || child.text == "-"):
+			v, err := p.parseSequence(childIndent)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		default:
+			m[key] = nil
+		}
+	} else {
+		v, err := parseScalar(value, num)
+		if err != nil {
+			return nil, err
+		}
+		m[key] = v
+	}
+	// Continuation keys at childIndent.
+	for {
+		ln, ok := p.peek()
+		if !ok || ln.indent < childIndent {
+			return m, nil
+		}
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			return m, nil
+		}
+		rest, err := p.parseMapping(ln.indent)
+		if err != nil {
+			return nil, err
+		}
+		restMap, ok := rest.(map[string]any)
+		if !ok {
+			return nil, errAt(ln.num, "expected mapping continuation")
+		}
+		for k, v := range restMap {
+			if _, dup := m[k]; dup {
+				return nil, errAt(ln.num, "duplicate mapping key %q", k)
+			}
+			m[k] = v
+		}
+	}
+}
+
+// unquoteKey removes optional quotes around a mapping key.
+func unquoteKey(key string, num int) (string, error) {
+	if key == "" {
+		return "", errAt(num, "empty mapping key")
+	}
+	if key[0] == '"' || key[0] == '\'' {
+		v, err := parseScalar(key, num)
+		if err != nil {
+			return "", err
+		}
+		s, ok := v.(string)
+		if !ok {
+			return "", errAt(num, "quoted key did not parse to string")
+		}
+		return s, nil
+	}
+	return key, nil
+}
+
+// parseScalar interprets a single scalar token, including flow
+// collections.
+func parseScalar(s string, num int) (any, error) {
+	s = strings.TrimSpace(s)
+	switch {
+	case s == "":
+		return nil, nil
+	case s[0] == '[':
+		return parseFlowSeq(s, num)
+	case s[0] == '{':
+		return parseFlowMap(s, num)
+	case s[0] == '"':
+		if len(s) < 2 || s[len(s)-1] != '"' {
+			return nil, errAt(num, "unterminated double-quoted string")
+		}
+		unq, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, errAt(num, "bad double-quoted string %s: %v", s, err)
+		}
+		return unq, nil
+	case s[0] == '\'':
+		if len(s) < 2 || s[len(s)-1] != '\'' {
+			return nil, errAt(num, "unterminated single-quoted string")
+		}
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	}
+	switch s {
+	case "null", "~", "Null", "NULL":
+		return nil, nil
+	case "true", "True", "TRUE":
+		return true, nil
+	case "false", "False", "FALSE":
+		return false, nil
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}
+
+// parseFlowSeq parses "[a, b, c]".
+func parseFlowSeq(s string, num int) (any, error) {
+	if s[len(s)-1] != ']' {
+		return nil, errAt(num, "unterminated flow sequence %q", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	if inner == "" {
+		return []any{}, nil
+	}
+	parts, err := splitFlow(inner, num)
+	if err != nil {
+		return nil, err
+	}
+	seq := make([]any, 0, len(parts))
+	for _, part := range parts {
+		v, err := parseScalar(part, num)
+		if err != nil {
+			return nil, err
+		}
+		seq = append(seq, v)
+	}
+	return seq, nil
+}
+
+// parseFlowMap parses "{k: v, k2: v2}".
+func parseFlowMap(s string, num int) (any, error) {
+	if s[len(s)-1] != '}' {
+		return nil, errAt(num, "unterminated flow mapping %q", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	m := make(map[string]any)
+	if inner == "" {
+		return m, nil
+	}
+	parts, err := splitFlow(inner, num)
+	if err != nil {
+		return nil, err
+	}
+	for _, part := range parts {
+		key, value, ok := splitKeyValue(part)
+		if !ok {
+			// Also allow "k:v" without space inside flow maps.
+			if i := strings.IndexByte(part, ':'); i > 0 {
+				key, value, ok = strings.TrimSpace(part[:i]), strings.TrimSpace(part[i+1:]), true
+			}
+		}
+		if !ok {
+			return nil, errAt(num, "bad flow mapping entry %q", part)
+		}
+		key, err := unquoteKey(key, num)
+		if err != nil {
+			return nil, err
+		}
+		v, err := parseScalar(value, num)
+		if err != nil {
+			return nil, err
+		}
+		m[key] = v
+	}
+	return m, nil
+}
+
+// splitFlow splits a flow collection body on top-level commas.
+func splitFlow(s string, num int) ([]string, error) {
+	var parts []string
+	depth := 0
+	inSingle, inDouble := false, false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '\'' && !inDouble:
+			inSingle = !inSingle
+		case c == '"' && !inSingle:
+			if i == 0 || s[i-1] != '\\' {
+				inDouble = !inDouble
+			}
+		case inSingle || inDouble:
+		case c == '[' || c == '{':
+			depth++
+		case c == ']' || c == '}':
+			depth--
+			if depth < 0 {
+				return nil, errAt(num, "unbalanced brackets in flow collection")
+			}
+		case c == ',' && depth == 0:
+			parts = append(parts, strings.TrimSpace(s[start:i]))
+			start = i + 1
+		}
+	}
+	if depth != 0 || inSingle || inDouble {
+		return nil, errAt(num, "unbalanced delimiters in flow collection")
+	}
+	parts = append(parts, strings.TrimSpace(s[start:]))
+	return parts, nil
+}

@@ -1,0 +1,359 @@
+package yamlx
+
+import (
+	"errors"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func decodeOK(t *testing.T, src string) any {
+	t.Helper()
+	v, err := Decode([]byte(src))
+	if err != nil {
+		t.Fatalf("Decode(%q) error: %v", src, err)
+	}
+	return v
+}
+
+func TestDecodeScalarTypes(t *testing.T) {
+	cases := []struct {
+		in   string
+		want any
+	}{
+		{"42", int64(42)},
+		{"-7", int64(-7)},
+		{"3.14", 3.14},
+		{"true", true},
+		{"false", false},
+		{"null", nil},
+		{"~", nil},
+		{"hello", "hello"},
+		{"'quoted string'", "quoted string"},
+		{`"escaped\nstring"`, "escaped\nstring"},
+		{"'it''s'", "it's"},
+	}
+	for _, c := range cases {
+		got := decodeOK(t, c.in)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Decode(%q) = %#v, want %#v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDecodeSimpleMapping(t *testing.T) {
+	got := decodeOK(t, "name: Image\nthroughput: 100\npersistent: true\n")
+	want := map[string]any{"name": "Image", "throughput": int64(100), "persistent": true}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v, want %#v", got, want)
+	}
+}
+
+func TestDecodeNestedMapping(t *testing.T) {
+	src := `
+qos:
+  throughput: 100
+  availability: 0.99
+constraint:
+  persistent: true
+`
+	got := decodeOK(t, src)
+	want := map[string]any{
+		"qos":        map[string]any{"throughput": int64(100), "availability": 0.99},
+		"constraint": map[string]any{"persistent": true},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v, want %#v", got, want)
+	}
+}
+
+func TestDecodeSequenceOfScalars(t *testing.T) {
+	got := decodeOK(t, "- a\n- 2\n- true\n")
+	want := []any{"a", int64(2), true}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v, want %#v", got, want)
+	}
+}
+
+func TestDecodeSequenceOfMappings(t *testing.T) {
+	src := `
+functions:
+  - name: resize
+    image: img/resize
+  - name: changeFormat
+    image: img/change-format
+`
+	got := decodeOK(t, src)
+	want := map[string]any{
+		"functions": []any{
+			map[string]any{"name": "resize", "image": "img/resize"},
+			map[string]any{"name": "changeFormat", "image": "img/change-format"},
+		},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v, want %#v", got, want)
+	}
+}
+
+// TestDecodePaperListing1 exercises the exact class definition from the
+// paper's Listing 1 (simplified YAML for image processing).
+func TestDecodePaperListing1(t *testing.T) {
+	src := `classes:
+  - name: Image
+    qos:
+      throughput: 100 # rps
+    constraint:
+      persistent: true
+    keySpecs:
+      - name: image # File Image ;
+    functions:
+      - name: resize
+        # container image
+        image: img/resize
+      - name: changeFormat
+        image: img/change-format
+  - name: LabelledImage
+    parent: Image
+    functions:
+      - name: detectObject
+        image: img/detect-object
+`
+	got := decodeOK(t, src)
+	root, ok := got.(map[string]any)
+	if !ok {
+		t.Fatalf("root is %T", got)
+	}
+	classes, ok := root["classes"].([]any)
+	if !ok || len(classes) != 2 {
+		t.Fatalf("classes = %#v", root["classes"])
+	}
+	img := classes[0].(map[string]any)
+	if img["name"] != "Image" {
+		t.Errorf("class 0 name = %v", img["name"])
+	}
+	qos := img["qos"].(map[string]any)
+	if qos["throughput"] != int64(100) {
+		t.Errorf("throughput = %#v", qos["throughput"])
+	}
+	fns := img["functions"].([]any)
+	if len(fns) != 2 {
+		t.Fatalf("functions = %#v", fns)
+	}
+	if fns[0].(map[string]any)["image"] != "img/resize" {
+		t.Errorf("fn0 image = %v", fns[0].(map[string]any)["image"])
+	}
+	labelled := classes[1].(map[string]any)
+	if labelled["parent"] != "Image" {
+		t.Errorf("parent = %v", labelled["parent"])
+	}
+}
+
+func TestDecodeFlowCollections(t *testing.T) {
+	got := decodeOK(t, "tags: [a, b, 3]\nmeta: {k: v, n: 2}\nempty: []\n")
+	want := map[string]any{
+		"tags":  []any{"a", "b", int64(3)},
+		"meta":  map[string]any{"k": "v", "n": int64(2)},
+		"empty": []any{},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v, want %#v", got, want)
+	}
+}
+
+func TestDecodeCommentsStripped(t *testing.T) {
+	got := decodeOK(t, "# leading comment\nkey: value # trailing\nurl: \"http://x#frag\"\n")
+	want := map[string]any{"key": "value", "url": "http://x#frag"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v, want %#v", got, want)
+	}
+}
+
+func TestDecodeNullValueForEmptyKey(t *testing.T) {
+	got := decodeOK(t, "a:\nb: 1\n")
+	want := map[string]any{"a": nil, "b": int64(1)}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v, want %#v", got, want)
+	}
+}
+
+func TestDecodeSequenceAtSameIndentAsKey(t *testing.T) {
+	src := "items:\n- one\n- two\n"
+	got := decodeOK(t, src)
+	want := map[string]any{"items": []any{"one", "two"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v, want %#v", got, want)
+	}
+}
+
+func TestDecodeDashOnlyNestedBlock(t *testing.T) {
+	src := "-\n  name: x\n- plain\n"
+	got := decodeOK(t, src)
+	want := []any{map[string]any{"name": "x"}, "plain"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v, want %#v", got, want)
+	}
+}
+
+func TestDecodeLeadingDocumentMarker(t *testing.T) {
+	got := decodeOK(t, "---\nkey: v\n")
+	want := map[string]any{"key": "v"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v, want %#v", got, want)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"only comments", "# nothing\n\n"},
+		{"tab indent", "key:\n\tbad: 1\n"},
+		{"duplicate key", "a: 1\na: 2\n"},
+		{"multi-doc", "a: 1\n---\nb: 2\n"},
+		{"unterminated dquote", `k: "abc`},
+		{"unterminated squote", "k: 'abc"},
+		{"unterminated flow", "k: [1, 2"},
+		{"bad flow map entry", "k: {nonsense}"},
+		{"mapping then garbage", "a: 1\n  b: 2\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Decode([]byte(c.in)); err == nil {
+				t.Fatalf("Decode(%q) succeeded, want error", c.in)
+			}
+		})
+	}
+}
+
+func TestDecodeEmptyDocSentinel(t *testing.T) {
+	_, err := Decode(nil)
+	if !errors.Is(err, ErrEmptyDocument) {
+		t.Fatalf("err = %v, want ErrEmptyDocument", err)
+	}
+}
+
+func TestSyntaxErrorHasLine(t *testing.T) {
+	_, err := Decode([]byte("ok: 1\nbroken line without colon\n"))
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("err %v is not a SyntaxError", err)
+	}
+	if se.Line != 2 {
+		t.Fatalf("error line = %d, want 2", se.Line)
+	}
+	if !strings.Contains(se.Error(), "line 2") {
+		t.Fatalf("Error() = %q does not mention line", se.Error())
+	}
+}
+
+func TestUnmarshalIntoStruct(t *testing.T) {
+	type fn struct {
+		Name  string `json:"name"`
+		Image string `json:"image"`
+	}
+	type class struct {
+		Name      string `json:"name"`
+		Parent    string `json:"parent"`
+		Functions []fn   `json:"functions"`
+	}
+	var out struct {
+		Classes []class `json:"classes"`
+	}
+	src := `classes:
+  - name: LabelledImage
+    parent: Image
+    functions:
+      - name: detectObject
+        image: img/detect-object
+`
+	if err := Unmarshal([]byte(src), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Classes) != 1 || out.Classes[0].Parent != "Image" {
+		t.Fatalf("out = %+v", out)
+	}
+	if out.Classes[0].Functions[0].Image != "img/detect-object" {
+		t.Fatalf("fn = %+v", out.Classes[0].Functions[0])
+	}
+}
+
+func TestUnmarshalTypeMismatch(t *testing.T) {
+	var out struct {
+		N int `json:"n"`
+	}
+	if err := Unmarshal([]byte("n: notanumber\n"), &out); err == nil {
+		t.Fatal("Unmarshal with type mismatch succeeded")
+	}
+}
+
+func TestDecodeDeepNesting(t *testing.T) {
+	src := `a:
+  b:
+    c:
+      d:
+        e: bottom
+`
+	got := decodeOK(t, src)
+	cur := got
+	for _, k := range []string{"a", "b", "c", "d"} {
+		m, ok := cur.(map[string]any)
+		if !ok {
+			t.Fatalf("level %q is %T", k, cur)
+		}
+		cur = m[k]
+	}
+	if cur.(map[string]any)["e"] != "bottom" {
+		t.Fatalf("deep value = %#v", cur)
+	}
+}
+
+func TestDecodeWindowsLineEndings(t *testing.T) {
+	got := decodeOK(t, "a: 1\r\nb: two\r\n")
+	want := map[string]any{"a": int64(1), "b": "two"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v, want %#v", got, want)
+	}
+}
+
+func TestDecodeQuotedKeys(t *testing.T) {
+	got := decodeOK(t, "\"key with: colon\": 1\n'another key': 2\n")
+	want := map[string]any{"key with: colon": int64(1), "another key": int64(2)}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v, want %#v", got, want)
+	}
+}
+
+// Property: Decode never panics on arbitrary input.
+func TestDecodeNoPanicProperty(t *testing.T) {
+	prop := func(s string) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = Decode([]byte(s))
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for scalar integers, decode(itoa(n)) == n.
+func TestDecodeIntRoundTripProperty(t *testing.T) {
+	prop := func(n int64) bool {
+		v, err := Decode([]byte("v: " + strconv.FormatInt(n, 10)))
+		if err != nil {
+			return false
+		}
+		m, ok := v.(map[string]any)
+		return ok && m["v"] == n
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,234 @@
+// Package oaas is the public API of Oparaca-Go, a from-scratch Go
+// implementation of the Object-as-a-Service (OaaS) serverless paradigm
+// ("Tutorial: Object as a Service (OaaS) Serverless Cloud Computing
+// Paradigm", ICDCS 2024).
+//
+// OaaS unifies application logic, state, and non-functional
+// requirements in a single abstraction: the cloud object. A class
+// declares state attributes (structured JSON keys and unstructured
+// file keys), methods realized by serverless function images, optional
+// dataflows, and QoS/constraint requirements. The platform deploys
+// each class through a class runtime instantiated from a
+// requirement-matched template, executes methods via a pure-function
+// contract (state in, state out), persists structured state through a
+// distributed in-memory table with write-behind batching, serves
+// unstructured state via presigned URLs, and continuously optimizes
+// deployments against the declared QoS.
+//
+// Quickstart:
+//
+//	p, err := oaas.New(oaas.Config{Workers: 3})
+//	if err != nil { ... }
+//	defer p.Close()
+//
+//	p.Images().Register("img/greet", oaas.HandlerFunc(
+//	    func(ctx context.Context, task oaas.Task) (oaas.Result, error) {
+//	        return oaas.Result{Output: json.RawMessage(`"hello"`)}, nil
+//	    }))
+//
+//	_, err = p.DeployYAML(ctx, []byte(`classes:
+//	  - name: Greeter
+//	    functions:
+//	      - name: greet
+//	        image: img/greet
+//	`))
+//	obj, err := oaas.NewObject(ctx, p, "Greeter", "")
+//	out, err := obj.Invoke(ctx, "greet", nil, nil)
+//
+// The subpackages under internal/ implement the platform and every
+// substrate it depends on (cluster simulator, FaaS engines, document
+// store, distributed memtable, S3-style object store, dataflow engine,
+// optimizer); this package re-exports the stable surface.
+package oaas
+
+import (
+	"context"
+	"encoding/json"
+
+	"github.com/hpcclab/oparaca-go/internal/cluster"
+	"github.com/hpcclab/oparaca-go/internal/core"
+	"github.com/hpcclab/oparaca-go/internal/faas"
+	"github.com/hpcclab/oparaca-go/internal/gateway"
+	"github.com/hpcclab/oparaca-go/internal/invoker"
+	"github.com/hpcclab/oparaca-go/internal/memtable"
+	"github.com/hpcclab/oparaca-go/internal/model"
+	"github.com/hpcclab/oparaca-go/internal/runtime"
+)
+
+// Platform is the OaaS platform: package manager, object manager, and
+// the simulated substrates beneath them. Create one with New.
+type Platform = core.Platform
+
+// Config sizes and tunes a Platform. The zero value is a usable
+// 3-worker development platform.
+type Config = core.Config
+
+// New creates a Platform.
+func New(cfg Config) (*Platform, error) { return core.New(cfg) }
+
+// Stats is the platform-wide snapshot returned by Platform.Stats.
+type Stats = core.Stats
+
+// RegionSpec sizes one additional data center (multi-datacenter
+// deployments, the paper's §VI future work). Classes with a
+// Jurisdiction constraint are pinned to the matching region.
+type RegionSpec = core.RegionSpec
+
+// Resources is a VM capacity or pod resource request.
+type Resources = cluster.Resources
+
+// Class-model types (see internal/model for full documentation).
+type (
+	// Package is a deployable collection of class definitions.
+	Package = model.Package
+	// ClassDef is one class as written by the developer.
+	ClassDef = model.ClassDef
+	// Class is a resolved class (inheritance flattened).
+	Class = model.Class
+	// KeySpec declares a state attribute.
+	KeySpec = model.KeySpec
+	// KeyKind is a state attribute type.
+	KeyKind = model.KeyKind
+	// FunctionDef declares a method.
+	FunctionDef = model.FunctionDef
+	// DataflowDef declares a composite method.
+	DataflowDef = model.DataflowDef
+	// DataflowStep is one node of a dataflow.
+	DataflowStep = model.DataflowStep
+	// QoS carries measurable quality requirements.
+	QoS = model.QoS
+	// Constraints carries deployment constraints.
+	Constraints = model.Constraints
+)
+
+// State key kinds.
+const (
+	KindJSON   = model.KindJSON
+	KindString = model.KindString
+	KindNumber = model.KindNumber
+	KindBool   = model.KindBool
+	KindFile   = model.KindFile
+)
+
+// ParseYAML loads a Package from YAML.
+func ParseYAML(data []byte) (*Package, error) { return model.ParseYAML(data) }
+
+// ParseJSON loads a Package from JSON.
+func ParseJSON(data []byte) (*Package, error) { return model.ParseJSON(data) }
+
+// LoadPackageFile loads a Package from a .yaml/.yml/.json file.
+func LoadPackageFile(path string) (*Package, error) { return model.LoadFile(path) }
+
+// Function-code types: developers implement Handler for each container
+// image referenced by their class definitions.
+type (
+	// Task is the standalone invocation request handed to function
+	// code (object state, payload, args, presigned file refs).
+	Task = invoker.Task
+	// Result is the function's reply: output plus modified state.
+	Result = invoker.Result
+	// Handler executes one Task.
+	Handler = invoker.Handler
+	// HandlerFunc adapts a function to Handler.
+	HandlerFunc = invoker.HandlerFunc
+)
+
+// MergeState applies a Result's state delta onto base (JSON null
+// deletes a key).
+func MergeState(base, delta map[string]json.RawMessage) map[string]json.RawMessage {
+	return invoker.MergeState(base, delta)
+}
+
+// Template system: providers can register custom class-runtime
+// designs.
+type (
+	// Template is a configurable class-runtime design.
+	Template = runtime.Template
+	// Match is a template's selection condition.
+	Match = runtime.Match
+)
+
+// Engine modes for templates.
+const (
+	EngineKnative    = faas.ModeKnative
+	EngineDeployment = faas.ModeDeployment
+)
+
+// State-table modes for templates.
+const (
+	TableWriteBehind  = memtable.ModeWriteBehind
+	TableWriteThrough = memtable.ModeWriteThrough
+	TableMemoryOnly   = memtable.ModeMemoryOnly
+)
+
+// DefaultTemplates returns the stock template set.
+func DefaultTemplates() []Template { return runtime.DefaultTemplates() }
+
+// Gateway serves the platform's REST API.
+type Gateway = gateway.Gateway
+
+// NewGateway builds a REST gateway over a platform.
+func NewGateway(p *Platform) *Gateway { return gateway.New(p) }
+
+// Re-exported sentinel errors for errors.Is checks.
+var (
+	ErrClassNotFound  = core.ErrClassNotFound
+	ErrObjectNotFound = core.ErrObjectNotFound
+	ErrObjectExists   = core.ErrObjectExists
+	ErrMemberNotFound = core.ErrMemberNotFound
+)
+
+// Object is a convenience handle for one cloud object.
+type Object struct {
+	// Platform owns the object.
+	Platform *Platform
+	// ID is the object identifier.
+	ID string
+	// Class is the object's class name.
+	Class string
+}
+
+// NewObject creates an object of the given class (empty id generates
+// one) and returns a handle.
+func NewObject(ctx context.Context, p *Platform, class, id string) (Object, error) {
+	created, err := p.CreateObject(ctx, class, id)
+	if err != nil {
+		return Object{}, err
+	}
+	return Object{Platform: p, ID: created, Class: class}, nil
+}
+
+// BindObject returns a handle to an existing object.
+func BindObject(p *Platform, id string) (Object, error) {
+	class, err := p.ObjectClass(id)
+	if err != nil {
+		return Object{}, err
+	}
+	return Object{Platform: p, ID: id, Class: class}, nil
+}
+
+// Invoke executes a method or dataflow on the object.
+func (o Object) Invoke(ctx context.Context, member string, payload json.RawMessage, args map[string]string) (json.RawMessage, error) {
+	return o.Platform.Invoke(ctx, o.ID, member, payload, args)
+}
+
+// State reads one structured state key.
+func (o Object) State(ctx context.Context, key string) (json.RawMessage, error) {
+	return o.Platform.GetState(ctx, o.ID, key)
+}
+
+// SetState writes one structured state key.
+func (o Object) SetState(ctx context.Context, key string, value json.RawMessage) error {
+	return o.Platform.PutState(ctx, o.ID, key, value)
+}
+
+// FileURL returns a presigned URL ("GET", "PUT" or "DELETE") for one
+// of the object's file keys.
+func (o Object) FileURL(key, method string) (string, error) {
+	return o.Platform.PresignFile(o.ID, key, method)
+}
+
+// Delete removes the object and its state.
+func (o Object) Delete(ctx context.Context) error {
+	return o.Platform.DeleteObject(ctx, o.ID)
+}
