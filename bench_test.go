@@ -26,6 +26,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -241,6 +243,111 @@ func BenchmarkAblationLocality(b *testing.B) {
 	}
 	b.ReportMetric(float64(row.ColdP50.Microseconds()), "cold-p50-µs")
 	b.ReportMetric(float64(row.WarmP50.Microseconds()), "warm-p50-µs")
+}
+
+// BenchmarkAsyncInvokeThroughput compares blocking synchronous
+// invocation against async+batch submission through the bounded queue,
+// sweeping the async worker-pool size {1, 4, 16}. The sync baseline
+// uses the same client parallelism as the pool under test so the
+// comparison isolates the queue/decoupling overhead; "ops/s" counts
+// completed invocations.
+func BenchmarkAsyncInvokeThroughput(b *testing.B) {
+	const handlerDelay = 200 * time.Microsecond
+	setup := func(b *testing.B, asyncWorkers int) (*Platform, string) {
+		b.Helper()
+		noServe := false
+		tmpl := Template{
+			Name:       "asyncbench",
+			EngineMode: EngineDeployment, TableMode: TableMemoryOnly,
+			DefaultConcurrency: 64, InitialScale: 4, MaxScale: 64,
+		}
+		plat, err := New(Config{
+			Workers: 2, OpsPerMilliCPU: 1000,
+			Templates:          []Template{tmpl},
+			ServeObjectStore:   &noServe,
+			AsyncWorkers:       asyncWorkers,
+			AsyncQueueCapacity: 4096,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		plat.Images().Register("img/spin", HandlerFunc(func(ctx context.Context, task Task) (Result, error) {
+			select {
+			case <-time.After(handlerDelay):
+			case <-ctx.Done():
+				return Result{}, ctx.Err()
+			}
+			return Result{Output: task.Payload}, nil
+		}))
+		ctx := context.Background()
+		pkg := "classes:\n  - name: W\n    functions:\n      - name: f\n        image: img/spin\n"
+		if _, err := plat.DeployYAML(ctx, []byte(pkg)); err != nil {
+			b.Fatal(err)
+		}
+		id, err := plat.CreateObject(ctx, "W", "bench-w")
+		if err != nil {
+			b.Fatal(err)
+		}
+		return plat, id
+	}
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("sync/clients-%d", workers), func(b *testing.B) {
+			plat, id := setup(b, workers)
+			defer plat.Close()
+			ctx := context.Background()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for c := 0; c < workers; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for next.Add(1) <= int64(b.N) {
+						if _, err := plat.Invoke(ctx, id, "f", nil, nil); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+		})
+		b.Run(fmt.Sprintf("async-batch/workers-%d", workers), func(b *testing.B) {
+			plat, id := setup(b, workers)
+			defer plat.Close()
+			ctx := context.Background()
+			const chunk = 256
+			reqs := make([]AsyncRequest, 0, chunk)
+			b.ResetTimer()
+			for submitted := 0; submitted < b.N; {
+				n := min(chunk, b.N-submitted)
+				reqs = reqs[:0]
+				for i := 0; i < n; i++ {
+					reqs = append(reqs, AsyncRequest{Object: id, Member: "f"})
+				}
+				results := plat.InvokeAsyncBatch(ctx, reqs)
+				// Wait out the chunk before submitting the next so the
+				// bounded queue never overflows.
+				for _, res := range results {
+					if res.Err != nil {
+						b.Fatal(res.Err)
+					}
+					rec, err := plat.WaitInvocation(ctx, res.ID)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rec.Status != InvocationCompleted {
+						b.Fatalf("invocation %s: %s (%s)", res.ID, rec.Status, rec.Error)
+					}
+				}
+				submitted += n
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
+		})
+	}
 }
 
 // --- Substrate micro-benchmarks --------------------------------------

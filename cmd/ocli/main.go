@@ -16,6 +16,9 @@
 //	object <id>                        show an object's class
 //	delete <id>                        delete an object
 //	invoke <id> <fn> [-d payload] [-a k=v]...   invoke a method/dataflow
+//	invoke-async <id> <fn> [-d payload] [-a k=v]...  enqueue an async invocation
+//	invocation <id>                    poll one async invocation record
+//	invoke-wait <invocation-id> [-t 30s]  poll until completed/failed
 //	state-get <id> <key>               read a structured state key
 //	state-set <id> <key> <json>        write a structured state key
 //	file-url <id> <key> [GET|PUT|DELETE]  presigned URL for a file key
@@ -37,6 +40,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 )
 
 func main() {
@@ -72,6 +76,8 @@ commands:
   classes | class <name>
   create <class> [id] | objects [class] | object <id> | delete <id>
   invoke <id> <fn> [-d payload] [-a k=v]...
+  invoke-async <id> <fn> [-d payload] [-a k=v]...
+  invocation <id> | invoke-wait <invocation-id> [-t 30s]
   state-get <id> <key> | state-set <id> <key> <json>
   file-url <id> <key> [GET|PUT|DELETE]
   stats | actions
@@ -114,7 +120,16 @@ func (c *client) dispatch(args []string) error {
 		}
 		return c.request(http.MethodDelete, "/api/objects/"+url.PathEscape(rest[0]), "", nil, nil)
 	case "invoke":
-		return c.invoke(rest)
+		return c.invoke(rest, false)
+	case "invoke-async":
+		return c.invoke(rest, true)
+	case "invocation":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: invocation <id>")
+		}
+		return c.getAndPrint("/api/invocations/" + url.PathEscape(rest[0]))
+	case "invoke-wait":
+		return c.invokeWait(rest)
 	case "state-get":
 		if len(rest) != 2 {
 			return fmt.Errorf("usage: state-get <id> <key>")
@@ -168,14 +183,20 @@ func (c *client) create(args []string) error {
 }
 
 // invoke calls a method; -d sets the payload, repeated -a k=v set args.
-func (c *client) invoke(args []string) error {
-	fs := flag.NewFlagSet("invoke", flag.ContinueOnError)
+// async routes through the fire-and-poll endpoint, printing the
+// invocation ID instead of blocking on the result.
+func (c *client) invoke(args []string, async bool) error {
+	verb := "invoke"
+	if async {
+		verb = "invoke-async"
+	}
+	fs := flag.NewFlagSet(verb, flag.ContinueOnError)
 	payload := fs.String("d", "", "JSON payload")
 	var kvs multiFlag
 	fs.Var(&kvs, "a", "invocation arg k=v (repeatable)")
 	// Positional args come first: <id> <fn>.
 	if len(args) < 2 {
-		return fmt.Errorf("usage: invoke <id> <fn> [-d payload] [-a k=v]...")
+		return fmt.Errorf("usage: %s <id> <fn> [-d payload] [-a k=v]...", verb)
 	}
 	id, fn := args[0], args[1]
 	if err := fs.Parse(args[2:]); err != nil {
@@ -189,11 +210,51 @@ func (c *client) invoke(args []string) error {
 		}
 		q.Set(k, v)
 	}
-	path := fmt.Sprintf("/api/objects/%s/invoke/%s", url.PathEscape(id), url.PathEscape(fn))
+	path := fmt.Sprintf("/api/objects/%s/%s/%s", url.PathEscape(id), verb, url.PathEscape(fn))
 	if len(q) > 0 {
 		path += "?" + q.Encode()
 	}
 	return c.request(http.MethodPost, path, "application/json", []byte(*payload), printJSON)
+}
+
+// invokeWait polls an invocation record until it reaches a terminal
+// status or the -t timeout elapses, then prints the final record.
+func (c *client) invokeWait(args []string) error {
+	fs := flag.NewFlagSet("invoke-wait", flag.ContinueOnError)
+	timeout := fs.Duration("t", 30*time.Second, "polling timeout")
+	if len(args) < 1 {
+		return fmt.Errorf("usage: invoke-wait <invocation-id> [-t 30s]")
+	}
+	id := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(*timeout)
+	path := "/api/invocations/" + url.PathEscape(id)
+	for {
+		var status string
+		var raw []byte
+		err := c.request(http.MethodGet, path, "", nil, func(body []byte) {
+			raw = body
+			var rec struct {
+				Status string `json:"status"`
+			}
+			if json.Unmarshal(body, &rec) == nil {
+				status = rec.Status
+			}
+		})
+		if err != nil {
+			return err
+		}
+		if status == "completed" || status == "failed" {
+			printJSON(raw)
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("invocation %s still %q after %v", id, status, *timeout)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
 }
 
 // fileURL prints a presigned URL.

@@ -224,3 +224,72 @@ func TestMultiFlag(t *testing.T) {
 		t.Fatalf("String = %q", m.String())
 	}
 }
+
+// extractInvocationID pulls the "invocation" field out of printed JSON.
+func extractInvocationID(t *testing.T, out string) string {
+	t.Helper()
+	var resp struct {
+		Invocation string `json:"invocation"`
+	}
+	if err := json.Unmarshal([]byte(out), &resp); err != nil || resp.Invocation == "" {
+		t.Fatalf("invoke-async output = %q (%v)", out, err)
+	}
+	return resp.Invocation
+}
+
+func TestCLIAsyncInvokeAndPoll(t *testing.T) {
+	c := newServer(t)
+	pkg := writePackage(t, ".yaml")
+	if _, err := captureStdout(t, func() error { return c.dispatch([]string{"apply", pkg}) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := captureStdout(t, func() error { return c.dispatch([]string{"create", "Echoer", "a1"}) }); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := captureStdout(t, func() error {
+		return c.dispatch([]string{"invoke-async", "a1", "echo", "-d", `"ping"`})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := extractInvocationID(t, out)
+
+	// invoke-wait polls until the record is terminal.
+	out, err = captureStdout(t, func() error {
+		return c.dispatch([]string{"invoke-wait", id, "-t", "10s"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"completed"`) || !strings.Contains(out, "ping") {
+		t.Fatalf("invoke-wait output = %q", out)
+	}
+
+	// Direct poll shows the same terminal record.
+	out, err = captureStdout(t, func() error { return c.dispatch([]string{"invocation", id}) })
+	if err != nil || !strings.Contains(out, `"completed"`) {
+		t.Fatalf("invocation = %q, %v", out, err)
+	}
+}
+
+func TestCLIAsyncErrors(t *testing.T) {
+	c := newServer(t)
+	cases := [][]string{
+		{"invoke-async", "only-id"}, // missing fn
+		{"invocation"},              // missing id
+		{"invoke-wait"},             // missing id
+	}
+	for _, args := range cases {
+		if err := c.dispatch(args); err == nil {
+			t.Errorf("dispatch(%v) succeeded, want error", args)
+		}
+	}
+	// Unknown invocation surfaces the server's 404.
+	if err := c.dispatch([]string{"invocation", "inv-ghost"}); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("invocation inv-ghost err = %v", err)
+	}
+	if err := c.dispatch([]string{"invoke-wait", "inv-ghost", "-t", "1s"}); err == nil {
+		t.Error("invoke-wait on unknown id succeeded")
+	}
+}

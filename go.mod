@@ -1,0 +1,3 @@
+module github.com/hpcclab/oparaca-go
+
+go 1.24

@@ -1,0 +1,477 @@
+// Package asyncq implements the platform's asynchronous invocation
+// subsystem: a bounded, sharded queue drained by a configurable worker
+// pool, with per-invocation records persisted in a memtable so results
+// survive flush cycles and stay poll-able after completion.
+//
+// Synchronous invocation forces the client to hold a connection for the
+// full method latency; the queue decouples submission from execution
+// the same way Knative's activator/queue decouples request arrival from
+// pod readiness on the serving side (which internal/faas models). A
+// client submits a task, receives an invocation ID immediately, and
+// later polls or waits for the terminal record.
+//
+// Lifecycle of one invocation:
+//
+//	Submit -> record {status: pending}   (persisted, queued)
+//	worker -> record {status: running}   (dequeued)
+//	handler ok  -> {status: completed, result}
+//	handler err -> {status: failed, error}
+//
+// Backpressure is explicit: Submit returns ErrQueueFull once the
+// target shard is at capacity. A panicking handler marks its record
+// failed without killing the worker. Close stops intake, drains every
+// accepted task, then flushes the record table.
+package asyncq
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"maps"
+	"sync"
+	"time"
+
+	"github.com/hpcclab/oparaca-go/internal/kvstore"
+	"github.com/hpcclab/oparaca-go/internal/memtable"
+	"github.com/hpcclab/oparaca-go/internal/metrics"
+	"github.com/hpcclab/oparaca-go/internal/vclock"
+)
+
+// Sentinel errors.
+var (
+	// ErrQueueFull is the backpressure signal: the invocation was not
+	// accepted because the target shard is at capacity.
+	ErrQueueFull = errors.New("asyncq: queue full")
+	// ErrNotFound is returned when no record exists for an invocation ID.
+	ErrNotFound = errors.New("asyncq: invocation not found")
+	// ErrClosed is returned for submissions after Close.
+	ErrClosed = errors.New("asyncq: queue closed")
+)
+
+// Status is an invocation's lifecycle phase.
+type Status string
+
+// Invocation statuses.
+const (
+	StatusPending   Status = "pending"
+	StatusRunning   Status = "running"
+	StatusCompleted Status = "completed"
+	StatusFailed    Status = "failed"
+)
+
+// Terminal reports whether s is a final status.
+func (s Status) Terminal() bool { return s == StatusCompleted || s == StatusFailed }
+
+// Record is the durable state of one asynchronous invocation.
+type Record struct {
+	// ID identifies the invocation (returned by Submit).
+	ID string `json:"id"`
+	// Object and Member name the target method.
+	Object string `json:"object"`
+	Member string `json:"member"`
+	// Status is the lifecycle phase.
+	Status Status `json:"status"`
+	// Result holds the method output once Status is completed.
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error holds the failure message once Status is failed.
+	Error string `json:"error,omitempty"`
+	// Enqueued / Started / Finished are the transition timestamps.
+	Enqueued time.Time `json:"enqueued"`
+	Started  time.Time `json:"started,omitzero"`
+	Finished time.Time `json:"finished,omitzero"`
+}
+
+// Invoker executes one dequeued invocation. The platform passes its
+// synchronous Invoke path here; the indirection keeps this package free
+// of a dependency on core.
+type Invoker func(ctx context.Context, objectID, member string, payload json.RawMessage, args map[string]string) (json.RawMessage, error)
+
+// Request is one batch-submission entry.
+type Request struct {
+	Object  string            `json:"object"`
+	Member  string            `json:"member"`
+	Payload json.RawMessage   `json:"payload,omitempty"`
+	Args    map[string]string `json:"args,omitempty"`
+}
+
+// Config sizes a Queue.
+type Config struct {
+	// Invoke drains dequeued tasks; required.
+	Invoke Invoker
+	// Workers is the pool size. Defaults to 4.
+	Workers int
+	// Capacity bounds the number of queued (accepted but not yet
+	// dequeued) invocations across all shards. Defaults to 1024.
+	Capacity int
+	// Shards partitions the queue; tasks are spread across shards by
+	// invocation ID so a burst against one hot object uses the whole
+	// queue. Defaults to min(Workers, 4) and is clamped to Workers so
+	// every shard has a dedicated drainer.
+	Shards int
+	// Backing persists invocation records through a write-behind
+	// memtable. nil keeps records in memory only.
+	Backing *kvstore.Store
+	// FlushInterval overrides the record table's flush period.
+	FlushInterval time.Duration
+	// Metrics receives queue gauges/counters/histograms. A private
+	// registry is created when nil.
+	Metrics *metrics.Registry
+	// Clock supplies time; defaults to the real clock.
+	Clock vclock.Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Capacity <= 0 {
+		c.Capacity = 1024
+	}
+	if c.Shards <= 0 {
+		c.Shards = min(c.Workers, 4)
+	}
+	if c.Shards > c.Workers {
+		c.Shards = c.Workers
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewRegistry()
+	}
+	if c.Clock == nil {
+		c.Clock = vclock.NewReal()
+	}
+	return c
+}
+
+// task is one queued invocation.
+type task struct {
+	id      string
+	object  string
+	member  string
+	payload json.RawMessage
+	args    map[string]string
+	ctx     context.Context // submitter's context; cancellation is observed
+	queued  time.Time
+}
+
+// Queue is the asynchronous invocation engine. It is safe for
+// concurrent use.
+type Queue struct {
+	cfg     Config
+	records *memtable.Table
+	shards  []chan task
+
+	mu      sync.Mutex
+	waiters map[string]chan struct{}
+	closed  bool
+
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// recordKey is the memtable key for one invocation ID.
+func recordKey(id string) string { return "invocations/" + id }
+
+// New builds a queue and starts its worker pool.
+func New(cfg Config) (*Queue, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Invoke == nil {
+		return nil, errors.New("asyncq: Config.Invoke is required")
+	}
+	tblCfg := memtable.Config{
+		Mode:          memtable.ModeWriteBehind,
+		Backing:       cfg.Backing,
+		FlushInterval: cfg.FlushInterval,
+		Clock:         cfg.Clock,
+	}
+	if cfg.Backing == nil {
+		tblCfg.Mode = memtable.ModeMemoryOnly
+	}
+	records, err := memtable.New(tblCfg)
+	if err != nil {
+		return nil, fmt.Errorf("asyncq: record table: %w", err)
+	}
+	q := &Queue{
+		cfg:     cfg,
+		records: records,
+		shards:  make([]chan task, cfg.Shards),
+		waiters: make(map[string]chan struct{}),
+	}
+	perShard := (cfg.Capacity + cfg.Shards - 1) / cfg.Shards
+	for i := range q.shards {
+		q.shards[i] = make(chan task, perShard)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		q.wg.Add(1)
+		go q.worker(q.shards[i%cfg.Shards])
+	}
+	return q, nil
+}
+
+// Metrics exposes the queue's registry (depth/in-flight gauges, wait
+// and exec histograms, enqueued/rejected/completed/failed counters).
+func (q *Queue) Metrics() *metrics.Registry { return q.cfg.Metrics }
+
+// shardFor picks the shard channel for one invocation. Sharding by
+// invocation ID (not object) keeps hot-object bursts from saturating a
+// single shard's capacity.
+func (q *Queue) shardFor(invocationID string) chan task {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(invocationID))
+	return q.shards[h.Sum32()%uint32(len(q.shards))]
+}
+
+// newInvocationID returns a 12-byte hex identifier.
+func newInvocationID() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("asyncq: crypto/rand unavailable: " + err.Error())
+	}
+	return "inv-" + hex.EncodeToString(b[:])
+}
+
+// Submit enqueues one invocation and returns its ID. The context is
+// retained: cancelling it fails the invocation if it is still queued
+// and propagates into the handler once running. Submit returns
+// ErrQueueFull when the queue is at capacity and ErrClosed after
+// Close.
+func (q *Queue) Submit(ctx context.Context, objectID, member string, payload json.RawMessage, args map[string]string) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	t := task{
+		id:      newInvocationID(),
+		object:  objectID,
+		member:  member,
+		payload: append(json.RawMessage(nil), payload...),
+		args:    maps.Clone(args),
+		ctx:     ctx,
+		queued:  q.cfg.Clock.Now(),
+	}
+	// The pending record and depth gauge must exist before the task is
+	// visible to a worker: a fast worker would otherwise write the
+	// terminal record first and have it clobbered by a late pending
+	// write (leaving pollers stuck at "pending" forever).
+	q.putRecord(Record{
+		ID: t.id, Object: objectID, Member: member,
+		Status: StatusPending, Enqueued: t.queued,
+	})
+	m := q.cfg.Metrics
+	m.Gauge("queue.depth").Add(1)
+	// The closed check and the shard send share the lock so Close
+	// cannot observe an accepted task it will not drain.
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		m.Gauge("queue.depth").Add(-1)
+		_ = q.records.Delete(context.Background(), recordKey(t.id))
+		return "", ErrClosed
+	}
+	select {
+	case q.shardFor(t.id) <- t:
+	default:
+		q.mu.Unlock()
+		m.Gauge("queue.depth").Add(-1)
+		m.Counter("queue.rejected").Inc()
+		_ = q.records.Delete(context.Background(), recordKey(t.id))
+		return "", fmt.Errorf("%w: object %s", ErrQueueFull, objectID)
+	}
+	m.Counter("queue.enqueued").Inc()
+	q.mu.Unlock()
+	return t.id, nil
+}
+
+// BatchResult is one batch-submission outcome.
+type BatchResult struct {
+	ID  string
+	Err error
+}
+
+// putRecord persists a record transition and wakes terminal waiters.
+func (q *Queue) putRecord(rec Record) {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		// Only Result (a handler-supplied RawMessage) can be
+		// unencodable; degrade to a failed record rather than leaving
+		// the invocation parked in a non-terminal state forever.
+		rec.Result = nil
+		rec.Status = StatusFailed
+		rec.Error = "asyncq: unencodable result: " + err.Error()
+		raw, _ = json.Marshal(rec)
+	}
+	// Record writes must outlive the submitter's context: a cancelled
+	// invocation still gets its terminal "failed" record.
+	_ = q.records.Put(context.Background(), recordKey(rec.ID), raw)
+	if rec.Status.Terminal() {
+		q.mu.Lock()
+		if ch, ok := q.waiters[rec.ID]; ok {
+			close(ch)
+			delete(q.waiters, rec.ID)
+		}
+		q.mu.Unlock()
+	}
+}
+
+// Get returns the record for an invocation ID.
+func (q *Queue) Get(ctx context.Context, id string) (Record, error) {
+	raw, err := q.records.Get(ctx, recordKey(id))
+	if err != nil {
+		if errors.Is(err, memtable.ErrNotFound) {
+			return Record{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+		}
+		return Record{}, err
+	}
+	var rec Record
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return Record{}, fmt.Errorf("asyncq: corrupt record %q: %w", id, err)
+	}
+	return rec, nil
+}
+
+// Wait blocks until the invocation reaches a terminal status or ctx is
+// done, then returns the record.
+func (q *Queue) Wait(ctx context.Context, id string) (Record, error) {
+	q.mu.Lock()
+	ch, ok := q.waiters[id]
+	if !ok {
+		ch = make(chan struct{})
+		q.waiters[id] = ch
+	}
+	q.mu.Unlock()
+	// Check after registering so a transition between Get and wait
+	// cannot be missed.
+	rec, err := q.Get(ctx, id)
+	if err != nil || rec.Status.Terminal() {
+		// The terminal wake will never come (it already happened, or
+		// the id is unknown): retire the waiter entry so the map does
+		// not grow without bound. Closing the channel releases any
+		// concurrent waiter that registered before the transition; it
+		// re-checks the record and observes the same terminal state.
+		q.mu.Lock()
+		if cur, live := q.waiters[id]; live && cur == ch {
+			close(ch)
+			delete(q.waiters, id)
+		}
+		q.mu.Unlock()
+		return rec, err
+	}
+	select {
+	case <-ch:
+		return q.Get(ctx, id)
+	case <-ctx.Done():
+		return Record{}, ctx.Err()
+	}
+}
+
+// worker drains one shard until it is closed.
+func (q *Queue) worker(shard chan task) {
+	defer q.wg.Done()
+	for t := range shard {
+		q.run(t)
+	}
+}
+
+// run executes one task, recovering handler panics into a failed
+// record so the worker survives.
+func (q *Queue) run(t task) {
+	m := q.cfg.Metrics
+	m.Gauge("queue.depth").Add(-1)
+	m.Histogram("queue.wait").Observe(q.cfg.Clock.Since(t.queued))
+	started := q.cfg.Clock.Now()
+	rec := Record{
+		ID: t.id, Object: t.object, Member: t.member,
+		Status: StatusRunning, Enqueued: t.queued, Started: started,
+	}
+	// A submission cancelled while queued fails without invoking.
+	if err := t.ctx.Err(); err != nil {
+		rec.Status, rec.Error, rec.Finished = StatusFailed, err.Error(), started
+		q.putRecord(rec)
+		m.Counter("queue.failed").Inc()
+		return
+	}
+	q.putRecord(rec)
+	m.Gauge("queue.inflight").Add(1)
+	out, err := q.invoke(t)
+	m.Gauge("queue.inflight").Add(-1)
+	if err == nil && len(out) > 0 && !json.Valid(out) {
+		err = fmt.Errorf("asyncq: handler returned invalid JSON output")
+	}
+	rec.Finished = q.cfg.Clock.Now()
+	m.Histogram("queue.exec").Observe(rec.Finished.Sub(started))
+	if err != nil {
+		rec.Status, rec.Error = StatusFailed, err.Error()
+		m.Counter("queue.failed").Inc()
+	} else {
+		rec.Status, rec.Result = StatusCompleted, out
+		m.Counter("queue.completed").Inc()
+	}
+	q.putRecord(rec)
+}
+
+// invoke calls the handler with panic isolation.
+func (q *Queue) invoke(t task) (out json.RawMessage, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			q.cfg.Metrics.Counter("queue.panics").Inc()
+			out, err = nil, fmt.Errorf("asyncq: handler panic: %v", r)
+		}
+	}()
+	return q.cfg.Invoke(t.ctx, t.object, t.member, t.payload, t.args)
+}
+
+// Stats is a point-in-time queue snapshot.
+type Stats struct {
+	// Workers / Shards / Capacity echo the configuration.
+	Workers  int `json:"workers"`
+	Shards   int `json:"shards"`
+	Capacity int `json:"capacity"`
+	// Depth is the number of accepted-but-not-dequeued invocations;
+	// InFlight the number currently executing.
+	Depth    int64 `json:"depth"`
+	InFlight int64 `json:"in_flight"`
+	// Enqueued / Rejected / Completed / Failed are lifetime counters.
+	Enqueued  int64 `json:"enqueued"`
+	Rejected  int64 `json:"rejected"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	// DequeueP50 is the median enqueue-to-dequeue latency.
+	DequeueP50 time.Duration `json:"dequeue_p50_ns"`
+}
+
+// Stats snapshots the queue counters.
+func (q *Queue) Stats() Stats {
+	m := q.cfg.Metrics
+	return Stats{
+		Workers:    q.cfg.Workers,
+		Shards:     q.cfg.Shards,
+		Capacity:   len(q.shards) * cap(q.shards[0]),
+		Depth:      m.Gauge("queue.depth").Value(),
+		InFlight:   m.Gauge("queue.inflight").Value(),
+		Enqueued:   m.Counter("queue.enqueued").Value(),
+		Rejected:   m.Counter("queue.rejected").Value(),
+		Completed:  m.Counter("queue.completed").Value(),
+		Failed:     m.Counter("queue.failed").Value(),
+		DequeueP50: m.Histogram("queue.wait").Quantile(0.5),
+	}
+}
+
+// Close stops intake, drains every accepted invocation through the
+// worker pool, then flushes and closes the record table. It is
+// idempotent and safe to call concurrently with Submit.
+func (q *Queue) Close() {
+	q.closeOnce.Do(func() {
+		q.mu.Lock()
+		q.closed = true
+		q.mu.Unlock()
+		// No Submit can send after closed is set (sends happen under
+		// mu), so closing the shards is race-free.
+		for _, sh := range q.shards {
+			close(sh)
+		}
+		q.wg.Wait()
+		q.records.Close()
+	})
+}

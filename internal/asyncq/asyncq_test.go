@@ -1,0 +1,276 @@
+package asyncq
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/hpcclab/oparaca-go/internal/kvstore"
+)
+
+// echoInvoker returns the payload and counts executions.
+type echoInvoker struct {
+	calls atomic.Int64
+}
+
+func (e *echoInvoker) invoke(_ context.Context, objectID, member string, payload json.RawMessage, _ map[string]string) (json.RawMessage, error) {
+	e.calls.Add(1)
+	if len(payload) > 0 {
+		return payload, nil
+	}
+	out, _ := json.Marshal(objectID + "." + member)
+	return out, nil
+}
+
+func newQueue(t *testing.T, cfg Config) *Queue {
+	t.Helper()
+	q, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(q.Close)
+	return q
+}
+
+func TestSubmitCompletesAndRecordsResult(t *testing.T) {
+	inv := &echoInvoker{}
+	q := newQueue(t, Config{Invoke: inv.invoke, Workers: 2})
+	ctx := context.Background()
+	id, err := q.Submit(ctx, "obj-1", "greet", json.RawMessage(`"hi"`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := q.Wait(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Status != StatusCompleted {
+		t.Fatalf("status = %s (err %q), want completed", rec.Status, rec.Error)
+	}
+	if string(rec.Result) != `"hi"` {
+		t.Fatalf("result = %s", rec.Result)
+	}
+	if rec.Object != "obj-1" || rec.Member != "greet" {
+		t.Fatalf("record target = %s.%s", rec.Object, rec.Member)
+	}
+	if rec.Enqueued.IsZero() || rec.Started.IsZero() || rec.Finished.IsZero() {
+		t.Fatalf("timings incomplete: %+v", rec)
+	}
+	if inv.calls.Load() != 1 {
+		t.Fatalf("handler ran %d times, want 1", inv.calls.Load())
+	}
+}
+
+func TestGetUnknownInvocation(t *testing.T) {
+	q := newQueue(t, Config{Invoke: (&echoInvoker{}).invoke})
+	if _, err := q.Get(context.Background(), "inv-ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestFailedInvocationRecordsError(t *testing.T) {
+	boom := errors.New("boom")
+	q := newQueue(t, Config{Invoke: func(context.Context, string, string, json.RawMessage, map[string]string) (json.RawMessage, error) {
+		return nil, boom
+	}})
+	id, err := q.Submit(context.Background(), "o", "m", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := q.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Status != StatusFailed || rec.Error != "boom" {
+		t.Fatalf("record = %+v", rec)
+	}
+	if s := q.Stats(); s.Failed != 1 || s.Completed != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestWaitRetiresWaiterEntries(t *testing.T) {
+	inv := &echoInvoker{}
+	q := newQueue(t, Config{Invoke: inv.invoke, Workers: 2})
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		id, err := q.Submit(ctx, fmt.Sprintf("o%d", i), "m", nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two waits per invocation: the first may consume the terminal
+		// wake, the second exercises the already-terminal fast path.
+		for j := 0; j < 2; j++ {
+			if _, err := q.Wait(ctx, id); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Waiting on an unknown id must not leave an entry behind either.
+	if _, err := q.Wait(ctx, "inv-ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	q.mu.Lock()
+	n := len(q.waiters)
+	q.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d waiter entries leaked", n)
+	}
+}
+
+func TestInvalidHandlerOutputFailsRecord(t *testing.T) {
+	q := newQueue(t, Config{Invoke: func(context.Context, string, string, json.RawMessage, map[string]string) (json.RawMessage, error) {
+		return json.RawMessage("not-json"), nil
+	}})
+	id, err := q.Submit(context.Background(), "o", "m", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := q.Wait(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Status != StatusFailed || rec.Error == "" {
+		t.Fatalf("record = %+v", rec)
+	}
+}
+
+func TestRecordsSurviveFlushCycles(t *testing.T) {
+	db := kvstore.Open(kvstore.Config{})
+	t.Cleanup(db.Close)
+	inv := &echoInvoker{}
+	q := newQueue(t, Config{
+		Invoke:        inv.invoke,
+		Backing:       db,
+		FlushInterval: time.Millisecond,
+	})
+	id, err := q.Submit(context.Background(), "o", "m", json.RawMessage(`42`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := q.Wait(context.Background(), id)
+	if err != nil || rec.Status != StatusCompleted {
+		t.Fatalf("wait: %v %+v", err, rec)
+	}
+	// Give the write-behind flusher a few cycles, then verify the
+	// terminal record landed in the backing store too.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		doc, err := db.Get(context.Background(), "invocations/"+id)
+		if err == nil {
+			var persisted Record
+			if err := json.Unmarshal(doc.Value, &persisted); err != nil {
+				t.Fatal(err)
+			}
+			if persisted.Status == StatusCompleted {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("terminal record never flushed to backing store")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Still poll-able after completion.
+	again, err := q.Get(context.Background(), id)
+	if err != nil || string(again.Result) != `42` {
+		t.Fatalf("re-poll: %v %+v", err, again)
+	}
+}
+
+func TestStatsCountersMatchSubmissions(t *testing.T) {
+	inv := &echoInvoker{}
+	q := newQueue(t, Config{Invoke: inv.invoke, Workers: 4, Capacity: 64})
+	const n = 32
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		id, err := q.Submit(context.Background(), fmt.Sprintf("o%d", i), "m", nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		if _, err := q.Wait(context.Background(), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := q.Stats()
+	if s.Enqueued != n || s.Completed != n || s.Failed != 0 || s.Rejected != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Depth != 0 || s.InFlight != 0 {
+		t.Fatalf("queue not drained: %+v", s)
+	}
+	if s.Workers != 4 || s.Capacity < 64 {
+		t.Fatalf("config echo = %+v", s)
+	}
+}
+
+func TestConcurrentSubmitAndWait(t *testing.T) {
+	inv := &echoInvoker{}
+	q := newQueue(t, Config{Invoke: inv.invoke, Workers: 8, Capacity: 1024})
+	const n = 200
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id, err := q.Submit(context.Background(), fmt.Sprintf("obj-%d", i%13), "m", nil, nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			rec, err := q.Wait(context.Background(), id)
+			if err == nil && rec.Status != StatusCompleted {
+				err = fmt.Errorf("status %s: %s", rec.Status, rec.Error)
+			}
+			errs <- err
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if inv.calls.Load() != n {
+		t.Fatalf("handler ran %d times, want %d", inv.calls.Load(), n)
+	}
+}
+
+func TestNewRequiresInvoker(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New accepted a nil Invoker")
+	}
+}
+
+func TestSubmitAfterCloseRejected(t *testing.T) {
+	q, err := New(Config{Invoke: (&echoInvoker{}).invoke})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	if _, err := q.Submit(context.Background(), "o", "m", nil, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	q.Close() // idempotent
+}
+
+func TestStatusTerminal(t *testing.T) {
+	for s, want := range map[Status]bool{
+		StatusPending: false, StatusRunning: false,
+		StatusCompleted: true, StatusFailed: true,
+	} {
+		if s.Terminal() != want {
+			t.Errorf("Terminal(%s) = %v", s, !want)
+		}
+	}
+}

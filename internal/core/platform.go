@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/hpcclab/oparaca-go/internal/asyncq"
 	"github.com/hpcclab/oparaca-go/internal/cluster"
 	"github.com/hpcclab/oparaca-go/internal/invoker"
 	"github.com/hpcclab/oparaca-go/internal/kvstore"
@@ -47,6 +48,12 @@ var (
 	ErrMemberNotFound = errors.New("core: no such function or dataflow")
 	// ErrClosed is returned after Close.
 	ErrClosed = errors.New("core: platform closed")
+	// ErrQueueFull is the async path's backpressure signal
+	// (re-exported for errors.Is at the API boundary).
+	ErrQueueFull = asyncq.ErrQueueFull
+	// ErrInvocationNotFound is returned when polling an unknown
+	// asynchronous invocation ID.
+	ErrInvocationNotFound = asyncq.ErrNotFound
 )
 
 // Config sizes and tunes a Platform.
@@ -91,6 +98,17 @@ type Config struct {
 	// invocation whose client region differs from the object's home
 	// region (see InvokeFrom). Defaults to 0.
 	InterRegionLatency time.Duration
+	// AsyncWorkers sizes the asynchronous invocation worker pool.
+	// Defaults to 4.
+	AsyncWorkers int
+	// AsyncQueueCapacity bounds the number of queued async invocations
+	// before Submit returns ErrQueueFull. Defaults to 1024.
+	AsyncQueueCapacity int
+	// AsyncQueueShards partitions the async queue; tasks are spread
+	// across shards by invocation ID (not object), so bursts against
+	// one hot object use the whole capacity. Defaults to
+	// min(AsyncWorkers, 4).
+	AsyncQueueShards int
 	// ServeObjectStore starts a loopback HTTP server for the object
 	// store so presigned URLs are fetchable. Defaults to true; benches
 	// that never touch file keys can disable it.
@@ -156,6 +174,7 @@ type Platform struct {
 	images    *invoker.Registry
 	templates *runtime.TemplateRegistry
 	optim     *optimizer.Optimizer
+	queue     *asyncq.Queue
 
 	mu       sync.Mutex
 	classes  map[string]*model.Class
@@ -213,9 +232,24 @@ func New(cfg Config) (*Platform, error) {
 		dir:       make(map[string]objectRecord),
 	}
 	p.optim = optimizer.New(optimizer.Config{Interval: cfg.OptimizerInterval, Clock: cfg.Clock})
+	// The async queue drains through the synchronous Invoke path and
+	// persists its invocation records in the shared document store.
+	p.queue, err = asyncq.New(asyncq.Config{
+		Invoke:   p.Invoke,
+		Workers:  cfg.AsyncWorkers,
+		Capacity: cfg.AsyncQueueCapacity,
+		Shards:   cfg.AsyncQueueShards,
+		Backing:  p.backing,
+		Clock:    cfg.Clock,
+	})
+	if err != nil {
+		p.backing.Close()
+		return nil, fmt.Errorf("core: async queue: %w", err)
+	}
 	if *cfg.ServeObjectStore {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
+			p.queue.Close()
 			p.backing.Close()
 			return nil, fmt.Errorf("core: object store listener: %w", err)
 		}
@@ -594,6 +628,66 @@ func (p *Platform) Invoke(ctx context.Context, objectID, member string, payload 
 	return nil, fmt.Errorf("%w: %s.%s", ErrMemberNotFound, class.Name, member)
 }
 
+// checkInvokeTarget validates that an object exists and that member
+// names one of its functions or dataflows, without invoking anything.
+func (p *Platform) checkInvokeTarget(objectID, member string) error {
+	rt, _, err := p.objectRuntime(objectID)
+	if err != nil {
+		return err
+	}
+	class := rt.Class()
+	if _, ok := class.Function(member); ok {
+		return nil
+	}
+	if _, ok := class.Dataflow(member); ok {
+		return nil
+	}
+	return fmt.Errorf("%w: %s.%s", ErrMemberNotFound, class.Name, member)
+}
+
+// InvokeAsync enqueues a method or dataflow invocation and returns an
+// invocation ID immediately. The target is validated synchronously so
+// unknown objects/members fail fast; execution errors surface in the
+// polled record. Backpressure: ErrQueueFull once the queue is at
+// capacity.
+func (p *Platform) InvokeAsync(ctx context.Context, objectID, member string, payload json.RawMessage, args map[string]string) (string, error) {
+	if err := p.checkInvokeTarget(objectID, member); err != nil {
+		return "", err
+	}
+	return p.queue.Submit(ctx, objectID, member, payload, args)
+}
+
+// InvokeAsyncBatch enqueues every request in one call, returning one
+// ID-or-error result per entry in order. Entries with unknown targets
+// or a full shard are rejected individually; the rest proceed.
+func (p *Platform) InvokeAsyncBatch(ctx context.Context, reqs []asyncq.Request) []asyncq.BatchResult {
+	out := make([]asyncq.BatchResult, len(reqs))
+	for i, r := range reqs {
+		if err := p.checkInvokeTarget(r.Object, r.Member); err != nil {
+			out[i] = asyncq.BatchResult{Err: err}
+			continue
+		}
+		id, err := p.queue.Submit(ctx, r.Object, r.Member, r.Payload, r.Args)
+		out[i] = asyncq.BatchResult{ID: id, Err: err}
+	}
+	return out
+}
+
+// Invocation returns the durable record of an asynchronous invocation.
+func (p *Platform) Invocation(ctx context.Context, id string) (asyncq.Record, error) {
+	return p.queue.Get(ctx, id)
+}
+
+// WaitInvocation blocks until the invocation reaches a terminal status
+// (completed or failed) or ctx is done.
+func (p *Platform) WaitInvocation(ctx context.Context, id string) (asyncq.Record, error) {
+	return p.queue.Wait(ctx, id)
+}
+
+// AsyncQueue exposes the asynchronous invocation queue (metrics and
+// stats inspection).
+func (p *Platform) AsyncQueue() *asyncq.Queue { return p.queue }
+
 // GetState reads one structured state key of an object.
 func (p *Platform) GetState(ctx context.Context, objectID, key string) (json.RawMessage, error) {
 	rt, _, err := p.objectRuntime(objectID)
@@ -629,6 +723,7 @@ type Stats struct {
 	DB          kvstore.Stats      `json:"db"`
 	ByClass     map[string]float64 `json:"throughput_rps"`
 	Invocations int64              `json:"invocations"`
+	Async       asyncq.Stats       `json:"async"`
 }
 
 // Stats snapshots the platform.
@@ -640,6 +735,7 @@ func (p *Platform) Stats() Stats {
 		Objects: len(p.dir),
 		DB:      p.backing.Stats(),
 		ByClass: make(map[string]float64, len(p.runtimes)),
+		Async:   p.queue.Stats(),
 	}
 	for name := range p.classes {
 		s.Classes = append(s.Classes, name)
@@ -665,9 +761,14 @@ func (p *Platform) Flush(ctx context.Context) {
 	}
 }
 
-// Close tears the platform down: optimizer, runtimes (final state
-// flushes), object store server, and document store.
+// Close tears the platform down: async queue (drains accepted
+// invocations first, while runtimes are still alive), optimizer,
+// runtimes (final state flushes), object store server, and document
+// store.
 func (p *Platform) Close() {
+	// Drain before marking closed: queued invocations still route
+	// through Invoke, which rejects work on a closed platform.
+	p.queue.Close()
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/hpcclab/oparaca-go/internal/asyncq"
 	"github.com/hpcclab/oparaca-go/internal/faas"
 	"github.com/hpcclab/oparaca-go/internal/invoker"
 	"github.com/hpcclab/oparaca-go/internal/memtable"
@@ -447,5 +448,155 @@ func TestConcurrentInvocations(t *testing.T) {
 		if err := <-errCh; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// --- Asynchronous invocation ----------------------------------------
+
+func TestInvokeAsyncLifecycle(t *testing.T) {
+	p := newPlatform(t, nil)
+	deployTest(t, p)
+	ctx := context.Background()
+	id, err := p.CreateObject(ctx, "Image", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	invID, err := p.InvokeAsync(ctx, id, "resize", nil, map[string]string{"w": "120"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if invID == "" {
+		t.Fatal("empty invocation id")
+	}
+	rec, err := p.WaitInvocation(ctx, invID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Status != asyncq.StatusCompleted {
+		t.Fatalf("status = %s (error %q)", rec.Status, rec.Error)
+	}
+	if string(rec.Result) != `"resized"` {
+		t.Fatalf("result = %s", rec.Result)
+	}
+	// The handler's state write landed like a synchronous call.
+	meta, err := p.GetState(ctx, id, "meta")
+	if err != nil || !strings.Contains(string(meta), `"120"`) {
+		t.Fatalf("meta = %s, %v", meta, err)
+	}
+	// Polling by ID returns the same terminal record.
+	again, err := p.Invocation(ctx, invID)
+	if err != nil || again.Status != asyncq.StatusCompleted {
+		t.Fatalf("re-poll = %+v, %v", again, err)
+	}
+	if s := p.Stats(); s.Async.Completed != 1 || s.Async.Enqueued != 1 {
+		t.Fatalf("async stats = %+v", s.Async)
+	}
+}
+
+func TestInvokeAsyncValidatesTarget(t *testing.T) {
+	p := newPlatform(t, nil)
+	deployTest(t, p)
+	ctx := context.Background()
+	id, err := p.CreateObject(ctx, "Image", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.InvokeAsync(ctx, "ghost", "resize", nil, nil); !errors.Is(err, ErrObjectNotFound) {
+		t.Fatalf("unknown object err = %v", err)
+	}
+	if _, err := p.InvokeAsync(ctx, id, "nope", nil, nil); !errors.Is(err, ErrMemberNotFound) {
+		t.Fatalf("unknown member err = %v", err)
+	}
+	if _, err := p.Invocation(ctx, "inv-ghost"); !errors.Is(err, ErrInvocationNotFound) {
+		t.Fatalf("unknown invocation err = %v", err)
+	}
+}
+
+func TestInvokeAsyncDataflowMember(t *testing.T) {
+	p := newPlatform(t, nil)
+	pkg := `classes:
+  - name: Chain
+    functions:
+      - name: step
+        image: img/change-format
+    dataflows:
+      - name: run
+        steps:
+          - name: a
+            function: step
+          - name: b
+            function: step
+            after: [a]
+`
+	ctx := context.Background()
+	if _, err := p.DeployYAML(ctx, []byte(pkg)); err != nil {
+		t.Fatal(err)
+	}
+	id, err := p.CreateObject(ctx, "Chain", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	invID, err := p.InvokeAsync(ctx, id, "run", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := p.WaitInvocation(ctx, invID)
+	if err != nil || rec.Status != asyncq.StatusCompleted {
+		t.Fatalf("dataflow record = %+v, %v", rec, err)
+	}
+}
+
+func TestInvokeAsyncBatchMixedValidity(t *testing.T) {
+	p := newPlatform(t, nil)
+	deployTest(t, p)
+	ctx := context.Background()
+	id, err := p.CreateObject(ctx, "Image", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := p.InvokeAsyncBatch(ctx, []asyncq.Request{
+		{Object: id, Member: "changeFormat"},
+		{Object: "ghost", Member: "resize"},
+		{Object: id, Member: "nope"},
+		{Object: id, Member: "resize", Args: map[string]string{"w": "9"}},
+	})
+	if len(results) != 4 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[0].Err != nil || results[3].Err != nil {
+		t.Fatalf("valid entries rejected: %v %v", results[0].Err, results[3].Err)
+	}
+	if !errors.Is(results[1].Err, ErrObjectNotFound) || !errors.Is(results[2].Err, ErrMemberNotFound) {
+		t.Fatalf("invalid entries = %v %v", results[1].Err, results[2].Err)
+	}
+	for _, i := range []int{0, 3} {
+		rec, err := p.WaitInvocation(ctx, results[i].ID)
+		if err != nil || rec.Status != asyncq.StatusCompleted {
+			t.Fatalf("entry %d: %+v, %v", i, rec, err)
+		}
+	}
+}
+
+func TestCloseDrainsAsyncQueue(t *testing.T) {
+	p := newPlatform(t, nil)
+	deployTest(t, p)
+	ctx := context.Background()
+	id, err := p.CreateObject(ctx, "Image", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	for i := 0; i < n; i++ {
+		if _, err := p.InvokeAsync(ctx, id, "changeFormat", nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close() // drains the queue before tearing runtimes down
+	s := p.AsyncQueue().Stats()
+	if s.Completed != n || s.Failed != 0 || s.Depth != 0 {
+		t.Fatalf("post-close async stats = %+v", s)
+	}
+	if _, err := p.InvokeAsync(ctx, id, "changeFormat", nil, nil); err == nil {
+		t.Fatal("InvokeAsync after Close succeeded")
 	}
 }

@@ -1,0 +1,289 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/hpcclab/oparaca-go/internal/core"
+	"github.com/hpcclab/oparaca-go/internal/invoker"
+)
+
+// invocationView decodes the GET /api/invocations/{id} body.
+type invocationView struct {
+	ID     string          `json:"id"`
+	Object string          `json:"object"`
+	Member string          `json:"member"`
+	Status string          `json:"status"`
+	Result json.RawMessage `json:"result"`
+	Error  string          `json:"error"`
+}
+
+// getInvocation decodes one record, failing the test on a non-200.
+func getInvocation(t *testing.T, f *fixture, id string) invocationView {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, f.srv.URL+"/api/invocations/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET invocation %s: status %d", id, resp.StatusCode)
+	}
+	var view invocationView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	return view
+}
+
+// pollUntilTerminal polls one invocation until completed/failed.
+func pollUntilTerminal(t *testing.T, f *fixture, id string, deadline time.Time) invocationView {
+	t.Helper()
+	for {
+		view := getInvocation(t, f, id)
+		if view.Status == "completed" || view.Status == "failed" {
+			return view
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("invocation %s still %q at deadline", id, view.Status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestInvokeAsyncOverREST(t *testing.T) {
+	f := newFixture(t)
+	f.deploy()
+	f.createObject("note-a")
+	status, body := f.do(http.MethodPost, "/api/objects/note-a/invoke-async/set", "application/json", []byte(`"queued!"`))
+	if status != http.StatusAccepted {
+		t.Fatalf("invoke-async status = %d body=%v", status, body)
+	}
+	var id, st string
+	json.Unmarshal(body["invocation"], &id)
+	json.Unmarshal(body["status"], &st)
+	if id == "" || st != "pending" {
+		t.Fatalf("accept body = %v", body)
+	}
+	view := pollUntilTerminal(t, f, id, time.Now().Add(5*time.Second))
+	if view.Status != "completed" || string(view.Result) != `"queued!"` {
+		t.Fatalf("record = %+v", view)
+	}
+	if view.Object != "note-a" || view.Member != "set" {
+		t.Fatalf("record target = %+v", view)
+	}
+	// The async write landed in object state.
+	status, body = f.do(http.MethodGet, "/api/objects/note-a/state/text", "", nil)
+	if status != http.StatusOK || string(body["value"]) != `"queued!"` {
+		t.Fatalf("state after async = %d %v", status, body)
+	}
+}
+
+func TestInvokeAsyncFailureSurfacesInRecord(t *testing.T) {
+	p, err := core.New(core.Config{Workers: 1, ColdStart: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	p.Images().Register("img/fail", invoker.HandlerFunc(func(context.Context, invoker.Task) (invoker.Result, error) {
+		return invoker.Result{}, fmt.Errorf("handler exploded")
+	}))
+	pkg := "classes:\n  - name: F\n    functions:\n      - name: f\n        image: img/fail\n"
+	ctx := context.Background()
+	if _, err := p.DeployYAML(ctx, []byte(pkg)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CreateObject(ctx, "F", "f1"); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(p))
+	t.Cleanup(srv.Close)
+	f := &fixture{t: t, srv: srv, client: srv.Client()}
+	status, body := f.do(http.MethodPost, "/api/objects/f1/invoke-async/f", "application/json", nil)
+	if status != http.StatusAccepted {
+		t.Fatalf("status = %d", status)
+	}
+	var id string
+	json.Unmarshal(body["invocation"], &id)
+	view := pollUntilTerminal(t, f, id, time.Now().Add(5*time.Second))
+	if view.Status != "failed" || view.Error == "" {
+		t.Fatalf("record = %+v", view)
+	}
+}
+
+// TestBatchEndToEnd is the subsystem's acceptance test: 100
+// invocations enqueued through one batch request, every record polled
+// to completed, the handler executed exactly once per invocation, and
+// the platform stats matching the queue counters.
+func TestBatchEndToEnd(t *testing.T) {
+	var executions atomic.Int64
+	p, err := core.New(core.Config{
+		Workers:            2,
+		ColdStart:          time.Millisecond,
+		AsyncWorkers:       8,
+		AsyncQueueCapacity: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	p.Images().Register("img/count", invoker.HandlerFunc(func(_ context.Context, task invoker.Task) (invoker.Result, error) {
+		n := executions.Add(1)
+		out, _ := json.Marshal(n)
+		return invoker.Result{Output: out}, nil
+	}))
+	pkg := "classes:\n  - name: Ctr\n    functions:\n      - name: bump\n        image: img/count\n"
+	ctx := context.Background()
+	if _, err := p.DeployYAML(ctx, []byte(pkg)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CreateObject(ctx, "Ctr", "c1"); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(p))
+	t.Cleanup(srv.Close)
+	f := &fixture{t: t, srv: srv, client: srv.Client()}
+
+	const n = 100
+	type entry struct {
+		Object string `json:"object"`
+		Member string `json:"member"`
+	}
+	entries := make([]entry, n)
+	for i := range entries {
+		entries[i] = entry{Object: "c1", Member: "bump"}
+	}
+	reqBody, _ := json.Marshal(map[string]any{"invocations": entries})
+	status, body := f.do(http.MethodPost, "/api/invoke-batch", "application/json", reqBody)
+	if status != http.StatusAccepted {
+		t.Fatalf("batch status = %d body=%v", status, body)
+	}
+	var accepted int
+	json.Unmarshal(body["accepted"], &accepted)
+	if accepted != n {
+		t.Fatalf("accepted = %d, want %d", accepted, n)
+	}
+	var results []struct {
+		Invocation string `json:"invocation"`
+		Error      string `json:"error"`
+	}
+	json.Unmarshal(body["results"], &results)
+	if len(results) != n {
+		t.Fatalf("results = %d", len(results))
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for i, r := range results {
+		if r.Error != "" || r.Invocation == "" {
+			t.Fatalf("entry %d rejected: %+v", i, r)
+		}
+		view := pollUntilTerminal(t, f, r.Invocation, deadline)
+		if view.Status != "completed" {
+			t.Fatalf("entry %d: %+v", i, view)
+		}
+	}
+	if got := executions.Load(); got != n {
+		t.Fatalf("handler executed %d times, want exactly %d", got, n)
+	}
+	// Platform stats mirror the queue counters.
+	status, body = f.do(http.MethodGet, "/api/stats", "", nil)
+	if status != http.StatusOK {
+		t.Fatalf("stats status = %d", status)
+	}
+	var async struct {
+		Depth     int64 `json:"depth"`
+		Enqueued  int64 `json:"enqueued"`
+		Completed int64 `json:"completed"`
+		Failed    int64 `json:"failed"`
+	}
+	if err := json.Unmarshal(body["async"], &async); err != nil {
+		t.Fatal(err)
+	}
+	if async.Enqueued != n || async.Completed != n || async.Failed != 0 || async.Depth != 0 {
+		t.Fatalf("async stats = %+v", async)
+	}
+}
+
+func TestBatchValidationOverREST(t *testing.T) {
+	f := newFixture(t)
+	f.deploy()
+	f.createObject("nb")
+	// Mixed batch: valid, unknown object, unknown member.
+	reqBody := []byte(`{"invocations":[
+		{"object":"nb","member":"set","payload":"\"x\""},
+		{"object":"ghost","member":"set"},
+		{"object":"nb","member":"nope"}
+	]}`)
+	status, body := f.do(http.MethodPost, "/api/invoke-batch", "application/json", reqBody)
+	if status != http.StatusAccepted {
+		t.Fatalf("status = %d body=%v", status, body)
+	}
+	var accepted, rejected int
+	json.Unmarshal(body["accepted"], &accepted)
+	json.Unmarshal(body["rejected"], &rejected)
+	if accepted != 1 || rejected != 2 {
+		t.Fatalf("accepted/rejected = %d/%d", accepted, rejected)
+	}
+	var results []struct {
+		Invocation string `json:"invocation"`
+		Error      string `json:"error"`
+	}
+	json.Unmarshal(body["results"], &results)
+	if results[0].Invocation == "" || results[1].Error == "" || results[2].Error == "" {
+		t.Fatalf("results = %+v", results)
+	}
+}
+
+func TestInvokeAsyncBackpressure429(t *testing.T) {
+	release := make(chan struct{})
+	p, err := core.New(core.Config{
+		Workers:            1,
+		ColdStart:          time.Millisecond,
+		AsyncWorkers:       1,
+		AsyncQueueShards:   1,
+		AsyncQueueCapacity: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	t.Cleanup(func() { close(release) }) // unblock before platform Close drains
+	p.Images().Register("img/block", invoker.HandlerFunc(func(context.Context, invoker.Task) (invoker.Result, error) {
+		<-release
+		return invoker.Result{}, nil
+	}))
+	pkg := "classes:\n  - name: B\n    functions:\n      - name: f\n        image: img/block\n"
+	ctx := context.Background()
+	if _, err := p.DeployYAML(ctx, []byte(pkg)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CreateObject(ctx, "B", "b1"); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(p))
+	t.Cleanup(srv.Close)
+	f := &fixture{t: t, srv: srv, client: srv.Client()}
+	saw429 := false
+	for i := 0; i < 16 && !saw429; i++ {
+		status, _ := f.do(http.MethodPost, "/api/objects/b1/invoke-async/f", "application/json", nil)
+		switch status {
+		case http.StatusAccepted:
+		case http.StatusTooManyRequests:
+			saw429 = true
+		default:
+			t.Fatalf("unexpected status %d", status)
+		}
+	}
+	if !saw429 {
+		t.Fatal("queue never pushed back with 429")
+	}
+}

@@ -1,0 +1,103 @@
+package gateway
+
+import (
+	"net/http"
+	"testing"
+)
+
+// TestMalformedBodies asserts 400s for unparsable or invalid request
+// bodies on every body-accepting route.
+func TestMalformedBodies(t *testing.T) {
+	f := newFixture(t)
+	f.deploy()
+	f.createObject("m1")
+	cases := []struct {
+		name, method, path string
+		body               string
+	}{
+		{"create-object-broken-json", http.MethodPost, "/api/objects", `{broken`},
+		{"invoke-broken-payload", http.MethodPost, "/api/objects/m1/invoke/set", `{broken`},
+		{"invoke-async-broken-payload", http.MethodPost, "/api/objects/m1/invoke-async/set", `{broken`},
+		{"batch-broken-json", http.MethodPost, "/api/invoke-batch", `{broken`},
+		{"batch-wrong-shape", http.MethodPost, "/api/invoke-batch", `{"invocations":"not-a-list"}`},
+		{"batch-empty", http.MethodPost, "/api/invoke-batch", `{}`},
+		{"deploy-broken-yaml", http.MethodPost, "/api/packages", "classes: ["},
+		{"put-state-empty", http.MethodPut, "/api/objects/m1/state/text", ""},
+		{"put-state-broken-json", http.MethodPut, "/api/objects/m1/state/text", `{broken`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, _ := f.do(tc.method, tc.path, "application/json", []byte(tc.body))
+			if status != http.StatusBadRequest {
+				t.Fatalf("%s %s: status = %d, want 400", tc.method, tc.path, status)
+			}
+		})
+	}
+}
+
+// TestUnknownResources asserts 404s for unknown classes, objects,
+// members, and invocation IDs across the API.
+func TestUnknownResources(t *testing.T) {
+	f := newFixture(t)
+	f.deploy()
+	f.createObject("u1")
+	cases := []struct {
+		name, method, path string
+		body               string
+	}{
+		{"unknown-class-view", http.MethodGet, "/api/classes/Ghost", ""},
+		{"unknown-class-create", http.MethodPost, "/api/objects", `{"class":"Ghost"}`},
+		{"unknown-object-get", http.MethodGet, "/api/objects/ghost", ""},
+		{"unknown-object-delete", http.MethodDelete, "/api/objects/ghost", ""},
+		{"unknown-object-invoke", http.MethodPost, "/api/objects/ghost/invoke/set", ""},
+		{"unknown-object-invoke-async", http.MethodPost, "/api/objects/ghost/invoke-async/set", ""},
+		{"unknown-object-state", http.MethodGet, "/api/objects/ghost/state/text", ""},
+		{"unknown-object-presign", http.MethodGet, "/api/objects/ghost/files/attachment/url", ""},
+		{"unknown-member-invoke", http.MethodPost, "/api/objects/u1/invoke/nope", ""},
+		{"unknown-member-invoke-async", http.MethodPost, "/api/objects/u1/invoke-async/nope", ""},
+		{"unknown-invocation", http.MethodGet, "/api/invocations/inv-ghost", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, _ := f.do(tc.method, tc.path, "application/json", []byte(tc.body))
+			if status != http.StatusNotFound {
+				t.Fatalf("%s %s: status = %d, want 404", tc.method, tc.path, status)
+			}
+		})
+	}
+}
+
+// TestMethodNotAllowedOnEveryRoute sends a wrong HTTP verb to each
+// registered route and expects 405 from the method-aware mux.
+func TestMethodNotAllowedOnEveryRoute(t *testing.T) {
+	f := newFixture(t)
+	f.deploy()
+	f.createObject("v1")
+	cases := []struct {
+		name, method, path string
+	}{
+		{"healthz", http.MethodPost, "/healthz"},
+		{"stats", http.MethodPost, "/api/stats"},
+		{"list-classes", http.MethodPost, "/api/classes"},
+		{"get-class", http.MethodDelete, "/api/classes/Note"},
+		{"deploy", http.MethodGet, "/api/packages"},
+		{"objects", http.MethodPut, "/api/objects"},
+		{"object", http.MethodPost, "/api/objects/v1"},
+		{"invoke", http.MethodGet, "/api/objects/v1/invoke/set"},
+		{"invoke-async", http.MethodGet, "/api/objects/v1/invoke-async/set"},
+		{"invoke-batch", http.MethodGet, "/api/invoke-batch"},
+		{"invocation", http.MethodPost, "/api/invocations/inv-x"},
+		{"state", http.MethodPost, "/api/objects/v1/state/text"},
+		{"state-delete", http.MethodDelete, "/api/objects/v1/state/text"},
+		{"presign", http.MethodPost, "/api/objects/v1/files/attachment/url"},
+		{"optimizer-actions", http.MethodPost, "/api/optimizer/actions"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, _ := f.do(tc.method, tc.path, "", nil)
+			if status != http.StatusMethodNotAllowed {
+				t.Fatalf("%s %s: status = %d, want 405", tc.method, tc.path, status)
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@
 package gateway
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 	"net/http"
 	"strings"
 
+	"github.com/hpcclab/oparaca-go/internal/asyncq"
 	"github.com/hpcclab/oparaca-go/internal/core"
 	"github.com/hpcclab/oparaca-go/internal/model"
 )
@@ -46,6 +48,9 @@ func (g *Gateway) routes() {
 	g.mux.HandleFunc("GET /api/objects/{id}", g.handleGetObject)
 	g.mux.HandleFunc("DELETE /api/objects/{id}", g.handleDeleteObject)
 	g.mux.HandleFunc("POST /api/objects/{id}/invoke/{fn}", g.handleInvoke)
+	g.mux.HandleFunc("POST /api/objects/{id}/invoke-async/{fn}", g.handleInvokeAsync)
+	g.mux.HandleFunc("POST /api/invoke-batch", g.handleInvokeBatch)
+	g.mux.HandleFunc("GET /api/invocations/{id}", g.handleGetInvocation)
 	g.mux.HandleFunc("GET /api/objects/{id}/state/{key}", g.handleGetState)
 	g.mux.HandleFunc("PUT /api/objects/{id}/state/{key}", g.handlePutState)
 	g.mux.HandleFunc("GET /api/objects/{id}/files/{key}/url", g.handlePresign)
@@ -70,10 +75,13 @@ func writeError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, core.ErrClassNotFound),
 		errors.Is(err, core.ErrObjectNotFound),
-		errors.Is(err, core.ErrMemberNotFound):
+		errors.Is(err, core.ErrMemberNotFound),
+		errors.Is(err, core.ErrInvocationNotFound):
 		status = http.StatusNotFound
 	case errors.Is(err, core.ErrObjectExists):
 		status = http.StatusConflict
+	case errors.Is(err, core.ErrQueueFull):
+		status = http.StatusTooManyRequests
 	case errors.Is(err, model.ErrValidation),
 		errors.Is(err, model.ErrInheritanceCycle),
 		errors.Is(err, model.ErrClassNotFound):
@@ -202,18 +210,19 @@ func (g *Gateway) handleDeleteObject(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
-	id, fn := r.PathValue("id"), r.PathValue("fn")
+// readInvokeRequest extracts the JSON payload and query-string args
+// shared by the sync and async invoke handlers. It writes the error
+// response itself and reports ok=false on bad input.
+func readInvokeRequest(w http.ResponseWriter, r *http.Request) (payload []byte, args map[string]string, ok bool) {
 	payload, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "unreadable body"})
-		return
+		return nil, nil, false
 	}
 	if len(payload) > 0 && !json.Valid(payload) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "payload must be JSON"})
-		return
+		return nil, nil, false
 	}
-	var args map[string]string
 	for k, vs := range r.URL.Query() {
 		if len(vs) == 0 {
 			continue
@@ -223,6 +232,15 @@ func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		}
 		args[k] = vs[0]
 	}
+	return payload, args, true
+}
+
+func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
+	id, fn := r.PathValue("id"), r.PathValue("fn")
+	payload, args, ok := readInvokeRequest(w, r)
+	if !ok {
+		return
+	}
 	// Clients declare their region via header so cross-datacenter
 	// invocations are charged the configured inter-region latency.
 	out, err := g.platform.InvokeFrom(r.Context(), r.Header.Get("X-Oprc-Region"), id, fn, payload, args)
@@ -231,6 +249,75 @@ func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]json.RawMessage{"output": orNull(out)})
+}
+
+func (g *Gateway) handleInvokeAsync(w http.ResponseWriter, r *http.Request) {
+	id, fn := r.PathValue("id"), r.PathValue("fn")
+	payload, args, ok := readInvokeRequest(w, r)
+	if !ok {
+		return
+	}
+	// The submission context must outlive this request: the handler
+	// runs after the 202 response is written.
+	invID, err := g.platform.InvokeAsync(context.WithoutCancel(r.Context()), id, fn, payload, args)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"invocation": invID, "status": string(asyncq.StatusPending)})
+}
+
+// batchRequest is the POST /api/invoke-batch body.
+type batchRequest struct {
+	Invocations []asyncq.Request `json:"invocations"`
+}
+
+// batchEntry is one per-invocation outcome in the batch response.
+type batchEntry struct {
+	Invocation string `json:"invocation,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+func (g *Gateway) handleInvokeBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "unreadable body"})
+		return
+	}
+	var req batchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	if len(req.Invocations) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "invocations is required"})
+		return
+	}
+	results := g.platform.InvokeAsyncBatch(context.WithoutCancel(r.Context()), req.Invocations)
+	entries := make([]batchEntry, len(results))
+	accepted := 0
+	for i, res := range results {
+		if res.Err != nil {
+			entries[i] = batchEntry{Error: res.Err.Error()}
+			continue
+		}
+		entries[i] = batchEntry{Invocation: res.ID}
+		accepted++
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"accepted": accepted,
+		"rejected": len(results) - accepted,
+		"results":  entries,
+	})
+}
+
+func (g *Gateway) handleGetInvocation(w http.ResponseWriter, r *http.Request) {
+	rec, err := g.platform.Invocation(r.Context(), r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
 }
 
 // orNull substitutes JSON null for empty outputs so the envelope stays

@@ -35,6 +35,24 @@
 //	obj, err := oaas.NewObject(ctx, p, "Greeter", "")
 //	out, err := obj.Invoke(ctx, "greet", nil, nil)
 //
+// Asynchronous invocation decouples submission from execution: the
+// platform queues the task on a bounded, sharded queue, a worker pool
+// drains it through the same invocation path, and a durable record
+// (pending → running → completed/failed, with result, error, and
+// timings) is poll-able by ID:
+//
+//	id, err := obj.InvokeAsync(ctx, "greet", nil, nil)
+//	rec, err := p.WaitInvocation(ctx, id) // or poll p.Invocation(ctx, id)
+//	if rec.Status == oaas.InvocationCompleted {
+//	    fmt.Println(string(rec.Result))
+//	}
+//
+// Submission returns ErrQueueFull once the queue is at capacity
+// (backpressure), and Close drains every accepted invocation before
+// shutting down. The REST gateway exposes the same path via
+// POST .../invoke-async/{fn}, POST /api/invoke-batch, and
+// GET /api/invocations/{id}.
+//
 // The subpackages under internal/ implement the platform and every
 // substrate it depends on (cluster simulator, FaaS engines, document
 // store, distributed memtable, S3-style object store, dataflow engine,
@@ -45,6 +63,7 @@ import (
 	"context"
 	"encoding/json"
 
+	"github.com/hpcclab/oparaca-go/internal/asyncq"
 	"github.com/hpcclab/oparaca-go/internal/cluster"
 	"github.com/hpcclab/oparaca-go/internal/core"
 	"github.com/hpcclab/oparaca-go/internal/faas"
@@ -170,12 +189,35 @@ type Gateway = gateway.Gateway
 // NewGateway builds a REST gateway over a platform.
 func NewGateway(p *Platform) *Gateway { return gateway.New(p) }
 
+// Asynchronous invocation types (see internal/asyncq).
+type (
+	// Invocation is the durable record of one asynchronous invocation:
+	// target, status, result/error, and transition timings.
+	Invocation = asyncq.Record
+	// InvocationStatus is an invocation's lifecycle phase.
+	InvocationStatus = asyncq.Status
+	// AsyncRequest is one entry of a batch submission.
+	AsyncRequest = asyncq.Request
+	// AsyncResult is one ID-or-error outcome of a batch submission.
+	AsyncResult = asyncq.BatchResult
+)
+
+// Invocation statuses.
+const (
+	InvocationPending   = asyncq.StatusPending
+	InvocationRunning   = asyncq.StatusRunning
+	InvocationCompleted = asyncq.StatusCompleted
+	InvocationFailed    = asyncq.StatusFailed
+)
+
 // Re-exported sentinel errors for errors.Is checks.
 var (
-	ErrClassNotFound  = core.ErrClassNotFound
-	ErrObjectNotFound = core.ErrObjectNotFound
-	ErrObjectExists   = core.ErrObjectExists
-	ErrMemberNotFound = core.ErrMemberNotFound
+	ErrClassNotFound      = core.ErrClassNotFound
+	ErrObjectNotFound     = core.ErrObjectNotFound
+	ErrObjectExists       = core.ErrObjectExists
+	ErrMemberNotFound     = core.ErrMemberNotFound
+	ErrQueueFull          = core.ErrQueueFull
+	ErrInvocationNotFound = core.ErrInvocationNotFound
 )
 
 // Object is a convenience handle for one cloud object.
@@ -210,6 +252,12 @@ func BindObject(p *Platform, id string) (Object, error) {
 // Invoke executes a method or dataflow on the object.
 func (o Object) Invoke(ctx context.Context, member string, payload json.RawMessage, args map[string]string) (json.RawMessage, error) {
 	return o.Platform.Invoke(ctx, o.ID, member, payload, args)
+}
+
+// InvokeAsync enqueues a method or dataflow invocation and returns an
+// invocation ID to poll via Platform.Invocation / WaitInvocation.
+func (o Object) InvokeAsync(ctx context.Context, member string, payload json.RawMessage, args map[string]string) (string, error) {
+	return o.Platform.InvokeAsync(ctx, o.ID, member, payload, args)
 }
 
 // State reads one structured state key.

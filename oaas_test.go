@@ -192,3 +192,54 @@ func TestGatewayConstructor(t *testing.T) {
 		t.Fatal("nil gateway")
 	}
 }
+
+// TestAsyncInvocationPublicAPI exercises the fire-and-poll flow from
+// the package-doc quickstart: InvokeAsync, WaitInvocation, Invocation.
+func TestAsyncInvocationPublicAPI(t *testing.T) {
+	p := newTestPlatform(t)
+	ctx := context.Background()
+	if _, err := p.DeployYAML(ctx, []byte(greeterYAML)); err != nil {
+		t.Fatal(err)
+	}
+	obj, err := NewObject(ctx, p, "Greeter", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := obj.InvokeAsync(ctx, "greet", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := p.WaitInvocation(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Status != InvocationCompleted {
+		t.Fatalf("status = %s (error %q)", rec.Status, rec.Error)
+	}
+	if string(rec.Result) != `"hello world"` {
+		t.Fatalf("result = %s", rec.Result)
+	}
+	if rec.Status.Terminal() != true {
+		t.Fatal("completed status not terminal")
+	}
+	// Unknown invocation IDs map to the re-exported sentinel.
+	if _, err := p.Invocation(ctx, "inv-missing"); !errors.Is(err, ErrInvocationNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	// Batch submission via the re-exported request type.
+	results := p.InvokeAsyncBatch(ctx, []AsyncRequest{
+		{Object: obj.ID, Member: "greet"},
+		{Object: obj.ID, Member: "rename", Payload: json.RawMessage(`"oparaca"`)},
+	})
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("batch entry %d: %v", i, res.Err)
+		}
+		if rec, err := p.WaitInvocation(ctx, res.ID); err != nil || rec.Status != InvocationCompleted {
+			t.Fatalf("batch entry %d: %+v, %v", i, rec, err)
+		}
+	}
+	if s := p.Stats(); s.Async.Completed != 3 {
+		t.Fatalf("async stats = %+v", s.Async)
+	}
+}
