@@ -26,6 +26,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"os"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -348,6 +349,192 @@ func BenchmarkAsyncInvokeThroughput(b *testing.B) {
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "ops/s")
 		})
 	}
+}
+
+// --- Invocation hot-path benchmarks ----------------------------------
+
+// invokeBench collects hot-path benchmark results and persists them to
+// BENCH_invoke.json after every sub-benchmark, so the perf trajectory
+// of the synchronous invocation path is tracked across PRs. The write
+// is opt-in (BENCH_SNAPSHOT=1) so smoke runs — CI's -benchtime=1x pass
+// in particular, whose single-iteration ops/s includes cold starts and
+// means nothing — cannot clobber the committed snapshot with noise.
+// Refresh it with:
+//
+//	BENCH_SNAPSHOT=1 go test -bench=InvokeHotPath -benchtime=2s -run='^$' .
+var invokeBench = struct {
+	mu      sync.Mutex
+	metrics map[string]float64
+}{metrics: make(map[string]float64)}
+
+func recordInvokeBench(name string, opsPerSec float64) {
+	if os.Getenv("BENCH_SNAPSHOT") == "" {
+		return
+	}
+	invokeBench.mu.Lock()
+	defer invokeBench.mu.Unlock()
+	invokeBench.metrics[name] = opsPerSec
+	raw, err := json.MarshalIndent(invokeBench.metrics, "", "  ")
+	if err != nil {
+		return
+	}
+	_ = os.WriteFile("BENCH_invoke.json", append(raw, '\n'), 0o644)
+}
+
+// hotPathKeys is the structured-state width of the spread-object
+// workload: every invocation bundles this many keys into the task.
+const hotPathKeys = 8
+
+// setupHotPathPlatform deploys a Spread class (hotPathKeys keys without
+// defaults, so cold reads must go to the backing store) and a
+// HotCounter class (one numeric key bumped per call).
+func setupHotPathPlatform(b *testing.B, readLatency time.Duration) *Platform {
+	b.Helper()
+	noServe := false
+	tmpl := Template{
+		Name:       "hotpath",
+		EngineMode: EngineDeployment, TableMode: TableWriteBehind,
+		FlushInterval: 20 * time.Millisecond, FlushBatchSize: 512,
+		DefaultConcurrency: 64, InitialScale: 4, MaxScale: 64,
+	}
+	plat, err := New(Config{
+		Workers: 4, OpsPerMilliCPU: 1000,
+		DBReadLatency:    readLatency,
+		Templates:        []Template{tmpl},
+		ServeObjectStore: &noServe,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	plat.Images().Register("img/touch", HandlerFunc(func(_ context.Context, task Task) (Result, error) {
+		return Result{Output: json.RawMessage(`"ok"`)}, nil
+	}))
+	plat.Images().Register("img/bump", HandlerFunc(func(_ context.Context, task Task) (Result, error) {
+		var n float64
+		if raw, ok := task.State["n"]; ok {
+			_ = json.Unmarshal(raw, &n)
+		}
+		out, _ := json.Marshal(n + 1)
+		return Result{Output: out, State: map[string]json.RawMessage{"n": out}}, nil
+	}))
+	pkg := "classes:\n  - name: Spread\n    keySpecs:\n"
+	for k := 0; k < hotPathKeys; k++ {
+		pkg += fmt.Sprintf("      - name: k%d\n", k)
+	}
+	pkg += "    functions:\n      - name: touch\n        image: img/touch\n"
+	pkg += "  - name: HotCounter\n    keySpecs:\n      - name: n\n        kind: number\n        default: 0\n"
+	pkg += "    functions:\n      - name: bump\n        image: img/bump\n"
+	if _, err := plat.DeployYAML(context.Background(), []byte(pkg)); err != nil {
+		plat.Close()
+		b.Fatal(err)
+	}
+	return plat
+}
+
+// BenchmarkInvokeHotPath measures the synchronous invocation data path
+// in the three regimes the hot-path overhaul targets:
+//
+//   - spread-cold-reads: every invocation targets a fresh object whose
+//     state lives only in the backing store, so the state load pays
+//     simulated DB read latency (batched GetMany vs per-key Get is the
+//     difference under measurement).
+//   - spread-warm: invocations round-robin over a warm working set;
+//     state loads are memory hits (shard-lock amortization).
+//   - hot-object: concurrent clients bump one counter object
+//     (per-object serialization cost; correctness-bounded).
+func BenchmarkInvokeHotPath(b *testing.B) {
+	ctx := context.Background()
+	b.Run("spread-cold-reads", func(b *testing.B) {
+		plat := setupHotPathPlatform(b, 250*time.Microsecond)
+		defer plat.Close()
+		ids := make([]string, b.N)
+		seed := make(map[string]json.RawMessage, hotPathKeys*b.N)
+		for i := range ids {
+			id, err := plat.CreateObject(ctx, "Spread", fmt.Sprintf("sp-%06d", i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids[i] = id
+			for k := 0; k < hotPathKeys; k++ {
+				seed[fmt.Sprintf("state/Spread/%s/k%d", id, k)] = json.RawMessage(`{"v":1}`)
+			}
+		}
+		// Seed state straight into the backing store so the first (and
+		// only) invocation of each object read-misses every key.
+		if err := plat.Backing().BatchPut(ctx, seed); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := plat.Invoke(ctx, ids[i], "touch", nil, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		ops := float64(b.N) / b.Elapsed().Seconds()
+		b.ReportMetric(ops, "ops/s")
+		recordInvokeBench("invoke/spread-cold-reads", ops)
+	})
+	b.Run("spread-warm", func(b *testing.B) {
+		plat := setupHotPathPlatform(b, 250*time.Microsecond)
+		defer plat.Close()
+		const working = 512
+		ids := make([]string, working)
+		for i := range ids {
+			id, err := plat.CreateObject(ctx, "Spread", fmt.Sprintf("spw-%04d", i))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids[i] = id
+			// Warm every key so the measured loop is all memory hits.
+			for k := 0; k < hotPathKeys; k++ {
+				if err := plat.PutState(ctx, id, fmt.Sprintf("k%d", k), json.RawMessage(`{"v":1}`)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportAllocs()
+		b.SetParallelism(4)
+		b.ResetTimer()
+		var next atomic.Int64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := int(next.Add(1))
+				if _, err := plat.Invoke(ctx, ids[i%working], "touch", nil, nil); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		ops := float64(b.N) / b.Elapsed().Seconds()
+		b.ReportMetric(ops, "ops/s")
+		recordInvokeBench("invoke/spread-warm", ops)
+	})
+	b.Run("hot-object", func(b *testing.B) {
+		plat := setupHotPathPlatform(b, 0)
+		defer plat.Close()
+		id, err := plat.CreateObject(ctx, "HotCounter", "hot-0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.SetParallelism(4)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := plat.Invoke(ctx, id, "bump", nil, nil); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		ops := float64(b.N) / b.Elapsed().Seconds()
+		b.ReportMetric(ops, "ops/s")
+		recordInvokeBench("invoke/hot-object", ops)
+	})
 }
 
 // --- Substrate micro-benchmarks --------------------------------------

@@ -36,11 +36,13 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8020", "gateway listen address")
-		workers  = flag.Int("workers", 3, "simulated worker VM count")
-		dbCap    = flag.Float64("db-write-cap", 0, "document store write ops/sec ceiling (0 = unlimited)")
-		optimize = flag.Bool("optimize", true, "enable the QoS optimizer control loop")
-		apply    = flag.String("apply", "", "optional package YAML to deploy at startup")
+		addr      = flag.String("addr", ":8020", "gateway listen address")
+		workers   = flag.Int("workers", 3, "simulated worker VM count")
+		dbCap     = flag.Float64("db-write-cap", 0, "document store write ops/sec ceiling (0 = unlimited)")
+		optimize  = flag.Bool("optimize", true, "enable the QoS optimizer control loop")
+		apply     = flag.String("apply", "", "optional package YAML to deploy at startup")
+		recordTTL = flag.Duration("async-record-ttl", 0,
+			"evict completed/failed async invocation records this long after they finish (0 = keep forever)")
 	)
 	flag.Parse()
 
@@ -48,6 +50,7 @@ func main() {
 		Workers:          *workers,
 		DBWriteOpsPerSec: *dbCap,
 		EnableOptimizer:  *optimize,
+		AsyncRecordTTL:   *recordTTL,
 	})
 	if err != nil {
 		log.Fatalf("oparaca: %v", err)

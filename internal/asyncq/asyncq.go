@@ -21,6 +21,11 @@
 // target shard is at capacity. A panicking handler marks its record
 // failed without killing the worker. Close stops intake, drains every
 // accepted task, then flushes the record table.
+//
+// Terminal records do not accumulate forever: when Config.RecordTTL is
+// set, a background sweeper evicts completed/failed records once they
+// have been terminal for the TTL, so long-running platforms keep a
+// bounded record table. Evictions are counted in Stats().Evicted.
 package asyncq
 
 import (
@@ -117,6 +122,13 @@ type Config struct {
 	Backing *kvstore.Store
 	// FlushInterval overrides the record table's flush period.
 	FlushInterval time.Duration
+	// RecordTTL evicts completed/failed records this long after they
+	// reach their terminal status. Zero keeps records forever (the
+	// pre-GC behaviour).
+	RecordTTL time.Duration
+	// GCInterval is the eviction sweep period. Defaults to RecordTTL/4
+	// (clamped to at least 1ms) and is ignored when RecordTTL is zero.
+	GCInterval time.Duration
 	// Metrics receives queue gauges/counters/histograms. A private
 	// registry is created when nil.
 	Metrics *metrics.Registry
@@ -139,6 +151,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Metrics == nil {
 		c.Metrics = metrics.NewRegistry()
+	}
+	if c.RecordTTL > 0 && c.GCInterval <= 0 {
+		c.GCInterval = c.RecordTTL / 4
+		if c.GCInterval < time.Millisecond {
+			c.GCInterval = time.Millisecond
+		}
 	}
 	if c.Clock == nil {
 		c.Clock = vclock.NewReal()
@@ -168,8 +186,23 @@ type Queue struct {
 	waiters map[string]chan struct{}
 	closed  bool
 
+	// terminal is the GC's eviction index: records that reached a
+	// terminal status, in roughly finish order, with the instant each
+	// becomes evictable. Only populated when RecordTTL > 0.
+	terminalMu sync.Mutex
+	terminal   []expiringRecord
+
+	gcStop chan struct{}
+	gcDone chan struct{}
+
 	wg        sync.WaitGroup
 	closeOnce sync.Once
+}
+
+// expiringRecord is one entry of the GC's eviction index.
+type expiringRecord struct {
+	id      string
+	expires time.Time
 }
 
 // recordKey is the memtable key for one invocation ID.
@@ -207,6 +240,11 @@ func New(cfg Config) (*Queue, error) {
 	for i := 0; i < cfg.Workers; i++ {
 		q.wg.Add(1)
 		go q.worker(q.shards[i%cfg.Shards])
+	}
+	if cfg.RecordTTL > 0 {
+		q.gcStop = make(chan struct{})
+		q.gcDone = make(chan struct{})
+		go q.gcLoop()
 	}
 	return q, nil
 }
@@ -312,6 +350,59 @@ func (q *Queue) putRecord(rec Record) {
 			delete(q.waiters, rec.ID)
 		}
 		q.mu.Unlock()
+		if q.cfg.RecordTTL > 0 {
+			q.terminalMu.Lock()
+			q.terminal = append(q.terminal, expiringRecord{
+				id:      rec.ID,
+				expires: q.cfg.Clock.Now().Add(q.cfg.RecordTTL),
+			})
+			q.terminalMu.Unlock()
+		}
+	}
+}
+
+// gcLoop periodically evicts records whose TTL has elapsed.
+func (q *Queue) gcLoop() {
+	defer close(q.gcDone)
+	for {
+		select {
+		case <-q.gcStop:
+			return
+		case <-q.cfg.Clock.After(q.cfg.GCInterval):
+		}
+		q.evictExpired()
+	}
+}
+
+// evictExpired removes every terminal record past its TTL from the
+// record table and counts it in the queue.evicted metric.
+func (q *Queue) evictExpired() {
+	now := q.cfg.Clock.Now()
+	q.terminalMu.Lock()
+	// Workers append in near-finish order, so scan the whole slice and
+	// keep survivors: cheap, and robust to slight reordering.
+	var expired []string
+	kept := q.terminal[:0]
+	for _, e := range q.terminal {
+		if e.expires.After(now) {
+			kept = append(kept, e)
+			continue
+		}
+		expired = append(expired, e.id)
+	}
+	q.terminal = kept
+	q.terminalMu.Unlock()
+	for _, id := range expired {
+		if err := q.records.Delete(context.Background(), recordKey(id)); err != nil {
+			// Backing-store hiccup: the durable copy may survive (and
+			// the record table would read it back through), so requeue
+			// the eviction for the next sweep instead of leaking it.
+			q.terminalMu.Lock()
+			q.terminal = append(q.terminal, expiringRecord{id: id, expires: now})
+			q.terminalMu.Unlock()
+			continue
+		}
+		q.cfg.Metrics.Counter("queue.evicted").Inc()
 	}
 }
 
@@ -437,6 +528,9 @@ type Stats struct {
 	Rejected  int64 `json:"rejected"`
 	Completed int64 `json:"completed"`
 	Failed    int64 `json:"failed"`
+	// Evicted counts terminal records garbage-collected after
+	// Config.RecordTTL elapsed.
+	Evicted int64 `json:"evicted"`
 	// DequeueP50 is the median enqueue-to-dequeue latency.
 	DequeueP50 time.Duration `json:"dequeue_p50_ns"`
 }
@@ -454,6 +548,7 @@ func (q *Queue) Stats() Stats {
 		Rejected:   m.Counter("queue.rejected").Value(),
 		Completed:  m.Counter("queue.completed").Value(),
 		Failed:     m.Counter("queue.failed").Value(),
+		Evicted:    m.Counter("queue.evicted").Value(),
 		DequeueP50: m.Histogram("queue.wait").Quantile(0.5),
 	}
 }
@@ -472,6 +567,12 @@ func (q *Queue) Close() {
 			close(sh)
 		}
 		q.wg.Wait()
+		// Stop the GC before closing the record table so the sweeper
+		// never deletes against a closed table.
+		if q.gcStop != nil {
+			close(q.gcStop)
+			<-q.gcDone
+		}
 		q.records.Close()
 	})
 }

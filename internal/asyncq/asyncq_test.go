@@ -274,3 +274,156 @@ func TestStatusTerminal(t *testing.T) {
 		}
 	}
 }
+
+// TestRecordGCEvictsTerminalRecords verifies completed records are
+// evicted once RecordTTL elapses and that the eviction is counted.
+func TestRecordGCEvictsTerminalRecords(t *testing.T) {
+	inv := &echoInvoker{}
+	q := newQueue(t, Config{
+		Invoke:     inv.invoke,
+		Workers:    2,
+		RecordTTL:  30 * time.Millisecond,
+		GCInterval: 5 * time.Millisecond,
+	})
+	ctx := context.Background()
+	ids := make([]string, 5)
+	for i := range ids {
+		id, err := q.Submit(ctx, fmt.Sprintf("obj-%d", i), "m", nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	for _, id := range ids {
+		if _, err := q.Wait(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		evicted := 0
+		for _, id := range ids {
+			if _, err := q.Get(ctx, id); errors.Is(err, ErrNotFound) {
+				evicted++
+			}
+		}
+		if evicted == len(ids) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("records not evicted after TTL: %d/%d gone", evicted, len(ids))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := q.Stats().Evicted; got != int64(len(ids)) {
+		t.Fatalf("Stats().Evicted = %d, want %d", got, len(ids))
+	}
+}
+
+// TestRecordGCSparesNonTerminalRecords verifies in-flight records
+// survive sweeps even when older than the TTL.
+func TestRecordGCSparesNonTerminalRecords(t *testing.T) {
+	release := make(chan struct{})
+	q := newQueue(t, Config{
+		Invoke: func(ctx context.Context, _, _ string, _ json.RawMessage, _ map[string]string) (json.RawMessage, error) {
+			select {
+			case <-release:
+				return json.RawMessage(`"done"`), nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		},
+		Workers:    1,
+		RecordTTL:  10 * time.Millisecond,
+		GCInterval: 5 * time.Millisecond,
+	})
+	ctx := context.Background()
+	id, err := q.Submit(ctx, "obj", "slow", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let several TTLs and sweeps pass while the handler is running.
+	time.Sleep(50 * time.Millisecond)
+	rec, err := q.Get(ctx, id)
+	if err != nil {
+		t.Fatalf("running record evicted: %v", err)
+	}
+	if rec.Status.Terminal() {
+		t.Fatalf("status = %s, want non-terminal", rec.Status)
+	}
+	close(release)
+	if _, err := q.Wait(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	// Now it is terminal and must eventually be evicted.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := q.Get(ctx, id); errors.Is(err, ErrNotFound) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("terminal record never evicted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRecordGCEvictsFromBackingStore verifies eviction removes durable
+// records from the backing document store, not just from memory.
+func TestRecordGCEvictsFromBackingStore(t *testing.T) {
+	db := kvstore.Open(kvstore.Config{})
+	defer db.Close()
+	inv := &echoInvoker{}
+	q := newQueue(t, Config{
+		Invoke:        inv.invoke,
+		Workers:       1,
+		Backing:       db,
+		FlushInterval: 2 * time.Millisecond,
+		RecordTTL:     20 * time.Millisecond,
+		GCInterval:    5 * time.Millisecond,
+	})
+	ctx := context.Background()
+	id, err := q.Submit(ctx, "obj", "m", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Wait(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		keys, err := db.List(ctx, recordKey(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(keys) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("backing store still holds %v after TTL", keys)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestNoGCWithoutTTL verifies the zero-value config keeps records
+// forever (the pre-GC behaviour).
+func TestNoGCWithoutTTL(t *testing.T) {
+	inv := &echoInvoker{}
+	q := newQueue(t, Config{Invoke: inv.invoke, Workers: 1})
+	ctx := context.Background()
+	id, err := q.Submit(ctx, "obj", "m", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Wait(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if _, err := q.Get(ctx, id); err != nil {
+		t.Fatalf("record evicted without a TTL: %v", err)
+	}
+	if q.Stats().Evicted != 0 {
+		t.Fatalf("Evicted = %d, want 0", q.Stats().Evicted)
+	}
+}

@@ -109,6 +109,13 @@ type Config struct {
 	// one hot object use the whole capacity. Defaults to
 	// min(AsyncWorkers, 4).
 	AsyncQueueShards int
+	// AsyncRecordTTL evicts completed/failed invocation records this
+	// long after they finish, keeping the record table bounded on
+	// long-running platforms. Zero keeps records forever.
+	AsyncRecordTTL time.Duration
+	// AsyncGCInterval overrides the record-eviction sweep period
+	// (defaults to AsyncRecordTTL/4).
+	AsyncGCInterval time.Duration
 	// ServeObjectStore starts a loopback HTTP server for the object
 	// store so presigned URLs are fetchable. Defaults to true; benches
 	// that never touch file keys can disable it.
@@ -235,12 +242,14 @@ func New(cfg Config) (*Platform, error) {
 	// The async queue drains through the synchronous Invoke path and
 	// persists its invocation records in the shared document store.
 	p.queue, err = asyncq.New(asyncq.Config{
-		Invoke:   p.Invoke,
-		Workers:  cfg.AsyncWorkers,
-		Capacity: cfg.AsyncQueueCapacity,
-		Shards:   cfg.AsyncQueueShards,
-		Backing:  p.backing,
-		Clock:    cfg.Clock,
+		Invoke:     p.Invoke,
+		Workers:    cfg.AsyncWorkers,
+		Capacity:   cfg.AsyncQueueCapacity,
+		Shards:     cfg.AsyncQueueShards,
+		RecordTTL:  cfg.AsyncRecordTTL,
+		GCInterval: cfg.AsyncGCInterval,
+		Backing:    p.backing,
+		Clock:      cfg.Clock,
 	})
 	if err != nil {
 		p.backing.Close()

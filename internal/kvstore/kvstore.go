@@ -12,6 +12,12 @@
 //
 // Documents are versioned; Put returns the new version and
 // CompareAndPut implements optimistic concurrency.
+//
+// Reads have a batched counterpart too: BatchGet serves any number of
+// keys in one round trip, charging the per-operation read latency once
+// per batch instead of once per key. The memtable's GetMany uses it to
+// consolidate read-through misses the same way the write-behind
+// flusher consolidates writes through BatchPut.
 package kvstore
 
 import (
@@ -98,7 +104,8 @@ type Store struct {
 	statsMu     sync.Mutex
 	writeOps    int64 // admitted write operations (batches count once)
 	docsWritten int64 // total documents written
-	readOps     int64
+	readOps     int64 // read operations (batches count once)
+	docsRead    int64 // total documents returned by reads
 	deleteOps   int64
 
 	faultMu      sync.Mutex
@@ -197,8 +204,41 @@ func (s *Store) Get(ctx context.Context, key string) (Document, error) {
 	}
 	s.statsMu.Lock()
 	s.readOps++
+	s.docsRead++
 	s.statsMu.Unlock()
 	return doc, nil
+}
+
+// BatchGet returns the documents stored at keys as one consolidated
+// read operation: the per-operation read latency is charged once for
+// the whole batch rather than once per key. Keys without a document
+// are simply absent from the result map; a batch that finds nothing is
+// not an error.
+func (s *Store) BatchGet(ctx context.Context, keys []string) (map[string]Document, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	if s.cfg.ReadLatency > 0 {
+		if err := s.cfg.Clock.Sleep(ctx, s.cfg.ReadLatency); err != nil {
+			return nil, err
+		}
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	out := make(map[string]Document, len(keys))
+	for _, k := range keys {
+		if doc, ok := s.docs[k]; ok {
+			out[k] = doc
+		}
+	}
+	s.statsMu.Lock()
+	s.readOps++
+	s.docsRead += int64(len(out))
+	s.statsMu.Unlock()
+	return out, nil
 }
 
 // Put stores value at key unconditionally and returns the stored
@@ -334,6 +374,7 @@ type Stats struct {
 	WriteOps    int64 `json:"write_ops"`
 	DocsWritten int64 `json:"docs_written"`
 	ReadOps     int64 `json:"read_ops"`
+	DocsRead    int64 `json:"docs_read"`
 	DeleteOps   int64 `json:"delete_ops"`
 }
 
@@ -345,6 +386,7 @@ func (s *Store) Stats() Stats {
 		WriteOps:    s.writeOps,
 		DocsWritten: s.docsWritten,
 		ReadOps:     s.readOps,
+		DocsRead:    s.docsRead,
 		DeleteOps:   s.deleteOps,
 	}
 }

@@ -213,6 +213,102 @@ func TestBatchPutEmptyIsNoop(t *testing.T) {
 	}
 }
 
+func TestBatchGet(t *testing.T) {
+	s := openFast()
+	defer s.Close()
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if _, err := s.Put(ctx, fmt.Sprintf("k%d", i), json.RawMessage(fmt.Sprintf("%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.Stats()
+	got, err := s.BatchGet(ctx, []string{"k0", "k2", "missing", "k3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("BatchGet returned %d docs, want 3: %v", len(got), got)
+	}
+	if _, ok := got["missing"]; ok {
+		t.Fatal("absent key present in batch result")
+	}
+	if string(got["k2"].Value) != "2" {
+		t.Fatalf("k2 = %s", got["k2"].Value)
+	}
+	st := s.Stats()
+	if st.ReadOps != before.ReadOps+1 {
+		t.Fatalf("batch counted as %d read ops, want 1", st.ReadOps-before.ReadOps)
+	}
+	if st.DocsRead != before.DocsRead+3 {
+		t.Fatalf("docs read delta = %d, want 3", st.DocsRead-before.DocsRead)
+	}
+}
+
+func TestBatchGetEmptyIsNoop(t *testing.T) {
+	s := openFast()
+	defer s.Close()
+	got, err := s.BatchGet(context.Background(), nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("BatchGet(nil) = %v, %v", got, err)
+	}
+	if s.Stats().ReadOps != 0 {
+		t.Fatal("empty batch consumed a read op")
+	}
+}
+
+func TestBatchGetChargesLatencyOncePerBatch(t *testing.T) {
+	clock := vclock.NewManual(time.Unix(0, 0))
+	s := Open(Config{ReadLatency: 10 * time.Millisecond, Clock: clock})
+	defer s.Close()
+	ctx := context.Background()
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.BatchGet(ctx, []string{"a", "b", "c", "d"})
+		done <- err
+	}()
+	// Exactly one sleep is charged regardless of batch width.
+	for clock.Pending() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	clock.Advance(10 * time.Millisecond)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("batch read still blocked after one latency charge")
+	}
+}
+
+func TestBatchGetContextCancelledMidBatch(t *testing.T) {
+	clock := vclock.NewManual(time.Unix(0, 0))
+	s := Open(Config{ReadLatency: time.Hour, Clock: clock})
+	defer s.Close()
+	cctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.BatchGet(cctx, []string{"a", "b"})
+		done <- err
+	}()
+	for clock.Pending() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestBatchGetClosed(t *testing.T) {
+	s := openFast()
+	s.Close()
+	if _, err := s.BatchGet(context.Background(), []string{"k"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("BatchGet after close = %v", err)
+	}
+}
+
 func TestWriteCapacityThrottles(t *testing.T) {
 	clock := vclock.NewManual(time.Unix(0, 0))
 	s := Open(Config{WriteOpsPerSec: 10, WriteBurst: 2, Clock: clock})

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/hpcclab/oparaca-go/internal/kvstore"
+	"github.com/hpcclab/oparaca-go/internal/vclock"
 )
 
 // TestFlusherRecoversFromTransientBackingFailures injects a burst of
@@ -104,5 +105,186 @@ func TestWriteThroughSurfacesBackingErrors(t *testing.T) {
 	db.InjectWriteFailures(1, sentinel)
 	if err := tbl.Put(ctx, "k", json.RawMessage(`1`)); !errors.Is(err, sentinel) {
 		t.Fatalf("write-through err = %v, want sentinel", err)
+	}
+}
+
+// TestPutManyWriteThroughSurfacesBackingErrors verifies the batched
+// write-through path propagates injected store failures and leaves the
+// in-memory view untouched (the backing write is first).
+func TestPutManyWriteThroughSurfacesBackingErrors(t *testing.T) {
+	db := kvstore.Open(kvstore.Config{})
+	defer db.Close()
+	tbl, err := New(Config{Mode: ModeWriteThrough, Backing: db})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+	ctx := context.Background()
+	sentinel := errors.New("db down")
+	db.InjectWriteFailures(1, sentinel)
+	entries := map[string]json.RawMessage{
+		"a": json.RawMessage(`1`),
+		"b": json.RawMessage(`2`),
+	}
+	if err := tbl.PutMany(ctx, entries); !errors.Is(err, sentinel) {
+		t.Fatalf("PutMany err = %v, want sentinel", err)
+	}
+	// The failed batch must not be visible in memory: the write-through
+	// contract is durable-then-cached.
+	if _, err := tbl.Get(ctx, "a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("failed batch leaked into memory: %v", err)
+	}
+	if db.FaultsServed() != 1 {
+		t.Fatalf("faults served = %d", db.FaultsServed())
+	}
+}
+
+// TestPutManyWriteBehindSurvivesOutage verifies batched write-behind
+// entries stay dirty through an outage and flush once it clears.
+func TestPutManyWriteBehindSurvivesOutage(t *testing.T) {
+	db := kvstore.Open(kvstore.Config{})
+	defer db.Close()
+	tbl, err := New(Config{Mode: ModeWriteBehind, Backing: db, FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+	ctx := context.Background()
+	db.InjectWriteFailures(1, errors.New("outage"))
+	entries := map[string]json.RawMessage{
+		"x": json.RawMessage(`1`),
+		"y": json.RawMessage(`2`),
+	}
+	if err := tbl.PutMany(ctx, entries); err != nil {
+		t.Fatal(err)
+	}
+	tbl.Flush(ctx) // hits the injected failure; keys stay dirty
+	if n := tbl.DirtyCount(); n != 2 {
+		t.Fatalf("dirty after failed flush = %d, want 2", n)
+	}
+	tbl.Flush(ctx) // outage over
+	for k := range entries {
+		if _, err := db.Get(ctx, k); err != nil {
+			t.Fatalf("key %s not durable after recovery: %v", k, err)
+		}
+	}
+}
+
+// TestDeleteDuringInFlightFlushDoesNotResurrect pins down the
+// delete/flush race: a key snapshotted into an in-flight flush batch
+// is deleted (and the direct backing delete is lost to an outage)
+// before the batch lands. The batch write would resurrect the key in
+// the backing store; the flusher must re-delete it.
+func TestDeleteDuringInFlightFlushDoesNotResurrect(t *testing.T) {
+	clock := vclock.NewManual(time.Unix(0, 0))
+	db := kvstore.Open(kvstore.Config{WriteLatency: 50 * time.Millisecond, Clock: clock})
+	defer db.Close()
+	tbl, err := New(Config{Mode: ModeWriteBehind, Backing: db, FlushInterval: time.Hour, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+	ctx := context.Background()
+	if err := tbl.Put(ctx, "k", json.RawMessage(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	flushDone := make(chan struct{})
+	go func() {
+		tbl.Flush(ctx)
+		close(flushDone)
+	}()
+	// Wait until the flush's BatchPut is mid-latency (pending sleeps:
+	// the flusher's interval timer plus the batch write).
+	for clock.Pending() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+	// Delete while the batch is in flight; the direct backing delete
+	// is dropped by an injected outage, so only the flusher's
+	// post-batch re-delete can keep the store consistent.
+	sentinel := errors.New("delete dropped")
+	db.InjectWriteFailures(1, sentinel)
+	if err := tbl.Delete(ctx, "k"); !errors.Is(err, sentinel) {
+		t.Fatalf("Delete err = %v, want injected sentinel", err)
+	}
+	clock.Advance(50 * time.Millisecond) // batch write lands
+	// The flusher's re-delete now pays its own write latency. Bound the
+	// wait: if the re-delete never happens (the regression this test
+	// pins), the flush completes without registering another sleep and
+	// the assertions below catch the resurrected key.
+	deadline := time.Now().Add(2 * time.Second)
+	for clock.Pending() < 2 && time.Now().Before(deadline) {
+		select {
+		case <-flushDone:
+			deadline = time.Now()
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	clock.Advance(50 * time.Millisecond)
+	<-flushDone
+	if _, err := tbl.Get(ctx, "k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("table resurrected deleted key: %v", err)
+	}
+	if _, err := db.Get(ctx, "k"); !errors.Is(err, kvstore.ErrNotFound) {
+		t.Fatalf("backing store resurrected deleted key: %v", err)
+	}
+}
+
+// TestOverlappingFlushesDoNotLoseDeleteTombstone pins the refcount
+// semantics of shard.flushing: batch A lands and must not clear the
+// in-flight marker still owned by overlapping batch B, so a delete
+// arriving between the two completions is re-applied after B lands.
+func TestOverlappingFlushesDoNotLoseDeleteTombstone(t *testing.T) {
+	clock := vclock.NewManual(time.Unix(0, 0))
+	db := kvstore.Open(kvstore.Config{WriteLatency: 50 * time.Millisecond, Clock: clock})
+	defer db.Close()
+	tbl, err := New(Config{Mode: ModeWriteBehind, Backing: db, FlushInterval: time.Hour, Clock: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+	ctx := context.Background()
+	if err := tbl.Put(ctx, "k", json.RawMessage(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	aDone := make(chan struct{})
+	go func() { tbl.Flush(ctx); close(aDone) }()
+	for clock.Pending() < 2 { // flusher timer + batch A's write latency
+		time.Sleep(time.Millisecond)
+	}
+	clock.Advance(10 * time.Millisecond) // A still in flight (lands at t=50ms)
+	if err := tbl.Put(ctx, "k", json.RawMessage(`2`)); err != nil {
+		t.Fatal(err)
+	}
+	bDone := make(chan struct{})
+	go func() { tbl.Flush(ctx); close(bDone) }()
+	for clock.Pending() < 3 { // + batch B's write latency (lands at t=60ms)
+		time.Sleep(time.Millisecond)
+	}
+	clock.Advance(40 * time.Millisecond) // t=50ms: A lands, B still in flight
+	<-aDone
+	// Delete between the two completions; the direct backing delete is
+	// dropped by an outage, so only B's post-batch re-delete remains.
+	sentinel := errors.New("delete dropped")
+	db.InjectWriteFailures(1, sentinel)
+	if err := tbl.Delete(ctx, "k"); !errors.Is(err, sentinel) {
+		t.Fatalf("Delete err = %v, want injected sentinel", err)
+	}
+	clock.Advance(10 * time.Millisecond) // t=60ms: B lands, resurrecting k
+	for clock.Pending() < 2 {            // flusher timer + B's re-delete latency
+		select {
+		case <-bDone:
+			t.Fatal("flush B finished without issuing the re-delete")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	clock.Advance(50 * time.Millisecond)
+	<-bDone
+	if _, err := tbl.Get(ctx, "k"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("table resurrected deleted key: %v", err)
+	}
+	if _, err := db.Get(ctx, "k"); !errors.Is(err, kvstore.ErrNotFound) {
+		t.Fatalf("backing store resurrected deleted key: %v", err)
 	}
 }

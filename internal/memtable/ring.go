@@ -7,6 +7,14 @@
 // the backing document store, and persists dirty entries with a
 // write-behind flusher that consolidates them into batch writes —
 // amortizing the database's write-capacity ceiling.
+//
+// Batch access is first-class: GetMany and PutMany group their keys by
+// owning shard, take each shard lock exactly once, and consolidate the
+// backing-store traffic — read-through misses into one
+// kvstore.BatchGet, write-through updates into one kvstore.BatchPut.
+// The invocation hot path loads and merges whole per-object state
+// bundles through these, so an invocation costs one simulated DB round
+// trip instead of one per state key.
 package memtable
 
 import (

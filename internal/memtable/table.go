@@ -94,6 +94,16 @@ type shard struct {
 	mu    sync.Mutex
 	data  map[string]json.RawMessage
 	dirty map[string]bool
+	// flushing counts, per key, how many in-flight flush batches
+	// contain it (the public Flush can overlap the background flusher,
+	// so a bool would let one pass clear another's marker). deleted
+	// holds keys removed while a containing batch was in flight, or
+	// whose post-batch re-delete failed and awaits retry. The flusher
+	// snapshots its batch outside the lock, so without this bookkeeping
+	// a Delete landing mid-flush would be overwritten in the backing
+	// store by an in-flight BatchPut, resurrecting the key.
+	flushing map[string]int
+	deleted  map[string]bool
 }
 
 // Table is the distributed in-memory hash table. It is safe for
@@ -133,7 +143,12 @@ func New(cfg Config) (*Table, error) {
 	}
 	t.shardIdx = make(map[string]int, cfg.Shards)
 	for i := range t.shards {
-		t.shards[i] = &shard{data: make(map[string]json.RawMessage), dirty: make(map[string]bool)}
+		t.shards[i] = &shard{
+			data:     make(map[string]json.RawMessage),
+			dirty:    make(map[string]bool),
+			flushing: make(map[string]int),
+			deleted:  make(map[string]bool),
+		}
 		name := shardName(i)
 		t.ring.Add(name)
 		t.shardIdx[name] = i
@@ -150,11 +165,65 @@ func shardName(i int) string { return fmt.Sprintf("shard-%03d", i) }
 
 // shardFor returns the shard owning key via the consistent-hash ring.
 func (t *Table) shardFor(key string) *shard {
+	return t.shards[t.shardIndexFor(key)]
+}
+
+// shardIndexFor returns the index of the shard owning key.
+func (t *Table) shardIndexFor(key string) int {
 	idx, ok := t.shardIdx[t.ring.Owner(key)]
 	if !ok {
 		idx = int(hashKey(key)) % len(t.shards)
 	}
-	return t.shards[idx]
+	return idx
+}
+
+// smallBatch is the widest batch served by the allocation-free
+// grouping path: shard indices live in a stack array and visited keys
+// in a bit set. Object state bundles (the invocation hot path) are
+// almost always this small.
+const smallBatch = 32
+
+// forEachShardGroup calls fn once per distinct owning shard with the
+// positions (indices into keys) that shard owns, holding the shard's
+// lock for the duration of the call. Small batches group with no heap
+// allocation; wider ones fall back to a position map.
+func (t *Table) forEachShardGroup(keys []string, fn func(sh *shard, positions []int)) {
+	if len(keys) <= smallBatch {
+		var idx [smallBatch]int
+		var pos [smallBatch]int
+		for i, k := range keys {
+			idx[i] = t.shardIndexFor(k)
+		}
+		var done uint64
+		for i := range keys {
+			if done&(1<<i) != 0 {
+				continue
+			}
+			group := pos[:0]
+			for j := i; j < len(keys); j++ {
+				if done&(1<<j) == 0 && idx[j] == idx[i] {
+					done |= 1 << j
+					group = append(group, j)
+				}
+			}
+			sh := t.shards[idx[i]]
+			sh.mu.Lock()
+			fn(sh, group)
+			sh.mu.Unlock()
+		}
+		return
+	}
+	groups := make(map[int][]int)
+	for i, k := range keys {
+		shardIdx := t.shardIndexFor(k)
+		groups[shardIdx] = append(groups[shardIdx], i)
+	}
+	for shardIdx, positions := range groups {
+		sh := t.shards[shardIdx]
+		sh.mu.Lock()
+		fn(sh, positions)
+		sh.mu.Unlock()
+	}
 }
 
 // OwnerShard exposes the ring decision for locality-aware routing
@@ -211,6 +280,114 @@ func (t *Table) Get(ctx context.Context, key string) (json.RawMessage, error) {
 	return doc.Value, nil
 }
 
+// GetMany returns the values for keys, taking each shard lock once and
+// consolidating backing-store misses into a single kvstore.BatchGet
+// round trip (one read-latency charge per batch instead of one per
+// key). Keys found in neither place are simply absent from the result
+// map — batch callers resolve defaults themselves, so absence is not
+// an error, unlike Get's ErrNotFound.
+func (t *Table) GetMany(ctx context.Context, keys []string) (map[string]json.RawMessage, error) {
+	if t.isClosed() {
+		return nil, ErrClosed
+	}
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]json.RawMessage, len(keys))
+	var missing []string
+	var hits, misses int64
+	t.forEachShardGroup(keys, func(sh *shard, positions []int) {
+		for _, i := range positions {
+			k := keys[i]
+			if v, ok := sh.data[k]; ok {
+				out[k] = v
+				hits++
+			} else {
+				missing = append(missing, k)
+				misses++
+			}
+		}
+	})
+	t.statsMu.Lock()
+	t.hits += hits
+	t.misses += misses
+	t.statsMu.Unlock()
+	if len(missing) == 0 || t.cfg.Mode == ModeMemoryOnly {
+		return out, nil
+	}
+	docs, err := t.cfg.Backing.BatchGet(ctx, missing)
+	if err != nil {
+		return nil, fmt.Errorf("memtable: batch read-through: %w", err)
+	}
+	if len(docs) == 0 {
+		return out, nil
+	}
+	found := make([]string, 0, len(docs))
+	for k := range docs {
+		found = append(found, k)
+	}
+	// Cache the read-through results, again one lock per shard. A
+	// writer may have raced the batch read; its (newer) entry wins.
+	t.forEachShardGroup(found, func(sh *shard, positions []int) {
+		for _, i := range positions {
+			k := found[i]
+			if v, ok := sh.data[k]; ok {
+				out[k] = v
+				continue
+			}
+			v := docs[k].Value
+			sh.data[k] = v
+			out[k] = v
+		}
+	})
+	return out, nil
+}
+
+// PutMany stores every entry, taking each shard lock once. In
+// write-through mode the backing write is one consolidated BatchPut
+// (charged as a single write operation); in write-behind mode all keys
+// are marked dirty for the flusher in one pass.
+func (t *Table) PutMany(ctx context.Context, entries map[string]json.RawMessage) error {
+	if t.isClosed() {
+		return ErrClosed
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+	copied := make(map[string]json.RawMessage, len(entries))
+	keys := make([]string, 0, len(entries))
+	for k, v := range entries {
+		copied[k] = append(json.RawMessage(nil), v...)
+		keys = append(keys, k)
+	}
+	if t.cfg.Mode == ModeWriteThrough {
+		if err := t.cfg.Backing.BatchPut(ctx, copied); err != nil {
+			return fmt.Errorf("memtable: batch write-through: %w", err)
+		}
+	}
+	wake := false
+	t.forEachShardGroup(keys, func(sh *shard, positions []int) {
+		for _, i := range positions {
+			k := keys[i]
+			sh.data[k] = copied[k]
+			delete(sh.deleted, k) // a write supersedes a pending tombstone
+			if t.cfg.Mode == ModeWriteBehind {
+				sh.dirty[k] = true
+			}
+		}
+		if t.cfg.Mode == ModeWriteBehind && len(sh.dirty) >= t.cfg.FlushBatchSize {
+			wake = true
+		}
+	})
+	if wake {
+		select {
+		case t.flushWake <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
 // Put stores value at key. In write-through mode the backing write is
 // synchronous; in write-behind mode the key is marked dirty for the
 // flusher.
@@ -227,6 +404,7 @@ func (t *Table) Put(ctx context.Context, key string, value json.RawMessage) erro
 		sh := t.shardFor(key)
 		sh.mu.Lock()
 		sh.data[key] = val
+		delete(sh.deleted, key)
 		sh.mu.Unlock()
 		return nil
 	case ModeMemoryOnly:
@@ -240,6 +418,8 @@ func (t *Table) Put(ctx context.Context, key string, value json.RawMessage) erro
 		sh.mu.Lock()
 		sh.data[key] = val
 		sh.dirty[key] = true
+		// A write supersedes any pending tombstone for the key.
+		delete(sh.deleted, key)
 		n := len(sh.dirty)
 		sh.mu.Unlock()
 		if n >= t.cfg.FlushBatchSize {
@@ -262,6 +442,13 @@ func (t *Table) Delete(ctx context.Context, key string) error {
 	sh.mu.Lock()
 	delete(sh.data, key)
 	delete(sh.dirty, key)
+	if sh.flushing[key] > 0 {
+		// The key is in a flush batch already snapshotted: the
+		// in-flight BatchPut would re-create it in the backing store
+		// after our Delete below. Record it so the flusher re-deletes
+		// once the last containing batch lands.
+		sh.deleted[key] = true
+	}
 	sh.mu.Unlock()
 	if t.cfg.Mode == ModeMemoryOnly {
 		return nil
@@ -288,34 +475,96 @@ func (t *Table) flushLoop() {
 	}
 }
 
-// flushAll writes every dirty key, one consolidated batch per shard.
+// flushAll writes every dirty key, one consolidated batch per shard,
+// then re-deletes keys whose Delete raced an in-flight batch (the
+// BatchPut would otherwise have resurrected them in the backing
+// store). Failed re-deletes stay in the shard's deleted set and are
+// retried on the next pass, so a transient backing failure cannot
+// permanently resurrect a deleted key.
 func (t *Table) flushAll(ctx context.Context) {
 	for _, sh := range t.shards {
 		sh.mu.Lock()
-		if len(sh.dirty) == 0 {
+		// Collect tombstones awaiting retry (their batch has already
+		// landed; only the backing delete is outstanding). A key
+		// re-created since its deletion drops the tombstone: the fresh
+		// value supersedes the delete.
+		var redelete []string
+		for k := range sh.deleted {
+			if _, live := sh.data[k]; live {
+				delete(sh.deleted, k)
+				continue
+			}
+			if sh.flushing[k] == 0 {
+				delete(sh.deleted, k)
+				redelete = append(redelete, k)
+			}
+		}
+		if len(sh.dirty) == 0 && len(redelete) == 0 {
 			sh.mu.Unlock()
 			continue
 		}
 		batch := make(map[string]json.RawMessage, len(sh.dirty))
 		for k := range sh.dirty {
 			batch[k] = sh.data[k]
+			sh.flushing[k]++
 		}
 		sh.dirty = make(map[string]bool)
 		sh.mu.Unlock()
-		if err := t.cfg.Backing.BatchPut(ctx, batch); err != nil {
-			// Mark the keys dirty again so no update is lost; they
-			// will be retried on the next flush tick.
+		var err error
+		if len(batch) > 0 {
+			err = t.cfg.Backing.BatchPut(ctx, batch)
+		}
+		sh.mu.Lock()
+		for k := range batch {
+			if sh.flushing[k]--; sh.flushing[k] <= 0 {
+				delete(sh.flushing, k)
+			}
+			// Consume the tombstone only once the LAST containing batch
+			// has landed: an earlier-completing overlapping batch must
+			// leave it for the one still in flight.
+			if sh.deleted[k] && sh.flushing[k] == 0 {
+				delete(sh.deleted, k)
+				redelete = append(redelete, k)
+			}
+			if err != nil && !sh.dirty[k] {
+				// Mark the key dirty again so no update is lost; it
+				// will be retried on the next flush tick. Keys deleted
+				// while the failed batch was in flight stay deleted.
+				if _, live := sh.data[k]; live {
+					sh.dirty[k] = true
+				}
+			}
+		}
+		sh.mu.Unlock()
+		if err != nil {
+			// The batch never landed, so it resurrected nothing; put
+			// the tombstones back for the retry pass alongside it.
 			sh.mu.Lock()
-			for k := range batch {
-				sh.dirty[k] = true
+			for _, k := range redelete {
+				if _, live := sh.data[k]; !live {
+					sh.deleted[k] = true
+				}
 			}
 			sh.mu.Unlock()
 			continue
 		}
-		t.statsMu.Lock()
-		t.flushes++
-		t.flushDocs += int64(len(batch))
-		t.statsMu.Unlock()
+		for _, k := range redelete {
+			if derr := t.cfg.Backing.Delete(ctx, k); derr != nil {
+				// Keep the tombstone so the next pass retries, unless
+				// the key has been re-created meanwhile.
+				sh.mu.Lock()
+				if _, live := sh.data[k]; !live {
+					sh.deleted[k] = true
+				}
+				sh.mu.Unlock()
+			}
+		}
+		if len(batch) > 0 {
+			t.statsMu.Lock()
+			t.flushes++
+			t.flushDocs += int64(len(batch))
+			t.statsMu.Unlock()
+		}
 	}
 }
 

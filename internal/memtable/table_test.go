@@ -365,3 +365,249 @@ func TestWriteBehindDurabilityProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// --- Batch API tests --------------------------------------------------
+
+func TestGetManyReadsThroughInOneBatch(t *testing.T) {
+	tbl, db := newBacked(t, ModeWriteBehind)
+	ctx := context.Background()
+	keys := make([]string, 32)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("state/C/obj-%03d/k", i)
+		if _, err := db.Put(ctx, keys[i], json.RawMessage(fmt.Sprintf("%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := db.Stats()
+	got, err := tbl.GetMany(ctx, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("GetMany returned %d values, want %d", len(got), len(keys))
+	}
+	if string(got[keys[7]]) != "7" {
+		t.Fatalf("value = %s", got[keys[7]])
+	}
+	after := db.Stats()
+	if after.ReadOps != before.ReadOps+1 {
+		t.Fatalf("32-key miss batch cost %d read ops, want 1", after.ReadOps-before.ReadOps)
+	}
+	// Second call is all memory hits: no further backing reads.
+	if _, err := tbl.GetMany(ctx, keys); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().ReadOps != after.ReadOps {
+		t.Fatal("warm GetMany touched the backing store")
+	}
+	st := tbl.Stats()
+	if st.Misses != int64(len(keys)) || st.Hits != int64(len(keys)) {
+		t.Fatalf("stats = %+v, want %d misses then %d hits", st, len(keys), len(keys))
+	}
+}
+
+func TestGetManyOmitsAbsentKeys(t *testing.T) {
+	tbl, db := newBacked(t, ModeWriteBehind)
+	ctx := context.Background()
+	if _, err := db.Put(ctx, "present", json.RawMessage(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tbl.GetMany(ctx, []string{"present", "absent"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got = %v", got)
+	}
+	if _, ok := got["absent"]; ok {
+		t.Fatal("absent key materialized")
+	}
+}
+
+func TestGetManyMemoryOnlySkipsBacking(t *testing.T) {
+	tbl, err := New(Config{Mode: ModeMemoryOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+	ctx := context.Background()
+	if err := tbl.Put(ctx, "a", json.RawMessage(`1`)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tbl.GetMany(ctx, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || string(got["a"]) != "1" {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestGetManyDoesNotClobberRacingWrite(t *testing.T) {
+	tbl, db := newBacked(t, ModeWriteBehind)
+	ctx := context.Background()
+	if _, err := db.Put(ctx, "k", json.RawMessage(`"stale"`)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a writer racing the read-through: the in-memory entry
+	// exists by the time the batch result is cached.
+	if err := tbl.Put(ctx, "k", json.RawMessage(`"fresh"`)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tbl.GetMany(ctx, []string{"k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got["k"]) != `"fresh"` {
+		t.Fatalf("got = %s, want the in-memory write to win", got["k"])
+	}
+}
+
+func TestPutManyWriteThroughOneBatchWrite(t *testing.T) {
+	tbl, db := newBacked(t, ModeWriteThrough)
+	ctx := context.Background()
+	entries := make(map[string]json.RawMessage, 16)
+	for i := 0; i < 16; i++ {
+		entries[fmt.Sprintf("wt-%02d", i)] = json.RawMessage(`1`)
+	}
+	before := db.Stats()
+	if err := tbl.PutMany(ctx, entries); err != nil {
+		t.Fatal(err)
+	}
+	after := db.Stats()
+	if after.WriteOps != before.WriteOps+1 {
+		t.Fatalf("16-entry PutMany cost %d write ops, want 1", after.WriteOps-before.WriteOps)
+	}
+	if after.DocsWritten != before.DocsWritten+16 {
+		t.Fatalf("docs written delta = %d, want 16", after.DocsWritten-before.DocsWritten)
+	}
+	for k := range entries {
+		if _, err := db.Get(ctx, k); err != nil {
+			t.Fatalf("backing missing %q: %v", k, err)
+		}
+	}
+}
+
+func TestPutManyWriteBehindFlushes(t *testing.T) {
+	tbl, db := newBacked(t, ModeWriteBehind)
+	ctx := context.Background()
+	entries := map[string]json.RawMessage{
+		"a": json.RawMessage(`1`),
+		"b": json.RawMessage(`2`),
+		"c": json.RawMessage(`3`),
+	}
+	if err := tbl.PutMany(ctx, entries); err != nil {
+		t.Fatal(err)
+	}
+	if n := tbl.DirtyCount(); n != 3 {
+		t.Fatalf("dirty = %d, want 3", n)
+	}
+	tbl.Flush(ctx)
+	for k := range entries {
+		if _, err := db.Get(ctx, k); err != nil {
+			t.Fatalf("backing missing %q after flush: %v", k, err)
+		}
+	}
+}
+
+func TestPutManyCopiesValues(t *testing.T) {
+	tbl, err := New(Config{Mode: ModeMemoryOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+	ctx := context.Background()
+	val := json.RawMessage(`"before"`)
+	if err := tbl.PutMany(ctx, map[string]json.RawMessage{"k": val}); err != nil {
+		t.Fatal(err)
+	}
+	copy(val, `"MUTATE"`)
+	got, err := tbl.Get(ctx, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != `"before"` {
+		t.Fatalf("stored value aliased caller's buffer: %s", got)
+	}
+}
+
+func TestBatchOpsOnClosedTable(t *testing.T) {
+	tbl, _ := newBacked(t, ModeWriteBehind)
+	tbl.Close()
+	ctx := context.Background()
+	if _, err := tbl.GetMany(ctx, []string{"k"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("GetMany after close = %v", err)
+	}
+	if err := tbl.PutMany(ctx, map[string]json.RawMessage{"k": nil}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("PutMany after close = %v", err)
+	}
+}
+
+func TestGetManyContextCancelledMidBatch(t *testing.T) {
+	db := kvstore.Open(kvstore.Config{ReadLatency: time.Hour})
+	tbl, err := New(Config{Mode: ModeWriteBehind, Backing: db, FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		tbl.Close()
+		db.Close()
+	})
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tbl.GetMany(cctx, []string{"a", "b"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestBatchOpsWidePath exercises the map-grouping fallback used for
+// batches wider than the small-batch fast path.
+func TestBatchOpsWidePath(t *testing.T) {
+	tbl, db := newBacked(t, ModeWriteBehind)
+	ctx := context.Background()
+	const width = smallBatch*3 + 7
+	entries := make(map[string]json.RawMessage, width)
+	keys := make([]string, 0, width)
+	for i := 0; i < width; i++ {
+		k := fmt.Sprintf("wide/obj-%04d/k", i)
+		entries[k] = json.RawMessage(fmt.Sprintf("%d", i))
+		keys = append(keys, k)
+	}
+	if err := tbl.PutMany(ctx, entries); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tbl.GetMany(ctx, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != width {
+		t.Fatalf("GetMany returned %d, want %d", len(got), width)
+	}
+	for k, v := range entries {
+		if string(got[k]) != string(v) {
+			t.Fatalf("key %s = %s, want %s", k, got[k], v)
+		}
+	}
+	tbl.Flush(ctx)
+	if db.Len() != width {
+		t.Fatalf("backing has %d docs after flush, want %d", db.Len(), width)
+	}
+	// A wide cold read-through must also be a single batch: drop the
+	// in-memory copies by recreating the table over the same backing.
+	tbl2, err := New(Config{Mode: ModeWriteBehind, Backing: db, FlushInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl2.Close()
+	before := db.Stats()
+	got2, err := tbl2.GetMany(ctx, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2) != width {
+		t.Fatalf("cold wide GetMany returned %d, want %d", len(got2), width)
+	}
+	if delta := db.Stats().ReadOps - before.ReadOps; delta != 1 {
+		t.Fatalf("wide cold batch cost %d read ops, want 1", delta)
+	}
+}

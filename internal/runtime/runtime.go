@@ -5,8 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"maps"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/hpcclab/oparaca-go/internal/cluster"
@@ -18,6 +22,7 @@ import (
 	"github.com/hpcclab/oparaca-go/internal/metrics"
 	"github.com/hpcclab/oparaca-go/internal/model"
 	"github.com/hpcclab/oparaca-go/internal/objectstore"
+	"github.com/hpcclab/oparaca-go/internal/striped"
 	"github.com/hpcclab/oparaca-go/internal/vclock"
 )
 
@@ -81,9 +86,44 @@ type ClassRuntime struct {
 	table  *memtable.Table
 	plans  map[string]*dataflow.Plan
 
+	// stateSpecs are the class's structured (non-file) keys, cached so
+	// the hot path never re-filters class.Keys.
+	stateSpecs []model.KeySpec
+	// objLocks serializes the load→invoke→merge window of concurrent
+	// invocations on one object (see invokeFn). Striped: two distinct
+	// objects contend only on a stripe collision (1/objLockStripes per
+	// pair), trading a bounded chance of transient false sharing for
+	// constant memory.
+	objLocks *striped.Mutexes
+	// taskSeq generates invocation task IDs; seeded from the clock at
+	// construction so IDs stay unique across runtime generations.
+	taskSeq atomic.Uint64
+
+	// refsCache memoizes presigned file refs per object; entries are
+	// regenerated once half the presign TTL has elapsed so handed-out
+	// URLs always carry at least TTL/2 of remaining validity.
+	refsMu    sync.Mutex
+	refsCache map[string]refsEntry
+
 	reg   *metrics.Registry
 	meter *metrics.Meter
 }
+
+// refsEntry is one cached presigned-ref bundle.
+type refsEntry struct {
+	refs    map[string]string
+	refresh time.Time // regenerate once this instant passes
+}
+
+// maxPresignCacheObjects bounds the presign cache. Hitting the bound
+// resets the whole cache; entries are cheap to regenerate.
+const maxPresignCacheObjects = 8192
+
+// objLockStripes sizes the per-object lock table. 1024 stripes is 8KiB
+// per class runtime and keeps the per-pair collision probability at
+// ~0.1%, so false serialization between distinct hot objects is rare
+// and transient.
+const objLockStripes = 1024
 
 // New instantiates a class runtime from a template (paper Figure 2:
 // "for a specific class, Oparaca uses one of its predefined templates
@@ -135,15 +175,23 @@ func New(infra Infra, class *model.Class, tmpl Template) (*ClassRuntime, error) 
 	}
 
 	rt := &ClassRuntime{
-		class:  class,
-		tmpl:   tmpl,
-		infra:  infra,
-		engine: engine,
-		table:  table,
-		plans:  make(map[string]*dataflow.Plan, len(class.Dataflows)),
-		reg:    metrics.NewRegistry(),
-		meter:  metrics.NewMeter(10*time.Second, 10, infra.Clock.Now),
+		class:     class,
+		tmpl:      tmpl,
+		infra:     infra,
+		engine:    engine,
+		table:     table,
+		plans:     make(map[string]*dataflow.Plan, len(class.Dataflows)),
+		objLocks:  striped.New(objLockStripes),
+		refsCache: make(map[string]refsEntry),
+		reg:       metrics.NewRegistry(),
+		meter:     metrics.NewMeter(10*time.Second, 10, infra.Clock.Now),
 	}
+	for _, k := range class.Keys {
+		if k.Kind != model.KindFile {
+			rt.stateSpecs = append(rt.stateSpecs, k)
+		}
+	}
+	rt.taskSeq.Store(uint64(infra.Clock.Now().UnixNano()))
 
 	for _, fn := range class.Functions {
 		conc := fn.Concurrency
@@ -222,8 +270,21 @@ func (rt *ClassRuntime) fileKey(objectID, key string) string {
 	return objectID + "/" + key
 }
 
+// lockObject serializes state mutations for one object when the class
+// is stateful. The returned func releases the stripe; for stateless
+// classes it is a no-op.
+func (rt *ClassRuntime) lockObject(objectID string) func() {
+	if len(rt.stateSpecs) == 0 {
+		return func() {}
+	}
+	mu := rt.objLocks.For(objectID)
+	mu.Lock()
+	return mu.Unlock
+}
+
 // InitObjectState writes the class's default values for a new object.
 func (rt *ClassRuntime) InitObjectState(ctx context.Context, objectID string) error {
+	defer rt.lockObject(objectID)()
 	for _, k := range rt.class.Keys {
 		if k.Kind == model.KindFile || len(k.Default) == 0 {
 			continue
@@ -235,8 +296,14 @@ func (rt *ClassRuntime) InitObjectState(ctx context.Context, objectID string) er
 	return nil
 }
 
-// DeleteObjectState removes all of an object's state.
+// DeleteObjectState removes all of an object's state. It takes the
+// object's stripe so an in-flight invocation's delta merge cannot
+// resurrect state for a deleted object.
 func (rt *ClassRuntime) DeleteObjectState(ctx context.Context, objectID string) error {
+	defer rt.lockObject(objectID)()
+	rt.refsMu.Lock()
+	delete(rt.refsCache, objectID)
+	rt.refsMu.Unlock()
 	for _, k := range rt.class.Keys {
 		if k.Kind == model.KindFile {
 			if rt.infra.Objects != nil {
@@ -299,30 +366,41 @@ func (rt *ClassRuntime) PresignFile(objectID, key, method string) (string, error
 		rt.fileKey(objectID, key), rt.infra.PresignTTL), nil
 }
 
-// loadState gathers an object's structured state for task bundling.
+// loadState gathers an object's structured state for task bundling in
+// one batched table read: every key of the object travels in a single
+// GetMany, so a fully cold object costs one backing-store round trip
+// instead of one per key.
 func (rt *ClassRuntime) loadState(ctx context.Context, objectID string) (map[string]json.RawMessage, error) {
-	state := make(map[string]json.RawMessage)
-	for _, k := range rt.class.Keys {
-		if k.Kind == model.KindFile {
-			continue
-		}
-		v, err := rt.table.Get(ctx, rt.stateKey(objectID, k.Name))
-		switch {
-		case err == nil:
+	state := make(map[string]json.RawMessage, len(rt.stateSpecs))
+	if len(rt.stateSpecs) == 0 {
+		return state, nil
+	}
+	keys := make([]string, len(rt.stateSpecs))
+	for i, k := range rt.stateSpecs {
+		keys[i] = rt.stateKey(objectID, k.Name)
+	}
+	got, err := rt.table.GetMany(ctx, keys)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: loading state %s: %w", objectID, err)
+	}
+	for i, k := range rt.stateSpecs {
+		if v, ok := got[keys[i]]; ok {
 			state[k.Name] = v
-		case errors.Is(err, memtable.ErrNotFound):
-			if len(k.Default) > 0 {
-				state[k.Name] = k.Default
-			}
-		default:
-			return nil, fmt.Errorf("runtime: loading state %s/%s: %w", objectID, k.Name, err)
+		} else if len(k.Default) > 0 {
+			state[k.Name] = k.Default
 		}
 	}
 	return state, nil
 }
 
 // buildRefs assembles presigned URLs for the object's file keys: for
-// each file key K the task gets K (GET) and "K!put" (PUT).
+// each file key K the task gets K (GET) and "K!put" (PUT). Refs are
+// deterministic until their expiry, so they are cached per object and
+// regenerated once half the presign TTL has elapsed — every URL handed
+// to a task keeps at least TTL/2 of validity. Each call returns a
+// fresh shallow copy so a handler mutating its Task.Refs cannot race
+// or poison other invocations; the HMAC signing is the part worth
+// caching, not the map.
 func (rt *ClassRuntime) buildRefs(objectID string) (map[string]string, error) {
 	files := rt.class.FileKeys()
 	if len(files) == 0 {
@@ -331,6 +409,15 @@ func (rt *ClassRuntime) buildRefs(objectID string) (map[string]string, error) {
 	if rt.infra.Objects == nil {
 		return nil, errors.New("runtime: class has file keys but no object store configured")
 	}
+	now := rt.infra.Clock.Now()
+	rt.refsMu.Lock()
+	if e, ok := rt.refsCache[objectID]; ok && now.Before(e.refresh) {
+		rt.refsMu.Unlock()
+		return maps.Clone(e.refs), nil
+	}
+	rt.refsMu.Unlock()
+	// Sign outside the lock: HMAC is the expensive part, and a raced
+	// duplicate generation is harmless (last writer wins).
 	refs := make(map[string]string, 2*len(files))
 	for _, k := range files {
 		refs[k] = rt.infra.Objects.PresignURL(rt.infra.ObjectsBaseURL, http.MethodGet,
@@ -338,7 +425,13 @@ func (rt *ClassRuntime) buildRefs(objectID string) (map[string]string, error) {
 		refs[k+"!put"] = rt.infra.Objects.PresignURL(rt.infra.ObjectsBaseURL, http.MethodPut,
 			rt.Bucket(), rt.fileKey(objectID, k), rt.infra.PresignTTL)
 	}
-	return refs, nil
+	rt.refsMu.Lock()
+	if len(rt.refsCache) >= maxPresignCacheObjects {
+		rt.refsCache = make(map[string]refsEntry)
+	}
+	rt.refsCache[objectID] = refsEntry{refs: refs, refresh: now.Add(rt.infra.PresignTTL / 2)}
+	rt.refsMu.Unlock()
+	return maps.Clone(refs), nil
 }
 
 // Invoke executes one method on an object: it bundles the object's
@@ -362,8 +455,20 @@ func (rt *ClassRuntime) Invoke(ctx context.Context, objectID, function string, p
 	return out, nil
 }
 
-// invokeFn is the uninstrumented invocation path.
+// invokeFn is the uninstrumented invocation path. For stateful classes
+// the whole load→invoke→merge window runs under the object's striped
+// lock, serializing concurrent invocations on one object so the pure
+// read-modify-write contract cannot lose updates; invocations on
+// distinct objects run in parallel unless they collide on a stripe
+// (rare and transient — see objLockStripes). Stateless classes skip
+// the lock entirely (there is no state to race on), which keeps
+// parallel dataflow fan-out steps concurrent. Because the stripe is
+// held across the handler, handler code must not synchronously invoke
+// another stateful object of the same class from inside a method (a
+// stripe collision would deadlock); compose same-class calls through
+// dataflows or the async queue instead.
 func (rt *ClassRuntime) invokeFn(ctx context.Context, objectID string, fn model.FunctionDef, payload json.RawMessage, args map[string]string) (json.RawMessage, error) {
+	defer rt.lockObject(objectID)()
 	state, err := rt.loadState(ctx, objectID)
 	if err != nil {
 		return nil, err
@@ -373,7 +478,7 @@ func (rt *ClassRuntime) invokeFn(ctx context.Context, objectID string, fn model.
 		return nil, err
 	}
 	task := invoker.Task{
-		ID:       fmt.Sprintf("%s-%s-%d", objectID, fn.Name, rt.infra.Clock.Now().UnixNano()),
+		ID:       rt.nextTaskID(objectID, fn.Name),
 		Class:    rt.class.Name,
 		Object:   objectID,
 		Function: fn.Name,
@@ -386,29 +491,63 @@ func (rt *ClassRuntime) invokeFn(ctx context.Context, objectID string, fn model.
 	if err != nil {
 		return nil, err
 	}
-	// Persist the state delta.
+	// Persist the state delta: validate every key first so a rogue
+	// delta persists nothing, then write all updates in one batched
+	// table operation and apply deletions (JSON null values).
+	var puts map[string]json.RawMessage
+	var dels []string
 	for k, v := range res.State {
 		if _, ok := rt.class.Key(k); !ok {
 			return nil, fmt.Errorf("runtime: function %s.%s wrote undeclared key %q", rt.class.Name, fn.Name, k)
 		}
 		key := rt.stateKey(objectID, k)
 		if isNull(v) {
-			if err := rt.table.Delete(ctx, key); err != nil {
-				return nil, err
-			}
+			dels = append(dels, key)
 			continue
 		}
-		if err := rt.table.Put(ctx, key, v); err != nil {
+		if puts == nil {
+			puts = make(map[string]json.RawMessage, len(res.State))
+		}
+		puts[key] = v
+	}
+	if len(puts) > 0 {
+		if err := rt.table.PutMany(ctx, puts); err != nil {
+			return nil, err
+		}
+	}
+	for _, key := range dels {
+		if err := rt.table.Delete(ctx, key); err != nil {
 			return nil, err
 		}
 	}
 	return res.Output, nil
 }
 
-func isNull(v json.RawMessage) bool {
-	s := strings.TrimSpace(string(v))
-	return s == "" || s == "null"
+// nextTaskID builds a task identifier from an atomic counter. The
+// previous fmt.Sprintf+UnixNano scheme paid a clock read and full
+// format pass per invocation on the hot path.
+func (rt *ClassRuntime) nextTaskID(objectID, fn string) string {
+	return objectID + "/" + fn + "#" + strconv.FormatUint(rt.taskSeq.Add(1), 36)
 }
+
+// isNull reports whether v is empty or the JSON literal null. It works
+// byte-wise on the raw message: JSON whitespace is only space, tab, CR
+// and LF, so no string conversion or unicode trimming is needed.
+func isNull(v json.RawMessage) bool {
+	i, j := 0, len(v)
+	for i < j && isJSONSpace(v[i]) {
+		i++
+	}
+	for j > i && isJSONSpace(v[j-1]) {
+		j--
+	}
+	if i == j {
+		return true
+	}
+	return j-i == 4 && v[i] == 'n' && v[i+1] == 'u' && v[i+2] == 'l' && v[i+3] == 'l'
+}
+
+func isJSONSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
 
 // InvokeDataflow runs a declared dataflow on an object. Each step
 // invokes a class method on the same object; state deltas persist

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 	"github.com/hpcclab/oparaca-go/internal/memtable"
 	"github.com/hpcclab/oparaca-go/internal/model"
 	"github.com/hpcclab/oparaca-go/internal/objectstore"
+	"github.com/hpcclab/oparaca-go/internal/vclock"
 )
 
 // counterClass is a class with a numeric counter and an increment
@@ -487,4 +489,338 @@ func newObjectStore(t *testing.T) objectStoreFixture {
 	srv := httptest.NewServer(s.Handler())
 	t.Cleanup(srv.Close)
 	return objectStoreFixture{store: s, url: srv.URL}
+}
+
+// TestColdStateLoadIsOneBatchRead verifies the invocation path loads a
+// multi-key object's cold state in a single backing-store round trip.
+func TestColdStateLoadIsOneBatchRead(t *testing.T) {
+	const wideYAML = `classes:
+  - name: Wide
+    keySpecs:
+      - name: a
+      - name: b
+      - name: c
+      - name: d
+    functions:
+      - name: get
+        image: img/get
+`
+	infra := testInfra(t)
+	rt, err := New(infra, resolvedClass(t, wideYAML, "Wide"), stdTemplate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	ctx := context.Background()
+	// Seed all four keys straight into the backing store so the first
+	// invocation misses every one of them.
+	seed := make(map[string]json.RawMessage, 4)
+	for _, k := range []string{"a", "b", "c", "d"} {
+		seed["state/Wide/o1/"+k] = json.RawMessage(`1`)
+	}
+	if err := infra.Backing.BatchPut(ctx, seed); err != nil {
+		t.Fatal(err)
+	}
+	before := infra.Backing.Stats()
+	if _, err := rt.Invoke(ctx, "o1", "get", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	after := infra.Backing.Stats()
+	if got := after.ReadOps - before.ReadOps; got != 1 {
+		t.Fatalf("cold 4-key load cost %d read ops, want 1", got)
+	}
+	if got := after.DocsRead - before.DocsRead; got != 4 {
+		t.Fatalf("docs read = %d, want 4", got)
+	}
+}
+
+// TestRogueDeltaPersistsNothing verifies an undeclared key anywhere in
+// the state delta rejects the whole delta: no partial writes.
+func TestRogueDeltaPersistsNothing(t *testing.T) {
+	const mixedYAML = `classes:
+  - name: Mixed
+    keySpecs:
+      - name: legit
+    functions:
+      - name: hack
+        image: img/mixed-rogue
+`
+	infra := testInfra(t)
+	reg := invoker.NewRegistry()
+	reg.Register("img/mixed-rogue", invoker.HandlerFunc(func(context.Context, invoker.Task) (invoker.Result, error) {
+		return invoker.Result{State: map[string]json.RawMessage{
+			"legit":      json.RawMessage(`1`),
+			"undeclared": json.RawMessage(`1`),
+		}}, nil
+	}))
+	infra.Transport = invoker.NewLocal(reg)
+	rt, err := New(infra, resolvedClass(t, mixedYAML, "Mixed"), stdTemplate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	ctx := context.Background()
+	if _, err := rt.Invoke(ctx, "o", "hack", nil, nil); err == nil {
+		t.Fatal("rogue delta accepted")
+	}
+	if _, err := rt.GetState(ctx, "o", "legit"); !errors.Is(err, memtable.ErrNotFound) {
+		t.Fatalf("legit = %v, want not-found (no partial persist)", err)
+	}
+}
+
+// TestConcurrentInvocationsOnOneObjectAreExact is the lost-update
+// regression test at the runtime layer: concurrent increments on one
+// object must all land. The handler yields between state load and
+// merge (as any real function with nonzero service time does), which
+// reliably opens the read-modify-write race window even on GOMAXPROCS=1
+// — without per-object serialization this test loses updates.
+func TestConcurrentInvocationsOnOneObjectAreExact(t *testing.T) {
+	infra := testInfra(t)
+	reg := invoker.NewRegistry()
+	reg.Register("img/incr", invoker.HandlerFunc(func(ctx context.Context, task invoker.Task) (invoker.Result, error) {
+		var n float64
+		if raw, ok := task.State["value"]; ok {
+			_ = json.Unmarshal(raw, &n)
+		}
+		select { // yield mid-window, like a real function's service time
+		case <-time.After(100 * time.Microsecond):
+		case <-ctx.Done():
+			return invoker.Result{}, ctx.Err()
+		}
+		out, _ := json.Marshal(n + 1)
+		return invoker.Result{Output: out, State: map[string]json.RawMessage{"value": out}}, nil
+	}))
+	infra.Transport = invoker.NewLocal(reg)
+	rt, err := New(infra, resolvedClass(t, counterYAML, "Counter"), stdTemplate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	ctx := context.Background()
+	if err := rt.InitObjectState(ctx, "hot"); err != nil {
+		t.Fatal(err)
+	}
+	const (
+		clients = 8
+		perEach = 25
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perEach; i++ {
+				if _, err := rt.Invoke(ctx, "hot", "incr", nil, nil); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	v, err := rt.GetState(ctx, "hot", "value")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != fmt.Sprintf("%d", clients*perEach) {
+		t.Fatalf("counter = %s, want %d (lost updates)", v, clients*perEach)
+	}
+}
+
+// TestPresignedRefsCachedUntilHalfTTL verifies ref reuse within the
+// refresh window, regeneration after it, and invalidation on object
+// deletion.
+func TestPresignedRefsCachedUntilHalfTTL(t *testing.T) {
+	const fileYAML = `classes:
+  - name: Doc
+    keySpecs:
+      - name: blob
+        kind: file
+    functions:
+      - name: peek
+        image: img/peek
+`
+	clock := vclock.NewManual(time.Unix(1000, 0))
+	infra := testInfra(t)
+	infra.Clock = clock
+	infra.PresignTTL = 10 * time.Minute
+	infra.Objects = objectstore.New("secret", clock)
+	infra.ObjectsBaseURL = "http://127.0.0.1:9"
+
+	var refs []map[string]string
+	reg := invoker.NewRegistry()
+	reg.Register("img/peek", invoker.HandlerFunc(func(_ context.Context, task invoker.Task) (invoker.Result, error) {
+		refs = append(refs, task.Refs)
+		return invoker.Result{}, nil
+	}))
+	infra.Transport = invoker.NewLocal(reg)
+	rt, err := New(infra, resolvedClass(t, fileYAML, "Doc"), stdTemplate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	ctx := context.Background()
+	invoke := func() {
+		t.Helper()
+		if _, err := rt.Invoke(ctx, "o1", "peek", nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	invoke()
+	clock.Advance(time.Minute) // well inside TTL/2
+	invoke()
+	if refs[0]["blob"] != refs[1]["blob"] || refs[0]["blob!put"] != refs[1]["blob!put"] {
+		t.Fatal("refs regenerated inside the refresh window")
+	}
+	clock.Advance(5 * time.Minute) // past TTL/2 since generation
+	invoke()
+	if refs[1]["blob"] == refs[2]["blob"] {
+		t.Fatal("refs not refreshed after half the presign TTL")
+	}
+	// The refreshed URL must still verify against the object store.
+	if !strings.Contains(refs[2]["blob"], "X-Oprc-Signature=") {
+		t.Fatalf("refreshed ref unsigned: %s", refs[2]["blob"])
+	}
+	// Deletion invalidates the cache entry immediately. Advance the
+	// clock inside the refresh window first: a surviving cache entry
+	// would replay the old URL, while regeneration signs a new expiry.
+	if err := rt.DeleteObjectState(ctx, "o1"); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(time.Minute)
+	invoke()
+	if refs[2]["blob"] == refs[3]["blob"] {
+		t.Fatal("refs survived object deletion")
+	}
+}
+
+// TestTaskIDsUnique verifies the atomic-counter ID scheme never reuses
+// an ID across rapid-fire invocations.
+func TestTaskIDsUnique(t *testing.T) {
+	infra := testInfra(t)
+	seen := make(map[string]bool)
+	var mu sync.Mutex
+	reg := invoker.NewRegistry()
+	reg.Register("img/idcheck", invoker.HandlerFunc(func(_ context.Context, task invoker.Task) (invoker.Result, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if seen[task.ID] {
+			return invoker.Result{}, fmt.Errorf("duplicate task ID %q", task.ID)
+		}
+		seen[task.ID] = true
+		return invoker.Result{}, nil
+	}))
+	infra.Transport = invoker.NewLocal(reg)
+	const idYAML = `classes:
+  - name: ID
+    functions:
+      - name: f
+        image: img/idcheck
+`
+	rt, err := New(infra, resolvedClass(t, idYAML, "ID"), stdTemplate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, err := rt.Invoke(ctx, "o", "f", nil, nil); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if len(seen) != 800 {
+		t.Fatalf("unique IDs = %d, want 800", len(seen))
+	}
+}
+
+func TestIsNull(t *testing.T) {
+	cases := []struct {
+		in   string
+		want bool
+	}{
+		{"", true},
+		{"null", true},
+		{" null ", true},
+		{"\t\nnull\r ", true},
+		{"  ", true},
+		{"0", false},
+		{"false", false},
+		{`"null"`, false},
+		{"nul", false},
+		{"nulll", false},
+		{"[null]", false},
+	}
+	for _, c := range cases {
+		if got := isNull(json.RawMessage(c.in)); got != c.want {
+			t.Errorf("isNull(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestDeleteObjectStateSerializesWithInvocations verifies an in-flight
+// invocation's delta merge cannot resurrect a concurrently deleted
+// object: DeleteObjectState waits on the object's stripe, so it runs
+// strictly after the merge and the final state is gone.
+func TestDeleteObjectStateSerializesWithInvocations(t *testing.T) {
+	infra := testInfra(t)
+	reg := invoker.NewRegistry()
+	reg.Register("img/incr", invoker.HandlerFunc(func(ctx context.Context, task invoker.Task) (invoker.Result, error) {
+		select {
+		case <-time.After(30 * time.Millisecond):
+		case <-ctx.Done():
+			return invoker.Result{}, ctx.Err()
+		}
+		return invoker.Result{Output: json.RawMessage(`1`),
+			State: map[string]json.RawMessage{"value": json.RawMessage(`1`)}}, nil
+	}))
+	infra.Transport = invoker.NewLocal(reg)
+	rt, err := New(infra, resolvedClass(t, counterYAML, "Counter"), stdTemplate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	ctx := context.Background()
+	if err := rt.InitObjectState(ctx, "o"); err != nil {
+		t.Fatal(err)
+	}
+	invoked := make(chan error, 1)
+	go func() {
+		_, err := rt.Invoke(ctx, "o", "incr", nil, nil)
+		invoked <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // handler is mid-execution
+	if err := rt.DeleteObjectState(ctx, "o"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-invoked; err != nil {
+		t.Fatal(err)
+	}
+	// The delete must have run after the merge: only the class default
+	// remains, not the merged value.
+	v, err := rt.GetState(ctx, "o", "value")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "0" {
+		t.Fatalf("state after delete = %s, want default 0 (merge resurrected deleted object)", v)
+	}
 }

@@ -51,7 +51,27 @@
 // (backpressure), and Close drains every accepted invocation before
 // shutting down. The REST gateway exposes the same path via
 // POST .../invoke-async/{fn}, POST /api/invoke-batch, and
-// GET /api/invocations/{id}.
+// GET /api/invocations/{id}. Completed and failed invocation records
+// can be garbage-collected after a TTL (Config.AsyncRecordTTL) so the
+// record table stays bounded; evictions show up in
+// Stats().Async.Evicted.
+//
+// Contention semantics: concurrent invocations on the same object are
+// serialized when the object's class declares structured state keys —
+// the platform holds a per-object lock across the whole
+// load-state → execute → merge-delta window, so read-modify-write
+// methods (counters, account balances) never lose updates, no matter
+// how many clients or async workers target one hot object.
+// Invocations on distinct objects run in parallel (the locks are
+// striped per class, so two distinct objects contend only on a rare
+// hash collision), and classes without structured state skip the lock
+// entirely (parallel dataflow steps on one object stay concurrent).
+// Two rules follow: handler code must not synchronously invoke another
+// stateful object of the same class from inside a method — compose
+// same-class interactions through dataflows or the async queue — and
+// if a single object must absorb more write throughput than serialized
+// invocations allow, shard the state across several objects and
+// aggregate on read.
 //
 // The subpackages under internal/ implement the platform and every
 // substrate it depends on (cluster simulator, FaaS engines, document
