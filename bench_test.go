@@ -385,10 +385,15 @@ func recordInvokeBench(name string, opsPerSec float64) {
 // workload: every invocation bundles this many keys into the task.
 const hotPathKeys = 8
 
+// hotHandlerDelay is the simulated per-invocation function service
+// time of the HotCounter workload (see setupHotPathPlatform).
+const hotHandlerDelay = 50 * time.Microsecond
+
 // setupHotPathPlatform deploys a Spread class (hotPathKeys keys without
 // defaults, so cold reads must go to the backing store) and a
-// HotCounter class (one numeric key bumped per call).
-func setupHotPathPlatform(b *testing.B, readLatency time.Duration) *Platform {
+// HotCounter class (one numeric key bumped per call, plus a readonly
+// peek), with the given per-object concurrency mode.
+func setupHotPathPlatform(b *testing.B, readLatency time.Duration, conc ConcurrencyMode) *Platform {
 	b.Helper()
 	noServe := false
 	tmpl := Template{
@@ -402,6 +407,7 @@ func setupHotPathPlatform(b *testing.B, readLatency time.Duration) *Platform {
 		DBReadLatency:    readLatency,
 		Templates:        []Template{tmpl},
 		ServeObjectStore: &noServe,
+		ConcurrencyMode:  conc,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -409,13 +415,31 @@ func setupHotPathPlatform(b *testing.B, readLatency time.Duration) *Platform {
 	plat.Images().Register("img/touch", HandlerFunc(func(_ context.Context, task Task) (Result, error) {
 		return Result{Output: json.RawMessage(`"ok"`)}, nil
 	}))
-	plat.Images().Register("img/bump", HandlerFunc(func(_ context.Context, task Task) (Result, error) {
+	// The HotCounter handlers simulate a small service time: hot-object
+	// throughput is about how the runtime schedules concurrent windows
+	// (serialize vs interleave), which only shows against nonzero
+	// function work. The locked mode pays the delay serially per
+	// invocation; concurrent regimes overlap it.
+	plat.Images().Register("img/bump", HandlerFunc(func(ctx context.Context, task Task) (Result, error) {
 		var n float64
 		if raw, ok := task.State["n"]; ok {
 			_ = json.Unmarshal(raw, &n)
 		}
+		select {
+		case <-time.After(hotHandlerDelay):
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		}
 		out, _ := json.Marshal(n + 1)
 		return Result{Output: out, State: map[string]json.RawMessage{"n": out}}, nil
+	}))
+	plat.Images().Register("img/peek", HandlerFunc(func(ctx context.Context, task Task) (Result, error) {
+		select {
+		case <-time.After(hotHandlerDelay):
+		case <-ctx.Done():
+			return Result{}, ctx.Err()
+		}
+		return Result{Output: task.State["n"]}, nil
 	}))
 	pkg := "classes:\n  - name: Spread\n    keySpecs:\n"
 	for k := 0; k < hotPathKeys; k++ {
@@ -424,6 +448,7 @@ func setupHotPathPlatform(b *testing.B, readLatency time.Duration) *Platform {
 	pkg += "    functions:\n      - name: touch\n        image: img/touch\n"
 	pkg += "  - name: HotCounter\n    keySpecs:\n      - name: n\n        kind: number\n        default: 0\n"
 	pkg += "    functions:\n      - name: bump\n        image: img/bump\n"
+	pkg += "      - name: peek\n        image: img/peek\n        readonly: true\n"
 	if _, err := plat.DeployYAML(context.Background(), []byte(pkg)); err != nil {
 		plat.Close()
 		b.Fatal(err)
@@ -440,12 +465,21 @@ func setupHotPathPlatform(b *testing.B, readLatency time.Duration) *Platform {
 //     difference under measurement).
 //   - spread-warm: invocations round-robin over a warm working set;
 //     state loads are memory hits (shard-lock amortization).
-//   - hot-object: concurrent clients bump one counter object
-//     (per-object serialization cost; correctness-bounded).
+//   - hot-object{,-locked,-occ}: concurrent clients bump one counter
+//     object under each concurrency mode (correctness-bounded: the
+//     locked mode serializes, OCC interleaves through validated
+//     commit retries, and the unsuffixed variant is the adaptive
+//     default).
+//   - hot-object-readonly-w{1,8}: annotated read-only invocations on
+//     one hot object at 1 and 8 workers — the lock-free fast path
+//     that skips both locking and the merge/commit.
+//   - hot-object-readmix-{occ,locked}: a 90/10 read/write mix on one
+//     hot object, the regime where optimistic interleaving beats the
+//     serialized window.
 func BenchmarkInvokeHotPath(b *testing.B) {
 	ctx := context.Background()
 	b.Run("spread-cold-reads", func(b *testing.B) {
-		plat := setupHotPathPlatform(b, 250*time.Microsecond)
+		plat := setupHotPathPlatform(b, 250*time.Microsecond, ConcurrencyAdaptive)
 		defer plat.Close()
 		ids := make([]string, b.N)
 		seed := make(map[string]json.RawMessage, hotPathKeys*b.N)
@@ -477,7 +511,7 @@ func BenchmarkInvokeHotPath(b *testing.B) {
 		recordInvokeBench("invoke/spread-cold-reads", ops)
 	})
 	b.Run("spread-warm", func(b *testing.B) {
-		plat := setupHotPathPlatform(b, 250*time.Microsecond)
+		plat := setupHotPathPlatform(b, 250*time.Microsecond, ConcurrencyAdaptive)
 		defer plat.Close()
 		const working = 512
 		ids := make([]string, working)
@@ -512,29 +546,101 @@ func BenchmarkInvokeHotPath(b *testing.B) {
 		b.ReportMetric(ops, "ops/s")
 		recordInvokeBench("invoke/spread-warm", ops)
 	})
-	b.Run("hot-object", func(b *testing.B) {
-		plat := setupHotPathPlatform(b, 0)
-		defer plat.Close()
-		id, err := plat.CreateObject(ctx, "HotCounter", "hot-0")
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportAllocs()
-		b.SetParallelism(4)
-		b.ResetTimer()
-		b.RunParallel(func(pb *testing.PB) {
-			for pb.Next() {
-				if _, err := plat.Invoke(ctx, id, "bump", nil, nil); err != nil {
-					b.Error(err)
-					return
-				}
+	hotObject := func(name string, conc ConcurrencyMode) {
+		b.Run(name, func(b *testing.B) {
+			plat := setupHotPathPlatform(b, 0, conc)
+			defer plat.Close()
+			id, err := plat.CreateObject(ctx, "HotCounter", "hot-0")
+			if err != nil {
+				b.Fatal(err)
 			}
+			b.ReportAllocs()
+			b.SetParallelism(4)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := plat.Invoke(ctx, id, "bump", nil, nil); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			ops := float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(ops, "ops/s")
+			recordInvokeBench("invoke/"+name, ops)
 		})
-		b.StopTimer()
-		ops := float64(b.N) / b.Elapsed().Seconds()
-		b.ReportMetric(ops, "ops/s")
-		recordInvokeBench("invoke/hot-object", ops)
-	})
+	}
+	hotObject("hot-object", ConcurrencyAdaptive)
+	hotObject("hot-object-locked", ConcurrencyLocked)
+	hotObject("hot-object-occ", ConcurrencyOCC)
+	for _, workers := range []int{1, 8} {
+		name := fmt.Sprintf("hot-object-readonly-w%d", workers)
+		b.Run(name, func(b *testing.B) {
+			plat := setupHotPathPlatform(b, 0, ConcurrencyOCC)
+			defer plat.Close()
+			id, err := plat.CreateObject(ctx, "HotCounter", "hot-0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			// One write warms the key so every peek is a memory hit.
+			if _, err := plat.Invoke(ctx, id, "bump", nil, nil); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for next.Add(1) <= int64(b.N) {
+						if _, err := plat.Invoke(ctx, id, "peek", nil, nil); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			ops := float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(ops, "ops/s")
+			recordInvokeBench("invoke/"+name, ops)
+		})
+	}
+	for _, conc := range []ConcurrencyMode{ConcurrencyOCC, ConcurrencyLocked} {
+		name := fmt.Sprintf("hot-object-readmix-%s", conc)
+		b.Run(name, func(b *testing.B) {
+			plat := setupHotPathPlatform(b, 0, conc)
+			defer plat.Close()
+			id, err := plat.CreateObject(ctx, "HotCounter", "hot-0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.SetParallelism(4)
+			b.ResetTimer()
+			var seq atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					fn := "peek"
+					if seq.Add(1)%10 == 0 {
+						fn = "bump" // 10% writes
+					}
+					if _, err := plat.Invoke(ctx, id, fn, nil, nil); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			ops := float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(ops, "ops/s")
+			recordInvokeBench("invoke/"+name, ops)
+		})
+	}
 }
 
 // --- Substrate micro-benchmarks --------------------------------------

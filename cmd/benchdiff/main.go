@@ -1,0 +1,150 @@
+// Command benchdiff is the CI bench regression guard: it parses a `go
+// test -bench` output stream, extracts every BenchmarkInvokeHotPath
+// sub-benchmark's ops/s metric, and compares it against the committed
+// BENCH_invoke.json snapshot. A sub-benchmark running more than the
+// threshold factor (default 5x) below its snapshot fails the run, as
+// does a snapshot entry missing from the stream (a renamed or deleted
+// benchmark means the snapshot is stale).
+//
+// The smoke run feeding it should use a small fixed iteration count
+// (e.g. -benchtime=200x): enough iterations to amortize first-call
+// effects and let the multi-worker sub-benchmarks actually overlap,
+// while staying a few seconds of CI time. The wide threshold absorbs
+// the remaining smoke-run noise; only order-of-magnitude regressions
+// — a serialization bug on the hot path, an accidental O(n) — trip it.
+//
+// Usage:
+//
+//	go test -bench=InvokeHotPath -benchtime=200x -run='^$' . > bench.out
+//	go run ./cmd/benchdiff -snapshot BENCH_invoke.json bench.out
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchLine matches one benchmark result line and captures the
+// sub-benchmark name and its ops/s metric, e.g.
+//
+//	BenchmarkInvokeHotPath/hot-object-8  1234  567 ns/op  890 ops/s
+var benchLine = regexp.MustCompile(`^BenchmarkInvokeHotPath/(\S+)\s.*?([0-9.]+(?:e[+-]?[0-9]+)?) ops/s`)
+
+// procSuffix is the -GOMAXPROCS suffix the testing package appends to
+// parallel benchmark names when GOMAXPROCS > 1.
+var procSuffix = regexp.MustCompile(`-[0-9]+$`)
+
+// parseOps extracts "invoke/<sub>" -> ops/s from bench output.
+func parseOps(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(m[1], "")
+		ops, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchdiff: bad ops/s %q on %q: %w", m[2], name, err)
+		}
+		out["invoke/"+name] = ops
+	}
+	return out, sc.Err()
+}
+
+// compare checks every snapshot entry against the measured run and
+// returns human-readable regression reports (empty means pass).
+func compare(snapshot, measured map[string]float64, threshold float64) []string {
+	keys := make([]string, 0, len(snapshot))
+	for k := range snapshot {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var regressions []string
+	for _, k := range keys {
+		want := snapshot[k]
+		got, ok := measured[k]
+		if !ok {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: missing from bench output (stale snapshot or renamed benchmark)", k))
+			continue
+		}
+		if want <= 0 {
+			continue
+		}
+		if got < want/threshold {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.1f ops/s is more than %.0fx below snapshot %.1f ops/s", k, got, threshold, want))
+		}
+	}
+	return regressions
+}
+
+func run() error {
+	snapshotPath := flag.String("snapshot", "BENCH_invoke.json", "committed snapshot to compare against")
+	threshold := flag.Float64("threshold", 5, "maximum tolerated slowdown factor vs the snapshot")
+	flag.Parse()
+	raw, err := os.ReadFile(*snapshotPath)
+	if err != nil {
+		return fmt.Errorf("benchdiff: reading snapshot: %w", err)
+	}
+	var snapshot map[string]float64
+	if err := json.Unmarshal(raw, &snapshot); err != nil {
+		return fmt.Errorf("benchdiff: decoding snapshot: %w", err)
+	}
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			return fmt.Errorf("benchdiff: %w", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	measured, err := parseOps(in)
+	if err != nil {
+		return err
+	}
+	if len(measured) == 0 {
+		return fmt.Errorf("benchdiff: no BenchmarkInvokeHotPath results in input")
+	}
+	for _, k := range sortedKeys(measured) {
+		if want, ok := snapshot[k]; ok {
+			fmt.Printf("%-38s %12.1f ops/s  (snapshot %12.1f, %5.2fx)\n", k, measured[k], want, measured[k]/want)
+		} else {
+			fmt.Printf("%-38s %12.1f ops/s  (no snapshot entry)\n", k, measured[k])
+		}
+	}
+	if regs := compare(snapshot, measured, *threshold); len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, "REGRESSION:", r)
+		}
+		return fmt.Errorf("benchdiff: %d regression(s)", len(regs))
+	}
+	fmt.Printf("benchdiff: %d benchmarks within %.0fx of snapshot\n", len(measured), *threshold)
+	return nil
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: github.com/hpcclab/oparaca-go
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkInvokeHotPath/spread-cold-reads         	    2134	   1114212 ns/op	       897.5 ops/s	    5291 B/op	      31 allocs/op
+BenchmarkInvokeHotPath/spread-warm-8             	  431349	      5155 ns/op	    193997 ops/s	    1764 B/op	      20 allocs/op
+BenchmarkInvokeHotPath/hot-object-readonly-w8-4  	   17586	    136242 ns/op	      7340 ops/s	    1404 B/op	      13 allocs/op
+BenchmarkMicroKVStorePut-8                       	  999999	       500 ns/op
+PASS
+ok  	github.com/hpcclab/oparaca-go	23.751s
+`
+
+func TestParseOps(t *testing.T) {
+	got, err := parseOps(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"invoke/spread-cold-reads":      897.5,
+		"invoke/spread-warm":            193997,
+		"invoke/hot-object-readonly-w8": 7340,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d entries (%v), want %d", len(got), got, len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("%s = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	snapshot := map[string]float64{
+		"invoke/a": 1000,
+		"invoke/b": 1000,
+		"invoke/c": 1000,
+	}
+	measured := map[string]float64{
+		"invoke/a": 900, // fine
+		"invoke/b": 150, // >5x below
+		// c missing entirely
+	}
+	regs := compare(snapshot, measured, 5)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want 2 entries", regs)
+	}
+	if !strings.Contains(regs[0], "invoke/b") {
+		t.Errorf("first regression %q should name invoke/b", regs[0])
+	}
+	if !strings.Contains(regs[1], "invoke/c") {
+		t.Errorf("second regression %q should name invoke/c", regs[1])
+	}
+}
+
+func TestCompareExactThresholdPasses(t *testing.T) {
+	snapshot := map[string]float64{"invoke/a": 1000}
+	// Exactly 1/5th of the snapshot is the boundary: not a regression.
+	if regs := compare(snapshot, map[string]float64{"invoke/a": 200}, 5); len(regs) != 0 {
+		t.Fatalf("boundary value flagged: %v", regs)
+	}
+	if regs := compare(snapshot, map[string]float64{"invoke/a": 199}, 5); len(regs) != 1 {
+		t.Fatal("just-below-boundary value not flagged")
+	}
+}

@@ -29,7 +29,7 @@ const counterPackage = `classes:
         image: img/bump
 `
 
-func newCounterPlatform(t *testing.T, mode memtable.Mode) (*Platform, string) {
+func newCounterPlatform(t *testing.T, mode memtable.Mode, conc ConcurrencyMode) (*Platform, string) {
 	t.Helper()
 	noServe := false
 	tmpl := Template{
@@ -42,6 +42,7 @@ func newCounterPlatform(t *testing.T, mode memtable.Mode) (*Platform, string) {
 		Templates:        []Template{tmpl},
 		ServeObjectStore: &noServe,
 		AsyncWorkers:     8,
+		ConcurrencyMode:  conc,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -79,8 +80,11 @@ func newCounterPlatform(t *testing.T, mode memtable.Mode) (*Platform, string) {
 
 // TestHotObjectCounterIsExact bumps one counter object 100 times from
 // 4 concurrent clients and requires the final value to be exactly 100
-// — the lost-update regression the per-object serialization fixes
-// (with serialization disabled, this run lands around 29/100).
+// — the lost-update regression per-object concurrency control fixes
+// (with no control at all, this run lands around 29/100). It sweeps
+// all three concurrency modes: locked serializes the window, occ
+// preserves exactness through version-validated commit retries, and
+// adaptive mixes the two regimes on the fly.
 func TestHotObjectCounterIsExact(t *testing.T) {
 	const (
 		clients = 4
@@ -90,16 +94,26 @@ func TestHotObjectCounterIsExact(t *testing.T) {
 	cases := []struct {
 		name  string
 		mode  memtable.Mode
+		conc  ConcurrencyMode
 		async bool
 	}{
-		{"sync/write-behind", TableWriteBehind, false},
-		{"sync/memory-only", TableMemoryOnly, false},
-		{"async/write-behind", TableWriteBehind, true},
-		{"async/memory-only", TableMemoryOnly, true},
+		{"sync/write-behind/locked", TableWriteBehind, ConcurrencyLocked, false},
+		{"sync/write-behind/occ", TableWriteBehind, ConcurrencyOCC, false},
+		{"sync/write-behind/adaptive", TableWriteBehind, ConcurrencyAdaptive, false},
+		{"sync/memory-only/locked", TableMemoryOnly, ConcurrencyLocked, false},
+		{"sync/memory-only/occ", TableMemoryOnly, ConcurrencyOCC, false},
+		{"sync/memory-only/adaptive", TableMemoryOnly, ConcurrencyAdaptive, false},
+		{"sync/write-through/occ", TableWriteThrough, ConcurrencyOCC, false},
+		{"async/write-behind/locked", TableWriteBehind, ConcurrencyLocked, true},
+		{"async/write-behind/occ", TableWriteBehind, ConcurrencyOCC, true},
+		{"async/write-behind/adaptive", TableWriteBehind, ConcurrencyAdaptive, true},
+		{"async/memory-only/locked", TableMemoryOnly, ConcurrencyLocked, true},
+		{"async/memory-only/occ", TableMemoryOnly, ConcurrencyOCC, true},
+		{"async/memory-only/adaptive", TableMemoryOnly, ConcurrencyAdaptive, true},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			plat, id := newCounterPlatform(t, c.mode)
+			plat, id := newCounterPlatform(t, c.mode, c.conc)
 			ctx := context.Background()
 			var wg sync.WaitGroup
 			errs := make(chan error, clients)
@@ -141,6 +155,23 @@ func TestHotObjectCounterIsExact(t *testing.T) {
 			}
 			if string(v) != fmt.Sprintf("%d", total) {
 				t.Fatalf("counter = %s, want exactly %d (lost updates)", v, total)
+			}
+			cs, ok := plat.Stats().Concurrency["Counter"]
+			if !ok {
+				t.Fatal("Stats().Concurrency has no entry for Counter")
+			}
+			if cs.Mode != string(c.conc) {
+				t.Fatalf("Stats().Concurrency mode = %q, want %q", cs.Mode, c.conc)
+			}
+			if c.conc == ConcurrencyLocked {
+				if cs.Commits != 0 {
+					t.Fatalf("locked mode recorded %d CAS commits, want 0", cs.Commits)
+				}
+			} else if cs.Commits != total {
+				// Every bump writes state, so every invocation must land
+				// as exactly one validated commit no matter how many
+				// aborts and retries it took.
+				t.Fatalf("CAS commits = %d, want %d", cs.Commits, total)
 			}
 		})
 	}

@@ -129,6 +129,14 @@ type Config struct {
 	// GCInterval is the eviction sweep period. Defaults to RecordTTL/4
 	// (clamped to at least 1ms) and is ignored when RecordTTL is zero.
 	GCInterval time.Duration
+	// MaxRetries re-runs a failed invocation up to this many
+	// additional times before the record goes terminal-failed. A
+	// cancelled submission context is never retried. Zero disables
+	// retries.
+	MaxRetries int
+	// RetryBackoff is the delay before the first retry, doubled per
+	// attempt. Defaults to 10ms when MaxRetries is set.
+	RetryBackoff time.Duration
 	// Metrics receives queue gauges/counters/histograms. A private
 	// registry is created when nil.
 	Metrics *metrics.Registry
@@ -157,6 +165,9 @@ func (c Config) withDefaults() Config {
 		if c.GCInterval < time.Millisecond {
 			c.GCInterval = time.Millisecond
 		}
+	}
+	if c.MaxRetries > 0 && c.RetryBackoff <= 0 {
+		c.RetryBackoff = 10 * time.Millisecond
 	}
 	if c.Clock == nil {
 		c.Clock = vclock.NewReal()
@@ -485,7 +496,7 @@ func (q *Queue) run(t task) {
 	}
 	q.putRecord(rec)
 	m.Gauge("queue.inflight").Add(1)
-	out, err := q.invoke(t)
+	out, err := q.invokeWithRetries(t)
 	m.Gauge("queue.inflight").Add(-1)
 	if err == nil && len(out) > 0 && !json.Valid(out) {
 		err = fmt.Errorf("asyncq: handler returned invalid JSON output")
@@ -500,6 +511,35 @@ func (q *Queue) run(t task) {
 		m.Counter("queue.completed").Inc()
 	}
 	q.putRecord(rec)
+}
+
+// invokeWithRetries drives the retry policy: a failed invocation is
+// re-run up to MaxRetries additional times, waiting RetryBackoff
+// (doubled per attempt) between runs, before the failure becomes
+// terminal. Retries run inline on the worker — the record stays
+// "running" across attempts — and stop immediately once the
+// submitter's context is cancelled. Each re-run is counted in the
+// queue.retries metric (Stats().Retried).
+func (q *Queue) invokeWithRetries(t task) (json.RawMessage, error) {
+	out, err := q.invoke(t)
+	if err == nil || q.cfg.MaxRetries <= 0 {
+		return out, err
+	}
+	backoff := q.cfg.RetryBackoff
+	for attempt := 0; attempt < q.cfg.MaxRetries; attempt++ {
+		if t.ctx.Err() != nil {
+			return out, err
+		}
+		if serr := q.cfg.Clock.Sleep(t.ctx, backoff); serr != nil {
+			return out, err
+		}
+		backoff *= 2
+		q.cfg.Metrics.Counter("queue.retries").Inc()
+		if out, err = q.invoke(t); err == nil {
+			return out, nil
+		}
+	}
+	return out, err
 }
 
 // invoke calls the handler with panic isolation.
@@ -528,6 +568,9 @@ type Stats struct {
 	Rejected  int64 `json:"rejected"`
 	Completed int64 `json:"completed"`
 	Failed    int64 `json:"failed"`
+	// Retried counts re-runs of failed invocations under the retry
+	// policy (Config.MaxRetries).
+	Retried int64 `json:"retried"`
 	// Evicted counts terminal records garbage-collected after
 	// Config.RecordTTL elapsed.
 	Evicted int64 `json:"evicted"`
@@ -548,6 +591,7 @@ func (q *Queue) Stats() Stats {
 		Rejected:   m.Counter("queue.rejected").Value(),
 		Completed:  m.Counter("queue.completed").Value(),
 		Failed:     m.Counter("queue.failed").Value(),
+		Retried:    m.Counter("queue.retries").Value(),
 		Evicted:    m.Counter("queue.evicted").Value(),
 		DequeueP50: m.Histogram("queue.wait").Quantile(0.5),
 	}

@@ -116,6 +116,18 @@ type Config struct {
 	// AsyncGCInterval overrides the record-eviction sweep period
 	// (defaults to AsyncRecordTTL/4).
 	AsyncGCInterval time.Duration
+	// AsyncMaxRetries re-runs a failed asynchronous invocation up to
+	// this many additional times (with AsyncRetryBackoff between
+	// attempts) before its record goes terminal-failed. Zero disables
+	// retries.
+	AsyncMaxRetries int
+	// AsyncRetryBackoff is the delay before the first async retry,
+	// doubled per attempt. Defaults to 10ms when retries are enabled.
+	AsyncRetryBackoff time.Duration
+	// ConcurrencyMode is the default invocation concurrency mode for
+	// classes that do not declare their own (occ, locked or adaptive;
+	// see model.ConcurrencyMode). Defaults to adaptive.
+	ConcurrencyMode model.ConcurrencyMode
 	// ServeObjectStore starts a loopback HTTP server for the object
 	// store so presigned URLs are fetchable. Defaults to true; benches
 	// that never touch file keys can disable it.
@@ -242,14 +254,16 @@ func New(cfg Config) (*Platform, error) {
 	// The async queue drains through the synchronous Invoke path and
 	// persists its invocation records in the shared document store.
 	p.queue, err = asyncq.New(asyncq.Config{
-		Invoke:     p.Invoke,
-		Workers:    cfg.AsyncWorkers,
-		Capacity:   cfg.AsyncQueueCapacity,
-		Shards:     cfg.AsyncQueueShards,
-		RecordTTL:  cfg.AsyncRecordTTL,
-		GCInterval: cfg.AsyncGCInterval,
-		Backing:    p.backing,
-		Clock:      cfg.Clock,
+		Invoke:       p.Invoke,
+		Workers:      cfg.AsyncWorkers,
+		Capacity:     cfg.AsyncQueueCapacity,
+		Shards:       cfg.AsyncQueueShards,
+		RecordTTL:    cfg.AsyncRecordTTL,
+		GCInterval:   cfg.AsyncGCInterval,
+		MaxRetries:   cfg.AsyncMaxRetries,
+		RetryBackoff: cfg.AsyncRetryBackoff,
+		Backing:      p.backing,
+		Clock:        cfg.Clock,
 	})
 	if err != nil {
 		p.backing.Close()
@@ -371,6 +385,7 @@ func (p *Platform) infra() runtime.Infra {
 		ColdStart:       p.cfg.ColdStart,
 		ScaleInterval:   p.cfg.ScaleInterval,
 		IdleTimeout:     p.cfg.IdleTimeout,
+		ConcurrencyMode: p.cfg.ConcurrencyMode,
 		Clock:           p.cfg.Clock,
 	}
 }
@@ -726,13 +741,14 @@ func (p *Platform) PresignFile(objectID, key, method string) (string, error) {
 
 // Stats is a platform-wide snapshot.
 type Stats struct {
-	Workers     int                `json:"workers"`
-	Classes     []string           `json:"classes"`
-	Objects     int                `json:"objects"`
-	DB          kvstore.Stats      `json:"db"`
-	ByClass     map[string]float64 `json:"throughput_rps"`
-	Invocations int64              `json:"invocations"`
-	Async       asyncq.Stats       `json:"async"`
+	Workers     int                                 `json:"workers"`
+	Classes     []string                            `json:"classes"`
+	Objects     int                                 `json:"objects"`
+	DB          kvstore.Stats                       `json:"db"`
+	ByClass     map[string]float64                  `json:"throughput_rps"`
+	Invocations int64                               `json:"invocations"`
+	Async       asyncq.Stats                        `json:"async"`
+	Concurrency map[string]runtime.ConcurrencyStats `json:"concurrency"`
 }
 
 // Stats snapshots the platform.
@@ -740,11 +756,12 @@ func (p *Platform) Stats() Stats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	s := Stats{
-		Workers: p.cluster.NodeCount(),
-		Objects: len(p.dir),
-		DB:      p.backing.Stats(),
-		ByClass: make(map[string]float64, len(p.runtimes)),
-		Async:   p.queue.Stats(),
+		Workers:     p.cluster.NodeCount(),
+		Objects:     len(p.dir),
+		DB:          p.backing.Stats(),
+		ByClass:     make(map[string]float64, len(p.runtimes)),
+		Async:       p.queue.Stats(),
+		Concurrency: make(map[string]runtime.ConcurrencyStats, len(p.runtimes)),
 	}
 	for name := range p.classes {
 		s.Classes = append(s.Classes, name)
@@ -753,6 +770,7 @@ func (p *Platform) Stats() Stats {
 	for name, rt := range p.runtimes {
 		s.ByClass[name] = rt.ThroughputRPS()
 		s.Invocations += rt.Metrics().Counter("invoke.total").Value()
+		s.Concurrency[name] = rt.ConcurrencyStats()
 	}
 	return s
 }

@@ -6,6 +6,7 @@
 package gateway
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -13,6 +14,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 
 	"github.com/hpcclab/oparaca-go/internal/asyncq"
 	"github.com/hpcclab/oparaca-go/internal/core"
@@ -62,11 +64,37 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
-// writeJSON writes v as JSON with the given status.
+// bufPool recycles response-encoding buffers so writeJSON does not
+// allocate a fresh encoder and staging buffer per request.
+var bufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
+// maxPooledBuf caps the size of buffers returned to the pool; an
+// occasional huge response (a big invocation output) must not pin its
+// buffer for the rest of the process lifetime.
+const maxPooledBuf = 64 << 10
+
+// writeJSON writes v as JSON with the given status. The value is
+// encoded into a pooled buffer before the header goes out, so an
+// encode failure produces a clean 500 error envelope instead of a
+// success status line glued to a broken body.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer func() {
+		if buf.Cap() <= maxPooledBuf {
+			bufPool.Put(buf)
+		}
+	}()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		buf.Reset()
+		_ = json.NewEncoder(buf).Encode(errorBody{Error: "encoding response: " + err.Error()})
+		status = http.StatusInternalServerError
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
 }
 
 // writeError maps platform errors onto HTTP statuses.

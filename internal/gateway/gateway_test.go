@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -479,4 +480,50 @@ func TestInvokeRegionHeaderChargesLatency(t *testing.T) {
 	if local >= remote {
 		t.Fatalf("same-region (%v) not faster than cross-region (%v)", local, remote)
 	}
+}
+
+// TestWriteJSONEncodeFailureIs500 verifies the buffered encoder fixes
+// the status-before-encode ordering: an unencodable value produces a
+// clean 500 error envelope, never a 200 glued to a broken body.
+func TestWriteJSONEncodeFailureIs500(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, map[string]any{"bad": func() {}})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", rec.Code)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("error envelope is not valid JSON: %v (%s)", err, rec.Body.Bytes())
+	}
+	if body.Error == "" {
+		t.Fatal("error envelope is empty")
+	}
+}
+
+// TestWriteJSONReusesPooledBuffers exercises the pooled path across
+// concurrent writers and verifies responses stay intact.
+func TestWriteJSONReusesPooledBuffers(t *testing.T) {
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				rec := httptest.NewRecorder()
+				writeJSON(rec, http.StatusOK, map[string]int{"w": w, "i": i})
+				var got map[string]int
+				if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+					t.Errorf("corrupt body: %v", err)
+					return
+				}
+				if got["w"] != w || got["i"] != i {
+					t.Errorf("cross-talk: got %v, want w=%d i=%d", got, w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 }

@@ -1,0 +1,165 @@
+package kvstore
+
+// Contention and fault coverage for CompareAndPut, the optimistic
+// concurrency primitive the memtable's PutManyIfVersion mirrors.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestCompareAndPutContended runs concurrent read-CAS-retry increment
+// loops against one key: every increment must land exactly once and
+// the final version must equal the number of successful commits.
+func TestCompareAndPutContended(t *testing.T) {
+	s := Open(Config{})
+	defer s.Close()
+	ctx := context.Background()
+	const workers, perEach = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perEach; i++ {
+				for {
+					var n int
+					var expect int64
+					if doc, err := s.Get(ctx, "n"); err == nil {
+						expect = doc.Version
+						if err := json.Unmarshal(doc.Value, &n); err != nil {
+							t.Error(err)
+							return
+						}
+					} else if !errors.Is(err, ErrNotFound) {
+						t.Error(err)
+						return
+					}
+					raw, _ := json.Marshal(n + 1)
+					_, err := s.CompareAndPut(ctx, "n", raw, expect)
+					if err == nil {
+						break
+					}
+					if !errors.Is(err, ErrVersionMismatch) {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	doc, err := s.Get(ctx, "n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = workers * perEach
+	if string(doc.Value) != fmt.Sprintf("%d", total) {
+		t.Fatalf("n = %s, want %d (lost updates)", doc.Value, total)
+	}
+	if doc.Version != total {
+		t.Fatalf("version = %d, want %d (one bump per commit)", doc.Version, total)
+	}
+}
+
+// TestCompareAndPutStaleAlwaysFails pins a stale expectation and
+// verifies it can never land, no matter how often it is retried.
+func TestCompareAndPutStaleAlwaysFails(t *testing.T) {
+	s := Open(Config{})
+	defer s.Close()
+	ctx := context.Background()
+	doc, err := s.Put(ctx, "k", json.RawMessage(`1`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := doc.Version
+	if _, err := s.Put(ctx, "k", json.RawMessage(`2`)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		_, err := s.CompareAndPut(ctx, "k", json.RawMessage(`99`), stale)
+		if !errors.Is(err, ErrVersionMismatch) {
+			t.Fatalf("attempt %d: err = %v, want ErrVersionMismatch", i, err)
+		}
+	}
+	// Creation CAS against an existing key is just another stale case.
+	if _, err := s.CompareAndPut(ctx, "k", json.RawMessage(`99`), 0); !errors.Is(err, ErrVersionMismatch) {
+		t.Fatalf("expect-0 on existing key: err = %v, want ErrVersionMismatch", err)
+	}
+	cur, err := s.Get(ctx, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cur.Value) != "2" {
+		t.Fatalf("k = %s, want 2 (stale CAS must never land)", cur.Value)
+	}
+}
+
+// TestCompareAndPutFaultInjection verifies injected write failures
+// surface through CompareAndPut before any state or version changes.
+func TestCompareAndPutFaultInjection(t *testing.T) {
+	s := Open(Config{})
+	defer s.Close()
+	ctx := context.Background()
+	doc, err := s.Put(ctx, "k", json.RawMessage(`1`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk on fire")
+	s.InjectWriteFailures(1, boom)
+	if _, err := s.CompareAndPut(ctx, "k", json.RawMessage(`2`), doc.Version); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	if got := s.FaultsServed(); got != 1 {
+		t.Fatalf("faults served = %d, want 1", got)
+	}
+	cur, err := s.Get(ctx, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cur.Value) != "1" || cur.Version != doc.Version {
+		t.Fatalf("k = {%s, v%d}, want unchanged {1, v%d}", cur.Value, cur.Version, doc.Version)
+	}
+	// The same expectation commits once the fault clears: a failed CAS
+	// consumed nothing.
+	if _, err := s.CompareAndPut(ctx, "k", json.RawMessage(`2`), doc.Version); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchPutFaultIsAtomic verifies a mid-batch injected failure
+// leaves no partial writes behind: admission happens before any
+// document lands, so a failed batch is all-or-nothing.
+func TestBatchPutFaultIsAtomic(t *testing.T) {
+	s := Open(Config{})
+	defer s.Close()
+	ctx := context.Background()
+	boom := errors.New("batch exploded")
+	s.InjectWriteFailures(1, boom)
+	batch := map[string]json.RawMessage{
+		"a": json.RawMessage(`1`),
+		"b": json.RawMessage(`2`),
+		"c": json.RawMessage(`3`),
+	}
+	if err := s.BatchPut(ctx, batch); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	for k := range batch {
+		if _, err := s.Get(ctx, k); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("failed batch leaked key %q", k)
+		}
+	}
+	if s.Len() != 0 {
+		t.Fatalf("store holds %d docs after failed batch, want 0", s.Len())
+	}
+	if err := s.BatchPut(ctx, batch); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("store holds %d docs, want 3", s.Len())
+	}
+}

@@ -19,7 +19,16 @@ var (
 	ErrNotFound = errors.New("memtable: key not found")
 	// ErrClosed is returned after Close.
 	ErrClosed = errors.New("memtable: table closed")
+	// ErrVersionMismatch is returned by PutManyIfVersion when any key's
+	// current version differs from the caller's expectation. It aliases
+	// kvstore.ErrVersionMismatch so errors.Is sees one sentinel across
+	// both layers of the optimistic-concurrency stack.
+	ErrVersionMismatch = kvstore.ErrVersionMismatch
 )
+
+// AnyVersion, used as CASOp.Expect, skips version validation for that
+// key (an unconditional write inside an otherwise validated commit).
+const AnyVersion int64 = -1
 
 // Mode selects the table's persistence behaviour, mirroring the
 // paper's evaluation variants.
@@ -104,6 +113,14 @@ type shard struct {
 	// store by an in-flight BatchPut, resurrecting the key.
 	flushing map[string]int
 	deleted  map[string]bool
+	// vers tracks a monotonically increasing version per key, the
+	// substrate of the optimistic-concurrency path: every committed
+	// write (including deletes) bumps the key's version, read-throughs
+	// seed it from the backing document's version, and
+	// PutManyIfVersion validates against it. A key present in vers but
+	// absent from data is a deletion tombstone — versioned reads treat
+	// it as authoritatively deleted so a stale CAS cannot resurrect it.
+	vers map[string]int64
 }
 
 // Table is the distributed in-memory hash table. It is safe for
@@ -148,6 +165,7 @@ func New(cfg Config) (*Table, error) {
 			dirty:    make(map[string]bool),
 			flushing: make(map[string]int),
 			deleted:  make(map[string]bool),
+			vers:     make(map[string]int64),
 		}
 		name := shardName(i)
 		t.ring.Add(name)
@@ -255,6 +273,17 @@ func (t *Table) Get(ctx context.Context, key string) (json.RawMessage, error) {
 		t.statsMu.Unlock()
 		return v, nil
 	}
+	if _, tombstoned := sh.vers[key]; tombstoned {
+		// Deletion tombstone: the key is authoritatively deleted.
+		// Reading through would resurrect a stale backing copy (the
+		// backing delete may still be in flight or retrying) and
+		// re-arm the key's version for optimistic commits.
+		sh.mu.Unlock()
+		t.statsMu.Lock()
+		t.hits++
+		t.statsMu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
 	sh.mu.Unlock()
 	t.statsMu.Lock()
 	t.misses++
@@ -270,15 +299,22 @@ func (t *Table) Get(ctx context.Context, key string) (json.RawMessage, error) {
 		return nil, fmt.Errorf("memtable: read-through: %w", err)
 	}
 	sh.mu.Lock()
-	// Another writer may have raced us; do not clobber a dirty entry.
+	// Another writer may have raced us; do not clobber a dirty entry,
+	// and honor a tombstone a racing Delete left behind.
 	if v, ok := sh.data[key]; ok {
 		sh.mu.Unlock()
 		return v, nil
 	}
+	if _, tombstoned := sh.vers[key]; tombstoned {
+		sh.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
 	sh.data[key] = doc.Value
+	sh.vers[key] = doc.Version
 	sh.mu.Unlock()
 	return doc.Value, nil
 }
+
 
 // GetMany returns the values for keys, taking each shard lock once and
 // consolidating backing-store misses into a single kvstore.BatchGet
@@ -302,10 +338,15 @@ func (t *Table) GetMany(ctx context.Context, keys []string) (map[string]json.Raw
 			if v, ok := sh.data[k]; ok {
 				out[k] = v
 				hits++
-			} else {
-				missing = append(missing, k)
-				misses++
+				continue
 			}
+			if _, tombstoned := sh.vers[k]; tombstoned {
+				// Deleted: authoritatively absent, no read-through.
+				hits++
+				continue
+			}
+			missing = append(missing, k)
+			misses++
 		}
 	})
 	t.statsMu.Lock()
@@ -327,7 +368,8 @@ func (t *Table) GetMany(ctx context.Context, keys []string) (map[string]json.Raw
 		found = append(found, k)
 	}
 	// Cache the read-through results, again one lock per shard. A
-	// writer may have raced the batch read; its (newer) entry wins.
+	// writer may have raced the batch read: its (newer) entry wins,
+	// and a racing Delete's tombstone keeps the key absent.
 	t.forEachShardGroup(found, func(sh *shard, positions []int) {
 		for _, i := range positions {
 			k := found[i]
@@ -335,9 +377,106 @@ func (t *Table) GetMany(ctx context.Context, keys []string) (map[string]json.Raw
 				out[k] = v
 				continue
 			}
+			if _, tombstoned := sh.vers[k]; tombstoned {
+				continue
+			}
 			v := docs[k].Value
 			sh.data[k] = v
+			sh.vers[k] = docs[k].Version
 			out[k] = v
+		}
+	})
+	return out, nil
+}
+
+// VersionedValue couples a state value with the table version it was
+// read at. A nil Value means the key is absent; Version 0 means the
+// table has never seen the key (the expectation a creating CAS uses).
+type VersionedValue struct {
+	Value   json.RawMessage
+	Version int64
+}
+
+// GetManyVersioned is GetMany for the optimistic-concurrency path:
+// every requested key appears in the result with its current version,
+// so a later PutManyIfVersion can validate the whole read set. Keys
+// whose deletion tombstone is still tracked report their tombstone
+// version with a nil value (reading through would let a stale commit
+// resurrect them); keys found nowhere report {nil, 0}.
+func (t *Table) GetManyVersioned(ctx context.Context, keys []string) (map[string]VersionedValue, error) {
+	if t.isClosed() {
+		return nil, ErrClosed
+	}
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]VersionedValue, len(keys))
+	var missing []string
+	var hits, misses int64
+	t.forEachShardGroup(keys, func(sh *shard, positions []int) {
+		for _, i := range positions {
+			k := keys[i]
+			if v, ok := sh.data[k]; ok {
+				out[k] = VersionedValue{Value: v, Version: sh.vers[k]}
+				hits++
+				continue
+			}
+			if ver, ok := sh.vers[k]; ok {
+				// Deletion tombstone: authoritatively absent.
+				out[k] = VersionedValue{Version: ver}
+				hits++
+				continue
+			}
+			missing = append(missing, k)
+			misses++
+		}
+	})
+	t.statsMu.Lock()
+	t.hits += hits
+	t.misses += misses
+	t.statsMu.Unlock()
+	if len(missing) == 0 {
+		return out, nil
+	}
+	if t.cfg.Mode == ModeMemoryOnly {
+		for _, k := range missing {
+			out[k] = VersionedValue{}
+		}
+		return out, nil
+	}
+	docs, err := t.cfg.Backing.BatchGet(ctx, missing)
+	if err != nil {
+		return nil, fmt.Errorf("memtable: batch read-through: %w", err)
+	}
+	found := make([]string, 0, len(docs))
+	for _, k := range missing {
+		if _, ok := docs[k]; ok {
+			found = append(found, k)
+		} else {
+			out[k] = VersionedValue{}
+		}
+	}
+	if len(found) == 0 {
+		return out, nil
+	}
+	// Cache the read-through results with their backing versions. A
+	// writer (or deleter) may have raced the batch read; its newer
+	// table state wins over the fetched document.
+	t.forEachShardGroup(found, func(sh *shard, positions []int) {
+		for _, i := range positions {
+			k := found[i]
+			if v, ok := sh.data[k]; ok {
+				out[k] = VersionedValue{Value: v, Version: sh.vers[k]}
+				continue
+			}
+			if ver, ok := sh.vers[k]; ok {
+				out[k] = VersionedValue{Version: ver}
+				continue
+			}
+			v := docs[k].Value
+			sh.data[k] = v
+			sh.vers[k] = docs[k].Version
+			out[k] = VersionedValue{Value: v, Version: docs[k].Version}
 		}
 	})
 	return out, nil
@@ -370,6 +509,7 @@ func (t *Table) PutMany(ctx context.Context, entries map[string]json.RawMessage)
 		for _, i := range positions {
 			k := keys[i]
 			sh.data[k] = copied[k]
+			sh.vers[k]++
 			delete(sh.deleted, k) // a write supersedes a pending tombstone
 			if t.cfg.Mode == ModeWriteBehind {
 				sh.dirty[k] = true
@@ -404,6 +544,7 @@ func (t *Table) Put(ctx context.Context, key string, value json.RawMessage) erro
 		sh := t.shardFor(key)
 		sh.mu.Lock()
 		sh.data[key] = val
+		sh.vers[key]++
 		delete(sh.deleted, key)
 		sh.mu.Unlock()
 		return nil
@@ -411,12 +552,14 @@ func (t *Table) Put(ctx context.Context, key string, value json.RawMessage) erro
 		sh := t.shardFor(key)
 		sh.mu.Lock()
 		sh.data[key] = val
+		sh.vers[key]++
 		sh.mu.Unlock()
 		return nil
 	default: // ModeWriteBehind
 		sh := t.shardFor(key)
 		sh.mu.Lock()
 		sh.data[key] = val
+		sh.vers[key]++
 		sh.dirty[key] = true
 		// A write supersedes any pending tombstone for the key.
 		delete(sh.deleted, key)
@@ -442,6 +585,9 @@ func (t *Table) Delete(ctx context.Context, key string) error {
 	sh.mu.Lock()
 	delete(sh.data, key)
 	delete(sh.dirty, key)
+	// The tombstone version stays behind (and advances) so a CAS
+	// holding a pre-delete version can never resurrect the key.
+	sh.vers[key]++
 	if sh.flushing[key] > 0 {
 		// The key is in a flush batch already snapshotted: the
 		// in-flight BatchPut would re-create it in the backing store
@@ -455,6 +601,147 @@ func (t *Table) Delete(ctx context.Context, key string) error {
 	}
 	if err := t.cfg.Backing.Delete(ctx, key); err != nil {
 		return fmt.Errorf("memtable: delete: %w", err)
+	}
+	return nil
+}
+
+// CASOp is one key's part of a PutManyIfVersion commit.
+type CASOp struct {
+	// Expect is the version the caller observed via GetManyVersioned
+	// (0 for a key the table has never seen). AnyVersion skips
+	// validation for this key.
+	Expect int64
+	// Value is the new value; nil deletes the key. Ignored unless
+	// Write is set.
+	Value json.RawMessage
+	// Write commits Value after validation. Ops with Write false are
+	// read-set checks: the commit fails if the key changed, but the
+	// key is not written.
+	Write bool
+}
+
+// lockShards locks every shard owning one of keys, in ascending shard
+// index order (the fixed global order keeps concurrent multi-shard
+// commits deadlock-free), and returns the unlock function.
+func (t *Table) lockShards(keys []string) func() {
+	owned := make([]bool, len(t.shards))
+	for _, k := range keys {
+		owned[t.shardIndexFor(k)] = true
+	}
+	locked := make([]int, 0, len(t.shards))
+	for i, own := range owned {
+		if own {
+			t.shards[i].mu.Lock()
+			locked = append(locked, i)
+		}
+	}
+	return func() {
+		for _, i := range locked {
+			t.shards[i].mu.Unlock()
+		}
+	}
+}
+
+// PutManyIfVersion atomically validates every op's expected version
+// and, only if all match, commits the write ops (bumping each written
+// key's version). It is the table-level realization of optimistic
+// concurrency: the validation mirrors kvstore.CompareAndPut semantics
+// (same ErrVersionMismatch sentinel) but runs at the cache — the
+// serialization point every write already flows through — while
+// persistence keeps the consolidated batch economics: write-through
+// commits land as a single kvstore.BatchPut under the shard locks, and
+// write-behind commits are picked up by the flusher's BatchPut.
+//
+// All involved shards are locked for the duration (ascending-index
+// order, so concurrent multi-key commits cannot deadlock); on
+// ErrVersionMismatch nothing is committed. Deletes of write ops (nil
+// Value) leave a version tombstone so stale optimistic commits cannot
+// resurrect the key, and are propagated to the backing store like
+// Delete.
+func (t *Table) PutManyIfVersion(ctx context.Context, ops map[string]CASOp) error {
+	if t.isClosed() {
+		return ErrClosed
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(ops))
+	var puts map[string]json.RawMessage
+	for k, op := range ops {
+		keys = append(keys, k)
+		if op.Write && op.Value != nil {
+			if puts == nil {
+				puts = make(map[string]json.RawMessage, len(ops))
+			}
+			puts[k] = append(json.RawMessage(nil), op.Value...)
+		}
+	}
+	unlock := t.lockShards(keys)
+	for k, op := range ops {
+		if op.Expect == AnyVersion {
+			continue
+		}
+		if cur := t.shardFor(k).vers[k]; cur != op.Expect {
+			unlock()
+			return fmt.Errorf("%w: key %q at version %d, expected %d",
+				ErrVersionMismatch, k, cur, op.Expect)
+		}
+	}
+	// Backing I/O happens before the in-memory commit, still under the
+	// shard locks, so the validation window covers it: a backing
+	// failure commits nothing (versions unchanged, the caller simply
+	// retries), and no later commit can interleave between this
+	// commit's memory state and its backing state — a delayed
+	// post-unlock Backing.Delete could otherwise erase a key a
+	// subsequent commit had already recreated and persisted. Deletes
+	// go first; they are idempotent if a following put batch fails.
+	if t.cfg.Mode != ModeMemoryOnly {
+		for k, op := range ops {
+			if op.Write && op.Value == nil {
+				if err := t.cfg.Backing.Delete(ctx, k); err != nil {
+					unlock()
+					return fmt.Errorf("memtable: delete: %w", err)
+				}
+			}
+		}
+	}
+	if t.cfg.Mode == ModeWriteThrough && len(puts) > 0 {
+		if err := t.cfg.Backing.BatchPut(ctx, puts); err != nil {
+			unlock()
+			return fmt.Errorf("memtable: batch write-through: %w", err)
+		}
+	}
+	wake := false
+	for k, op := range ops {
+		if !op.Write {
+			continue
+		}
+		sh := t.shardFor(k)
+		if op.Value == nil {
+			delete(sh.data, k)
+			delete(sh.dirty, k)
+			sh.vers[k]++
+			if sh.flushing[k] > 0 {
+				sh.deleted[k] = true
+			}
+			continue
+		}
+		sh.data[k] = puts[k]
+		sh.vers[k]++
+		delete(sh.deleted, k)
+		if t.cfg.Mode == ModeWriteBehind {
+			sh.dirty[k] = true
+			if len(sh.dirty) >= t.cfg.FlushBatchSize {
+				wake = true
+			}
+		}
+	}
+	unlock()
+	if wake {
+		select {
+		case t.flushWake <- struct{}{}:
+		default:
+		}
 	}
 	return nil
 }

@@ -65,54 +65,86 @@ var histogramBuckets = func() []time.Duration {
 // Histogram records durations into exponential buckets and estimates
 // percentiles by linear interpolation inside the matched bucket. The
 // zero value is ready to use.
+//
+// Observe is lock-free: bucket counters, sum, min and max are atomics,
+// so recording a sample never contends with other recorders — the
+// invocation hot path calls Observe on every request. The mutex only
+// serializes snapshot readers; a reader racing live observers may see
+// a sample in total before min/max settle, which is acceptable for
+// monitoring output.
 type Histogram struct {
-	mu     sync.Mutex
-	counts []int64
-	total  int64
-	sum    time.Duration
-	min    time.Duration
-	max    time.Duration
+	mu     sync.Mutex // serializes readers; Observe never takes it
+	init   sync.Once
+	counts []atomic.Int64
+	total  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	min    atomic.Int64 // nanoseconds; MaxInt64 until the first sample
+	max    atomic.Int64 // nanoseconds
 }
 
-// Observe records one duration sample.
+// initBuckets allocates the bucket counters and seeds min's sentinel.
+func (h *Histogram) initBuckets() {
+	h.init.Do(func() {
+		h.min.Store(math.MaxInt64)
+		counts := make([]atomic.Int64, len(histogramBuckets)+1)
+		h.counts = counts
+	})
+}
+
+// Observe records one duration sample without taking any lock.
 func (h *Histogram) Observe(d time.Duration) {
 	if d < 0 {
 		d = 0
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.counts == nil {
-		h.counts = make([]int64, len(histogramBuckets)+1)
-	}
+	h.initBuckets()
 	i := sort.Search(len(histogramBuckets), func(i int) bool {
 		return histogramBuckets[i] >= d
 	})
-	h.counts[i]++
-	h.total++
-	h.sum += d
-	if h.total == 1 || d < h.min {
-		h.min = d
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+	for {
+		cur := h.min.Load()
+		if int64(d) >= cur || h.min.CompareAndSwap(cur, int64(d)) {
+			break
+		}
 	}
-	if d > h.max {
-		h.max = d
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			break
+		}
 	}
+	h.total.Add(1)
 }
 
 // Count returns the number of samples recorded.
-func (h *Histogram) Count() int64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.total
-}
+func (h *Histogram) Count() int64 { return h.total.Load() }
 
 // Mean returns the arithmetic mean of all samples (0 if empty).
 func (h *Histogram) Mean() time.Duration {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.total == 0 {
+	total := h.total.Load()
+	if total == 0 {
 		return 0
 	}
-	return h.sum / time.Duration(h.total)
+	return time.Duration(h.sum.Load()) / time.Duration(total)
+}
+
+// loadCounts copies the bucket counters into a plain slice so quantile
+// math runs on an internally consistent view. Returns nil before the
+// first sample.
+func (h *Histogram) loadCounts() ([]int64, int64) {
+	if h.total.Load() == 0 {
+		return nil, 0
+	}
+	out := make([]int64, len(h.counts))
+	var total int64
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+		total += out[i]
+	}
+	return out, total
 }
 
 // Quantile estimates the q-th quantile (0 <= q <= 1). It returns 0 for
@@ -126,12 +158,13 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	}
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if h.total == 0 {
+	counts, total := h.loadCounts()
+	if total == 0 {
 		return 0
 	}
-	rank := q * float64(h.total)
+	rank := q * float64(total)
 	var cum float64
-	for i, c := range h.counts {
+	for i, c := range counts {
 		next := cum + float64(c)
 		if next >= rank && c > 0 {
 			lo, hi := h.bucketBounds(i)
@@ -143,17 +176,16 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		}
 		cum = next
 	}
-	return h.max
+	return h.maxVal()
 }
 
 // bucketBounds returns the [lo, hi] duration range of bucket i.
-// Caller holds mu.
 func (h *Histogram) bucketBounds(i int) (lo, hi time.Duration) {
 	switch {
 	case i == 0:
 		return 0, histogramBuckets[0]
 	case i >= len(histogramBuckets):
-		return histogramBuckets[len(histogramBuckets)-1], h.max
+		return histogramBuckets[len(histogramBuckets)-1], h.maxVal()
 	default:
 		return histogramBuckets[i-1], histogramBuckets[i]
 	}
@@ -173,15 +205,14 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 }
 
 func (h *Histogram) minVal() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.min
+	if h.total.Load() == 0 {
+		return 0
+	}
+	return time.Duration(h.min.Load())
 }
 
 func (h *Histogram) maxVal() time.Duration {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.max
+	return time.Duration(h.max.Load())
 }
 
 // HistogramSnapshot is an immutable summary of a Histogram.

@@ -249,3 +249,47 @@ func TestFormatRate(t *testing.T) {
 		}
 	}
 }
+
+// TestHistogramConcurrentObserve hammers one histogram from many
+// goroutines (Observe is lock-free) while a reader snapshots it, then
+// verifies nothing was lost and the extremes are exact.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	const workers, perEach = 8, 1000
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = h.Snapshot()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perEach; i++ {
+				h.Observe(time.Duration(w*perEach+i+1) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	if got := h.Count(); got != workers*perEach {
+		t.Fatalf("count = %d, want %d (lost samples)", got, workers*perEach)
+	}
+	snap := h.Snapshot()
+	if snap.Min != time.Microsecond {
+		t.Fatalf("min = %v, want 1µs", snap.Min)
+	}
+	if snap.Max != time.Duration(workers*perEach)*time.Microsecond {
+		t.Fatalf("max = %v, want %dµs", snap.Max, workers*perEach)
+	}
+	if snap.P50 <= 0 || snap.P50 > snap.Max {
+		t.Fatalf("p50 = %v out of range (0, %v]", snap.P50, snap.Max)
+	}
+}

@@ -106,6 +106,40 @@ func (c Constraints) IsPersistent() bool {
 	return *c.Persistent
 }
 
+// ConcurrencyMode selects how the class runtime handles concurrent
+// invocations on one object.
+type ConcurrencyMode string
+
+// Concurrency modes.
+const (
+	// ConcurrencyDefault defers to the platform's configured default
+	// (ConcurrencyAdaptive unless overridden).
+	ConcurrencyDefault ConcurrencyMode = ""
+	// ConcurrencyOCC runs invocations lock-free and commits state
+	// deltas through a version-validated compare-and-swap, retrying on
+	// conflict: hot-object invocations interleave instead of queueing.
+	ConcurrencyOCC ConcurrencyMode = "occ"
+	// ConcurrencyLocked serializes the whole load→invoke→merge window
+	// under a per-object striped lock (the pessimistic baseline).
+	ConcurrencyLocked ConcurrencyMode = "locked"
+	// ConcurrencyAdaptive starts optimistic and falls back to the
+	// striped lock per object while CAS aborts run hot, returning to
+	// OCC when contention subsides.
+	ConcurrencyAdaptive ConcurrencyMode = "adaptive"
+)
+
+// Valid reports whether m is a known mode (including the default).
+// The class loader rejects invalid modes at validation; the runtime
+// re-checks so a bad platform-level default (core.Config) cannot
+// silently select an unintended path.
+func (m ConcurrencyMode) Valid() bool {
+	switch m {
+	case ConcurrencyDefault, ConcurrencyOCC, ConcurrencyLocked, ConcurrencyAdaptive:
+		return true
+	}
+	return false
+}
+
 // FunctionDef declares one method of a class, realized by a serverless
 // function image.
 type FunctionDef struct {
@@ -113,6 +147,14 @@ type FunctionDef struct {
 	Name string `json:"name"`
 	// Image is the container image implementing it (e.g. "img/resize").
 	Image string `json:"image"`
+	// Readonly declares that the method never writes object state: the
+	// runtime serves such invocations concurrently straight from the
+	// state table, skipping per-object locking and the delta
+	// merge/commit entirely. A readonly function that returns a state
+	// delta fails the invocation. Multi-key state is snapshotted
+	// without a lock, so a readonly method may observe keys from two
+	// different committed states during a concurrent write.
+	Readonly bool `json:"readonly,omitempty"`
 	// Concurrency is the per-pod concurrent request limit (0 = engine
 	// default).
 	Concurrency int `json:"concurrency,omitempty"`
@@ -174,6 +216,10 @@ type ClassDef struct {
 	Dataflows []DataflowDef `json:"dataflows,omitempty"`
 	// Triggers bind file-key uploads to method invocations.
 	Triggers []TriggerDef `json:"triggers,omitempty"`
+	// Concurrency selects how concurrent invocations on one object are
+	// handled ("occ", "locked", or "adaptive"; empty defers to the
+	// platform default). Inherited from the parent unless overridden.
+	Concurrency ConcurrencyMode `json:"concurrencyMode,omitempty"`
 	// QoS and Constraint are the class's non-functional requirements.
 	QoS        QoS         `json:"qos,omitempty"`
 	Constraint Constraints `json:"constraint,omitempty"`
@@ -345,6 +391,10 @@ func (c *ClassDef) validate() error {
 		// Key/function existence is checked after inheritance
 		// resolution (they may come from a parent).
 	}
+	if !c.Concurrency.Valid() {
+		return fmt.Errorf("%w: class %q has unknown concurrency mode %q (want occ, locked or adaptive)",
+			ErrValidation, c.Name, c.Concurrency)
+	}
 	if err := validateQoS(c.QoS, c.Name, ""); err != nil {
 		return err
 	}
@@ -389,6 +439,10 @@ type Class struct {
 	// Triggers is the merged trigger set, sorted by key; child
 	// triggers on the same key override the parent's.
 	Triggers []TriggerDef
+	// Concurrency is the effective invocation concurrency mode
+	// (inherited from the parent unless the child sets one; empty
+	// defers to the platform default).
+	Concurrency ConcurrencyMode
 	// QoS and Constraint are the effective non-functional
 	// requirements (child overrides parent field-by-field).
 	QoS        QoS
@@ -527,6 +581,10 @@ func merge(def *ClassDef, parent *Class) *Class {
 		}
 		c.QoS = parent.QoS
 		c.Constraint = parent.Constraint
+		c.Concurrency = parent.Concurrency
+	}
+	if def.Concurrency != ConcurrencyDefault {
+		c.Concurrency = def.Concurrency
 	}
 	for _, k := range def.KeySpecs {
 		if i, ok := keyIdx[k.Name]; ok {

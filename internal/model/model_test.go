@@ -561,3 +561,81 @@ func TestValidateResolvedTriggerErrors(t *testing.T) {
 		t.Fatalf("valid trigger rejected: %v", err)
 	}
 }
+
+func TestReadonlyAndConcurrencyModeParse(t *testing.T) {
+	yaml := `classes:
+  - name: Account
+    concurrencyMode: occ
+    keySpecs:
+      - name: balance
+        kind: number
+    functions:
+      - name: deposit
+        image: img/deposit
+      - name: balanceOf
+        image: img/balance
+        readonly: true
+`
+	pkg, err := ParseYAML([]byte(yaml))
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes, err := Resolve(pkg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := classes["Account"]
+	if c.Concurrency != ConcurrencyOCC {
+		t.Fatalf("concurrency = %q, want occ", c.Concurrency)
+	}
+	ro, _ := c.Function("balanceOf")
+	if !ro.Readonly {
+		t.Fatal("balanceOf not marked readonly")
+	}
+	rw, _ := c.Function("deposit")
+	if rw.Readonly {
+		t.Fatal("deposit wrongly marked readonly")
+	}
+}
+
+func TestConcurrencyModeValidation(t *testing.T) {
+	yaml := `classes:
+  - name: Bad
+    concurrencyMode: optimistic-ish
+    functions:
+      - name: f
+        image: img/f
+`
+	if _, err := ParseYAML([]byte(yaml)); !errors.Is(err, ErrValidation) {
+		t.Fatalf("err = %v, want ErrValidation for unknown concurrency mode", err)
+	}
+}
+
+func TestConcurrencyModeInheritance(t *testing.T) {
+	yaml := `classes:
+  - name: Base
+    concurrencyMode: locked
+    functions:
+      - name: f
+        image: img/f
+  - name: Child
+    parent: Base
+  - name: Override
+    parent: Base
+    concurrencyMode: adaptive
+`
+	pkg, err := ParseYAML([]byte(yaml))
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes, err := Resolve(pkg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := classes["Child"].Concurrency; got != ConcurrencyLocked {
+		t.Fatalf("Child concurrency = %q, want inherited locked", got)
+	}
+	if got := classes["Override"].Concurrency; got != ConcurrencyAdaptive {
+		t.Fatalf("Override concurrency = %q, want adaptive", got)
+	}
+}

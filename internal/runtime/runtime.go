@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"maps"
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -62,6 +63,10 @@ type Infra struct {
 	// ScaleInterval / IdleTimeout drive the Knative autoscaler.
 	ScaleInterval time.Duration
 	IdleTimeout   time.Duration
+	// ConcurrencyMode is the platform default for classes that do not
+	// declare their own (model.ClassDef.Concurrency). Empty means
+	// model.ConcurrencyAdaptive.
+	ConcurrencyMode model.ConcurrencyMode
 	// Clock supplies time; defaults to the real clock.
 	Clock vclock.Clock
 }
@@ -89,12 +94,28 @@ type ClassRuntime struct {
 	// stateSpecs are the class's structured (non-file) keys, cached so
 	// the hot path never re-filters class.Keys.
 	stateSpecs []model.KeySpec
+	// concMode is the resolved concurrency mode for this class (class
+	// declaration > platform default > adaptive).
+	concMode model.ConcurrencyMode
 	// objLocks serializes the load→invoke→merge window of concurrent
-	// invocations on one object (see invokeFn). Striped: two distinct
-	// objects contend only on a stripe collision (1/objLockStripes per
-	// pair), trading a bounded chance of transient false sharing for
-	// constant memory.
+	// invocations on one object in the locked mode and in OCC/adaptive
+	// fallbacks (see invokeFn). Striped: two distinct objects contend
+	// only on a stripe collision (1/objLockStripes per pair), trading
+	// a bounded chance of transient false sharing for constant memory.
 	objLocks *striped.Mutexes
+	// delGuard keeps administrative state operations serialized with
+	// lock-free invocations: optimistic invocations hold their
+	// object's stripe shared across the whole snapshot→run→commit
+	// window (so they still interleave with each other), while
+	// DeleteObjectState/InitObjectState take it exclusive — a delete
+	// therefore waits out every in-flight invocation and no commit
+	// retry can resurrect a deleted object. Lock order where both are
+	// taken: delGuard before objLocks.
+	delGuard *striped.RWMutexes
+	// contention tracks CAS abort pressure per object (striped like
+	// objLocks; a collision merely shares an EWMA, which only skews
+	// the adaptive heuristic, never correctness).
+	contention []contentionTracker
 	// taskSeq generates invocation task IDs; seeded from the clock at
 	// construction so IDs stay unique across runtime generations.
 	taskSeq atomic.Uint64
@@ -124,6 +145,69 @@ const maxPresignCacheObjects = 8192
 // ~0.1%, so false serialization between distinct hot objects is rare
 // and transient.
 const objLockStripes = 1024
+
+// Optimistic-concurrency tuning.
+const (
+	// maxOCCAttempts bounds the lock-free retry loop; past it the
+	// invocation finishes under the object's stripe lock so progress
+	// never depends on winning a CAS race.
+	maxOCCAttempts = 4
+	// maxLockedCASAttempts bounds the under-lock retry loop. Aborts
+	// there come only from lock-free stragglers or direct PutState
+	// writes, each of which implies another commit succeeded, so the
+	// cap is a livelock backstop rather than an expected path.
+	maxLockedCASAttempts = 16
+	// contentionAlpha is the abort-rate EWMA smoothing factor.
+	contentionAlpha = 0.125
+	// lockFallbackRate / occResumeRate are the adaptive hysteresis
+	// thresholds: above the first the object's invocations take the
+	// striped lock, below the second they return to lock-free OCC.
+	lockFallbackRate = 0.5
+	occResumeRate    = 0.15
+)
+
+// contentionTracker is a per-stripe abort-rate EWMA plus the sticky
+// locked/optimistic decision it drives. All fields are atomics: the
+// tracker sits on the hot path of every invocation in adaptive mode.
+type contentionTracker struct {
+	ewma   atomic.Uint64 // math.Float64bits of the abort-rate EWMA
+	locked atomic.Bool   // currently degraded to the striped lock
+}
+
+// record folds one commit-attempt outcome (abort or success) into the
+// EWMA.
+func (c *contentionTracker) record(abort bool) {
+	x := 0.0
+	if abort {
+		x = 1.0
+	}
+	for {
+		old := c.ewma.Load()
+		cur := math.Float64frombits(old)
+		next := cur + contentionAlpha*(x-cur)
+		if c.ewma.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// useLocked decides, with hysteresis, whether the next invocation on
+// this stripe should run under the lock.
+func (c *contentionTracker) useLocked() bool {
+	rate := math.Float64frombits(c.ewma.Load())
+	if c.locked.Load() {
+		if rate < occResumeRate {
+			c.locked.Store(false)
+			return false
+		}
+		return true
+	}
+	if rate > lockFallbackRate {
+		c.locked.Store(true)
+		return true
+	}
+	return false
+}
 
 // New instantiates a class runtime from a template (paper Figure 2:
 // "for a specific class, Oparaca uses one of its predefined templates
@@ -174,22 +258,36 @@ func New(infra Infra, class *model.Class, tmpl Template) (*ClassRuntime, error) 
 		return nil, fmt.Errorf("runtime: creating engine: %w", err)
 	}
 
+	delGuard := striped.NewRW(objLockStripes)
 	rt := &ClassRuntime{
-		class:     class,
-		tmpl:      tmpl,
-		infra:     infra,
-		engine:    engine,
-		table:     table,
-		plans:     make(map[string]*dataflow.Plan, len(class.Dataflows)),
-		objLocks:  striped.New(objLockStripes),
-		refsCache: make(map[string]refsEntry),
-		reg:       metrics.NewRegistry(),
-		meter:     metrics.NewMeter(10*time.Second, 10, infra.Clock.Now),
+		class:      class,
+		tmpl:       tmpl,
+		infra:      infra,
+		engine:     engine,
+		table:      table,
+		plans:      make(map[string]*dataflow.Plan, len(class.Dataflows)),
+		objLocks:   striped.New(objLockStripes),
+		delGuard:   delGuard,
+		contention: make([]contentionTracker, delGuard.Len()),
+		refsCache:  make(map[string]refsEntry),
+		reg:        metrics.NewRegistry(),
+		meter:      metrics.NewMeter(10*time.Second, 10, infra.Clock.Now),
 	}
 	for _, k := range class.Keys {
 		if k.Kind != model.KindFile {
 			rt.stateSpecs = append(rt.stateSpecs, k)
 		}
+	}
+	rt.concMode = class.Concurrency
+	if rt.concMode == model.ConcurrencyDefault {
+		rt.concMode = infra.ConcurrencyMode
+	}
+	if rt.concMode == model.ConcurrencyDefault {
+		rt.concMode = model.ConcurrencyAdaptive
+	}
+	if !rt.concMode.Valid() {
+		rt.Close()
+		return nil, fmt.Errorf("runtime: invalid concurrency mode %q (want occ, locked or adaptive)", rt.concMode)
 	}
 	rt.taskSeq.Store(uint64(infra.Clock.Now().UnixNano()))
 
@@ -247,6 +345,41 @@ func (rt *ClassRuntime) Table() *memtable.Table { return rt.table }
 // Metrics exposes the runtime's metric registry.
 func (rt *ClassRuntime) Metrics() *metrics.Registry { return rt.reg }
 
+// ConcurrencyMode returns the resolved invocation concurrency mode.
+func (rt *ClassRuntime) ConcurrencyMode() model.ConcurrencyMode { return rt.concMode }
+
+// ConcurrencyStats counts optimistic-concurrency outcomes for one
+// class runtime.
+type ConcurrencyStats struct {
+	// Mode is the resolved concurrency mode ("occ", "locked",
+	// "adaptive").
+	Mode string `json:"mode"`
+	// Commits counts successful version-validated commits; Aborts
+	// counts commits rejected on a version mismatch; Retries counts
+	// re-load+re-run passes after an abort; Fallbacks counts
+	// invocations that ran under the stripe lock because of retry
+	// exhaustion or an adaptive degradation.
+	Commits   int64 `json:"commits"`
+	Aborts    int64 `json:"aborts"`
+	Retries   int64 `json:"retries"`
+	Fallbacks int64 `json:"fallbacks"`
+	// Readonly counts invocations served by the lock-free read-only
+	// fast path.
+	Readonly int64 `json:"readonly"`
+}
+
+// ConcurrencyStats snapshots the runtime's OCC counters.
+func (rt *ClassRuntime) ConcurrencyStats() ConcurrencyStats {
+	return ConcurrencyStats{
+		Mode:      string(rt.concMode),
+		Commits:   rt.reg.Counter("occ.commits").Value(),
+		Aborts:    rt.reg.Counter("occ.aborts").Value(),
+		Retries:   rt.reg.Counter("occ.retries").Value(),
+		Fallbacks: rt.reg.Counter("occ.fallbacks").Value(),
+		Readonly:  rt.reg.Counter("invoke.readonly").Value(),
+	}
+}
+
 // ThroughputRPS reports the invocation rate over the last window.
 func (rt *ClassRuntime) ThroughputRPS() float64 { return rt.meter.Rate() }
 
@@ -283,7 +416,14 @@ func (rt *ClassRuntime) lockObject(objectID string) func() {
 }
 
 // InitObjectState writes the class's default values for a new object.
+// It holds the object's delete guard exclusive so concurrent
+// optimistic invocations cannot interleave with initialization.
 func (rt *ClassRuntime) InitObjectState(ctx context.Context, objectID string) error {
+	if len(rt.stateSpecs) > 0 {
+		guard := rt.delGuard.For(objectID)
+		guard.Lock()
+		defer guard.Unlock()
+	}
 	defer rt.lockObject(objectID)()
 	for _, k := range rt.class.Keys {
 		if k.Kind == model.KindFile || len(k.Default) == 0 {
@@ -297,9 +437,15 @@ func (rt *ClassRuntime) InitObjectState(ctx context.Context, objectID string) er
 }
 
 // DeleteObjectState removes all of an object's state. It takes the
-// object's stripe so an in-flight invocation's delta merge cannot
-// resurrect state for a deleted object.
+// object's delete guard exclusive and its lock stripe, so neither a
+// locked invocation's merge nor an optimistic invocation's commit
+// retry can resurrect state for a deleted object.
 func (rt *ClassRuntime) DeleteObjectState(ctx context.Context, objectID string) error {
+	if len(rt.stateSpecs) > 0 {
+		guard := rt.delGuard.For(objectID)
+		guard.Lock()
+		defer guard.Unlock()
+	}
 	defer rt.lockObject(objectID)()
 	rt.refsMu.Lock()
 	delete(rt.refsCache, objectID)
@@ -455,27 +601,82 @@ func (rt *ClassRuntime) Invoke(ctx context.Context, objectID, function string, p
 	return out, nil
 }
 
-// invokeFn is the uninstrumented invocation path. For stateful classes
-// the whole load→invoke→merge window runs under the object's striped
-// lock, serializing concurrent invocations on one object so the pure
-// read-modify-write contract cannot lose updates; invocations on
-// distinct objects run in parallel unless they collide on a stripe
-// (rare and transient — see objLockStripes). Stateless classes skip
-// the lock entirely (there is no state to race on), which keeps
-// parallel dataflow fan-out steps concurrent. Because the stripe is
-// held across the handler, handler code must not synchronously invoke
-// another stateful object of the same class from inside a method (a
-// stripe collision would deadlock); compose same-class calls through
-// dataflows or the async queue instead.
+// invokeFn is the uninstrumented invocation path. How the
+// load→invoke→merge window is protected against concurrent invocations
+// on the same object depends on the class's concurrency mode:
+//
+//   - locked: the whole window runs under the object's striped lock
+//     (the PR-2 pessimistic baseline) — hot-object invocations queue.
+//   - occ: the handler runs lock-free on a version-stamped snapshot
+//     and the delta commits through a validated compare-and-swap
+//     (memtable.PutManyIfVersion); on ErrVersionMismatch the
+//     invocation re-loads and re-runs (the pure-function contract
+//     makes re-execution safe), escalating to the exclusive
+//     delete-guard barrier after maxOCCAttempts so progress never
+//     depends on winning the race.
+//   - adaptive (default): per-object abort-rate EWMA picks between
+//     the two — lock-free while commits land, the serializing barrier
+//     while the object is pathologically write-hot, back to lock-free
+//     when aborts subside. Every non-locked commit is
+//     version-validated, so mixing the regimes on one object cannot
+//     lose updates.
+//
+// Functions annotated readonly skip locking and the merge/commit
+// entirely and serve concurrently straight from the state table, in
+// every mode. Stateless classes keep the PR-2 behaviour (no lock, no
+// versioning — there is no state to race on), so parallel dataflow
+// fan-out steps stay concurrent.
+//
+// Because lock-free invocations hold only the read side of their
+// delete-guard stripe, the PR-2 rule that a handler must never
+// synchronously invoke another stateful object of the same class is
+// relaxed under occ: a nested invocation on a colliding stripe shares
+// the read side and proceeds, where the old exclusive stripe
+// deadlocked unconditionally. It can still deadlock if an exclusive
+// acquisition (object delete/init, or a barrier fallback) wedges
+// between the two read holds of one goroutine, so dataflows/async
+// remain the guaranteed-safe composition; under locked mode the
+// original constraint stands.
 func (rt *ClassRuntime) invokeFn(ctx context.Context, objectID string, fn model.FunctionDef, payload json.RawMessage, args map[string]string) (json.RawMessage, error) {
-	defer rt.lockObject(objectID)()
-	state, err := rt.loadState(ctx, objectID)
-	if err != nil {
-		return nil, err
+	if fn.Readonly {
+		return rt.invokeReadonly(ctx, objectID, fn, payload, args)
 	}
+	if len(rt.stateSpecs) == 0 || rt.concMode == model.ConcurrencyLocked {
+		return rt.invokeLockedPlain(ctx, objectID, fn, payload, args)
+	}
+	// One hash resolves the object's stripe for both the delete guard
+	// and its contention tracker, keeping the two aligned.
+	stripe := rt.delGuard.Index(objectID)
+	guard := rt.delGuard.At(stripe)
+	tr := &rt.contention[stripe]
+	if rt.concMode == model.ConcurrencyAdaptive && tr.useLocked() {
+		rt.reg.Counter("occ.fallbacks").Inc()
+		return rt.invokeBarrier(ctx, guard, objectID, fn, payload, args, tr)
+	}
+	out, err := rt.invokeOCC(ctx, guard, objectID, fn, payload, args, tr)
+	if err != nil && errors.Is(err, memtable.ErrVersionMismatch) {
+		// The bounded lock-free loop kept losing the commit race;
+		// finish behind the barrier, which drains and excludes the
+		// racers, so progress never depends on winning a CAS.
+		rt.reg.Counter("occ.fallbacks").Inc()
+		return rt.invokeBarrier(ctx, guard, objectID, fn, payload, args, tr)
+	}
+	return out, err
+}
+
+// contentionFor returns the contention tracker of an object's stripe
+// (aligned with its delete-guard stripe).
+func (rt *ClassRuntime) contentionFor(objectID string) *contentionTracker {
+	return &rt.contention[rt.delGuard.Index(objectID)]
+}
+
+// runTask bundles state and request into a standalone task and
+// offloads it to the FaaS engine (the pure-function contract, paper
+// §III-C).
+func (rt *ClassRuntime) runTask(ctx context.Context, objectID string, fn model.FunctionDef, payload json.RawMessage, args map[string]string, state map[string]json.RawMessage) (invoker.Result, error) {
 	refs, err := rt.buildRefs(objectID)
 	if err != nil {
-		return nil, err
+		return invoker.Result{}, err
 	}
 	task := invoker.Task{
 		ID:       rt.nextTaskID(objectID, fn.Name),
@@ -487,7 +688,40 @@ func (rt *ClassRuntime) invokeFn(ctx context.Context, objectID string, fn model.
 		Args:     args,
 		Refs:     refs,
 	}
-	res, err := rt.engine.Invoke(ctx, rt.fnKey(fn.Name), task)
+	return rt.engine.Invoke(ctx, rt.fnKey(fn.Name), task)
+}
+
+// invokeReadonly is the read-only fast path: no lock, no merge, no
+// commit — the state snapshot is served straight from the memtable and
+// any state delta the handler returns is a contract violation.
+func (rt *ClassRuntime) invokeReadonly(ctx context.Context, objectID string, fn model.FunctionDef, payload json.RawMessage, args map[string]string) (json.RawMessage, error) {
+	state, err := rt.loadState(ctx, objectID)
+	if err != nil {
+		return nil, err
+	}
+	res, err := rt.runTask(ctx, objectID, fn, payload, args, state)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.State) > 0 {
+		return nil, fmt.Errorf("runtime: readonly function %s.%s returned a state delta", rt.class.Name, fn.Name)
+	}
+	rt.reg.Counter("invoke.readonly").Inc()
+	return res.Output, nil
+}
+
+// invokeLockedPlain is the pessimistic path: the striped lock covers
+// the whole window and the delta merges unconditionally (no version
+// validation — under the lock, and with no lock-free writers in this
+// mode, there is nothing to validate against). Stateless classes also
+// land here with a no-op lock.
+func (rt *ClassRuntime) invokeLockedPlain(ctx context.Context, objectID string, fn model.FunctionDef, payload json.RawMessage, args map[string]string) (json.RawMessage, error) {
+	defer rt.lockObject(objectID)()
+	state, err := rt.loadState(ctx, objectID)
+	if err != nil {
+		return nil, err
+	}
+	res, err := rt.runTask(ctx, objectID, fn, payload, args, state)
 	if err != nil {
 		return nil, err
 	}
@@ -521,6 +755,165 @@ func (rt *ClassRuntime) invokeFn(ctx context.Context, objectID string, fn model.
 		}
 	}
 	return res.Output, nil
+}
+
+// stateSnapshot is one version-stamped view of an object's structured
+// state: values by key name (class defaults resolved), versions by
+// table key.
+type stateSnapshot struct {
+	state map[string]json.RawMessage
+	vers  map[string]int64
+}
+
+// loadStateVersioned gathers the object's structured state with the
+// version of every key (including absent ones, whose version anchors a
+// creating CAS), in one batched table read.
+func (rt *ClassRuntime) loadStateVersioned(ctx context.Context, objectID string) (stateSnapshot, error) {
+	snap := stateSnapshot{
+		state: make(map[string]json.RawMessage, len(rt.stateSpecs)),
+		vers:  make(map[string]int64, len(rt.stateSpecs)),
+	}
+	keys := make([]string, len(rt.stateSpecs))
+	for i, k := range rt.stateSpecs {
+		keys[i] = rt.stateKey(objectID, k.Name)
+	}
+	got, err := rt.table.GetManyVersioned(ctx, keys)
+	if err != nil {
+		return stateSnapshot{}, fmt.Errorf("runtime: loading state %s: %w", objectID, err)
+	}
+	for i, k := range rt.stateSpecs {
+		vv := got[keys[i]]
+		snap.vers[keys[i]] = vv.Version
+		if vv.Value != nil {
+			snap.state[k.Name] = vv.Value
+		} else if len(k.Default) > 0 {
+			snap.state[k.Name] = k.Default
+		}
+	}
+	return snap, nil
+}
+
+// buildCommit turns a handler's state delta into a version-validated
+// commit: write ops for delta keys (JSON null deletes), check-only ops
+// for every other state key read by the handler — validating the full
+// read set, not just the write set, so decisions based on unwritten
+// keys cannot commit against changed state (write skew). Undeclared
+// keys reject the whole delta; an empty delta returns no ops (nothing
+// to commit).
+func (rt *ClassRuntime) buildCommit(objectID string, fn model.FunctionDef, snap stateSnapshot, delta map[string]json.RawMessage) (map[string]memtable.CASOp, error) {
+	if len(delta) == 0 {
+		return nil, nil
+	}
+	ops := make(map[string]memtable.CASOp, len(rt.stateSpecs)+len(delta))
+	for key, ver := range snap.vers {
+		ops[key] = memtable.CASOp{Expect: ver}
+	}
+	for k, v := range delta {
+		if _, ok := rt.class.Key(k); !ok {
+			return nil, fmt.Errorf("runtime: function %s.%s wrote undeclared key %q", rt.class.Name, fn.Name, k)
+		}
+		key := rt.stateKey(objectID, k)
+		op, ok := ops[key]
+		if !ok {
+			// A declared key outside the structured snapshot (a file
+			// key written as state): keep the pre-OCC unconditional
+			// write semantics.
+			op = memtable.CASOp{Expect: memtable.AnyVersion}
+		}
+		op.Write = true
+		if !isNull(v) {
+			op.Value = v
+		}
+		ops[key] = op
+	}
+	return ops, nil
+}
+
+// occAttempt runs one optimistic pass: snapshot, lock-free handler
+// execution, validated commit. It returns memtable.ErrVersionMismatch
+// when a concurrent commit invalidated the snapshot.
+func (rt *ClassRuntime) occAttempt(ctx context.Context, objectID string, fn model.FunctionDef, payload json.RawMessage, args map[string]string) (json.RawMessage, error) {
+	snap, err := rt.loadStateVersioned(ctx, objectID)
+	if err != nil {
+		return nil, err
+	}
+	res, err := rt.runTask(ctx, objectID, fn, payload, args, snap.state)
+	if err != nil {
+		return nil, err
+	}
+	ops, err := rt.buildCommit(objectID, fn, snap, res.State)
+	if err != nil {
+		return nil, err
+	}
+	if len(ops) > 0 {
+		if err := rt.table.PutManyIfVersion(ctx, ops); err != nil {
+			return nil, err
+		}
+	}
+	return res.Output, nil
+}
+
+// invokeOCC drives the bounded lock-free retry loop while holding the
+// object's delete guard shared: concurrent invocations interleave
+// freely, but an exclusive holder (object delete/init, or a barrier
+// invocation) still waits out every in-flight window. Exhaustion
+// returns the last ErrVersionMismatch; invokeFn escalates it to the
+// barrier.
+func (rt *ClassRuntime) invokeOCC(ctx context.Context, guard *sync.RWMutex, objectID string, fn model.FunctionDef, payload json.RawMessage, args map[string]string, tr *contentionTracker) (json.RawMessage, error) {
+	guard.RLock()
+	defer guard.RUnlock()
+	var lastErr error
+	for attempt := 0; attempt < maxOCCAttempts; attempt++ {
+		if attempt > 0 {
+			rt.reg.Counter("occ.retries").Inc()
+		}
+		out, err := rt.occAttempt(ctx, objectID, fn, payload, args)
+		if err == nil {
+			tr.record(false)
+			rt.reg.Counter("occ.commits").Inc()
+			return out, nil
+		}
+		if !errors.Is(err, memtable.ErrVersionMismatch) {
+			return nil, err
+		}
+		tr.record(true)
+		rt.reg.Counter("occ.aborts").Inc()
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// invokeBarrier runs the invocation holding the object's delete guard
+// exclusive: pending writer acquisition drains the lock-free racers
+// and blocks new ones, so the window is effectively serialized and a
+// commit attempt can only be aborted by guard-free writers (direct
+// PutState). The commit still goes through the version check — only a
+// validated commit keeps exactness across regime mixes — and each
+// under-barrier abort implies another commit landed, so the bounded
+// loop is a livelock backstop, not an expected path.
+func (rt *ClassRuntime) invokeBarrier(ctx context.Context, guard *sync.RWMutex, objectID string, fn model.FunctionDef, payload json.RawMessage, args map[string]string, tr *contentionTracker) (json.RawMessage, error) {
+	guard.Lock()
+	defer guard.Unlock()
+	var lastErr error
+	for attempt := 0; attempt < maxLockedCASAttempts; attempt++ {
+		if attempt > 0 {
+			rt.reg.Counter("occ.retries").Inc()
+		}
+		out, err := rt.occAttempt(ctx, objectID, fn, payload, args)
+		if err == nil {
+			tr.record(false)
+			rt.reg.Counter("occ.commits").Inc()
+			return out, nil
+		}
+		if !errors.Is(err, memtable.ErrVersionMismatch) {
+			return nil, err
+		}
+		tr.record(true)
+		rt.reg.Counter("occ.aborts").Inc()
+		lastErr = err
+	}
+	return nil, fmt.Errorf("runtime: %s.%s on %s: commit contention persisted through %d serialized attempts: %w",
+		rt.class.Name, fn.Name, objectID, maxLockedCASAttempts, lastErr)
 }
 
 // nextTaskID builds a task identifier from an atomic counter. The

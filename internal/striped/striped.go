@@ -51,3 +51,51 @@ func (m *Mutexes) For(key string) *sync.Mutex {
 	_, _ = h.Write([]byte(key))
 	return &m.stripes[h.Sum32()&m.mask]
 }
+
+// RWMutexes is a striped reader/writer lock table: the shape the class
+// runtime's optimistic path uses as a delete guard, where many
+// lock-free invocations of one object hold the stripe shared while
+// administrative operations (object delete, state init) take it
+// exclusive and so still serialize against every in-flight invocation.
+type RWMutexes struct {
+	stripes []sync.RWMutex
+	mask    uint32
+}
+
+// NewRW returns a reader/writer table with at least n stripes, rounded
+// up to the next power of two. Non-positive n selects DefaultStripes.
+func NewRW(n int) *RWMutexes {
+	if n <= 0 {
+		n = DefaultStripes
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &RWMutexes{stripes: make([]sync.RWMutex, size), mask: uint32(size - 1)}
+}
+
+// Len returns the stripe count.
+func (m *RWMutexes) Len() int { return len(m.stripes) }
+
+// For returns the reader/writer mutex guarding key. The same sharing
+// and ordering caveats as Mutexes.For apply; additionally, a
+// goroutine must not re-acquire a stripe's read side while holding it
+// if a writer could be queued in between (sync.RWMutex readers block
+// behind pending writers).
+func (m *RWMutexes) For(key string) *sync.RWMutex {
+	return &m.stripes[m.Index(key)]
+}
+
+// Index returns the stripe index For resolves key to, so callers can
+// align per-stripe side tables (contention trackers, counters) with
+// the lock stripes while hashing the key once.
+func (m *RWMutexes) Index(key string) uint32 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return h.Sum32() & m.mask
+}
+
+// At returns the mutex of a stripe index previously obtained from
+// Index.
+func (m *RWMutexes) At(i uint32) *sync.RWMutex { return &m.stripes[i] }

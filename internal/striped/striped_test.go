@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestNewRoundsUpToPowerOfTwo(t *testing.T) {
@@ -78,5 +79,58 @@ func TestMutualExclusionPerKey(t *testing.T) {
 	}
 	if total != goroutines*iterations {
 		t.Fatalf("total = %d, want %d (lost increments)", total, goroutines*iterations)
+	}
+}
+
+func TestRWMutexesSameKeySameStripe(t *testing.T) {
+	m := NewRW(64)
+	if m.For("key-a") != m.For("key-a") {
+		t.Fatal("same key resolved to different stripes")
+	}
+	if m.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", m.Len())
+	}
+}
+
+func TestRWMutexesReadersShareWriterExcludes(t *testing.T) {
+	m := NewRW(8)
+	mu := m.For("obj")
+	mu.RLock()
+	secondReader := make(chan struct{})
+	go func() {
+		mu.RLock() // must not block alongside another reader
+		mu.RUnlock()
+		close(secondReader)
+	}()
+	select {
+	case <-secondReader:
+	case <-time.After(5 * time.Second):
+		t.Fatal("second reader blocked while only readers hold the stripe")
+	}
+	writerDone := make(chan struct{})
+	go func() {
+		mu.Lock() // must wait for the reader
+		mu.Unlock()
+		close(writerDone)
+	}()
+	select {
+	case <-writerDone:
+		t.Fatal("writer acquired the stripe while a reader held it")
+	case <-time.After(20 * time.Millisecond):
+	}
+	mu.RUnlock()
+	select {
+	case <-writerDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("writer never acquired the stripe after readers left")
+	}
+}
+
+func TestRWMutexesRoundsUpAndDefaults(t *testing.T) {
+	if got := NewRW(100).Len(); got != 128 {
+		t.Fatalf("NewRW(100).Len() = %d, want 128", got)
+	}
+	if got := NewRW(0).Len(); got != DefaultStripes {
+		t.Fatalf("NewRW(0).Len() = %d, want %d", got, DefaultStripes)
 	}
 }

@@ -56,22 +56,56 @@
 // record table stays bounded; evictions show up in
 // Stats().Async.Evicted.
 //
-// Contention semantics: concurrent invocations on the same object are
-// serialized when the object's class declares structured state keys —
-// the platform holds a per-object lock across the whole
-// load-state → execute → merge-delta window, so read-modify-write
-// methods (counters, account balances) never lose updates, no matter
-// how many clients or async workers target one hot object.
-// Invocations on distinct objects run in parallel (the locks are
-// striped per class, so two distinct objects contend only on a rare
-// hash collision), and classes without structured state skip the lock
-// entirely (parallel dataflow steps on one object stay concurrent).
-// Two rules follow: handler code must not synchronously invoke another
-// stateful object of the same class from inside a method — compose
-// same-class interactions through dataflows or the async queue — and
-// if a single object must absorb more write throughput than serialized
-// invocations allow, shard the state across several objects and
-// aggregate on read.
+// # Concurrency modes
+//
+// How concurrent invocations on one object are handled is selectable
+// per class (`concurrencyMode:` in YAML) or platform-wide
+// (Config.ConcurrencyMode):
+//
+//   - "locked" serializes each object's whole
+//     load-state → execute → merge-delta window under a striped
+//     per-object lock: read-modify-write methods (counters, account
+//     balances) never lose updates, but every invocation on a hot
+//     object runs exclusively, including pure reads.
+//   - "occ" (optimistic concurrency control) runs handlers lock-free
+//     on version-stamped state snapshots and commits each delta
+//     through a validated compare-and-swap: a concurrent commit makes
+//     the invocation re-load and re-run (safe — handlers are pure
+//     functions), so hot-object invocations interleave instead of
+//     queue. Exactness is preserved: a commit lands only against the
+//     exact versions it read. After a few lost races the invocation
+//     finishes behind a per-object barrier, so progress never depends
+//     on winning a CAS.
+//   - "adaptive" (the default) starts optimistic and tracks an
+//     abort-rate EWMA per object: pathologically write-hot objects
+//     degrade to the serializing barrier, and return to lock-free
+//     commits when aborts subside.
+//
+// Functions annotated `readonly: true` skip locking and the
+// merge/commit entirely in every mode and serve concurrently straight
+// from the in-memory state table; a readonly function returning a
+// state delta fails the invocation. (A readonly multi-key snapshot is
+// taken without a lock, so it may straddle two commits of different
+// keys; annotate only functions that tolerate that, or use "locked".)
+// Commit/abort/retry/fallback counts are surfaced per class in
+// Stats().Concurrency.
+//
+// Composition: because optimistic invocations hold no exclusive lock
+// across the handler, a method may synchronously invoke another
+// stateful object of the same class under "occ" — where the striped
+// per-object lock previously made any same-class stripe collision a
+// guaranteed deadlock, nested optimistic invocations only share a
+// read-side stripe and proceed. The relaxation is not absolute: if
+// the two objects collide on a stripe (~0.1% per pair) AND an
+// exclusive holder wedges between them — an object delete/create on
+// that stripe, or a contention fallback to the serializing barrier —
+// the nested call can still deadlock. Same-class composition through
+// dataflows or the async queue remains the guaranteed-safe pattern;
+// synchronous nesting is reasonable under "occ" when object churn is
+// low and write contention modest. Under "locked" the original
+// constraint stands. If a single object must absorb more write
+// throughput than validated commits allow, shard the state across
+// several objects and aggregate on read.
 //
 // The subpackages under internal/ implement the platform and every
 // substrate it depends on (cluster simulator, FaaS engines, document
@@ -147,6 +181,25 @@ const (
 	KindNumber = model.KindNumber
 	KindBool   = model.KindBool
 	KindFile   = model.KindFile
+)
+
+// ConcurrencyMode selects how concurrent invocations on one object are
+// handled (per class via ClassDef.Concurrency / `concurrencyMode:` in
+// YAML, or platform-wide via Config.ConcurrencyMode).
+type ConcurrencyMode = model.ConcurrencyMode
+
+// Concurrency modes.
+const (
+	// ConcurrencyOCC interleaves hot-object invocations optimistically:
+	// handlers run lock-free on version-stamped snapshots and deltas
+	// commit through a validated compare-and-swap with bounded retry.
+	ConcurrencyOCC = model.ConcurrencyOCC
+	// ConcurrencyLocked serializes each object's invocations under a
+	// striped per-object lock (the pessimistic baseline).
+	ConcurrencyLocked = model.ConcurrencyLocked
+	// ConcurrencyAdaptive (the default) starts optimistic and degrades
+	// per object to the lock while CAS aborts run hot.
+	ConcurrencyAdaptive = model.ConcurrencyAdaptive
 )
 
 // ParseYAML loads a Package from YAML.
