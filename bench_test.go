@@ -351,17 +351,136 @@ func BenchmarkAsyncInvokeThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkAsyncDrainThroughput measures the asynchronous drain path's
+// group-commit batching: a submission burst builds a backlog, the
+// worker pool drains it, and ops/s counts completed invocations. The
+// state table is write-through with a simulated per-write DB latency,
+// so the dominant per-invocation cost is the commit round trip — the
+// exact cost DrainBatch coalescing amortizes. Dimensions:
+//
+//   - hot-object: every invocation targets one counter object. With
+//     DrainBatch=1 each bump pays its own serialized commit; with
+//     DrainBatch=16 a worker pull commits up to 16 bumps through one
+//     InvokeBatch window and one DB round trip.
+//   - spread: invocations round-robin 256 objects, so same-object
+//     coalescing is rare — the guard dimension proving batched pulls
+//     (and batched record transitions) do not hurt spread traffic.
+//
+// Results are recorded as "asyncdrain/<dim>/w<N>/batch<B>" in
+// BENCH_invoke.json (BENCH_SNAPSHOT=1) and guarded by cmd/benchdiff.
+func BenchmarkAsyncDrainThroughput(b *testing.B) {
+	const writeLatency = 300 * time.Microsecond
+	setup := func(b *testing.B, workers, drainBatch, objects int) (*Platform, []string) {
+		b.Helper()
+		noServe := false
+		tmpl := Template{
+			Name:       "drainbench",
+			EngineMode: EngineDeployment, TableMode: TableWriteThrough,
+			DefaultConcurrency: 64, InitialScale: 4, MaxScale: 64,
+		}
+		plat, err := New(Config{
+			Workers: 4, OpsPerMilliCPU: 1000,
+			DBWriteLatency:     writeLatency,
+			Templates:          []Template{tmpl},
+			ServeObjectStore:   &noServe,
+			AsyncWorkers:       workers,
+			AsyncDrainBatch:    drainBatch,
+			AsyncQueueCapacity: 1 << 14,
+			ConcurrencyMode:    ConcurrencyLocked,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		plat.Images().Register("img/bump", HandlerFunc(func(_ context.Context, task Task) (Result, error) {
+			var n float64
+			if raw, ok := task.State["n"]; ok {
+				_ = json.Unmarshal(raw, &n)
+			}
+			out, _ := json.Marshal(n + 1)
+			return Result{Output: out, State: map[string]json.RawMessage{"n": out}}, nil
+		}))
+		pkg := "classes:\n  - name: Drain\n    keySpecs:\n      - name: n\n        kind: number\n        default: 0\n"
+		pkg += "    functions:\n      - name: bump\n        image: img/bump\n"
+		ctx := context.Background()
+		if _, err := plat.DeployYAML(ctx, []byte(pkg)); err != nil {
+			plat.Close()
+			b.Fatal(err)
+		}
+		ids := make([]string, objects)
+		for i := range ids {
+			id, err := plat.CreateObject(ctx, "Drain", fmt.Sprintf("dr-%04d", i))
+			if err != nil {
+				plat.Close()
+				b.Fatal(err)
+			}
+			ids[i] = id
+		}
+		return plat, ids
+	}
+	dims := []struct {
+		name    string
+		objects int
+	}{
+		{"hot-object", 1},
+		{"spread", 256},
+	}
+	for _, dim := range dims {
+		for _, workers := range []int{1, 4, 16} {
+			for _, batch := range []int{1, 16} {
+				name := fmt.Sprintf("%s/w%d/batch%d", dim.name, workers, batch)
+				b.Run(name, func(b *testing.B) {
+					plat, ids := setup(b, workers, batch, dim.objects)
+					defer plat.Close()
+					ctx := context.Background()
+					// Submit in large chunks and wait each chunk out so
+					// the bounded queue never overflows while the
+					// backlog stays deep enough to coalesce.
+					const chunk = 4096
+					reqs := make([]AsyncRequest, 0, chunk)
+					b.ResetTimer()
+					for submitted := 0; submitted < b.N; {
+						n := min(chunk, b.N-submitted)
+						reqs = reqs[:0]
+						for i := 0; i < n; i++ {
+							reqs = append(reqs, AsyncRequest{Object: ids[(submitted+i)%len(ids)], Member: "bump"})
+						}
+						results := plat.InvokeAsyncBatch(ctx, reqs)
+						for _, res := range results {
+							if res.Err != nil {
+								b.Fatal(res.Err)
+							}
+							rec, err := plat.WaitInvocation(ctx, res.ID)
+							if err != nil {
+								b.Fatal(err)
+							}
+							if rec.Status != InvocationCompleted {
+								b.Fatalf("invocation %s: %s (%s)", res.ID, rec.Status, rec.Error)
+							}
+						}
+						submitted += n
+					}
+					b.StopTimer()
+					ops := float64(b.N) / b.Elapsed().Seconds()
+					b.ReportMetric(ops, "ops/s")
+					recordInvokeBench("asyncdrain/"+name, ops)
+				})
+			}
+		}
+	}
+}
+
 // --- Invocation hot-path benchmarks ----------------------------------
 
-// invokeBench collects hot-path benchmark results and persists them to
-// BENCH_invoke.json after every sub-benchmark, so the perf trajectory
-// of the synchronous invocation path is tracked across PRs. The write
-// is opt-in (BENCH_SNAPSHOT=1) so smoke runs — CI's -benchtime=1x pass
-// in particular, whose single-iteration ops/s includes cold starts and
-// means nothing — cannot clobber the committed snapshot with noise.
-// Refresh it with:
+// invokeBench collects hot-path and async-drain benchmark results and
+// persists them to BENCH_invoke.json after every sub-benchmark, so the
+// perf trajectory of the invocation paths is tracked across PRs. The
+// write is opt-in (BENCH_SNAPSHOT=1) so smoke runs — CI's -benchtime=1x
+// pass in particular, whose single-iteration ops/s includes cold starts
+// and means nothing — cannot clobber the committed snapshot with noise.
+// Refresh it with (both families in one run — the writer rewrites the
+// whole file from the metrics the run accumulated):
 //
-//	BENCH_SNAPSHOT=1 go test -bench=InvokeHotPath -benchtime=2s -run='^$' .
+//	BENCH_SNAPSHOT=1 go test -bench='InvokeHotPath|AsyncDrainThroughput' -benchtime=2s -run='^$' .
 var invokeBench = struct {
 	mu      sync.Mutex
 	metrics map[string]float64

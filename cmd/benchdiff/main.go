@@ -1,10 +1,11 @@
 // Command benchdiff is the CI bench regression guard: it parses a `go
-// test -bench` output stream, extracts every BenchmarkInvokeHotPath
-// sub-benchmark's ops/s metric, and compares it against the committed
-// BENCH_invoke.json snapshot. A sub-benchmark running more than the
-// threshold factor (default 5x) below its snapshot fails the run, as
-// does a snapshot entry missing from the stream (a renamed or deleted
-// benchmark means the snapshot is stale).
+// test -bench` output stream, extracts every guarded sub-benchmark's
+// ops/s metric (BenchmarkInvokeHotPath as "invoke/<sub>" and
+// BenchmarkAsyncDrainThroughput as "asyncdrain/<sub>"), and compares
+// it against the committed BENCH_invoke.json snapshot. A sub-benchmark
+// running more than the threshold factor (default 5x) below its
+// snapshot fails the run, as does a snapshot entry missing from the
+// stream (a renamed or deleted benchmark means the snapshot is stale).
 //
 // The smoke run feeding it should use a small fixed iteration count
 // (e.g. -benchtime=200x): enough iterations to amortize first-call
@@ -15,7 +16,7 @@
 //
 // Usage:
 //
-//	go test -bench=InvokeHotPath -benchtime=200x -run='^$' . > bench.out
+//	go test -bench='InvokeHotPath|AsyncDrainThroughput' -benchtime=200x -run='^$' . > bench.out
 //	go run ./cmd/benchdiff -snapshot BENCH_invoke.json bench.out
 package main
 
@@ -31,17 +32,24 @@ import (
 	"strconv"
 )
 
-// benchLine matches one benchmark result line and captures the
-// sub-benchmark name and its ops/s metric, e.g.
+// benchLine matches one guarded benchmark result line and captures the
+// benchmark family, the sub-benchmark name and its ops/s metric, e.g.
 //
 //	BenchmarkInvokeHotPath/hot-object-8  1234  567 ns/op  890 ops/s
-var benchLine = regexp.MustCompile(`^BenchmarkInvokeHotPath/(\S+)\s.*?([0-9.]+(?:e[+-]?[0-9]+)?) ops/s`)
+//	BenchmarkAsyncDrainThroughput/hot-object/w4/batch16-8  500  80901 ns/op  12361 ops/s
+var benchLine = regexp.MustCompile(`^Benchmark(InvokeHotPath|AsyncDrainThroughput)/(\S+)\s.*?([0-9.]+(?:e[+-]?[0-9]+)?) ops/s`)
+
+// snapshotPrefix maps a benchmark family to its snapshot key prefix.
+var snapshotPrefix = map[string]string{
+	"InvokeHotPath":        "invoke/",
+	"AsyncDrainThroughput": "asyncdrain/",
+}
 
 // procSuffix is the -GOMAXPROCS suffix the testing package appends to
 // parallel benchmark names when GOMAXPROCS > 1.
 var procSuffix = regexp.MustCompile(`-[0-9]+$`)
 
-// parseOps extracts "invoke/<sub>" -> ops/s from bench output.
+// parseOps extracts "<prefix>/<sub>" -> ops/s from bench output.
 func parseOps(r io.Reader) (map[string]float64, error) {
 	out := make(map[string]float64)
 	sc := bufio.NewScanner(r)
@@ -50,12 +58,12 @@ func parseOps(r io.Reader) (map[string]float64, error) {
 		if m == nil {
 			continue
 		}
-		name := procSuffix.ReplaceAllString(m[1], "")
-		ops, err := strconv.ParseFloat(m[2], 64)
+		name := procSuffix.ReplaceAllString(m[2], "")
+		ops, err := strconv.ParseFloat(m[3], 64)
 		if err != nil {
-			return nil, fmt.Errorf("benchdiff: bad ops/s %q on %q: %w", m[2], name, err)
+			return nil, fmt.Errorf("benchdiff: bad ops/s %q on %q: %w", m[3], name, err)
 		}
-		out["invoke/"+name] = ops
+		out[snapshotPrefix[m[1]]+name] = ops
 	}
 	return out, sc.Err()
 }
@@ -114,7 +122,7 @@ func run() error {
 		return err
 	}
 	if len(measured) == 0 {
-		return fmt.Errorf("benchdiff: no BenchmarkInvokeHotPath results in input")
+		return fmt.Errorf("benchdiff: no guarded benchmark results in input")
 	}
 	for _, k := range sortedKeys(measured) {
 		if want, ok := snapshot[k]; ok {

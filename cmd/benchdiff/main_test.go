@@ -12,6 +12,8 @@ cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkInvokeHotPath/spread-cold-reads         	    2134	   1114212 ns/op	       897.5 ops/s	    5291 B/op	      31 allocs/op
 BenchmarkInvokeHotPath/spread-warm-8             	  431349	      5155 ns/op	    193997 ops/s	    1764 B/op	      20 allocs/op
 BenchmarkInvokeHotPath/hot-object-readonly-w8-4  	   17586	    136242 ns/op	      7340 ops/s	    1404 B/op	      13 allocs/op
+BenchmarkAsyncDrainThroughput/hot-object/w4/batch16-8  	     500	     80901 ns/op	     12361 ops/s
+BenchmarkAsyncDrainThroughput/spread/w16/batch1          	     500	    500000 ns/op	      2000 ops/s
 BenchmarkMicroKVStorePut-8                       	  999999	       500 ns/op
 PASS
 ok  	github.com/hpcclab/oparaca-go	23.751s
@@ -23,9 +25,11 @@ func TestParseOps(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := map[string]float64{
-		"invoke/spread-cold-reads":      897.5,
-		"invoke/spread-warm":            193997,
-		"invoke/hot-object-readonly-w8": 7340,
+		"invoke/spread-cold-reads":         897.5,
+		"invoke/spread-warm":               193997,
+		"invoke/hot-object-readonly-w8":    7340,
+		"asyncdrain/hot-object/w4/batch16": 12361,
+		"asyncdrain/spread/w16/batch1":     2000,
 	}
 	if len(got) != len(want) {
 		t.Fatalf("parsed %d entries (%v), want %d", len(got), got, len(want))

@@ -217,8 +217,11 @@ func (c *client) invoke(args []string, async bool) error {
 	return c.request(http.MethodPost, path, "application/json", []byte(*payload), printJSON)
 }
 
-// invokeWait polls an invocation record until it reaches a terminal
-// status or the -t timeout elapses, then prints the final record.
+// invokeWait blocks on an invocation record until it reaches a
+// terminal status or the -t timeout elapses, then prints the final
+// record. It rides the gateway's long-poll (?waitMs=N): each request
+// parks server-side until the record goes terminal or the bounded wait
+// elapses, so no client-side sleep loop burns requests.
 func (c *client) invokeWait(args []string) error {
 	fs := flag.NewFlagSet("invoke-wait", flag.ContinueOnError)
 	timeout := fs.Duration("t", 30*time.Second, "polling timeout")
@@ -229,9 +232,16 @@ func (c *client) invokeWait(args []string) error {
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
+	// Per-request waits stay under the gateway's 30s long-poll cap; the
+	// loop re-arms until the overall -t budget runs out.
+	const maxWait = 10 * time.Second
 	deadline := time.Now().Add(*timeout)
-	path := "/api/invocations/" + url.PathEscape(id)
 	for {
+		wait := min(maxWait, time.Until(deadline))
+		if wait < 0 {
+			wait = 0
+		}
+		path := fmt.Sprintf("/api/invocations/%s?waitMs=%d", url.PathEscape(id), wait.Milliseconds())
 		var status string
 		var raw []byte
 		err := c.request(http.MethodGet, path, "", nil, func(body []byte) {
@@ -250,10 +260,9 @@ func (c *client) invokeWait(args []string) error {
 			printJSON(raw)
 			return nil
 		}
-		if time.Now().After(deadline) {
+		if !time.Now().Before(deadline) {
 			return fmt.Errorf("invocation %s still %q after %v", id, status, *timeout)
 		}
-		time.Sleep(25 * time.Millisecond)
 	}
 }
 

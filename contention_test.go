@@ -10,6 +10,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -172,6 +173,142 @@ func TestHotObjectCounterIsExact(t *testing.T) {
 				// as exactly one validated commit no matter how many
 				// aborts and retries it took.
 				t.Fatalf("CAS commits = %d, want %d", cs.Commits, total)
+			}
+		})
+	}
+}
+
+// faultyCounterPackage extends the counter with failing and panicking
+// members for mid-batch fault-isolation sweeps.
+const faultyCounterPackage = `classes:
+  - name: Counter
+    keySpecs:
+      - name: n
+        kind: number
+        default: 0
+    functions:
+      - name: bump
+        image: img/bump
+      - name: boom
+        image: img/boom
+      - name: kaboom
+        image: img/kaboom
+`
+
+// TestBatchedDrainCounterIsExact floods the async queue with bumps on
+// one hot object — plus interleaved failing and panicking calls — and
+// requires (a) the counter to land exactly on the bump count in every
+// concurrency mode, and (b) each failing/panicking call to poison only
+// its own record, all through the DrainBatch=16 group-commit path
+// under -race.
+func TestBatchedDrainCounterIsExact(t *testing.T) {
+	const (
+		bumps   = 100
+		booms   = 10
+		kabooms = 5
+	)
+	for _, conc := range []ConcurrencyMode{ConcurrencyLocked, ConcurrencyOCC, ConcurrencyAdaptive} {
+		t.Run(string(conc), func(t *testing.T) {
+			noServe := false
+			tmpl := Template{
+				Name:       "batchdrain",
+				EngineMode: EngineDeployment, TableMode: TableWriteBehind,
+				DefaultConcurrency: 64, InitialScale: 4, MaxScale: 64,
+			}
+			plat, err := New(Config{
+				Workers: 2, OpsPerMilliCPU: 1000,
+				Templates:          []Template{tmpl},
+				ServeObjectStore:   &noServe,
+				AsyncWorkers:       8,
+				AsyncDrainBatch:    16,
+				AsyncQueueCapacity: 4096,
+				ConcurrencyMode:    conc,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(plat.Close)
+			plat.Images().Register("img/bump", HandlerFunc(func(ctx context.Context, task Task) (Result, error) {
+				var n float64
+				if raw, ok := task.State["n"]; ok {
+					if err := json.Unmarshal(raw, &n); err != nil {
+						return Result{}, err
+					}
+				}
+				select {
+				case <-time.After(100 * time.Microsecond):
+				case <-ctx.Done():
+					return Result{}, ctx.Err()
+				}
+				out, _ := json.Marshal(n + 1)
+				return Result{Output: out, State: map[string]json.RawMessage{"n": out}}, nil
+			}))
+			plat.Images().Register("img/boom", HandlerFunc(func(context.Context, Task) (Result, error) {
+				return Result{}, fmt.Errorf("deliberate failure")
+			}))
+			plat.Images().Register("img/kaboom", HandlerFunc(func(context.Context, Task) (Result, error) {
+				panic("mid-batch panic")
+			}))
+			ctx := context.Background()
+			if _, err := plat.DeployYAML(ctx, []byte(faultyCounterPackage)); err != nil {
+				t.Fatal(err)
+			}
+			id, err := plat.CreateObject(ctx, "Counter", "hot")
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Interleave the fault calls through the bump stream so they
+			// ride mid-batch, then submit everything in one burst to
+			// build the backlog batched drains coalesce from.
+			reqs := make([]AsyncRequest, 0, bumps+booms+kabooms)
+			for i := 0; i < bumps; i++ {
+				reqs = append(reqs, AsyncRequest{Object: id, Member: "bump"})
+				if i%10 == 5 {
+					reqs = append(reqs, AsyncRequest{Object: id, Member: "boom"})
+				}
+				if i%20 == 10 {
+					reqs = append(reqs, AsyncRequest{Object: id, Member: "kaboom"})
+				}
+			}
+			results := plat.InvokeAsyncBatch(ctx, reqs)
+			var gotBoom, gotKaboom int
+			for i, res := range results {
+				if res.Err != nil {
+					t.Fatal(res.Err)
+				}
+				rec, err := plat.WaitInvocation(ctx, res.ID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				switch reqs[i].Member {
+				case "bump":
+					if rec.Status != InvocationCompleted {
+						t.Fatalf("bump %s: %s (%s)", res.ID, rec.Status, rec.Error)
+					}
+				case "boom":
+					gotBoom++
+					if rec.Status != InvocationFailed || !strings.Contains(rec.Error, "deliberate failure") {
+						t.Fatalf("boom record = %+v", rec)
+					}
+				case "kaboom":
+					gotKaboom++
+					if rec.Status != InvocationFailed || !strings.Contains(rec.Error, "panic") {
+						t.Fatalf("kaboom record = %+v", rec)
+					}
+				}
+			}
+			if gotBoom != booms || gotKaboom != kabooms {
+				t.Fatalf("fault calls seen = %d/%d, want %d/%d", gotBoom, gotKaboom, booms, kabooms)
+			}
+			v, err := plat.GetState(ctx, id, "n")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(v) != fmt.Sprintf("%d", bumps) {
+				t.Fatalf("counter = %s, want exactly %d (lost or phantom updates through batched drain)", v, bumps)
+			}
+			if s := plat.Stats().Async; s.Coalesced == 0 || s.BatchedDrains == 0 {
+				t.Fatalf("batched drain never coalesced (stats %+v) — the group-commit path went untested", s)
 			}
 		})
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -521,5 +522,289 @@ func TestNoRetriesByDefault(t *testing.T) {
 	}
 	if st := q.Stats(); st.Retried != 0 {
 		t.Fatalf("Stats().Retried = %d, want 0", st.Retried)
+	}
+}
+
+// --- Batched drain and quota tests -----------------------------------
+
+// blockingQueue builds a single-worker, single-shard queue whose
+// handler parks on release; started signals the first execution.
+func blockingQueue(t *testing.T, cfg Config) (q *Queue, started, release chan struct{}) {
+	t.Helper()
+	started = make(chan struct{})
+	release = make(chan struct{})
+	var once sync.Once
+	cfg.Workers, cfg.Shards = 1, 1
+	cfg.Invoke = func(context.Context, string, string, json.RawMessage, map[string]string) (json.RawMessage, error) {
+		once.Do(func() { close(started) })
+		<-release
+		return json.RawMessage(`"ok"`), nil
+	}
+	return newQueue(t, cfg), started, release
+}
+
+// TestClassQuotaRejectsAndReleases caps a class at 2 queued
+// invocations: the third submission fails with ErrClassQuotaExceeded,
+// and draining the backlog returns the quota.
+func TestClassQuotaRejectsAndReleases(t *testing.T) {
+	q, started, release := blockingQueue(t, Config{
+		Capacity:    16,
+		DrainBatch:  1, // quota releases at dequeue; per-task keeps it deterministic
+		ClassQuotas: map[string]int{"Capped": 2},
+		ClassOf: func(objectID string) string {
+			if objectID == "free" {
+				return "Boundless"
+			}
+			return "Capped"
+		},
+	})
+	ctx := context.Background()
+	// Occupy the single worker with an unquoted class so the capped
+	// submissions stay queued.
+	if _, err := q.Submit(ctx, "free", "m", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	for i := 0; i < 2; i++ {
+		if _, err := q.Submit(ctx, "capped", "m", nil, nil); err != nil {
+			t.Fatalf("submission %d within quota: %v", i, err)
+		}
+	}
+	if _, err := q.Submit(ctx, "capped", "m", nil, nil); !errors.Is(err, ErrClassQuotaExceeded) {
+		t.Fatalf("over-quota err = %v, want ErrClassQuotaExceeded", err)
+	}
+	// Unquoted classes are unaffected by the capped class's limit.
+	if _, err := q.Submit(ctx, "free", "m", nil, nil); err != nil {
+		t.Fatalf("unquoted class rejected: %v", err)
+	}
+	if s := q.Stats(); s.QuotaRejected != 1 {
+		t.Fatalf("QuotaRejected = %d, want 1", s.QuotaRejected)
+	}
+	close(release)
+	// Draining returns the quota: wait for the backlog, then resubmit.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := q.Submit(ctx, "capped", "m", nil, nil); err == nil {
+			break
+		} else if !errors.Is(err, ErrClassQuotaExceeded) {
+			t.Fatal(err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("quota never released after drain")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestBatchedDrainCoalescesSameObject parks the worker, builds a
+// same-object backlog, and verifies one multi-task pull dispatches the
+// group through the batch invoker, with BatchedDrains and Coalesced
+// reflecting it.
+func TestBatchedDrainCoalescesSameObject(t *testing.T) {
+	const backlog = 6
+	var groups atomic.Int64
+	var grouped atomic.Int64
+	inv := &echoInvoker{}
+	cfg := Config{
+		Capacity:   32,
+		DrainBatch: 8,
+		InvokeBatch: func(ctx context.Context, objectID string, calls []Call) []CallResult {
+			groups.Add(1)
+			grouped.Add(int64(len(calls)))
+			out := make([]CallResult, len(calls))
+			for i, c := range calls {
+				out[i].Output, out[i].Err = inv.invoke(c.Ctx, objectID, c.Member, c.Payload, c.Args)
+			}
+			return out
+		},
+	}
+	q, started, release := blockingQueue(t, cfg)
+	ctx := context.Background()
+	if _, err := q.Submit(ctx, "blocker", "m", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ids := make([]string, 0, backlog)
+	for i := 0; i < backlog; i++ {
+		id, err := q.Submit(ctx, "hot", "m", nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	close(release)
+	for _, id := range ids {
+		rec, err := q.Wait(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Status != StatusCompleted {
+			t.Fatalf("record = %+v", rec)
+		}
+		if string(rec.Result) != `"hot.m"` {
+			t.Fatalf("result = %s", rec.Result)
+		}
+	}
+	if groups.Load() == 0 || grouped.Load() < 2 {
+		t.Fatalf("batch invoker saw %d groups / %d calls, want a coalesced group", groups.Load(), grouped.Load())
+	}
+	s := q.Stats()
+	if s.BatchedDrains == 0 {
+		t.Fatalf("BatchedDrains = 0 after a %d-task backlog drained", backlog)
+	}
+	if s.Coalesced != grouped.Load() {
+		t.Fatalf("Coalesced = %d, want %d (calls dispatched through groups)", s.Coalesced, grouped.Load())
+	}
+	if s.Completed != int64(backlog)+1 {
+		t.Fatalf("Completed = %d, want %d", s.Completed, backlog+1)
+	}
+}
+
+// TestBatchInvokerPanicFailsGroupOnly panics the batch invoker itself:
+// the group's records fail, the worker survives, and later singleton
+// work still completes.
+func TestBatchInvokerPanicFailsGroupOnly(t *testing.T) {
+	cfg := Config{
+		Capacity:   32,
+		DrainBatch: 8,
+		InvokeBatch: func(context.Context, string, []Call) []CallResult {
+			panic("broken batch executor")
+		},
+	}
+	q, started, release := blockingQueue(t, cfg)
+	ctx := context.Background()
+	if _, err := q.Submit(ctx, "blocker", "m", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ids := make([]string, 0, 4)
+	for i := 0; i < 4; i++ {
+		id, err := q.Submit(ctx, "hot", "m", nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	close(release)
+	sawPanic := false
+	for _, id := range ids {
+		rec, err := q.Wait(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch rec.Status {
+		case StatusFailed:
+			sawPanic = true
+			if !strings.Contains(rec.Error, "batch handler panic") {
+				t.Fatalf("failed record error = %q", rec.Error)
+			}
+		case StatusCompleted:
+			// A task drained alone (singleton groups skip the batch
+			// invoker) — fine.
+		default:
+			t.Fatalf("record = %+v", rec)
+		}
+	}
+	if !sawPanic {
+		t.Fatal("no group ever hit the panicking batch invoker")
+	}
+	// The worker survived: a fresh singleton completes.
+	id, err := q.Submit(ctx, "later", "m", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec, err := q.Wait(ctx, id); err != nil || rec.Status != StatusCompleted {
+		t.Fatalf("post-panic record = %v %+v", err, rec)
+	}
+}
+
+// TestBatchInvokerShapeMismatchFailsGroup returns the wrong number of
+// results from the batch invoker and expects a uniform shape error.
+func TestBatchInvokerShapeMismatchFailsGroup(t *testing.T) {
+	cfg := Config{
+		Capacity:   32,
+		DrainBatch: 8,
+		InvokeBatch: func(context.Context, string, []Call) []CallResult {
+			return make([]CallResult, 1) // wrong shape for any group >= 2
+		},
+	}
+	q, started, release := blockingQueue(t, cfg)
+	ctx := context.Background()
+	if _, err := q.Submit(ctx, "blocker", "m", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ids := make([]string, 0, 4)
+	for i := 0; i < 4; i++ {
+		id, err := q.Submit(ctx, "hot", "m", nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	close(release)
+	sawShape := false
+	for _, id := range ids {
+		rec, err := q.Wait(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Status == StatusFailed && strings.Contains(rec.Error, "results for") {
+			sawShape = true
+		}
+	}
+	if !sawShape {
+		t.Fatal("shape mismatch never surfaced in a failed record")
+	}
+}
+
+// TestTerminalMetricsConsistentAcrossExitPaths verifies every terminal
+// record — completed, failed, and cancelled-while-queued — contributes
+// exactly one queue.exec sample, so the histogram count always equals
+// completed+failed (the cancelled path used to skip it).
+func TestTerminalMetricsConsistentAcrossExitPaths(t *testing.T) {
+	q, started, release := blockingQueue(t, Config{Capacity: 16, DrainBatch: 1})
+	ctx := context.Background()
+	if _, err := q.Submit(ctx, "blocker", "m", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	cctx, cancel := context.WithCancel(ctx)
+	victimID, err := q.Submit(cctx, "victim", "m", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	close(release)
+	if rec, err := q.Wait(ctx, victimID); err != nil || rec.Status != StatusFailed {
+		t.Fatalf("victim record = %v %+v", err, rec)
+	}
+	// Drain fully so the blocker's terminal bookkeeping is done too.
+	id, err := q.Submit(ctx, "after", "m", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Wait(ctx, id); err != nil {
+		t.Fatal(err)
+	}
+	s := q.Stats()
+	if got, want := q.Metrics().Histogram("queue.exec").Count(), s.Completed+s.Failed; got != want {
+		t.Fatalf("queue.exec samples = %d, terminal records = %d (completed %d + failed %d)",
+			got, want, s.Completed, s.Failed)
+	}
+	if s.InFlight != 0 {
+		t.Fatalf("InFlight = %d after drain, want 0", s.InFlight)
+	}
+}
+
+// TestNewRejectsQuotasWithoutClassOf: quotas with no class resolver
+// would silently never fire, so construction must fail.
+func TestNewRejectsQuotasWithoutClassOf(t *testing.T) {
+	_, err := New(Config{
+		Invoke:      (&echoInvoker{}).invoke,
+		ClassQuotas: map[string]int{"C": 1},
+	})
+	if err == nil || !strings.Contains(err.Error(), "ClassOf") {
+		t.Fatalf("err = %v, want ClassOf requirement error", err)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -83,9 +84,20 @@ func TestQueueOverflowReturnsBackpressure(t *testing.T) {
 // context error without the handler ever running.
 func TestQueuedInvocationObservesCancellation(t *testing.T) {
 	release := make(chan struct{})
+	started := make(chan struct{})
+	var ranMu sync.Mutex
 	ran := make(map[string]bool)
+	// The batched drain publishes a cancelled-while-queued failure as
+	// soon as the pull is recorded — possibly while an earlier task of
+	// the same pull is still executing — so the map needs a lock even
+	// with a single worker.
 	q := newQueue(t, Config{Workers: 1, Shards: 1, Capacity: 8, Invoke: func(_ context.Context, objectID, _ string, _ json.RawMessage, _ map[string]string) (json.RawMessage, error) {
-		ran[objectID] = true // single worker: no lock needed
+		ranMu.Lock()
+		ran[objectID] = true
+		ranMu.Unlock()
+		if objectID == "blocker" {
+			close(started)
+		}
 		<-release
 		return nil, nil
 	}})
@@ -93,6 +105,10 @@ func TestQueuedInvocationObservesCancellation(t *testing.T) {
 	if _, err := q.Submit(ctx, "blocker", "m", nil, nil); err != nil {
 		t.Fatal(err)
 	}
+	// Submit the victim only once the blocker is executing, so it can
+	// never ride the blocker's drain pull (a pull snapshots each task's
+	// cancellation state at dequeue, before this cancel lands).
+	<-started
 	cctx, cancel := context.WithCancel(ctx)
 	victimID, err := q.Submit(cctx, "victim", "m", nil, nil)
 	if err != nil {

@@ -600,3 +600,69 @@ func TestCloseDrainsAsyncQueue(t *testing.T) {
 		t.Fatal("InvokeAsync after Close succeeded")
 	}
 }
+
+// TestInvokeBatchMixedMembers drives Platform.InvokeBatch with a
+// function, a dataflow, and an unknown member in one group: the
+// function rides the group-commit window, the dataflow falls back to
+// individual invocation, and the unknown member fails only its own
+// entry.
+func TestInvokeBatchMixedMembers(t *testing.T) {
+	p := newPlatform(t, nil)
+	pkg := `classes:
+  - name: Mixed
+    keySpecs:
+      - name: meta
+        default: {}
+    functions:
+      - name: resize
+        image: img/resize
+      - name: convert
+        image: img/change-format
+    dataflows:
+      - name: flow
+        steps:
+          - name: s0
+            function: convert
+`
+	ctx := context.Background()
+	if _, err := p.DeployYAML(ctx, []byte(pkg)); err != nil {
+		t.Fatal(err)
+	}
+	id, err := p.CreateObject(ctx, "Mixed", "mx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := p.InvokeBatch(ctx, id, []runtime.BatchCall{
+		{Function: "resize", Args: map[string]string{"w": "64"}},
+		{Function: "flow"},
+		{Function: "nosuch"},
+		{Function: "convert"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil || string(results[0].Output) != `"resized"` {
+		t.Fatalf("function call = %+v", results[0])
+	}
+	if results[1].Err != nil || string(results[1].Output) != `"converted"` {
+		t.Fatalf("dataflow fallback = %+v", results[1])
+	}
+	if !errors.Is(results[2].Err, ErrMemberNotFound) {
+		t.Fatalf("unknown member err = %v, want ErrMemberNotFound", results[2].Err)
+	}
+	if results[3].Err != nil || string(results[3].Output) != `"converted"` {
+		t.Fatalf("second function call = %+v", results[3])
+	}
+	// The resize delta landed through the merged commit.
+	meta, err := p.GetState(ctx, id, "meta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(meta), `"width":"64"`) {
+		t.Fatalf("meta = %s, want width recorded", meta)
+	}
+	// An unknown object fails the whole batch.
+	if _, err := p.InvokeBatch(ctx, "ghost", []runtime.BatchCall{{Function: "resize"}}); !errors.Is(err, ErrObjectNotFound) {
+		t.Fatalf("unknown object err = %v, want ErrObjectNotFound", err)
+	}
+}

@@ -4,8 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -285,5 +287,215 @@ func TestInvokeAsyncBackpressure429(t *testing.T) {
 	}
 	if !saw429 {
 		t.Fatal("queue never pushed back with 429")
+	}
+}
+
+// newLongPollFixture builds a platform whose handler parks on the
+// returned release channel, plus a REST fixture over it.
+func newLongPollFixture(t *testing.T, cfg core.Config) (*fixture, chan struct{}) {
+	t.Helper()
+	release := make(chan struct{})
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
+	cfg.ColdStart = time.Millisecond
+	p, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	p.Images().Register("img/park", invoker.HandlerFunc(func(ctx context.Context, _ invoker.Task) (invoker.Result, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return invoker.Result{}, ctx.Err()
+		}
+		return invoker.Result{Output: json.RawMessage(`"released"`)}, nil
+	}))
+	ctx := context.Background()
+	pkg := "classes:\n  - name: P\n    functions:\n      - name: park\n        image: img/park\n"
+	if _, err := p.DeployYAML(ctx, []byte(pkg)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CreateObject(ctx, "P", "p1"); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(p))
+	t.Cleanup(srv.Close)
+	return &fixture{t: t, srv: srv, client: srv.Client()}, release
+}
+
+// submitAsync enqueues one async park invocation and returns its ID.
+func submitAsync(t *testing.T, f *fixture) string {
+	t.Helper()
+	status, body := f.do(http.MethodPost, "/api/objects/p1/invoke-async/park", "application/json", nil)
+	if status != http.StatusAccepted {
+		t.Fatalf("invoke-async status = %d", status)
+	}
+	var id string
+	json.Unmarshal(body["invocation"], &id)
+	if id == "" {
+		t.Fatalf("no invocation id in %v", body)
+	}
+	return id
+}
+
+// TestLongPollTable covers the GET /api/invocations/{id}?waitMs=N
+// contract: terminal records return immediately, a bounded timeout
+// returns the current non-terminal record, bad parameters are 400, and
+// unknown IDs stay 404 even with a wait.
+func TestLongPollTable(t *testing.T) {
+	f, release := newLongPollFixture(t, core.Config{AsyncWorkers: 1})
+	id := submitAsync(t, f)
+	close(release)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if v := getInvocation(t, f, id); v.Status == "completed" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("seed invocation never completed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cases := []struct {
+		name       string
+		path       string
+		wantStatus int
+		wantBody   string // substring of the raw body ("" = skip)
+	}{
+		{"immediate hit on terminal record", "/api/invocations/" + id + "?waitMs=30000", http.StatusOK, `"completed"`},
+		{"overflow-sized wait is clamped, not dropped", "/api/invocations/" + id + "?waitMs=10000000000000000", http.StatusOK, `"completed"`},
+		{"zero wait behaves like plain get", "/api/invocations/" + id + "?waitMs=0", http.StatusOK, `"completed"`},
+		{"bad waitMs", "/api/invocations/" + id + "?waitMs=soon", http.StatusBadRequest, "waitMs"},
+		{"negative waitMs", "/api/invocations/" + id + "?waitMs=-5", http.StatusBadRequest, "waitMs"},
+		{"unknown id with wait", "/api/invocations/inv-nope?waitMs=100", http.StatusNotFound, "not found"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			start := time.Now()
+			req, err := http.NewRequest(http.MethodGet, f.srv.URL+c.path, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := f.client.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != c.wantStatus {
+				t.Fatalf("status = %d body=%s, want %d", resp.StatusCode, raw, c.wantStatus)
+			}
+			if c.wantBody != "" && !strings.Contains(string(raw), c.wantBody) {
+				t.Fatalf("body = %s, want substring %q", raw, c.wantBody)
+			}
+			// A terminal or error response must not consume the wait.
+			if elapsed := time.Since(start); elapsed > 5*time.Second {
+				t.Fatalf("response took %v — long poll blocked on a terminal record", elapsed)
+			}
+		})
+	}
+}
+
+// TestLongPollTimeoutReturnsCurrentRecord parks the handler past the
+// wait bound: the long poll must return 200 with the in-flight record
+// instead of an error, after ~waitMs.
+func TestLongPollTimeoutReturnsCurrentRecord(t *testing.T) {
+	f, release := newLongPollFixture(t, core.Config{AsyncWorkers: 1})
+	defer close(release)
+	id := submitAsync(t, f)
+	start := time.Now()
+	req, err := http.NewRequest(http.MethodGet, f.srv.URL+"/api/invocations/"+id+"?waitMs=100", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 90*time.Millisecond {
+		t.Fatalf("long poll returned after %v, want ~100ms of blocking", elapsed)
+	}
+	var view invocationView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Status != "pending" && view.Status != "running" {
+		t.Fatalf("timed-out long poll status = %q, want non-terminal", view.Status)
+	}
+}
+
+// TestLongPollUnblocksOnCompletion issues a long poll against a parked
+// invocation and releases the handler mid-wait: the response must
+// carry the terminal record well before the wait bound.
+func TestLongPollUnblocksOnCompletion(t *testing.T) {
+	f, release := newLongPollFixture(t, core.Config{AsyncWorkers: 1})
+	id := submitAsync(t, f)
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(release)
+	}()
+	req, err := http.NewRequest(http.MethodGet, f.srv.URL+"/api/invocations/"+id+"?waitMs=10000", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	resp, err := f.client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if elapsed := time.Since(start); elapsed >= 10*time.Second {
+		t.Fatalf("long poll burned the whole wait (%v) despite completion", elapsed)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var view invocationView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Status != "completed" || string(view.Result) != `"released"` {
+		t.Fatalf("record = %+v", view)
+	}
+}
+
+// TestClassQuota429 drives a class past its async quota over REST and
+// expects 429 with the class-quota error code, distinct from the
+// queue-full 429.
+func TestClassQuota429(t *testing.T) {
+	f, release := newLongPollFixture(t, core.Config{
+		AsyncWorkers:     1,
+		AsyncDrainBatch:  1,
+		AsyncClassQuotas: map[string]int{"P": 1},
+	})
+	defer close(release)
+	// First submission occupies the worker, second occupies the quota.
+	submitAsync(t, f)
+	waitForInFlight := time.Now().Add(5 * time.Second)
+	for {
+		status, body := f.do(http.MethodPost, "/api/objects/p1/invoke-async/park", "application/json", nil)
+		if status == http.StatusAccepted {
+			if time.Now().After(waitForInFlight) {
+				t.Fatal("quota never engaged")
+			}
+			_ = body
+			continue
+		}
+		if status != http.StatusTooManyRequests {
+			t.Fatalf("over-quota status = %d body=%v", status, body)
+		}
+		var code string
+		json.Unmarshal(body["code"], &code)
+		if code != "class_quota_exceeded" {
+			t.Fatalf("error code = %q body=%v, want class_quota_exceeded", code, body)
+		}
+		break
 	}
 }

@@ -13,8 +13,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/hpcclab/oparaca-go/internal/asyncq"
 	"github.com/hpcclab/oparaca-go/internal/core"
@@ -59,9 +61,12 @@ func (g *Gateway) routes() {
 	g.mux.HandleFunc("GET /api/optimizer/actions", g.handleOptimizerActions)
 }
 
-// errorBody is the JSON error envelope.
+// errorBody is the JSON error envelope. Code carries a
+// machine-readable discriminator for errors that share a status with
+// other conditions (a class-quota 429 vs a queue-full 429).
 type errorBody struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
 
 // bufPool recycles response-encoding buffers so writeJSON does not
@@ -100,6 +105,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // writeError maps platform errors onto HTTP statuses.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
+	var code string
 	switch {
 	case errors.Is(err, core.ErrClassNotFound),
 		errors.Is(err, core.ErrObjectNotFound),
@@ -108,8 +114,12 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, core.ErrObjectExists):
 		status = http.StatusConflict
+	case errors.Is(err, core.ErrClassQuotaExceeded):
+		status = http.StatusTooManyRequests
+		code = "class_quota_exceeded"
 	case errors.Is(err, core.ErrQueueFull):
 		status = http.StatusTooManyRequests
+		code = "queue_full"
 	case errors.Is(err, model.ErrValidation),
 		errors.Is(err, model.ErrInheritanceCycle),
 		errors.Is(err, model.ErrClassNotFound):
@@ -117,7 +127,7 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, core.ErrClosed):
 		status = http.StatusServiceUnavailable
 	}
-	writeJSON(w, status, errorBody{Error: err.Error()})
+	writeJSON(w, status, errorBody{Error: err.Error(), Code: code})
 }
 
 func (g *Gateway) handleHealth(w http.ResponseWriter, _ *http.Request) {
@@ -339,8 +349,45 @@ func (g *Gateway) handleInvokeBatch(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// maxLongPollWait caps the server-side long-poll block so a client
+// asking for an absurd waitMs cannot pin a handler goroutine for it.
+const maxLongPollWait = 30 * time.Second
+
+// handleGetInvocation returns one invocation record. With ?waitMs=N it
+// long-polls: the request blocks until the invocation reaches a
+// terminal status or the (bounded) wait elapses, in which case the
+// current non-terminal record is returned — either way the client gets
+// a 200 with the freshest record instead of running a poll loop.
 func (g *Gateway) handleGetInvocation(w http.ResponseWriter, r *http.Request) {
-	rec, err := g.platform.Invocation(r.Context(), r.PathValue("id"))
+	id := r.PathValue("id")
+	if rawWait := r.URL.Query().Get("waitMs"); rawWait != "" {
+		waitMs, err := strconv.Atoi(rawWait)
+		if err != nil || waitMs < 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad waitMs %q: want a non-negative integer", rawWait)})
+			return
+		}
+		// Clamp before converting: a huge waitMs would overflow the
+		// Duration multiply into a negative wait and silently skip the
+		// long poll the client asked for.
+		waitMs = min(waitMs, int(maxLongPollWait/time.Millisecond))
+		if wait := time.Duration(waitMs) * time.Millisecond; wait > 0 {
+			wctx, cancel := context.WithTimeout(r.Context(), wait)
+			rec, err := g.platform.WaitInvocation(wctx, id)
+			cancel()
+			if err == nil {
+				writeJSON(w, http.StatusOK, rec)
+				return
+			}
+			if !errors.Is(err, context.DeadlineExceeded) || r.Context().Err() != nil {
+				// A real failure (unknown ID, client gone) — not the
+				// bounded wait elapsing.
+				writeError(w, err)
+				return
+			}
+			// Timed out: fall through and return the current record.
+		}
+	}
+	rec, err := g.platform.Invocation(r.Context(), id)
 	if err != nil {
 		writeError(w, err)
 		return

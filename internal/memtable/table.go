@@ -315,7 +315,6 @@ func (t *Table) Get(ctx context.Context, key string) (json.RawMessage, error) {
 	return doc.Value, nil
 }
 
-
 // GetMany returns the values for keys, taking each shard lock once and
 // consolidating backing-store misses into a single kvstore.BatchGet
 // round trip (one read-latency charge per batch instead of one per

@@ -1,0 +1,381 @@
+package runtime
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"maps"
+	"sync"
+
+	"github.com/hpcclab/oparaca-go/internal/invoker"
+	"github.com/hpcclab/oparaca-go/internal/memtable"
+	"github.com/hpcclab/oparaca-go/internal/model"
+)
+
+// BatchCall is one method call of an InvokeBatch group. All calls of a
+// group target the same object.
+type BatchCall struct {
+	// Function is the method name (must be a declared function, not a
+	// dataflow).
+	Function string
+	// Payload is the request body.
+	Payload json.RawMessage
+	// Args are free-form invocation parameters.
+	Args map[string]string
+	// Ctx optionally scopes this call's handler execution (the async
+	// queue passes each submitter's context). The batch context is used
+	// when nil; state I/O always runs under the batch context so one
+	// cancelled submitter cannot abort the group's shared load/commit.
+	Ctx context.Context
+}
+
+// BatchCallResult is one call's outcome. Results are independent: a
+// failing or panicking handler poisons only its own entry, and under
+// optimistic concurrency its delta is excluded from the merged commit.
+type BatchCallResult struct {
+	Output json.RawMessage
+	Err    error
+}
+
+// writerCall pairs a resolved state-mutating call with its position in
+// the caller's slice.
+type writerCall struct {
+	idx  int
+	fn   model.FunctionDef
+	call BatchCall
+}
+
+// InvokeBatch executes a group of method calls on one object in a
+// single concurrency window — the group-commit path the async queue's
+// batched drain dispatches coalesced same-object invocations through.
+// Instead of paying one load→invoke→merge window (and one simulated DB
+// round trip) per call, the group pays one:
+//
+//   - locked mode takes the object's stripe once, loads state once,
+//     runs the handlers sequentially against the evolving in-memory
+//     view, and persists the merged delta in one batched table write.
+//   - occ/adaptive snapshots versioned state once, applies the handlers
+//     sequentially against the evolving view, and commits the merged
+//     delta through a single validated PutManyIfVersion; a version
+//     mismatch re-runs the whole group (handlers are pure functions, so
+//     re-execution is safe), escalating to the object's exclusive
+//     barrier after maxOCCAttempts exactly like the per-call path.
+//
+// Calls annotated readonly bypass the window entirely and serve from
+// the lock-free fast path. Per-call results stay independent: an
+// unknown function, a handler error, a panic, or a rogue delta fails
+// only that call's entry while the rest of the group commits. Handlers
+// observe the deltas of earlier successful calls in the group (the
+// evolving view), matching the state they would have seen had the
+// calls run back-to-back.
+func (rt *ClassRuntime) InvokeBatch(ctx context.Context, objectID string, calls []BatchCall) []BatchCallResult {
+	results := make([]BatchCallResult, len(calls))
+	if len(calls) == 0 {
+		return results
+	}
+	start := rt.infra.Clock.Now()
+	var writers []writerCall
+	for i, c := range calls {
+		fn, ok := rt.class.Function(c.Function)
+		if !ok {
+			results[i].Err = fmt.Errorf("%w: %s.%s", ErrFunctionUnknown, rt.class.Name, c.Function)
+			continue
+		}
+		if fn.Readonly {
+			out, err := rt.invokeReadonlySafe(callContext(ctx, c), objectID, fn, c.Payload, c.Args)
+			results[i] = BatchCallResult{Output: out, Err: err}
+			continue
+		}
+		writers = append(writers, writerCall{idx: i, fn: fn, call: c})
+	}
+	if len(writers) > 0 {
+		rt.runWriterGroup(ctx, objectID, writers, results)
+	}
+	// Per-call instrumentation: every group member counts as one
+	// invocation; its effective latency is the group window (the calls
+	// complete together at the merged commit).
+	elapsed := rt.infra.Clock.Since(start)
+	lat := rt.reg.Histogram("invoke.latency")
+	var failed int64
+	for range calls {
+		lat.Observe(elapsed)
+	}
+	for i := range results {
+		if results[i].Err != nil {
+			failed++
+		}
+	}
+	rt.reg.Counter("invoke.total").Add(int64(len(calls)))
+	rt.reg.Counter("invoke.errors").Add(failed)
+	rt.meter.Mark(int64(len(calls)))
+	return results
+}
+
+// callContext resolves a call's effective handler context.
+func callContext(batch context.Context, c BatchCall) context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return batch
+}
+
+// invokeReadonlySafe is invokeReadonly with panic isolation: a
+// panicking handler fails its own call instead of unwinding the group.
+func (rt *ClassRuntime) invokeReadonlySafe(ctx context.Context, objectID string, fn model.FunctionDef, payload json.RawMessage, args map[string]string) (out json.RawMessage, err error) {
+	defer rt.recoverCall(fn, &err)
+	return rt.invokeReadonly(ctx, objectID, fn, payload, args)
+}
+
+// runTaskSafe is runTask with panic isolation.
+func (rt *ClassRuntime) runTaskSafe(ctx context.Context, objectID string, fn model.FunctionDef, payload json.RawMessage, args map[string]string, state map[string]json.RawMessage) (res invoker.Result, err error) {
+	defer rt.recoverCall(fn, &err)
+	return rt.runTask(ctx, objectID, fn, payload, args, state)
+}
+
+// recoverCall converts a handler panic into that call's error.
+func (rt *ClassRuntime) recoverCall(fn model.FunctionDef, err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("runtime: handler panic in %s.%s: %v", rt.class.Name, fn.Name, r)
+	}
+}
+
+// runWriterGroup executes the state-mutating calls of a group under the
+// class's concurrency mode, mirroring invokeFn's mode selection.
+func (rt *ClassRuntime) runWriterGroup(ctx context.Context, objectID string, group []writerCall, results []BatchCallResult) {
+	if len(rt.stateSpecs) == 0 || rt.concMode == model.ConcurrencyLocked {
+		rt.batchLockedPlain(ctx, objectID, group, results)
+		return
+	}
+	stripe := rt.delGuard.Index(objectID)
+	guard := rt.delGuard.At(stripe)
+	tr := &rt.contention[stripe]
+	var err error
+	if rt.concMode == model.ConcurrencyAdaptive && tr.useLocked() {
+		rt.reg.Counter("occ.fallbacks").Inc()
+		err = rt.batchBarrier(ctx, guard, objectID, group, results, tr)
+	} else {
+		err = rt.batchOCC(ctx, guard, objectID, group, results, tr)
+		if err != nil && errors.Is(err, memtable.ErrVersionMismatch) {
+			rt.reg.Counter("occ.fallbacks").Inc()
+			err = rt.batchBarrier(ctx, guard, objectID, group, results, tr)
+		}
+	}
+	if err != nil {
+		// Group-level failure (state load, commit I/O, or persistent
+		// contention): nothing was committed, so every call that
+		// thought it succeeded fails with it. Calls that already carry
+		// their own deterministic error (handler failure, panic, rogue
+		// delta) keep it — the group error explains nothing about them.
+		for _, w := range group {
+			if results[w.idx].Err == nil {
+				results[w.idx] = BatchCallResult{Err: err}
+			}
+		}
+	}
+}
+
+// applyGroup runs the group's handlers sequentially against the
+// evolving state view, filling per-call results and returning the
+// merged delta (JSON null marks a delete). The view mutates as each
+// successful call lands: call i+1 observes call i's writes. A failing,
+// panicking, or rogue-delta call contributes nothing to the view or
+// the merged delta. Each attempt overwrites every writer call's result,
+// so optimistic re-runs start clean.
+func (rt *ClassRuntime) applyGroup(ctx context.Context, objectID string, group []writerCall, state map[string]json.RawMessage, results []BatchCallResult) map[string]json.RawMessage {
+	merged := make(map[string]json.RawMessage)
+	for _, w := range group {
+		// Handlers may mutate their Task.State; a shallow clone keeps
+		// the shared evolving view out of their reach.
+		res, err := rt.runTaskSafe(callContext(ctx, w.call), objectID, w.fn, w.call.Payload, w.call.Args, maps.Clone(state))
+		if err != nil {
+			results[w.idx] = BatchCallResult{Err: err}
+			continue
+		}
+		if err := rt.validateDelta(w.fn, res.State); err != nil {
+			results[w.idx] = BatchCallResult{Err: err}
+			continue
+		}
+		for k, v := range res.State {
+			merged[k] = v
+			spec, _ := rt.class.Key(k)
+			if spec.Kind == model.KindFile {
+				// A file key written as state persists (pre-batch
+				// semantics) but never appears in the structured view.
+				continue
+			}
+			if isNull(v) {
+				// A deleted key resolves back to its class default for
+				// later calls, exactly as a fresh load would.
+				if len(spec.Default) > 0 {
+					state[k] = spec.Default
+				} else {
+					delete(state, k)
+				}
+				continue
+			}
+			state[k] = v
+		}
+		results[w.idx] = BatchCallResult{Output: res.Output}
+	}
+	return merged
+}
+
+// validateDelta rejects a handler delta touching undeclared keys; a
+// rogue delta persists nothing (per-call, the rest of the group is
+// unaffected).
+func (rt *ClassRuntime) validateDelta(fn model.FunctionDef, delta map[string]json.RawMessage) error {
+	for k := range delta {
+		if _, ok := rt.class.Key(k); !ok {
+			return fmt.Errorf("runtime: function %s.%s wrote undeclared key %q", rt.class.Name, fn.Name, k)
+		}
+	}
+	return nil
+}
+
+// batchLockedPlain is the pessimistic group window: one stripe take,
+// one state load, sequential handlers, one merged batched write.
+// Stateless classes land here too with a no-op lock and an empty view.
+func (rt *ClassRuntime) batchLockedPlain(ctx context.Context, objectID string, group []writerCall, results []BatchCallResult) {
+	defer rt.lockObject(objectID)()
+	state, err := rt.loadState(ctx, objectID)
+	if err != nil {
+		for _, w := range group {
+			results[w.idx] = BatchCallResult{Err: err}
+		}
+		return
+	}
+	merged := rt.applyGroup(ctx, objectID, group, state, results)
+	var puts map[string]json.RawMessage
+	var dels []string
+	for k, v := range merged {
+		key := rt.stateKey(objectID, k)
+		if isNull(v) {
+			dels = append(dels, key)
+			continue
+		}
+		if puts == nil {
+			puts = make(map[string]json.RawMessage, len(merged))
+		}
+		puts[key] = v
+	}
+	err = nil
+	if len(puts) > 0 {
+		err = rt.table.PutMany(ctx, puts)
+	}
+	for _, key := range dels {
+		if err != nil {
+			break
+		}
+		err = rt.table.Delete(ctx, key)
+	}
+	if err != nil {
+		// The merged commit failed: every call that thought it
+		// succeeded did not actually persist.
+		for _, w := range group {
+			if results[w.idx].Err == nil {
+				results[w.idx] = BatchCallResult{Err: err}
+			}
+		}
+	}
+}
+
+// batchAttempt runs one optimistic group pass: one versioned snapshot,
+// sequential handlers on the evolving view, one validated merged
+// commit (an all-calls-failed pass has nothing to commit).
+func (rt *ClassRuntime) batchAttempt(ctx context.Context, objectID string, group []writerCall, results []BatchCallResult) error {
+	snap, err := rt.loadStateVersioned(ctx, objectID)
+	if err != nil {
+		return err
+	}
+	merged := rt.applyGroup(ctx, objectID, group, snap.state, results)
+	if len(merged) == 0 {
+		return nil
+	}
+	// Full read-set validation plus the merged writes, exactly like the
+	// per-call buildCommit: decisions every handler in the group made
+	// against unwritten keys cannot commit against changed state.
+	ops := make(map[string]memtable.CASOp, len(snap.vers)+len(merged))
+	for key, ver := range snap.vers {
+		ops[key] = memtable.CASOp{Expect: ver}
+	}
+	for k, v := range merged {
+		key := rt.stateKey(objectID, k)
+		op, ok := ops[key]
+		if !ok {
+			op = memtable.CASOp{Expect: memtable.AnyVersion}
+		}
+		op.Write = true
+		if !isNull(v) {
+			op.Value = v
+		}
+		ops[key] = op
+	}
+	return rt.table.PutManyIfVersion(ctx, ops)
+}
+
+// countGroupCommits books one occ.commit per call that landed in the
+// merged commit, keeping Stats().Concurrency.Commits equal to the
+// number of committed write invocations whether they went through the
+// per-call or the group-commit path.
+func (rt *ClassRuntime) countGroupCommits(group []writerCall, results []BatchCallResult) {
+	var ok int64
+	for _, w := range group {
+		if results[w.idx].Err == nil {
+			ok++
+		}
+	}
+	rt.reg.Counter("occ.commits").Add(ok)
+}
+
+// batchOCC drives the bounded lock-free retry loop for a group,
+// holding the object's delete guard shared. A version mismatch re-runs
+// the whole group against a fresh snapshot; exhaustion returns the
+// last mismatch for escalation to the barrier.
+func (rt *ClassRuntime) batchOCC(ctx context.Context, guard *sync.RWMutex, objectID string, group []writerCall, results []BatchCallResult, tr *contentionTracker) error {
+	guard.RLock()
+	defer guard.RUnlock()
+	return rt.batchRetryLoop(ctx, objectID, group, results, tr, maxOCCAttempts)
+}
+
+// batchBarrier runs the group holding the delete guard exclusive, the
+// same escalation the per-call path uses: pending writer acquisition
+// drains the lock-free racers, the commit stays version-validated, and
+// the bounded loop is a livelock backstop.
+func (rt *ClassRuntime) batchBarrier(ctx context.Context, guard *sync.RWMutex, objectID string, group []writerCall, results []BatchCallResult, tr *contentionTracker) error {
+	guard.Lock()
+	defer guard.Unlock()
+	err := rt.batchRetryLoop(ctx, objectID, group, results, tr, maxLockedCASAttempts)
+	if err != nil && errors.Is(err, memtable.ErrVersionMismatch) {
+		// Under the barrier there is no further escalation: exhaustion
+		// is terminal.
+		return fmt.Errorf("runtime: batch of %d on %s.%s: commit contention persisted through %d serialized attempts: %w",
+			len(group), rt.class.Name, objectID, maxLockedCASAttempts, err)
+	}
+	return err
+}
+
+// batchRetryLoop is the shared bounded retry: re-run the whole group
+// against a fresh snapshot on each version mismatch, with the same
+// abort/retry/commit accounting as the per-call loops.
+func (rt *ClassRuntime) batchRetryLoop(ctx context.Context, objectID string, group []writerCall, results []BatchCallResult, tr *contentionTracker, attempts int) error {
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			rt.reg.Counter("occ.retries").Inc()
+		}
+		err := rt.batchAttempt(ctx, objectID, group, results)
+		if err == nil {
+			tr.record(false)
+			rt.countGroupCommits(group, results)
+			return nil
+		}
+		if !errors.Is(err, memtable.ErrVersionMismatch) {
+			return err
+		}
+		tr.record(true)
+		rt.reg.Counter("occ.aborts").Inc()
+		lastErr = err
+	}
+	return lastErr
+}

@@ -1,0 +1,312 @@
+package runtime
+
+// Tests for the group-commit InvokeBatch path: evolving-view
+// sequencing, per-call fault isolation (handler errors, panics, rogue
+// deltas), the readonly bypass, and exactness when batches interleave
+// with per-call invocations.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/hpcclab/oparaca-go/internal/invoker"
+	"github.com/hpcclab/oparaca-go/internal/model"
+)
+
+// batchYAML declares a counter class with failing, panicking, rogue
+// and readonly members alongside the increment.
+const batchYAML = `classes:
+  - name: BCounter
+    concurrencyMode: %s
+    keySpecs:
+      - name: value
+        kind: number
+        default: 0
+    functions:
+      - name: incr
+        image: img/incr
+      - name: peek
+        image: img/get
+        readonly: true
+      - name: boom
+        image: img/fail
+      - name: kaboom
+        image: img/panic
+      - name: rogue
+        image: img/rogue
+`
+
+func newBatchRuntime(t *testing.T, mode model.ConcurrencyMode) *ClassRuntime {
+	t.Helper()
+	infra := testInfra(t)
+	// testInfra's registry lacks a panicking image; rebuild the
+	// transport with one added.
+	reg := invoker.NewRegistry()
+	reg.Register("img/incr", invoker.HandlerFunc(func(_ context.Context, task invoker.Task) (invoker.Result, error) {
+		var n float64
+		if raw, ok := task.State["value"]; ok {
+			_ = json.Unmarshal(raw, &n)
+		}
+		out, _ := json.Marshal(n + 1)
+		return invoker.Result{Output: out, State: map[string]json.RawMessage{"value": out}}, nil
+	}))
+	reg.Register("img/get", invoker.HandlerFunc(func(_ context.Context, task invoker.Task) (invoker.Result, error) {
+		return invoker.Result{Output: task.State["value"]}, nil
+	}))
+	reg.Register("img/fail", invoker.HandlerFunc(func(context.Context, invoker.Task) (invoker.Result, error) {
+		return invoker.Result{}, fmt.Errorf("deliberate")
+	}))
+	reg.Register("img/panic", invoker.HandlerFunc(func(context.Context, invoker.Task) (invoker.Result, error) {
+		panic("mid-batch kaboom")
+	}))
+	reg.Register("img/rogue", invoker.HandlerFunc(func(context.Context, invoker.Task) (invoker.Result, error) {
+		return invoker.Result{State: map[string]json.RawMessage{"undeclared": json.RawMessage(`1`)}}, nil
+	}))
+	infra.Transport = invoker.NewLocal(reg)
+	rt, err := New(infra, resolvedClass(t, fmt.Sprintf(batchYAML, mode), "BCounter"), stdTemplate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+var batchModes = []model.ConcurrencyMode{
+	model.ConcurrencyLocked, model.ConcurrencyOCC, model.ConcurrencyAdaptive,
+}
+
+// TestInvokeBatchEvolvingView runs N increments in one group and
+// requires each call to observe its predecessors' deltas (outputs
+// 1..N) with exactly N landing in state — in every concurrency mode.
+func TestInvokeBatchEvolvingView(t *testing.T) {
+	for _, mode := range batchModes {
+		t.Run(string(mode), func(t *testing.T) {
+			rt := newBatchRuntime(t, mode)
+			ctx := context.Background()
+			if err := rt.InitObjectState(ctx, "o"); err != nil {
+				t.Fatal(err)
+			}
+			const n = 8
+			calls := make([]BatchCall, n)
+			for i := range calls {
+				calls[i] = BatchCall{Function: "incr"}
+			}
+			results := rt.InvokeBatch(ctx, "o", calls)
+			for i, res := range results {
+				if res.Err != nil {
+					t.Fatalf("call %d: %v", i, res.Err)
+				}
+				if want := fmt.Sprintf("%d", i+1); string(res.Output) != want {
+					t.Fatalf("call %d output = %s, want %s (evolving view)", i, res.Output, want)
+				}
+			}
+			if v, err := rt.GetState(ctx, "o", "value"); err != nil || string(v) != fmt.Sprintf("%d", n) {
+				t.Fatalf("state = %s (%v), want %d", v, err, n)
+			}
+		})
+	}
+}
+
+// TestInvokeBatchFaultIsolation interleaves failing, panicking, rogue
+// and unknown calls with increments: each poisons only its own result,
+// and the merged commit carries exactly the successful deltas.
+func TestInvokeBatchFaultIsolation(t *testing.T) {
+	for _, mode := range batchModes {
+		t.Run(string(mode), func(t *testing.T) {
+			rt := newBatchRuntime(t, mode)
+			ctx := context.Background()
+			if err := rt.InitObjectState(ctx, "o"); err != nil {
+				t.Fatal(err)
+			}
+			calls := []BatchCall{
+				{Function: "incr"},
+				{Function: "boom"},
+				{Function: "incr"},
+				{Function: "kaboom"},
+				{Function: "rogue"},
+				{Function: "nosuch"},
+				{Function: "incr"},
+			}
+			results := rt.InvokeBatch(ctx, "o", calls)
+			wantErr := map[int]string{
+				1: "deliberate",
+				3: "handler panic",
+				5: "not declared",
+			}
+			if res := results[4]; res.Err == nil || !strings.Contains(res.Err.Error(), "undeclared key") {
+				t.Fatalf("rogue delta: err = %v, want undeclared-key error", res.Err)
+			}
+			for i, substr := range wantErr {
+				if res := results[i]; res.Err == nil || !strings.Contains(res.Err.Error(), substr) {
+					t.Fatalf("call %d: err = %v, want %q", i, res.Err, substr)
+				}
+			}
+			for _, i := range []int{0, 2, 6} {
+				if results[i].Err != nil {
+					t.Fatalf("incr call %d poisoned by sibling failure: %v", i, results[i].Err)
+				}
+			}
+			// Exactly the three successful increments landed.
+			if v, err := rt.GetState(ctx, "o", "value"); err != nil || string(v) != "3" {
+				t.Fatalf("state = %s (%v), want 3", v, err)
+			}
+			if _, err := rt.GetState(ctx, "o", "undeclared"); err == nil {
+				t.Fatal("rogue delta key persisted")
+			}
+		})
+	}
+}
+
+// TestInvokeBatchReadonlyBypass mixes annotated reads into a write
+// group: the reads serve from the fast path (counted in the readonly
+// stat) while the writers commit exactly.
+func TestInvokeBatchReadonlyBypass(t *testing.T) {
+	rt := newBatchRuntime(t, model.ConcurrencyOCC)
+	ctx := context.Background()
+	if err := rt.InitObjectState(ctx, "o"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Invoke(ctx, "o", "incr", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	results := rt.InvokeBatch(ctx, "o", []BatchCall{
+		{Function: "peek"},
+		{Function: "incr"},
+		{Function: "incr"},
+	})
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("call %d: %v", i, res.Err)
+		}
+	}
+	// The readonly call bypassed the window: it observed the committed
+	// pre-batch value, not the evolving view.
+	if string(results[0].Output) != "1" {
+		t.Fatalf("readonly output = %s, want 1", results[0].Output)
+	}
+	if got := rt.ConcurrencyStats().Readonly; got != 1 {
+		t.Fatalf("readonly stat = %d, want 1", got)
+	}
+	if v, err := rt.GetState(ctx, "o", "value"); err != nil || string(v) != "3" {
+		t.Fatalf("state = %s (%v), want 3", v, err)
+	}
+}
+
+// TestInvokeBatchInterleavesWithSingles runs concurrent per-call
+// invocations against repeated batches on one hot object: the final
+// count must be exact under validated group commits in every mode.
+func TestInvokeBatchInterleavesWithSingles(t *testing.T) {
+	for _, mode := range batchModes {
+		t.Run(string(mode), func(t *testing.T) {
+			const (
+				batches   = 10
+				batchSize = 5
+				singles   = 50
+				wantTotal = batches*batchSize + singles
+			)
+			rt := newBatchRuntime(t, mode)
+			ctx := context.Background()
+			if err := rt.InitObjectState(ctx, "o"); err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			errs := make(chan error, 2)
+			wg.Add(2)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < singles; i++ {
+					if _, err := rt.Invoke(ctx, "o", "incr", nil, nil); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}()
+			go func() {
+				defer wg.Done()
+				calls := make([]BatchCall, batchSize)
+				for i := range calls {
+					calls[i] = BatchCall{Function: "incr"}
+				}
+				for b := 0; b < batches; b++ {
+					for i, res := range rt.InvokeBatch(ctx, "o", calls) {
+						if res.Err != nil {
+							errs <- fmt.Errorf("batch %d call %d: %w", b, i, res.Err)
+							return
+						}
+					}
+				}
+			}()
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+			if v, err := rt.GetState(ctx, "o", "value"); err != nil || string(v) != fmt.Sprintf("%d", wantTotal) {
+				t.Fatalf("state = %s (%v), want %d", v, err, wantTotal)
+			}
+		})
+	}
+}
+
+// TestInvokeBatchDeleteRestoresDefault verifies a mid-group delete
+// (JSON null delta) resolves back to the class default for later calls
+// in the same group, matching what a fresh load would observe.
+func TestInvokeBatchDeleteRestoresDefault(t *testing.T) {
+	infra := testInfra(t)
+	reg := invoker.NewRegistry()
+	reg.Register("img/incr", invoker.HandlerFunc(func(_ context.Context, task invoker.Task) (invoker.Result, error) {
+		var n float64
+		if raw, ok := task.State["value"]; ok {
+			_ = json.Unmarshal(raw, &n)
+		}
+		out, _ := json.Marshal(n + 1)
+		return invoker.Result{Output: out, State: map[string]json.RawMessage{"value": out}}, nil
+	}))
+	reg.Register("img/clear", invoker.HandlerFunc(func(context.Context, invoker.Task) (invoker.Result, error) {
+		return invoker.Result{State: map[string]json.RawMessage{"value": json.RawMessage(`null`)}}, nil
+	}))
+	infra.Transport = invoker.NewLocal(reg)
+	yaml := `classes:
+  - name: DCounter
+    concurrencyMode: occ
+    keySpecs:
+      - name: value
+        kind: number
+        default: 0
+    functions:
+      - name: incr
+        image: img/incr
+      - name: clear
+        image: img/clear
+`
+	rt, err := New(infra, resolvedClass(t, yaml, "DCounter"), stdTemplate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	ctx := context.Background()
+	if err := rt.InitObjectState(ctx, "o"); err != nil {
+		t.Fatal(err)
+	}
+	results := rt.InvokeBatch(ctx, "o", []BatchCall{
+		{Function: "incr"}, // 1
+		{Function: "incr"}, // 2
+		{Function: "clear"},
+		{Function: "incr"}, // default 0 -> 1
+	})
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("call %d: %v", i, res.Err)
+		}
+	}
+	if string(results[3].Output) != "1" {
+		t.Fatalf("post-delete incr output = %s, want 1 (default restored)", results[3].Output)
+	}
+	if v, err := rt.GetState(ctx, "o", "value"); err != nil || string(v) != "1" {
+		t.Fatalf("state = %s (%v), want 1", v, err)
+	}
+}

@@ -354,11 +354,14 @@ type ConcurrencyStats struct {
 	// Mode is the resolved concurrency mode ("occ", "locked",
 	// "adaptive").
 	Mode string `json:"mode"`
-	// Commits counts successful version-validated commits; Aborts
-	// counts commits rejected on a version mismatch; Retries counts
+	// Commits counts committed write invocations: one per successful
+	// version-validated per-call commit, and one per call carried by a
+	// successful merged group commit (InvokeBatch), so the counter
+	// tracks invocations, not CAS operations. Aborts counts commit
+	// passes rejected on a version mismatch; Retries counts
 	// re-load+re-run passes after an abort; Fallbacks counts
-	// invocations that ran under the stripe lock because of retry
-	// exhaustion or an adaptive degradation.
+	// invocations (or groups) that ran under the stripe lock because
+	// of retry exhaustion or an adaptive degradation.
 	Commits   int64 `json:"commits"`
 	Aborts    int64 `json:"aborts"`
 	Retries   int64 `json:"retries"`
@@ -728,12 +731,12 @@ func (rt *ClassRuntime) invokeLockedPlain(ctx context.Context, objectID string, 
 	// Persist the state delta: validate every key first so a rogue
 	// delta persists nothing, then write all updates in one batched
 	// table operation and apply deletions (JSON null values).
+	if err := rt.validateDelta(fn, res.State); err != nil {
+		return nil, err
+	}
 	var puts map[string]json.RawMessage
 	var dels []string
 	for k, v := range res.State {
-		if _, ok := rt.class.Key(k); !ok {
-			return nil, fmt.Errorf("runtime: function %s.%s wrote undeclared key %q", rt.class.Name, fn.Name, k)
-		}
 		key := rt.stateKey(objectID, k)
 		if isNull(v) {
 			dels = append(dels, key)
@@ -804,14 +807,14 @@ func (rt *ClassRuntime) buildCommit(objectID string, fn model.FunctionDef, snap 
 	if len(delta) == 0 {
 		return nil, nil
 	}
+	if err := rt.validateDelta(fn, delta); err != nil {
+		return nil, err
+	}
 	ops := make(map[string]memtable.CASOp, len(rt.stateSpecs)+len(delta))
 	for key, ver := range snap.vers {
 		ops[key] = memtable.CASOp{Expect: ver}
 	}
 	for k, v := range delta {
-		if _, ok := rt.class.Key(k); !ok {
-			return nil, fmt.Errorf("runtime: function %s.%s wrote undeclared key %q", rt.class.Name, fn.Name, k)
-		}
 		key := rt.stateKey(objectID, k)
 		op, ok := ops[key]
 		if !ok {

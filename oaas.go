@@ -56,6 +56,38 @@
 // record table stays bounded; evictions show up in
 // Stats().Async.Evicted.
 //
+// # Batched async execution
+//
+// The async workers drain in batches: each pull takes up to
+// Config.AsyncDrainBatch queued invocations (default 16; 1 restores
+// per-task draining), persists the pull's record transitions in
+// batched table writes, and groups the pull by target object. A group
+// of two or more same-object method calls executes through the
+// runtime's group-commit InvokeBatch window: one state load, the
+// handlers run sequentially against the evolving in-memory view (each
+// call observes its predecessors' deltas, exactly as if they had run
+// back-to-back), and the merged delta commits in one simulated DB
+// round trip — version-validated under occ/adaptive, under a single
+// stripe take when locked — so N coalesced invocations on a hot object
+// cost one concurrency window instead of N. Semantics stay per-call: a
+// failing or panicking handler (or a delta touching undeclared keys)
+// fails only its own invocation record, its delta is excluded from the
+// merged commit, and `readonly` calls bypass the window entirely on
+// the lock-free fast path. Dataflow members fall back to individual
+// invocation. Stats().Async.BatchedDrains counts multi-task pulls and
+// Stats().Async.Coalesced counts invocations that shared a group
+// window; Platform.InvokeBatch exposes the same group-commit path
+// synchronously.
+//
+// Two queue-shaping controls ride along. Config.AsyncClassQuotas caps
+// the queued invocations per class — an over-quota submission fails
+// with ErrClassQuotaExceeded (HTTP 429 with code
+// "class_quota_exceeded" at the gateway) while other classes keep
+// their share of the queue. And GET /api/invocations/{id}?waitMs=N
+// long-polls: the request blocks server-side until the record goes
+// terminal or the bounded wait (≤30s) elapses, so clients (including
+// `ocli invoke-wait`) need no poll loop.
+//
 // # Concurrency modes
 //
 // How concurrent invocations on one object are handled is selectable
@@ -290,6 +322,7 @@ var (
 	ErrObjectExists       = core.ErrObjectExists
 	ErrMemberNotFound     = core.ErrMemberNotFound
 	ErrQueueFull          = core.ErrQueueFull
+	ErrClassQuotaExceeded = core.ErrClassQuotaExceeded
 	ErrInvocationNotFound = core.ErrInvocationNotFound
 )
 
