@@ -469,6 +469,100 @@ func BenchmarkAsyncDrainThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkTriggerFanout measures the event subsystem's cost on the
+// commit path: one writer bumps a hot counter while {1,16} live
+// streams subscribe to the object, so every committed write fans out
+// through the bus to N sinks. ops/s counts committed writes; the
+// spread between subs1 and subs16 is the marginal fan-out cost.
+// Results are recorded as "triggerfanout/subs<N>" in BENCH_invoke.json
+// (BENCH_SNAPSHOT=1) and guarded by cmd/benchdiff.
+func BenchmarkTriggerFanout(b *testing.B) {
+	setup := func(b *testing.B) (*Platform, string) {
+		b.Helper()
+		noServe := false
+		tmpl := Template{
+			Name:       "fanbench",
+			EngineMode: EngineDeployment, TableMode: TableMemoryOnly,
+			DefaultConcurrency: 64, InitialScale: 2, MaxScale: 16,
+		}
+		plat, err := New(Config{
+			Workers: 2, OpsPerMilliCPU: 1000,
+			Templates:        []Template{tmpl},
+			ServeObjectStore: &noServe,
+			// Block on a full bus so the measurement covers actual
+			// delivery, not drop-and-forget: every commit's event
+			// reaches all N sinks before the writer can outrun the bus.
+			TriggerOverflow: TriggerOverflowBlock,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		plat.Images().Register("img/bump", HandlerFunc(func(_ context.Context, task Task) (Result, error) {
+			var n float64
+			if raw, ok := task.State["n"]; ok {
+				_ = json.Unmarshal(raw, &n)
+			}
+			out, _ := json.Marshal(n + 1)
+			return Result{Output: out, State: map[string]json.RawMessage{"n": out}}, nil
+		}))
+		pkg := "classes:\n  - name: Feed\n    keySpecs:\n      - name: n\n        kind: number\n        default: 0\n"
+		pkg += "    functions:\n      - name: bump\n        image: img/bump\n"
+		ctx := context.Background()
+		if _, err := plat.DeployYAML(ctx, []byte(pkg)); err != nil {
+			plat.Close()
+			b.Fatal(err)
+		}
+		id, err := plat.CreateObject(ctx, "Feed", "feed-0")
+		if err != nil {
+			plat.Close()
+			b.Fatal(err)
+		}
+		return plat, id
+	}
+	for _, subs := range []int{1, 16} {
+		name := fmt.Sprintf("subs%d", subs)
+		b.Run(name, func(b *testing.B) {
+			plat, id := setup(b)
+			defer plat.Close()
+			ctx := context.Background()
+			var consumed atomic.Int64
+			var wg sync.WaitGroup
+			streams := make([]*EventStream, subs)
+			for i := range streams {
+				st, err := plat.StreamEvents(id, 1024)
+				if err != nil {
+					b.Fatal(err)
+				}
+				streams[i] = st
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for range st.Events() {
+						consumed.Add(1)
+					}
+				}()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := plat.Invoke(ctx, id, "bump", nil, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			plat.TriggerBus().Drain()
+			b.StopTimer()
+			for _, st := range streams {
+				st.Close()
+			}
+			wg.Wait()
+			ops := float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(ops, "ops/s")
+			b.ReportMetric(float64(consumed.Load())/float64(b.N), "deliveries/op")
+			recordInvokeBench("triggerfanout/"+name, ops)
+		})
+	}
+}
+
 // --- Invocation hot-path benchmarks ----------------------------------
 
 // invokeBench collects hot-path and async-drain benchmark results and
@@ -477,10 +571,10 @@ func BenchmarkAsyncDrainThroughput(b *testing.B) {
 // write is opt-in (BENCH_SNAPSHOT=1) so smoke runs — CI's -benchtime=1x
 // pass in particular, whose single-iteration ops/s includes cold starts
 // and means nothing — cannot clobber the committed snapshot with noise.
-// Refresh it with (both families in one run — the writer rewrites the
-// whole file from the metrics the run accumulated):
+// Refresh it with (all guarded families in one run — the writer
+// rewrites the whole file from the metrics the run accumulated):
 //
-//	BENCH_SNAPSHOT=1 go test -bench='InvokeHotPath|AsyncDrainThroughput' -benchtime=2s -run='^$' .
+//	BENCH_SNAPSHOT=1 go test -bench='InvokeHotPath|AsyncDrainThroughput|TriggerFanout' -benchtime=2s -run='^$' .
 var invokeBench = struct {
 	mu      sync.Mutex
 	metrics map[string]float64

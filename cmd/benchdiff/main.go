@@ -1,7 +1,8 @@
 // Command benchdiff is the CI bench regression guard: it parses a `go
 // test -bench` output stream, extracts every guarded sub-benchmark's
-// ops/s metric (BenchmarkInvokeHotPath as "invoke/<sub>" and
-// BenchmarkAsyncDrainThroughput as "asyncdrain/<sub>"), and compares
+// ops/s metric (BenchmarkInvokeHotPath as "invoke/<sub>",
+// BenchmarkAsyncDrainThroughput as "asyncdrain/<sub>" and
+// BenchmarkTriggerFanout as "triggerfanout/<sub>"), and compares
 // it against the committed BENCH_invoke.json snapshot. A sub-benchmark
 // running more than the threshold factor (default 5x) below its
 // snapshot fails the run, as does a snapshot entry missing from the
@@ -16,7 +17,7 @@
 //
 // Usage:
 //
-//	go test -bench='InvokeHotPath|AsyncDrainThroughput' -benchtime=200x -run='^$' . > bench.out
+//	go test -bench='InvokeHotPath|AsyncDrainThroughput|TriggerFanout' -benchtime=200x -run='^$' . > bench.out
 //	go run ./cmd/benchdiff -snapshot BENCH_invoke.json bench.out
 package main
 
@@ -37,12 +38,13 @@ import (
 //
 //	BenchmarkInvokeHotPath/hot-object-8  1234  567 ns/op  890 ops/s
 //	BenchmarkAsyncDrainThroughput/hot-object/w4/batch16-8  500  80901 ns/op  12361 ops/s
-var benchLine = regexp.MustCompile(`^Benchmark(InvokeHotPath|AsyncDrainThroughput)/(\S+)\s.*?([0-9.]+(?:e[+-]?[0-9]+)?) ops/s`)
+var benchLine = regexp.MustCompile(`^Benchmark(InvokeHotPath|AsyncDrainThroughput|TriggerFanout)/(\S+)\s.*?([0-9.]+(?:e[+-]?[0-9]+)?) ops/s`)
 
 // snapshotPrefix maps a benchmark family to its snapshot key prefix.
 var snapshotPrefix = map[string]string{
 	"InvokeHotPath":        "invoke/",
 	"AsyncDrainThroughput": "asyncdrain/",
+	"TriggerFanout":        "triggerfanout/",
 }
 
 // procSuffix is the -GOMAXPROCS suffix the testing package appends to

@@ -22,6 +22,11 @@
 //	state-get <id> <key>               read a structured state key
 //	state-set <id> <key> <json>        write a structured state key
 //	file-url <id> <key> [GET|PUT|DELETE]  presigned URL for a file key
+//	triggers                           list dynamic trigger subscriptions
+//	subscribe <name> -class C -on EV [-prefix P] [-object O] [-fn F] [-url U]
+//	                                   add/replace a trigger subscription
+//	unsubscribe <name>                 remove a trigger subscription
+//	tail <id> [-n max] [-t 30s]        stream an object's live events (SSE)
 //	stats                              platform statistics
 //	actions                            optimizer decision log
 //
@@ -30,7 +35,9 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -80,6 +87,8 @@ commands:
   invocation <id> | invoke-wait <invocation-id> [-t 30s]
   state-get <id> <key> | state-set <id> <key> <json>
   file-url <id> <key> [GET|PUT|DELETE]
+  triggers | subscribe <name> -class C -on EV [-prefix P] [-object O] [-fn F] [-url U]
+  unsubscribe <name> | tail <id> [-n max] [-t 30s]
   stats | actions
 `)
 }
@@ -144,6 +153,17 @@ func (c *client) dispatch(args []string) error {
 			"application/json", []byte(rest[2]), nil)
 	case "file-url":
 		return c.fileURL(rest)
+	case "triggers":
+		return c.getAndPrint("/api/triggers")
+	case "subscribe":
+		return c.subscribe(rest)
+	case "unsubscribe":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: unsubscribe <name>")
+		}
+		return c.request(http.MethodDelete, "/api/triggers/"+url.PathEscape(rest[0]), "", nil, nil)
+	case "tail":
+		return c.tail(rest)
 	case "stats":
 		return c.getAndPrint("/api/stats")
 	case "actions":
@@ -264,6 +284,79 @@ func (c *client) invokeWait(args []string) error {
 			return fmt.Errorf("invocation %s still %q after %v", id, status, *timeout)
 		}
 	}
+}
+
+// subscribe adds or replaces a named trigger subscription: -class and
+// -on select the events, -fn/-object route them to a method (the
+// data-triggered chain) or -url to a webhook.
+func (c *client) subscribe(args []string) error {
+	fs := flag.NewFlagSet("subscribe", flag.ContinueOnError)
+	class := fs.String("class", "", "emitting class (required)")
+	on := fs.String("on", "", "event: stateChanged | invocationCompleted | invocationFailed")
+	prefix := fs.String("prefix", "", "state-key prefix filter (stateChanged only)")
+	object := fs.String("object", "", "target object id (default: the emitting object)")
+	fn := fs.String("fn", "", "target method (data-triggered chaining)")
+	hook := fs.String("url", "", "webhook URL")
+	if len(args) < 1 {
+		return fmt.Errorf("usage: subscribe <name> -class C -on EV [-prefix P] [-object O] [-fn F] [-url U]")
+	}
+	name := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	body, _ := json.Marshal(map[string]string{
+		"class": *class, "type": *on, "keyPrefix": *prefix,
+		"targetObject": *object, "targetFunction": *fn, "webhook": *hook,
+	})
+	return c.request(http.MethodPut, "/api/triggers/"+url.PathEscape(name), "application/json", body, printJSON)
+}
+
+// tail streams an object's live events over the gateway's SSE feed,
+// printing one JSON event per line until -n events arrived, the -t
+// timeout elapsed, or the server closed the stream.
+func (c *client) tail(args []string) error {
+	fs := flag.NewFlagSet("tail", flag.ContinueOnError)
+	max := fs.Int("n", 0, "stop after this many events (0 = until timeout)")
+	timeout := fs.Duration("t", 30*time.Second, "stream duration")
+	if len(args) < 1 {
+		return fmt.Errorf("usage: tail <object-id> [-n max] [-t 30s]")
+	}
+	id := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/api/objects/"+url.PathEscape(id)+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(raw)))
+	}
+	seen := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		fmt.Println(strings.TrimPrefix(line, "data: "))
+		if seen++; *max > 0 && seen >= *max {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
 }
 
 // fileURL prints a presigned URL.

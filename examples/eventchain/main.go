@@ -1,0 +1,125 @@
+// Eventchain demonstrates the event & trigger subsystem: an Order
+// class whose committed writes automatically fan out to an audit
+// object (data-triggered chaining through the async queue), a live
+// event stream tailing the order, and the trigger delivery counters.
+//
+// Run with: go run ./examples/eventchain
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"time"
+
+	oaas "github.com/hpcclab/oparaca-go"
+)
+
+// packageYAML declares the reactive composition: every committed write
+// to an Order's status key invokes AuditLog.record on "audit-1".
+const packageYAML = `classes:
+  - name: Order
+    keySpecs:
+      - name: status
+        kind: string
+        default: '"new"'
+    functions:
+      - name: place
+        image: img/place
+      - name: ship
+        image: img/ship
+    triggers:
+      - on: stateChanged
+        keyPrefix: status
+        targetObject: audit-1
+        function: record
+  - name: AuditLog
+    concurrencyMode: locked
+    keySpecs:
+      - name: entries
+        kind: number
+        default: 0
+      - name: last
+    functions:
+      - name: record
+        image: img/record
+`
+
+func main() {
+	ctx := context.Background()
+	platform, err := oaas.New(oaas.Config{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer platform.Close()
+
+	// Order methods just move the status; the platform emits the
+	// events.
+	setStatus := func(status string) oaas.Handler {
+		return oaas.HandlerFunc(func(_ context.Context, _ oaas.Task) (oaas.Result, error) {
+			raw, _ := json.Marshal(status)
+			return oaas.Result{Output: raw, State: map[string]json.RawMessage{"status": raw}}, nil
+		})
+	}
+	platform.Images().Register("img/place", setStatus("placed"))
+	platform.Images().Register("img/ship", setStatus("shipped"))
+	// The audit handler receives the triggering event as its payload.
+	platform.Images().Register("img/record", oaas.HandlerFunc(
+		func(_ context.Context, task oaas.Task) (oaas.Result, error) {
+			var n float64
+			if raw, ok := task.State["entries"]; ok {
+				_ = json.Unmarshal(raw, &n)
+			}
+			var ev oaas.Event
+			_ = json.Unmarshal(task.Payload, &ev)
+			count, _ := json.Marshal(n + 1)
+			last, _ := json.Marshal(fmt.Sprintf("%s.%s wrote %v", ev.Class, ev.Function, ev.Keys))
+			return oaas.Result{State: map[string]json.RawMessage{"entries": count, "last": last}}, nil
+		}))
+
+	if _, err := platform.DeployYAML(ctx, []byte(packageYAML)); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := oaas.NewObject(ctx, platform, "AuditLog", "audit-1"); err != nil {
+		log.Fatal(err)
+	}
+	order, err := oaas.NewObject(ctx, platform, "Order", "order-1")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Tail the order's live events while we drive it.
+	stream, err := order.Events(16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stream.Close()
+	go func() {
+		for ev := range stream.Events() {
+			fmt.Printf("  [stream] %s on %s (keys %v)\n", ev.Type, ev.Object, ev.Keys)
+		}
+	}()
+
+	for _, fn := range []string{"place", "ship"} {
+		if _, err := order.Invoke(ctx, fn, nil, nil); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("order-1.%s committed\n", fn)
+	}
+
+	// The audit chain is asynchronous; wait for both entries.
+	audit, _ := oaas.BindObject(platform, "audit-1")
+	for {
+		raw, err := audit.State(ctx, "entries")
+		if err == nil && string(raw) == "2" {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	last, _ := audit.State(ctx, "last")
+	fmt.Printf("audit entries: 2, last: %s\n", last)
+	stats := platform.Stats().Triggers
+	fmt.Printf("trigger stats: emitted=%d delivered=%d dropped=%d retried=%d\n",
+		stats.Emitted, stats.Delivered, stats.Dropped, stats.Retried)
+}

@@ -203,6 +203,19 @@ type Config struct {
 	// ClassOf resolves an object ID to its class name for quota
 	// accounting. Objects resolving to "" bypass quotas.
 	ClassOf func(objectID string) string
+	// OnTerminal, when set, is called once per invocation record that
+	// reaches a terminal status (completed or failed), after the record
+	// is persisted, with the submission's args — the platform publishes
+	// InvocationCompleted/InvocationFailed events (and webhook pushes)
+	// from it. Called from worker goroutines; must not block
+	// indefinitely.
+	OnTerminal func(rec Record, args map[string]string)
+	// Drain, when set, is called by Close after every accepted
+	// invocation has finished and its terminal hook has run, before
+	// Close returns — the platform points it at the event bus's Drain
+	// so pending trigger deliveries (terminal-record webhooks included)
+	// flush before teardown.
+	Drain func()
 	// Metrics receives queue gauges/counters/histograms. A private
 	// registry is created when nil.
 	Metrics *metrics.Registry
@@ -659,6 +672,7 @@ func (q *Queue) runBatch(batch []task) {
 	started := q.cfg.Clock.Now()
 	recs := make([]Record, 0, len(batch))
 	runnable := make([]task, 0, len(batch))
+	var cancelled []terminalHook
 	for _, t := range batch {
 		m.Histogram("queue.wait").Observe(q.cfg.Clock.Since(t.queued))
 		rec := Record{
@@ -674,12 +688,14 @@ func (q *Queue) runBatch(batch []task) {
 			m.Histogram("queue.exec").Observe(0)
 			m.Counter("queue.failed").Inc()
 			recs = append(recs, rec)
+			cancelled = append(cancelled, terminalHook{rec: rec, args: t.args})
 			continue
 		}
 		recs = append(recs, rec)
 		runnable = append(runnable, t)
 	}
 	q.putRecords(recs)
+	q.notifyTerminal(cancelled)
 	if len(runnable) == 0 {
 		return
 	}
@@ -688,6 +704,7 @@ func (q *Queue) runBatch(batch []task) {
 	m.Gauge("queue.inflight").Add(-int64(len(runnable)))
 	finished := q.cfg.Clock.Now()
 	term := make([]Record, 0, len(runnable))
+	hooks := make([]terminalHook, 0, len(runnable))
 	for i, t := range runnable {
 		out, err := outcomes[i].out, outcomes[i].err
 		if err == nil && len(out) > 0 && !json.Valid(out) {
@@ -708,8 +725,29 @@ func (q *Queue) runBatch(batch []task) {
 			m.Counter("queue.completed").Inc()
 		}
 		term = append(term, rec)
+		hooks = append(hooks, terminalHook{rec: rec, args: t.args})
 	}
 	q.putRecords(term)
+	q.notifyTerminal(hooks)
+}
+
+// terminalHook pairs a terminal record with its submission args for
+// the OnTerminal callback.
+type terminalHook struct {
+	rec  Record
+	args map[string]string
+}
+
+// notifyTerminal runs the terminal-record hook after the records are
+// persisted (and Wait waiters woken), so a hook observer polling the
+// record sees the terminal state.
+func (q *Queue) notifyTerminal(hooks []terminalHook) {
+	if q.cfg.OnTerminal == nil {
+		return
+	}
+	for _, h := range hooks {
+		q.cfg.OnTerminal(h.rec, h.args)
+	}
 }
 
 // releaseQuota returns the pull's tasks to their classes' quotas.
@@ -922,6 +960,12 @@ func (q *Queue) Close() {
 			close(sh)
 		}
 		q.wg.Wait()
+		// Every accepted invocation has finished and fired its terminal
+		// hook; drain downstream deliveries (terminal-record webhooks on
+		// the event bus) before the platform tears anything down.
+		if q.cfg.Drain != nil {
+			q.cfg.Drain()
+		}
 		// Stop the GC before closing the record table so the sweeper
 		// never deletes against a closed table.
 		if q.gcStop != nil {

@@ -32,6 +32,7 @@ import (
 	"github.com/hpcclab/oparaca-go/internal/objectstore"
 	"github.com/hpcclab/oparaca-go/internal/optimizer"
 	"github.com/hpcclab/oparaca-go/internal/runtime"
+	"github.com/hpcclab/oparaca-go/internal/trigger"
 	"github.com/hpcclab/oparaca-go/internal/vclock"
 )
 
@@ -141,6 +142,39 @@ type Config struct {
 	// classes that do not declare their own (occ, locked or adaptive;
 	// see model.ConcurrencyMode). Defaults to adaptive.
 	ConcurrencyMode model.ConcurrencyMode
+	// TriggerShards / TriggerBuffer size the event bus: events spread
+	// across TriggerShards dispatch partitions (by object, preserving
+	// per-object order) of TriggerBuffer queued events each. Default
+	// 4 shards × 256 events.
+	TriggerShards int
+	TriggerBuffer int
+	// TriggerOverflow selects what happens when an event finds its bus
+	// shard full: trigger.OverflowDrop (default) counts and discards
+	// it, trigger.OverflowBlock backpressures the commit path.
+	TriggerOverflow trigger.OverflowPolicy
+	// TriggerMaxChainDepth bounds data-triggered object→object chains:
+	// an event whose chain depth has reached the limit is not
+	// dispatched to method sinks (counted in Stats().Triggers.Dropped
+	// and CycleDropped). Defaults to 8.
+	TriggerMaxChainDepth int
+	// WebhookMaxRetries / WebhookRetryBackoff / WebhookTimeout tune
+	// webhook sink delivery: a failed POST is retried up to
+	// WebhookMaxRetries additional times with WebhookRetryBackoff
+	// doubling between attempts, each attempt bounded by
+	// WebhookTimeout. Defaults: 3 retries (negative disables retries),
+	// 10ms, 5s.
+	WebhookMaxRetries   int
+	WebhookRetryBackoff time.Duration
+	WebhookTimeout      time.Duration
+	// TombstoneTTL evicts a deleted state key's version tombstone this
+	// long after the deletion, keeping class state tables bounded under
+	// object churn (see memtable.Config.TombstoneTTL). Zero keeps
+	// tombstones forever.
+	TombstoneTTL time.Duration
+	// TombstoneGCInterval overrides the tombstone sweep period; the
+	// sweep piggybacks on the async GC cadence by default
+	// (AsyncGCInterval when set, else TombstoneTTL/4).
+	TombstoneGCInterval time.Duration
 	// ServeObjectStore starts a loopback HTTP server for the object
 	// store so presigned URLs are fetchable. Defaults to true; benches
 	// that never touch file keys can disable it.
@@ -173,6 +207,11 @@ func (c Config) withDefaults() Config {
 	if c.ServeObjectStore == nil {
 		yes := true
 		c.ServeObjectStore = &yes
+	}
+	if c.TombstoneTTL > 0 && c.TombstoneGCInterval <= 0 && c.AsyncGCInterval > 0 {
+		// Piggyback the tombstone sweep on the async GC cadence so one
+		// configured interval paces both background reclaimers.
+		c.TombstoneGCInterval = c.AsyncGCInterval
 	}
 	return c
 }
@@ -207,6 +246,7 @@ type Platform struct {
 	templates *runtime.TemplateRegistry
 	optim     *optimizer.Optimizer
 	queue     *asyncq.Queue
+	bus       *trigger.Bus
 
 	mu       sync.Mutex
 	classes  map[string]*model.Class
@@ -264,8 +304,29 @@ func New(cfg Config) (*Platform, error) {
 		dir:       make(map[string]objectRecord),
 	}
 	p.optim = optimizer.New(optimizer.Config{Interval: cfg.OptimizerInterval, Clock: cfg.Clock})
+	// The event bus routes committed-state and terminal-invocation
+	// events to data-triggered methods (through the async queue),
+	// webhooks, and live streams.
+	p.bus, err = trigger.New(trigger.Config{
+		InvokeAsync:       p.InvokeAsync,
+		Shards:            cfg.TriggerShards,
+		Buffer:            cfg.TriggerBuffer,
+		Overflow:          cfg.TriggerOverflow,
+		MaxChainDepth:     cfg.TriggerMaxChainDepth,
+		WebhookMaxRetries: cfg.WebhookMaxRetries,
+		WebhookBackoff:    cfg.WebhookRetryBackoff,
+		WebhookTimeout:    cfg.WebhookTimeout,
+		Clock:             cfg.Clock,
+	})
+	if err != nil {
+		p.backing.Close()
+		return nil, fmt.Errorf("core: event bus: %w", err)
+	}
 	// The async queue drains through the synchronous Invoke path and
 	// persists its invocation records in the shared document store.
+	// Terminal records publish InvocationCompleted/InvocationFailed
+	// events, and the queue's Close drains the bus so pending webhook
+	// deliveries flush before teardown.
 	p.queue, err = asyncq.New(asyncq.Config{
 		Invoke:       p.Invoke,
 		InvokeBatch:  p.invokeCoalesced,
@@ -279,10 +340,13 @@ func New(cfg Config) (*Platform, error) {
 		RetryBackoff: cfg.AsyncRetryBackoff,
 		ClassQuotas:  cfg.AsyncClassQuotas,
 		ClassOf:      p.classOf,
+		OnTerminal:   p.onAsyncTerminal,
+		Drain:        p.bus.Drain,
 		Backing:      p.backing,
 		Clock:        cfg.Clock,
 	})
 	if err != nil {
+		p.bus.Close()
 		p.backing.Close()
 		return nil, fmt.Errorf("core: async queue: %w", err)
 	}
@@ -351,6 +415,59 @@ func (p *Platform) handleUpload(ev objectstore.UploadEvent) {
 // invoked their function.
 func (p *Platform) TriggersFired() int64 { return p.triggersFired.Load() }
 
+// onAsyncTerminal publishes the terminal event of an asynchronous
+// invocation (wired as the queue's OnTerminal hook). The submission
+// args carry the trigger-chain depth, so reactions to completions stay
+// cycle-limited like state-change chains.
+func (p *Platform) onAsyncTerminal(rec asyncq.Record, args map[string]string) {
+	typ := trigger.InvocationCompleted
+	if rec.Status == asyncq.StatusFailed {
+		typ = trigger.InvocationFailed
+	}
+	p.bus.Publish(trigger.Event{
+		Type:       typ,
+		Class:      p.classOf(rec.Object),
+		Object:     rec.Object,
+		Function:   rec.Member,
+		Invocation: rec.ID,
+		Error:      rec.Error,
+		Depth:      trigger.DepthOf(args),
+	})
+}
+
+// TriggerBus exposes the event bus (stats and tests).
+func (p *Platform) TriggerBus() *trigger.Bus { return p.bus }
+
+// SubscribeTrigger registers (or replaces) a named dynamic event
+// subscription. YAML-declared class triggers are managed separately by
+// DeployPackage and are not addressable here.
+func (p *Platform) SubscribeTrigger(name string, sub trigger.Subscription) error {
+	return p.bus.Subscribe(name, sub)
+}
+
+// UnsubscribeTrigger removes a named dynamic subscription, reporting
+// whether it existed.
+func (p *Platform) UnsubscribeTrigger(name string) bool {
+	return p.bus.Unsubscribe(name)
+}
+
+// TriggerSubscriptions lists the named dynamic subscriptions (sorted
+// names plus the subscription per name).
+func (p *Platform) TriggerSubscriptions() ([]string, map[string]trigger.Subscription) {
+	return p.bus.Subscriptions()
+}
+
+// StreamEvents opens a live event tail for one object (the gateway's
+// SSE feed). buf bounds consumer lag (<=0 selects the default); a
+// stream whose buffer fills loses events rather than stalling
+// dispatch. Callers must Close the stream.
+func (p *Platform) StreamEvents(objectID string, buf int) (*trigger.Stream, error) {
+	if _, err := p.ObjectClass(objectID); err != nil {
+		return nil, err
+	}
+	return p.bus.Stream(objectID, buf), nil
+}
+
 // randomID returns an 8-byte hex identifier.
 func randomID() string {
 	var b [8]byte
@@ -400,10 +517,13 @@ func (p *Platform) infra() runtime.Infra {
 		KnativeOverhead: p.cfg.KnativeOverhead,
 		BypassOverhead:  p.cfg.BypassOverhead,
 		ColdStart:       p.cfg.ColdStart,
-		ScaleInterval:   p.cfg.ScaleInterval,
-		IdleTimeout:     p.cfg.IdleTimeout,
-		ConcurrencyMode: p.cfg.ConcurrencyMode,
-		Clock:           p.cfg.Clock,
+		ScaleInterval:       p.cfg.ScaleInterval,
+		IdleTimeout:         p.cfg.IdleTimeout,
+		ConcurrencyMode:     p.cfg.ConcurrencyMode,
+		Events:              p.bus.Publish,
+		TombstoneTTL:        p.cfg.TombstoneTTL,
+		TombstoneGCInterval: p.cfg.TombstoneGCInterval,
+		Clock:               p.cfg.Clock,
 	}
 }
 
@@ -457,6 +577,20 @@ func (p *Platform) DeployPackage(ctx context.Context, pkg *model.Package) ([]str
 		p.classes[name] = class
 		p.runtimes[name] = rt
 		p.optim.Manage(rt)
+		// Register the class's YAML-declared event triggers; a redeploy
+		// replaces the whole set.
+		subs := make([]trigger.Subscription, 0, len(class.Triggers))
+		for _, tr := range class.EventTriggers() {
+			subs = append(subs, trigger.Subscription{
+				Class:          name,
+				Type:           trigger.EventType(tr.On),
+				KeyPrefix:      tr.KeyPrefix,
+				TargetObject:   tr.TargetObject,
+				TargetFunction: tr.Function,
+				Webhook:        tr.Webhook,
+			})
+		}
+		p.bus.SetClassTriggers(name, subs)
 		deployed = append(deployed, name)
 	}
 	sort.Strings(deployed)
@@ -775,6 +909,29 @@ func (p *Platform) InvokeAsync(ctx context.Context, objectID, member string, pay
 	return p.queue.Submit(ctx, objectID, member, payload, args)
 }
 
+// InvokeAsyncFrom enqueues an asynchronous invocation on behalf of a
+// client in clientRegion, charging the configured inter-region round
+// trip on submission when the object's home region differs — the async
+// mirror of InvokeFrom (the acceptance acknowledgement still has to
+// cross the inter-region link and return). Empty clientRegion means
+// the default region.
+func (p *Platform) InvokeAsyncFrom(ctx context.Context, clientRegion, objectID, member string, payload json.RawMessage, args map[string]string) (string, error) {
+	if clientRegion == "" {
+		clientRegion = cluster.DefaultRegion
+	}
+	home, err := p.HomeRegion(objectID)
+	if err != nil {
+		return "", err
+	}
+	if home != clientRegion && p.cfg.InterRegionLatency > 0 {
+		// Round trip: submission in, acceptance acknowledgement out.
+		if err := p.cfg.Clock.Sleep(ctx, 2*p.cfg.InterRegionLatency); err != nil {
+			return "", err
+		}
+	}
+	return p.InvokeAsync(ctx, objectID, member, payload, args)
+}
+
 // InvokeAsyncBatch enqueues every request in one call, returning one
 // ID-or-error result per entry in order. Entries with unknown targets
 // or a full shard are rejected individually; the rest proceed.
@@ -843,6 +1000,7 @@ type Stats struct {
 	Invocations int64                               `json:"invocations"`
 	Async       asyncq.Stats                        `json:"async"`
 	Concurrency map[string]runtime.ConcurrencyStats `json:"concurrency"`
+	Triggers    trigger.Stats                       `json:"triggers"`
 }
 
 // Stats snapshots the platform.
@@ -856,6 +1014,7 @@ func (p *Platform) Stats() Stats {
 		ByClass:     make(map[string]float64, len(p.runtimes)),
 		Async:       p.queue.Stats(),
 		Concurrency: make(map[string]runtime.ConcurrencyStats, len(p.runtimes)),
+		Triggers:    p.bus.Stats(),
 	}
 	for name := range p.classes {
 		s.Classes = append(s.Classes, name)
@@ -883,9 +1042,11 @@ func (p *Platform) Flush(ctx context.Context) {
 }
 
 // Close tears the platform down: async queue (drains accepted
-// invocations first, while runtimes are still alive), optimizer,
-// runtimes (final state flushes), object store server, and document
-// store.
+// invocations — and, through its Drain hook, pending trigger
+// deliveries — first, while runtimes are still alive), optimizer,
+// runtimes (final state flushes), event bus (drains events emitted by
+// the final flushes' window and closes live streams), object store
+// server, and document store.
 func (p *Platform) Close() {
 	// Drain before marking closed: queued invocations still route
 	// through Invoke, which rejects work on a closed platform.
@@ -905,6 +1066,7 @@ func (p *Platform) Close() {
 	for _, rt := range rts {
 		rt.Close()
 	}
+	p.bus.Close()
 	if p.objectsSv != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		_ = p.objectsSv.Shutdown(ctx)

@@ -193,6 +193,45 @@ func TestInvokeFromChargesCrossRegionLatency(t *testing.T) {
 	}
 }
 
+func TestInvokeAsyncFromChargesCrossRegionLatency(t *testing.T) {
+	const rtt = 25 * time.Millisecond
+	p := newRegionPlatform(t, rtt)
+	ctx := context.Background()
+	id, err := p.CreateObject(ctx, "EuRecords", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same-region submission: no penalty on the submit path.
+	start := time.Now()
+	invID, err := p.InvokeAsyncFrom(ctx, "eu", id, "touch", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := time.Since(start)
+	if _, err := p.WaitInvocation(ctx, invID); err != nil {
+		t.Fatal(err)
+	}
+	if local >= 2*rtt {
+		t.Fatalf("same-region async submission charged a penalty: %v", local)
+	}
+	// Cross-region submission: the inter-region round trip is charged
+	// on submission itself, mirroring the synchronous InvokeFrom.
+	start = time.Now()
+	invID, err = p.InvokeAsyncFrom(ctx, "", id, "touch", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote := time.Since(start); remote < 2*rtt {
+		t.Fatalf("cross-region async submission took %v, want >= %v", remote, 2*rtt)
+	}
+	if rec, err := p.WaitInvocation(ctx, invID); err != nil || rec.Status != "completed" {
+		t.Fatalf("record = %+v, %v", rec, err)
+	}
+	if _, err := p.InvokeAsyncFrom(ctx, "eu", "ghost", "touch", nil, nil); !errors.Is(err, ErrObjectNotFound) {
+		t.Fatalf("err = %v, want ErrObjectNotFound", err)
+	}
+}
+
 func TestInvokeFromSameRegionNoPenalty(t *testing.T) {
 	p := newRegionPlatform(t, 100*time.Millisecond)
 	ctx := context.Background()

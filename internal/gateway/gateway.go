@@ -21,6 +21,7 @@ import (
 	"github.com/hpcclab/oparaca-go/internal/asyncq"
 	"github.com/hpcclab/oparaca-go/internal/core"
 	"github.com/hpcclab/oparaca-go/internal/model"
+	"github.com/hpcclab/oparaca-go/internal/trigger"
 )
 
 // Gateway serves the REST API over a core.Platform.
@@ -58,6 +59,10 @@ func (g *Gateway) routes() {
 	g.mux.HandleFunc("GET /api/objects/{id}/state/{key}", g.handleGetState)
 	g.mux.HandleFunc("PUT /api/objects/{id}/state/{key}", g.handlePutState)
 	g.mux.HandleFunc("GET /api/objects/{id}/files/{key}/url", g.handlePresign)
+	g.mux.HandleFunc("GET /api/objects/{id}/events", g.handleObjectEvents)
+	g.mux.HandleFunc("GET /api/triggers", g.handleListTriggers)
+	g.mux.HandleFunc("PUT /api/triggers/{name}", g.handlePutTrigger)
+	g.mux.HandleFunc("DELETE /api/triggers/{name}", g.handleDeleteTrigger)
 	g.mux.HandleFunc("GET /api/optimizer/actions", g.handleOptimizerActions)
 }
 
@@ -273,15 +278,25 @@ func readInvokeRequest(w http.ResponseWriter, r *http.Request) (payload []byte, 
 	return payload, args, true
 }
 
+// clientRegion resolves the requester's declared region: the
+// X-Client-Region header, with X-Oprc-Region kept as the historical
+// alias. Both the sync and async invoke routes honor it so
+// cross-datacenter requests are charged the configured inter-region
+// latency.
+func clientRegion(r *http.Request) string {
+	if region := r.Header.Get("X-Client-Region"); region != "" {
+		return region
+	}
+	return r.Header.Get("X-Oprc-Region")
+}
+
 func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	id, fn := r.PathValue("id"), r.PathValue("fn")
 	payload, args, ok := readInvokeRequest(w, r)
 	if !ok {
 		return
 	}
-	// Clients declare their region via header so cross-datacenter
-	// invocations are charged the configured inter-region latency.
-	out, err := g.platform.InvokeFrom(r.Context(), r.Header.Get("X-Oprc-Region"), id, fn, payload, args)
+	out, err := g.platform.InvokeFrom(r.Context(), clientRegion(r), id, fn, payload, args)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -297,7 +312,7 @@ func (g *Gateway) handleInvokeAsync(w http.ResponseWriter, r *http.Request) {
 	}
 	// The submission context must outlive this request: the handler
 	// runs after the 202 response is written.
-	invID, err := g.platform.InvokeAsync(context.WithoutCancel(r.Context()), id, fn, payload, args)
+	invID, err := g.platform.InvokeAsyncFrom(context.WithoutCancel(r.Context()), clientRegion(r), id, fn, payload, args)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -441,6 +456,87 @@ func (g *Gateway) handlePresign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"url": url, "method": method})
+}
+
+// triggerView is one named subscription in the list response.
+type triggerView struct {
+	Name string `json:"name"`
+	trigger.Subscription
+}
+
+func (g *Gateway) handleListTriggers(w http.ResponseWriter, _ *http.Request) {
+	names, subs := g.platform.TriggerSubscriptions()
+	views := make([]triggerView, 0, len(names))
+	for _, name := range names {
+		views = append(views, triggerView{Name: name, Subscription: subs[name]})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"triggers": views})
+}
+
+func (g *Gateway) handlePutTrigger(w http.ResponseWriter, r *http.Request) {
+	var sub trigger.Subscription
+	if err := json.NewDecoder(r.Body).Decode(&sub); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad JSON: " + err.Error()})
+		return
+	}
+	name := r.PathValue("name")
+	if err := g.platform.SubscribeTrigger(name, sub); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, triggerView{Name: name, Subscription: sub})
+}
+
+func (g *Gateway) handleDeleteTrigger(w http.ResponseWriter, r *http.Request) {
+	if !g.platform.UnsubscribeTrigger(r.PathValue("name")) {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no such trigger subscription"})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleObjectEvents serves a server-sent-events stream of one
+// object's live events (StateChanged commits plus terminal async
+// invocations): `event:` carries the event type, `data:` the event
+// JSON. The stream runs until the client disconnects; a consumer that
+// falls behind its buffer loses events (counted in
+// Stats().Triggers.Dropped) rather than stalling bus dispatch.
+func (g *Gateway) handleObjectEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "streaming unsupported"})
+		return
+	}
+	stream, err := g.platform.StreamEvents(r.PathValue("id"), 64)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer stream.Close()
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+	for {
+		select {
+		case ev, open := <-stream.Events():
+			if !open {
+				return // platform shutting down
+			}
+			data, err := json.Marshal(ev)
+			if err != nil {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 func (g *Gateway) handleOptimizerActions(w http.ResponseWriter, _ *http.Request) {

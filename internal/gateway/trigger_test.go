@@ -1,0 +1,189 @@
+package gateway
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/hpcclab/oparaca-go/internal/trigger"
+)
+
+// TestTriggerSubscriptionCRUD drives the PUT/GET/DELETE trigger
+// endpoints end to end.
+func TestTriggerSubscriptionCRUD(t *testing.T) {
+	f := newFixture(t)
+	f.deploy()
+	// PUT a valid subscription.
+	sub, _ := json.Marshal(map[string]string{
+		"class": "Note", "type": "stateChanged", "keyPrefix": "te", "targetFunction": "shout",
+	})
+	status, body := f.do(http.MethodPut, "/api/triggers/shout-on-write", "application/json", sub)
+	if status != http.StatusCreated {
+		t.Fatalf("put status = %d body=%v", status, body)
+	}
+	// Listed back, sorted by name.
+	status, body = f.do(http.MethodGet, "/api/triggers", "", nil)
+	if status != http.StatusOK {
+		t.Fatalf("list status = %d", status)
+	}
+	var views []struct {
+		Name  string `json:"name"`
+		Class string `json:"class"`
+		Type  string `json:"type"`
+	}
+	if err := json.Unmarshal(body["triggers"], &views); err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 1 || views[0].Name != "shout-on-write" || views[0].Class != "Note" || views[0].Type != "stateChanged" {
+		t.Fatalf("triggers = %+v", views)
+	}
+	// Invalid bodies: bad JSON, bad subscription shape.
+	if status, _ := f.do(http.MethodPut, "/api/triggers/bad", "application/json", []byte("{")); status != http.StatusBadRequest {
+		t.Fatalf("bad JSON status = %d", status)
+	}
+	noSink, _ := json.Marshal(map[string]string{"class": "Note", "type": "stateChanged"})
+	if status, _ := f.do(http.MethodPut, "/api/triggers/bad", "application/json", noSink); status != http.StatusBadRequest {
+		t.Fatalf("sinkless subscription status = %d", status)
+	}
+	// DELETE removes it; a second delete 404s.
+	if status, _ := f.do(http.MethodDelete, "/api/triggers/shout-on-write", "", nil); status != http.StatusNoContent {
+		t.Fatalf("delete status = %d", status)
+	}
+	if status, _ := f.do(http.MethodDelete, "/api/triggers/shout-on-write", "", nil); status != http.StatusNotFound {
+		t.Fatalf("re-delete status = %d", status)
+	}
+}
+
+// sseEvent is one parsed SSE frame.
+type sseEvent struct {
+	kind string
+	data trigger.Event
+}
+
+// readSSE parses frames off an event-stream body into ch until the
+// body closes.
+func readSSE(t *testing.T, body *bufio.Scanner, ch chan<- sseEvent) {
+	var kind string
+	for body.Scan() {
+		line := body.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			kind = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			var ev trigger.Event
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Errorf("bad SSE data %q: %v", line, err)
+				continue
+			}
+			ch <- sseEvent{kind: kind, data: ev}
+		}
+	}
+}
+
+// TestObjectEventsSSELifecycle covers the live-tail stream: headers,
+// event frames for commits and terminal async invocations, and clean
+// client disconnect.
+func TestObjectEventsSSELifecycle(t *testing.T) {
+	f := newFixture(t)
+	f.deploy()
+	id := f.createObject("sse-1")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.srv.URL+"/api/objects/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+	events := make(chan sseEvent, 16)
+	go readSSE(t, bufio.NewScanner(resp.Body), events)
+
+	// A sync commit shows up as a stateChanged frame.
+	if status, body := f.do(http.MethodPost, "/api/objects/"+id+"/invoke/set", "application/json", []byte(`"hello"`)); status != http.StatusOK {
+		t.Fatalf("invoke = %d %v", status, body)
+	}
+	select {
+	case ev := <-events:
+		if ev.kind != string(trigger.StateChanged) || ev.data.Object != id || ev.data.Function != "set" ||
+			strings.Join(ev.data.Keys, ",") != "text" {
+			t.Fatalf("frame = %+v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no SSE frame for the sync commit")
+	}
+	// An async invocation yields its commit plus a terminal frame.
+	status, body := f.do(http.MethodPost, "/api/objects/"+id+"/invoke-async/set", "application/json", []byte(`"again"`))
+	if status != http.StatusAccepted {
+		t.Fatalf("invoke-async = %d %v", status, body)
+	}
+	kinds := map[string]int{}
+	deadline := time.After(5 * time.Second)
+	for len(kinds) < 2 {
+		select {
+		case ev := <-events:
+			kinds[ev.kind]++
+		case <-deadline:
+			t.Fatalf("frames so far = %v, want stateChanged and invocationCompleted", kinds)
+		}
+	}
+	if kinds[string(trigger.StateChanged)] != 1 || kinds[string(trigger.InvocationCompleted)] != 1 {
+		t.Fatalf("frames = %v", kinds)
+	}
+	// Client disconnect tears the stream down server-side without
+	// wedging the platform (Close in cleanup would hang otherwise).
+	cancel()
+
+	// Unknown object: 404, not a stream.
+	if status, _ := f.do(http.MethodGet, "/api/objects/ghost/events", "", nil); status != http.StatusNotFound {
+		t.Fatalf("ghost stream status = %d", status)
+	}
+}
+
+// TestClientRegionHeaderOnAsyncRoute verifies the X-Client-Region
+// header reaches the async submission path (and the legacy
+// X-Oprc-Region alias still works on the sync path).
+func TestClientRegionHeaderOnAsyncRoute(t *testing.T) {
+	f := newFixture(t)
+	f.deploy()
+	id := f.createObject("region-1")
+	for _, header := range []string{"X-Client-Region", "X-Oprc-Region"} {
+		req, err := http.NewRequest(http.MethodPost, f.srv.URL+"/api/objects/"+id+"/invoke-async/set", strings.NewReader(`"x"`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The default region name: no penalty, but the route must
+		// accept and thread the header without erroring.
+		req.Header.Set(header, "default")
+		resp, err := f.client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out struct {
+			Invocation string `json:"invocation"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusAccepted || out.Invocation == "" {
+			t.Fatalf("%s: status=%d inv=%q err=%v", header, resp.StatusCode, out.Invocation, err)
+		}
+		// Wait it out so platform close stays clean.
+		if status, _ := f.do(http.MethodGet, fmt.Sprintf("/api/invocations/%s?waitMs=5000", out.Invocation), "", nil); status != http.StatusOK {
+			t.Fatalf("wait status = %d", status)
+		}
+	}
+}

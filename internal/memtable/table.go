@@ -75,6 +75,21 @@ type Config struct {
 	// FlushBatchSize triggers an early flush of a shard once that many
 	// keys are dirty. Defaults to 256.
 	FlushBatchSize int
+	// TombstoneTTL evicts a deleted key's version tombstone this long
+	// after the deletion. Tombstones keep stale optimistic commits from
+	// resurrecting deleted keys, but every deleted key otherwise parks
+	// one map entry per shard forever — object-churning workloads grow
+	// without bound. Once a tombstone has outlived every plausible
+	// in-flight commit (its version check would fail anyway only within
+	// an invocation window, not hours later) it is safe to forget: the
+	// backing delete has long landed, so a read-through finds nothing
+	// and a creating CAS starts from version 0. Zero keeps tombstones
+	// forever (the pre-compaction behaviour).
+	TombstoneTTL time.Duration
+	// TombstoneGCInterval is the compaction sweep period. Defaults to
+	// TombstoneTTL/4 (clamped to at least 1ms); ignored when
+	// TombstoneTTL is zero.
+	TombstoneGCInterval time.Duration
 	// Clock supplies time; defaults to the real clock.
 	Clock vclock.Clock
 }
@@ -91,6 +106,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FlushBatchSize <= 0 {
 		c.FlushBatchSize = 256
+	}
+	if c.TombstoneTTL > 0 && c.TombstoneGCInterval <= 0 {
+		c.TombstoneGCInterval = c.TombstoneTTL / 4
+		if c.TombstoneGCInterval < time.Millisecond {
+			c.TombstoneGCInterval = time.Millisecond
+		}
 	}
 	if c.Clock == nil {
 		c.Clock = vclock.NewReal()
@@ -121,6 +142,12 @@ type shard struct {
 	// absent from data is a deletion tombstone — versioned reads treat
 	// it as authoritatively deleted so a stale CAS cannot resurrect it.
 	vers map[string]int64
+	// tombs records when each deletion tombstone was created, so the
+	// compactor can evict tombstones older than Config.TombstoneTTL.
+	// Only populated when a TTL is configured (entries then exist
+	// exactly for keys in vers but not in data, modulo a recreation
+	// racing a sweep, which the sweep reconciles).
+	tombs map[string]time.Time
 }
 
 // Table is the distributed in-memory hash table. It is safe for
@@ -136,11 +163,14 @@ type Table struct {
 	flushWake chan struct{}
 	done      chan struct{} // flusher exited
 
-	statsMu   sync.Mutex
-	hits      int64
-	misses    int64
-	flushes   int64
-	flushDocs int64
+	statsMu     sync.Mutex
+	hits        int64
+	misses      int64
+	flushes     int64
+	flushDocs   int64
+	tombEvicted int64
+
+	compactDone chan struct{} // tombstone compactor exited
 }
 
 // New creates a table. It returns an error when a persistent mode has
@@ -151,12 +181,13 @@ func New(cfg Config) (*Table, error) {
 		return nil, fmt.Errorf("memtable: mode %v requires a backing store", cfg.Mode)
 	}
 	t := &Table{
-		cfg:       cfg,
-		shards:    make([]*shard, cfg.Shards),
-		ring:      NewRing(64),
-		closed:    make(chan struct{}),
-		flushWake: make(chan struct{}, 1),
-		done:      make(chan struct{}),
+		cfg:         cfg,
+		shards:      make([]*shard, cfg.Shards),
+		ring:        NewRing(64),
+		closed:      make(chan struct{}),
+		flushWake:   make(chan struct{}, 1),
+		done:        make(chan struct{}),
+		compactDone: make(chan struct{}),
 	}
 	t.shardIdx = make(map[string]int, cfg.Shards)
 	for i := range t.shards {
@@ -166,6 +197,7 @@ func New(cfg Config) (*Table, error) {
 			flushing: make(map[string]int),
 			deleted:  make(map[string]bool),
 			vers:     make(map[string]int64),
+			tombs:    make(map[string]time.Time),
 		}
 		name := shardName(i)
 		t.ring.Add(name)
@@ -175,6 +207,11 @@ func New(cfg Config) (*Table, error) {
 		go t.flushLoop()
 	} else {
 		close(t.done)
+	}
+	if cfg.TombstoneTTL > 0 {
+		go t.compactLoop()
+	} else {
+		close(t.compactDone)
 	}
 	return t, nil
 }
@@ -510,6 +547,7 @@ func (t *Table) PutMany(ctx context.Context, entries map[string]json.RawMessage)
 			sh.data[k] = copied[k]
 			sh.vers[k]++
 			delete(sh.deleted, k) // a write supersedes a pending tombstone
+			delete(sh.tombs, k)
 			if t.cfg.Mode == ModeWriteBehind {
 				sh.dirty[k] = true
 			}
@@ -545,6 +583,7 @@ func (t *Table) Put(ctx context.Context, key string, value json.RawMessage) erro
 		sh.data[key] = val
 		sh.vers[key]++
 		delete(sh.deleted, key)
+		delete(sh.tombs, key)
 		sh.mu.Unlock()
 		return nil
 	case ModeMemoryOnly:
@@ -552,6 +591,7 @@ func (t *Table) Put(ctx context.Context, key string, value json.RawMessage) erro
 		sh.mu.Lock()
 		sh.data[key] = val
 		sh.vers[key]++
+		delete(sh.tombs, key)
 		sh.mu.Unlock()
 		return nil
 	default: // ModeWriteBehind
@@ -562,6 +602,7 @@ func (t *Table) Put(ctx context.Context, key string, value json.RawMessage) erro
 		sh.dirty[key] = true
 		// A write supersedes any pending tombstone for the key.
 		delete(sh.deleted, key)
+		delete(sh.tombs, key)
 		n := len(sh.dirty)
 		sh.mu.Unlock()
 		if n >= t.cfg.FlushBatchSize {
@@ -587,6 +628,9 @@ func (t *Table) Delete(ctx context.Context, key string) error {
 	// The tombstone version stays behind (and advances) so a CAS
 	// holding a pre-delete version can never resurrect the key.
 	sh.vers[key]++
+	if t.cfg.TombstoneTTL > 0 {
+		sh.tombs[key] = t.cfg.Clock.Now()
+	}
 	if sh.flushing[key] > 0 {
 		// The key is in a flush batch already snapshotted: the
 		// in-flight BatchPut would re-create it in the backing store
@@ -720,6 +764,9 @@ func (t *Table) PutManyIfVersion(ctx context.Context, ops map[string]CASOp) erro
 			delete(sh.data, k)
 			delete(sh.dirty, k)
 			sh.vers[k]++
+			if t.cfg.TombstoneTTL > 0 {
+				sh.tombs[k] = t.cfg.Clock.Now()
+			}
 			if sh.flushing[k] > 0 {
 				sh.deleted[k] = true
 			}
@@ -728,6 +775,7 @@ func (t *Table) PutManyIfVersion(ctx context.Context, ops map[string]CASOp) erro
 		sh.data[k] = puts[k]
 		sh.vers[k]++
 		delete(sh.deleted, k)
+		delete(sh.tombs, k)
 		if t.cfg.Mode == ModeWriteBehind {
 			sh.dirty[k] = true
 			if len(sh.dirty) >= t.cfg.FlushBatchSize {
@@ -854,6 +902,72 @@ func (t *Table) flushAll(ctx context.Context) {
 	}
 }
 
+// compactLoop periodically evicts expired deletion tombstones.
+func (t *Table) compactLoop() {
+	defer close(t.compactDone)
+	for {
+		select {
+		case <-t.closed:
+			return
+		case <-t.cfg.Clock.After(t.cfg.TombstoneGCInterval):
+		}
+		t.CompactTombstones()
+	}
+}
+
+// CompactTombstones evicts every deletion tombstone older than
+// Config.TombstoneTTL: the key's version entry (and its timestamp) is
+// forgotten, returning the shard to its pre-key footprint. Tombstones
+// whose backing delete is still outstanding (mid-flush, or awaiting a
+// re-delete retry) are kept — evicting them would let a read-through
+// resurrect the key from the stale backing copy. Evictions are counted
+// in Stats().TombstonesEvicted. Called by the background compactor
+// when a TTL is configured; exported so churn tests (and operators)
+// can force a sweep.
+func (t *Table) CompactTombstones() {
+	if t.cfg.TombstoneTTL <= 0 {
+		return
+	}
+	cutoff := t.cfg.Clock.Now().Add(-t.cfg.TombstoneTTL)
+	var evicted int64
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		for k, at := range sh.tombs {
+			if _, live := sh.data[k]; live {
+				// Recreated since the deletion: the timestamp is stale
+				// bookkeeping, the version entry stays (it guards the
+				// live value).
+				delete(sh.tombs, k)
+				continue
+			}
+			if at.After(cutoff) || sh.flushing[k] > 0 || sh.deleted[k] {
+				continue
+			}
+			delete(sh.vers, k)
+			delete(sh.tombs, k)
+			evicted++
+		}
+		sh.mu.Unlock()
+	}
+	if evicted > 0 {
+		t.statsMu.Lock()
+		t.tombEvicted += evicted
+		t.statsMu.Unlock()
+	}
+}
+
+// TombstoneCount returns the number of tracked deletion tombstones
+// (churn-test observability).
+func (t *Table) TombstoneCount() int {
+	var n int
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		n += len(sh.tombs)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
 // Flush synchronously persists all dirty entries (no-op outside
 // write-behind mode).
 func (t *Table) Flush(ctx context.Context) {
@@ -884,11 +998,12 @@ func (t *Table) Len() int {
 	return n
 }
 
-// Close stops the flusher after a final flush and marks the table
-// closed. It blocks until the flusher exits.
+// Close stops the flusher (after a final flush) and the tombstone
+// compactor, and marks the table closed. It blocks until both exit.
 func (t *Table) Close() {
 	t.closeOnce.Do(func() { close(t.closed) })
 	<-t.done
+	<-t.compactDone
 }
 
 // Stats is a point-in-time view of cache behaviour.
@@ -897,13 +1012,17 @@ type Stats struct {
 	Misses    int64 `json:"misses"`
 	Flushes   int64 `json:"flushes"`
 	FlushDocs int64 `json:"flush_docs"`
+	// TombstonesEvicted counts deletion tombstones compacted after
+	// Config.TombstoneTTL elapsed.
+	TombstonesEvicted int64 `json:"tombstones_evicted"`
 }
 
 // Stats returns counters since New.
 func (t *Table) Stats() Stats {
 	t.statsMu.Lock()
 	defer t.statsMu.Unlock()
-	return Stats{Hits: t.hits, Misses: t.misses, Flushes: t.flushes, FlushDocs: t.flushDocs}
+	return Stats{Hits: t.hits, Misses: t.misses, Flushes: t.flushes, FlushDocs: t.flushDocs,
+		TombstonesEvicted: t.tombEvicted}
 }
 
 // Mode returns the configured persistence mode.

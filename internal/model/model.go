@@ -191,15 +191,76 @@ type DataflowDef struct {
 	Output string `json:"output,omitempty"`
 }
 
-// TriggerDef binds an event on an object's file key to a method
-// invocation (paper §II-D: "a multimedia processing application that
-// gets triggered when customers upload their files to cloud storage").
+// Event names a TriggerDef can subscribe to via On. They mirror the
+// trigger subsystem's event types (internal/trigger); the model keeps
+// string literals so definitions stay dependency-free.
+const (
+	// EventStateChanged fires once per committed write invocation on
+	// an object of the class.
+	EventStateChanged = "stateChanged"
+	// EventInvocationCompleted / EventInvocationFailed fire when an
+	// asynchronous invocation on an object of the class reaches the
+	// corresponding terminal status.
+	EventInvocationCompleted = "invocationCompleted"
+	EventInvocationFailed    = "invocationFailed"
+)
+
+// validEventName reports whether on names a known platform event.
+func validEventName(on string) bool {
+	switch on {
+	case EventStateChanged, EventInvocationCompleted, EventInvocationFailed:
+		return true
+	}
+	return false
+}
+
+// TriggerDef binds a platform event to a reaction. Two shapes exist:
+//
+//   - Upload triggers (OnUpload): an object-store write to the named
+//     file key invokes Function on the same object (paper §II-D: "a
+//     multimedia processing application that gets triggered when
+//     customers upload their files to cloud storage").
+//   - Event triggers (On): a committed state mutation or a terminal
+//     asynchronous invocation on an object of the class routes through
+//     the event bus to either another object's method (data-triggered
+//     chaining via the async queue) or a webhook URL.
+//
+// Exactly one of OnUpload and On must be set.
 type TriggerDef struct {
 	// OnUpload names the file key whose uploads fire the trigger.
-	OnUpload string `json:"onUpload"`
-	// Function is the method invoked with the upload event as its
-	// payload.
-	Function string `json:"function"`
+	OnUpload string `json:"onUpload,omitempty"`
+	// Function is the method invoked with the event as its payload:
+	// on the same object for upload triggers, on TargetObject (or the
+	// emitting object when empty) for event triggers.
+	Function string `json:"function,omitempty"`
+	// On names the platform event an event trigger subscribes to:
+	// "stateChanged", "invocationCompleted" or "invocationFailed".
+	On string `json:"on,omitempty"`
+	// KeyPrefix restricts a stateChanged trigger to commits that wrote
+	// at least one state key with this prefix.
+	KeyPrefix string `json:"keyPrefix,omitempty"`
+	// TargetObject routes the chained invocation to a specific object
+	// ID instead of the emitting object. Only valid with Function.
+	TargetObject string `json:"targetObject,omitempty"`
+	// Webhook delivers the event to a URL instead of invoking a
+	// method. Mutually exclusive with Function/TargetObject.
+	Webhook string `json:"webhook,omitempty"`
+}
+
+// IsEvent reports whether the trigger is an event trigger (vs. an
+// upload trigger).
+func (t TriggerDef) IsEvent() bool { return t.On != "" }
+
+// id is the trigger's override identity for inheritance merging:
+// upload triggers override per file key; event triggers override per
+// (event, filter, sink) tuple — two identical declarations collapse,
+// distinct ones coexist. Fields are quoted so user-controlled strings
+// containing the separator cannot make distinct triggers collide.
+func (t TriggerDef) id() string {
+	if !t.IsEvent() {
+		return "upload/" + t.OnUpload
+	}
+	return fmt.Sprintf("event/%s/%q/%q/%q/%q", t.On, t.KeyPrefix, t.TargetObject, t.Function, t.Webhook)
 }
 
 // ClassDef is a class as written by the developer.
@@ -381,13 +442,13 @@ func (c *ClassDef) validate() error {
 	}
 	seenTriggers := make(map[string]bool, len(c.Triggers))
 	for _, tr := range c.Triggers {
-		if tr.OnUpload == "" || tr.Function == "" {
-			return fmt.Errorf("%w: class %q trigger needs onUpload and function", ErrValidation, c.Name)
+		if err := tr.validate(c.Name); err != nil {
+			return err
 		}
-		if seenTriggers[tr.OnUpload] {
-			return fmt.Errorf("%w: class %q has duplicate trigger on key %q", ErrValidation, c.Name, tr.OnUpload)
+		if seenTriggers[tr.id()] {
+			return fmt.Errorf("%w: class %q has duplicate trigger %q", ErrValidation, c.Name, tr.id())
 		}
-		seenTriggers[tr.OnUpload] = true
+		seenTriggers[tr.id()] = true
 		// Key/function existence is checked after inheritance
 		// resolution (they may come from a parent).
 	}
@@ -400,6 +461,41 @@ func (c *ClassDef) validate() error {
 	}
 	if c.Constraint.BudgetUSD < 0 {
 		return fmt.Errorf("%w: class %q has negative budget", ErrValidation, c.Name)
+	}
+	return nil
+}
+
+// validate checks one trigger definition's shape (references are
+// checked post-resolution).
+func (t TriggerDef) validate(class string) error {
+	if (t.OnUpload == "") == (t.On == "") {
+		return fmt.Errorf("%w: class %q trigger needs exactly one of onUpload and on", ErrValidation, class)
+	}
+	if !t.IsEvent() {
+		if t.Function == "" {
+			return fmt.Errorf("%w: class %q trigger needs onUpload and function", ErrValidation, class)
+		}
+		if t.KeyPrefix != "" || t.TargetObject != "" || t.Webhook != "" {
+			return fmt.Errorf("%w: class %q upload trigger on %q cannot set keyPrefix, targetObject or webhook",
+				ErrValidation, class, t.OnUpload)
+		}
+		return nil
+	}
+	if !validEventName(t.On) {
+		return fmt.Errorf("%w: class %q trigger has unknown event %q (want %s, %s or %s)",
+			ErrValidation, class, t.On, EventStateChanged, EventInvocationCompleted, EventInvocationFailed)
+	}
+	hasFn, hasHook := t.Function != "", t.Webhook != ""
+	if hasFn == hasHook {
+		return fmt.Errorf("%w: class %q trigger on %q needs exactly one of function and webhook",
+			ErrValidation, class, t.On)
+	}
+	if t.TargetObject != "" && !hasFn {
+		return fmt.Errorf("%w: class %q trigger on %q: targetObject requires function", ErrValidation, class, t.On)
+	}
+	if t.KeyPrefix != "" && t.On != EventStateChanged {
+		return fmt.Errorf("%w: class %q trigger on %q: keyPrefix only applies to %s",
+			ErrValidation, class, t.On, EventStateChanged)
 	}
 	return nil
 }
@@ -449,14 +545,26 @@ type Class struct {
 	Constraint Constraints
 }
 
-// Trigger returns the trigger bound to a file key.
+// Trigger returns the upload trigger bound to a file key.
 func (c *Class) Trigger(onUpload string) (TriggerDef, bool) {
 	for _, tr := range c.Triggers {
-		if tr.OnUpload == onUpload {
+		if !tr.IsEvent() && tr.OnUpload == onUpload {
 			return tr, true
 		}
 	}
 	return TriggerDef{}, false
+}
+
+// EventTriggers returns the class's event triggers (On set), in merge
+// order.
+func (c *Class) EventTriggers() []TriggerDef {
+	var out []TriggerDef
+	for _, tr := range c.Triggers {
+		if tr.IsEvent() {
+			out = append(out, tr)
+		}
+	}
+	return out
 }
 
 // Function returns the named function definition.
@@ -576,7 +684,7 @@ func merge(def *ClassDef, parent *Class) *Class {
 			c.Dataflows = append(c.Dataflows, d)
 		}
 		for _, tr := range parent.Triggers {
-			trigIdx[tr.OnUpload] = len(c.Triggers)
+			trigIdx[tr.id()] = len(c.Triggers)
 			c.Triggers = append(c.Triggers, tr)
 		}
 		c.QoS = parent.QoS
@@ -611,11 +719,11 @@ func merge(def *ClassDef, parent *Class) *Class {
 		c.Dataflows = append(c.Dataflows, d)
 	}
 	for _, tr := range def.Triggers {
-		if i, ok := trigIdx[tr.OnUpload]; ok {
+		if i, ok := trigIdx[tr.id()]; ok {
 			c.Triggers[i] = tr // child overrides parent's trigger
 			continue
 		}
-		trigIdx[tr.OnUpload] = len(c.Triggers)
+		trigIdx[tr.id()] = len(c.Triggers)
 		c.Triggers = append(c.Triggers, tr)
 	}
 	// Field-by-field QoS override: a child only overrides what it
@@ -641,15 +749,29 @@ func merge(def *ClassDef, parent *Class) *Class {
 	sort.Slice(c.Keys, func(i, j int) bool { return c.Keys[i].Name < c.Keys[j].Name })
 	sort.Slice(c.Functions, func(i, j int) bool { return c.Functions[i].Name < c.Functions[j].Name })
 	sort.Slice(c.Dataflows, func(i, j int) bool { return c.Dataflows[i].Name < c.Dataflows[j].Name })
-	sort.Slice(c.Triggers, func(i, j int) bool { return c.Triggers[i].OnUpload < c.Triggers[j].OnUpload })
+	sort.Slice(c.Triggers, func(i, j int) bool { return c.Triggers[i].id() < c.Triggers[j].id() })
 	return c
 }
 
 // ValidateResolved checks cross-member invariants that require the
-// flattened view: every trigger must reference a declared file key and
-// an existing function or dataflow.
+// flattened view: an upload trigger must reference a declared file key
+// and an existing function or dataflow; a self-targeting event trigger
+// (no targetObject) must name a member of this class. Event triggers
+// targeting another object cannot be checked here — the target's class
+// is unknown until dispatch, where a bad reference fails the delivery.
 func (c *Class) ValidateResolved() error {
 	for _, tr := range c.Triggers {
+		if tr.IsEvent() {
+			if tr.Function != "" && tr.TargetObject == "" {
+				if _, isFn := c.Function(tr.Function); !isFn {
+					if _, isFlow := c.Dataflow(tr.Function); !isFlow {
+						return fmt.Errorf("%w: class %q trigger on %q references unknown member %q",
+							ErrValidation, c.Name, tr.On, tr.Function)
+					}
+				}
+			}
+			continue
+		}
 		spec, ok := c.Key(tr.OnUpload)
 		if !ok || spec.Kind != KindFile {
 			return fmt.Errorf("%w: class %q trigger references %q which is not a file key",

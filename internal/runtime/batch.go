@@ -180,11 +180,14 @@ func (rt *ClassRuntime) runWriterGroup(ctx context.Context, objectID string, gro
 // merged delta (JSON null marks a delete). The view mutates as each
 // successful call lands: call i+1 observes call i's writes. A failing,
 // panicking, or rogue-delta call contributes nothing to the view or
-// the merged delta. Each attempt overwrites every writer call's result,
-// so optimistic re-runs start clean.
-func (rt *ClassRuntime) applyGroup(ctx context.Context, objectID string, group []writerCall, state map[string]json.RawMessage, results []BatchCallResult) map[string]json.RawMessage {
+// the merged delta. Each attempt overwrites every writer call's result
+// (and its callKeys entry), so optimistic re-runs start clean.
+// callKeys, indexed like group, receives each successful call's sorted
+// delta key names for the commit's event emission (nil for failures).
+func (rt *ClassRuntime) applyGroup(ctx context.Context, objectID string, group []writerCall, state map[string]json.RawMessage, results []BatchCallResult, callKeys [][]string) map[string]json.RawMessage {
 	merged := make(map[string]json.RawMessage)
-	for _, w := range group {
+	for gi, w := range group {
+		callKeys[gi] = nil
 		// Handlers may mutate their Task.State; a shallow clone keeps
 		// the shared evolving view out of their reach.
 		res, err := rt.runTaskSafe(callContext(ctx, w.call), objectID, w.fn, w.call.Payload, w.call.Args, maps.Clone(state))
@@ -196,6 +199,7 @@ func (rt *ClassRuntime) applyGroup(ctx context.Context, objectID string, group [
 			results[w.idx] = BatchCallResult{Err: err}
 			continue
 		}
+		callKeys[gi] = deltaKeys(res.State)
 		for k, v := range res.State {
 			merged[k] = v
 			spec, _ := rt.class.Key(k)
@@ -245,7 +249,8 @@ func (rt *ClassRuntime) batchLockedPlain(ctx context.Context, objectID string, g
 		}
 		return
 	}
-	merged := rt.applyGroup(ctx, objectID, group, state, results)
+	callKeys := make([][]string, len(group))
+	merged := rt.applyGroup(ctx, objectID, group, state, results, callKeys)
 	var puts map[string]json.RawMessage
 	var dels []string
 	for k, v := range merged {
@@ -277,18 +282,33 @@ func (rt *ClassRuntime) batchLockedPlain(ctx context.Context, objectID string, g
 				results[w.idx] = BatchCallResult{Err: err}
 			}
 		}
+		return
+	}
+	rt.emitGroupCommits(objectID, group, results, callKeys)
+}
+
+// emitGroupCommits publishes one StateChanged event per call the
+// merged commit carried — the group-commit path's realization of
+// one-event-per-committed-write-invocation. Calls that failed inside
+// the group emit nothing.
+func (rt *ClassRuntime) emitGroupCommits(objectID string, group []writerCall, results []BatchCallResult, callKeys [][]string) {
+	for gi, w := range group {
+		if results[w.idx].Err != nil {
+			continue
+		}
+		rt.emitCommitKeys(objectID, w.fn, callKeys[gi], w.call.Args)
 	}
 }
 
 // batchAttempt runs one optimistic group pass: one versioned snapshot,
 // sequential handlers on the evolving view, one validated merged
 // commit (an all-calls-failed pass has nothing to commit).
-func (rt *ClassRuntime) batchAttempt(ctx context.Context, objectID string, group []writerCall, results []BatchCallResult) error {
+func (rt *ClassRuntime) batchAttempt(ctx context.Context, objectID string, group []writerCall, results []BatchCallResult, callKeys [][]string) error {
 	snap, err := rt.loadStateVersioned(ctx, objectID)
 	if err != nil {
 		return err
 	}
-	merged := rt.applyGroup(ctx, objectID, group, snap.state, results)
+	merged := rt.applyGroup(ctx, objectID, group, snap.state, results, callKeys)
 	if len(merged) == 0 {
 		return nil
 	}
@@ -357,17 +377,20 @@ func (rt *ClassRuntime) batchBarrier(ctx context.Context, guard *sync.RWMutex, o
 
 // batchRetryLoop is the shared bounded retry: re-run the whole group
 // against a fresh snapshot on each version mismatch, with the same
-// abort/retry/commit accounting as the per-call loops.
+// abort/retry/commit accounting as the per-call loops. Events emit
+// only on the successful pass — aborted passes publish nothing.
 func (rt *ClassRuntime) batchRetryLoop(ctx context.Context, objectID string, group []writerCall, results []BatchCallResult, tr *contentionTracker, attempts int) error {
 	var lastErr error
+	callKeys := make([][]string, len(group))
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			rt.reg.Counter("occ.retries").Inc()
 		}
-		err := rt.batchAttempt(ctx, objectID, group, results)
+		err := rt.batchAttempt(ctx, objectID, group, results, callKeys)
 		if err == nil {
 			tr.record(false)
 			rt.countGroupCommits(group, results)
+			rt.emitGroupCommits(objectID, group, results, callKeys)
 			return nil
 		}
 		if !errors.Is(err, memtable.ErrVersionMismatch) {

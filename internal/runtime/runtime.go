@@ -8,6 +8,7 @@ import (
 	"maps"
 	"math"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -24,6 +25,7 @@ import (
 	"github.com/hpcclab/oparaca-go/internal/model"
 	"github.com/hpcclab/oparaca-go/internal/objectstore"
 	"github.com/hpcclab/oparaca-go/internal/striped"
+	"github.com/hpcclab/oparaca-go/internal/trigger"
 	"github.com/hpcclab/oparaca-go/internal/vclock"
 )
 
@@ -67,6 +69,19 @@ type Infra struct {
 	// declare their own (model.ClassDef.Concurrency). Empty means
 	// model.ConcurrencyAdaptive.
 	ConcurrencyMode model.ConcurrencyMode
+	// Events receives one trigger.StateChanged event per committed
+	// write invocation on a stateful class — emitted by every commit
+	// path (locked window, OCC/adaptive CAS commit, InvokeBatch group
+	// commit) after the commit lands, never on abort or for readonly
+	// calls. nil disables emission.
+	Events func(trigger.Event)
+	// TombstoneTTL evicts a deleted key's version tombstone this long
+	// after the deletion, bounding state-table growth under object
+	// churn (see memtable.Config.TombstoneTTL). Zero keeps tombstones
+	// forever.
+	TombstoneTTL time.Duration
+	// TombstoneGCInterval overrides the tombstone sweep period.
+	TombstoneGCInterval time.Duration
 	// Clock supplies time; defaults to the real clock.
 	Clock vclock.Clock
 }
@@ -228,12 +243,14 @@ func New(infra Infra, class *model.Class, tmpl Template) (*ClassRuntime, error) 
 	}
 
 	table, err := memtable.New(memtable.Config{
-		Mode:           tmpl.TableMode,
-		Backing:        infra.Backing,
-		Shards:         tmpl.Shards,
-		FlushInterval:  tmpl.FlushInterval,
-		FlushBatchSize: tmpl.FlushBatchSize,
-		Clock:          infra.Clock,
+		Mode:                tmpl.TableMode,
+		Backing:             infra.Backing,
+		Shards:              tmpl.Shards,
+		FlushInterval:       tmpl.FlushInterval,
+		FlushBatchSize:      tmpl.FlushBatchSize,
+		TombstoneTTL:        infra.TombstoneTTL,
+		TombstoneGCInterval: infra.TombstoneGCInterval,
+		Clock:               infra.Clock,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("runtime: creating state table: %w", err)
@@ -673,6 +690,50 @@ func (rt *ClassRuntime) contentionFor(objectID string) *contentionTracker {
 	return &rt.contention[rt.delGuard.Index(objectID)]
 }
 
+// emitCommit publishes the StateChanged event of one committed write
+// invocation: called exactly once per committed call by every commit
+// path, after its persistence step succeeded. Keys carries the sorted
+// key names of the call's delta (deletes included; empty for a
+// committed call that wrote nothing), Depth the trigger-chain depth of
+// the invocation so chained reactions can be cycle-limited. Stateless
+// classes emit nothing — there is no state mutation to react to.
+func (rt *ClassRuntime) emitCommit(objectID string, fn model.FunctionDef, delta map[string]json.RawMessage, args map[string]string) {
+	if rt.infra.Events == nil || len(rt.stateSpecs) == 0 {
+		return
+	}
+	rt.emitCommitKeys(objectID, fn, deltaKeys(delta), args)
+}
+
+// emitCommitKeys is emitCommit for callers that already hold the
+// delta's sorted key names (the group-commit path).
+func (rt *ClassRuntime) emitCommitKeys(objectID string, fn model.FunctionDef, keys []string, args map[string]string) {
+	if rt.infra.Events == nil || len(rt.stateSpecs) == 0 {
+		return
+	}
+	rt.infra.Events(trigger.Event{
+		Type:     trigger.StateChanged,
+		Class:    rt.class.Name,
+		Object:   objectID,
+		Function: fn.Name,
+		Keys:     keys,
+		Depth:    trigger.DepthOf(args),
+	})
+}
+
+// deltaKeys returns a delta's key names, sorted (nil for an empty
+// delta).
+func deltaKeys(delta map[string]json.RawMessage) []string {
+	if len(delta) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(delta))
+	for k := range delta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // runTask bundles state and request into a standalone task and
 // offloads it to the FaaS engine (the pure-function contract, paper
 // §III-C).
@@ -757,6 +818,7 @@ func (rt *ClassRuntime) invokeLockedPlain(ctx context.Context, objectID string, 
 			return nil, err
 		}
 	}
+	rt.emitCommit(objectID, fn, res.State, args)
 	return res.Output, nil
 }
 
@@ -853,6 +915,11 @@ func (rt *ClassRuntime) occAttempt(ctx context.Context, objectID string, fn mode
 			return nil, err
 		}
 	}
+	// The validated commit landed (or there was nothing to commit):
+	// this is the one success exit of the optimistic retry loops, so
+	// the call's event is emitted exactly once — aborted passes return
+	// through the ErrVersionMismatch path above and emit nothing.
+	rt.emitCommit(objectID, fn, res.State, args)
 	return res.Output, nil
 }
 

@@ -1,0 +1,688 @@
+// Package trigger implements the platform's event and trigger
+// subsystem: a sharded, bounded event bus that turns committed state
+// mutations and terminal asynchronous invocations into durable routed
+// deliveries, making objects reactive instead of purely pull-based.
+//
+// Producers publish Events (the runtime emits StateChanged once per
+// committed write invocation; the async queue emits
+// InvocationCompleted/InvocationFailed on terminal records).
+// Subscriptions — declared per class in YAML or managed dynamically —
+// route matching events to one of three sinks:
+//
+//   - an object method, submitted through the platform's asynchronous
+//     queue (data-triggered function chaining);
+//   - a webhook URL, POSTed with bounded doubling-backoff retry;
+//   - a live per-object stream (the gateway's SSE tail).
+//
+// The bus is sharded by object (per-object publish order is preserved
+// through dispatch; note that under optimistic concurrency two racing
+// commits on one object may publish in either order — emission happens
+// after the validated commit lands, outside the table's shard locks,
+// so event order tracks publish order, not version order, across
+// concurrent lock-free committers) and bounded with an explicit
+// overflow policy:
+// OverflowDrop counts and discards events that find their shard full,
+// OverflowBlock applies backpressure to the publisher. Object→object
+// chains are cycle-limited: an event whose trigger-chain depth has
+// reached Config.MaxChainDepth is not dispatched to method sinks, so a
+// self- or mutually-triggering class terminates instead of looping
+// forever. Close drains every accepted event before returning.
+package trigger
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/hpcclab/oparaca-go/internal/metrics"
+	"github.com/hpcclab/oparaca-go/internal/vclock"
+)
+
+// EventType discriminates the platform event kinds.
+type EventType string
+
+// Platform event types.
+const (
+	// StateChanged is emitted once per committed write invocation by
+	// every runtime commit path (locked window, OCC/adaptive CAS
+	// commit, InvokeBatch group commit). Aborted and readonly calls
+	// emit nothing.
+	StateChanged EventType = "stateChanged"
+	// InvocationCompleted / InvocationFailed are emitted when an
+	// asynchronous invocation record reaches its terminal status.
+	InvocationCompleted EventType = "invocationCompleted"
+	InvocationFailed    EventType = "invocationFailed"
+)
+
+// Valid reports whether t is a known event type.
+func (t EventType) Valid() bool {
+	switch t {
+	case StateChanged, InvocationCompleted, InvocationFailed:
+		return true
+	}
+	return false
+}
+
+// Invocation-argument keys the bus stamps onto trigger-fired
+// invocations. The runtime reads ArgDepth back when the chained
+// invocation commits, so the resulting event carries the chain depth
+// and the cycle limit can terminate object→object loops.
+const (
+	// ArgSource names the event type that fired the invocation.
+	ArgSource = "trigger"
+	// ArgDepth is the trigger-chain depth of the invocation (1 for the
+	// first chained hop).
+	ArgDepth = "triggerDepth"
+)
+
+// DepthOf extracts the trigger-chain depth from invocation args (0 for
+// client-initiated invocations).
+func DepthOf(args map[string]string) int {
+	if args == nil {
+		return 0
+	}
+	d, err := strconv.Atoi(args[ArgDepth])
+	if err != nil || d < 0 {
+		return 0
+	}
+	return d
+}
+
+// Event is one platform occurrence routed by the bus.
+type Event struct {
+	// Seq is a bus-assigned monotone sequence number.
+	Seq uint64 `json:"seq"`
+	// Type discriminates the event kind.
+	Type EventType `json:"type"`
+	// Class and Object identify the emitting object.
+	Class  string `json:"class"`
+	Object string `json:"object"`
+	// Function is the committing method (StateChanged) or the invoked
+	// member (terminal invocation events).
+	Function string `json:"function,omitempty"`
+	// Keys lists the structured state keys the commit wrote, sorted
+	// (StateChanged only; empty for a committed call whose delta was
+	// empty).
+	Keys []string `json:"keys,omitempty"`
+	// Invocation is the asynchronous invocation ID (terminal events).
+	Invocation string `json:"invocation,omitempty"`
+	// Error is the failure message (InvocationFailed).
+	Error string `json:"error,omitempty"`
+	// Depth is the trigger-chain depth of the invocation that produced
+	// the event (0 = client-initiated).
+	Depth int `json:"depth,omitempty"`
+	// Time is the emission instant.
+	Time time.Time `json:"time"`
+}
+
+// Subscription routes matching events to one sink.
+type Subscription struct {
+	// Class filters events to one emitting class; required.
+	Class string `json:"class"`
+	// Type is the event type subscribed to; required.
+	Type EventType `json:"type"`
+	// KeyPrefix restricts StateChanged events to commits that wrote at
+	// least one state key with this prefix. Only valid with
+	// StateChanged.
+	KeyPrefix string `json:"keyPrefix,omitempty"`
+	// TargetObject / TargetFunction name the object-method sink: the
+	// method is submitted through the async queue with the event as its
+	// payload. An empty TargetObject targets the emitting object
+	// itself.
+	TargetObject   string `json:"targetObject,omitempty"`
+	TargetFunction string `json:"targetFunction,omitempty"`
+	// Webhook is the webhook-sink URL, POSTed the event JSON with
+	// bounded doubling-backoff retry.
+	Webhook string `json:"webhook,omitempty"`
+}
+
+// Validate checks the subscription shape: a known type, a class, and
+// exactly one sink.
+func (s Subscription) Validate() error {
+	if s.Class == "" {
+		return errors.New("trigger: subscription needs a class")
+	}
+	if !s.Type.Valid() {
+		return fmt.Errorf("trigger: unknown event type %q (want %s, %s or %s)",
+			s.Type, StateChanged, InvocationCompleted, InvocationFailed)
+	}
+	hasFn, hasHook := s.TargetFunction != "", s.Webhook != ""
+	if hasFn == hasHook {
+		return errors.New("trigger: subscription needs exactly one sink (targetFunction or webhook)")
+	}
+	if s.TargetObject != "" && !hasFn {
+		return errors.New("trigger: targetObject requires targetFunction")
+	}
+	if s.KeyPrefix != "" && s.Type != StateChanged {
+		return fmt.Errorf("trigger: keyPrefix only applies to %s subscriptions", StateChanged)
+	}
+	return nil
+}
+
+// matches reports whether the subscription wants ev.
+func (s Subscription) matches(ev Event) bool {
+	if s.Class != ev.Class || s.Type != ev.Type {
+		return false
+	}
+	if s.KeyPrefix == "" {
+		return true
+	}
+	for _, k := range ev.Keys {
+		if len(k) >= len(s.KeyPrefix) && k[:len(s.KeyPrefix)] == s.KeyPrefix {
+			return true
+		}
+	}
+	return false
+}
+
+// OverflowPolicy selects what Publish does when a shard queue is full.
+type OverflowPolicy string
+
+// Overflow policies.
+const (
+	// OverflowDrop (the default) discards the event and counts it in
+	// Stats().Dropped — emission never blocks the commit path.
+	OverflowDrop OverflowPolicy = "drop"
+	// OverflowBlock applies backpressure: Publish waits for shard
+	// space, so no event is lost at the cost of commit-path latency.
+	OverflowBlock OverflowPolicy = "block"
+)
+
+// Valid reports whether p is a known policy (including the default).
+func (p OverflowPolicy) Valid() bool {
+	return p == "" || p == OverflowDrop || p == OverflowBlock
+}
+
+// AsyncInvoker submits one chained invocation (the platform passes its
+// InvokeAsync path; the indirection keeps this package core-free).
+type AsyncInvoker func(ctx context.Context, objectID, member string, payload json.RawMessage, args map[string]string) (string, error)
+
+// Config sizes a Bus.
+type Config struct {
+	// InvokeAsync realizes the object-method sink; nil fails such
+	// deliveries (counted dropped).
+	InvokeAsync AsyncInvoker
+	// Shards partitions the bus; events are spread by emitting object,
+	// so per-object order survives dispatch. Defaults to 4.
+	Shards int
+	// Buffer bounds each shard's queue. Defaults to 256.
+	Buffer int
+	// Overflow selects the full-shard behaviour. Defaults to
+	// OverflowDrop.
+	Overflow OverflowPolicy
+	// MaxChainDepth bounds object→object trigger chains: an event at
+	// this depth is not dispatched to method sinks (counted in
+	// CycleDropped and Dropped). Defaults to 8.
+	MaxChainDepth int
+	// HTTPClient delivers webhooks; defaults to a client with
+	// WebhookTimeout.
+	HTTPClient *http.Client
+	// WebhookMaxRetries re-POSTs a failed webhook delivery up to this
+	// many additional times before dropping it. Defaults to 3;
+	// negative disables retries entirely.
+	WebhookMaxRetries int
+	// WebhookBackoff is the delay before the first webhook retry,
+	// doubled per attempt. Defaults to 10ms.
+	WebhookBackoff time.Duration
+	// WebhookTimeout bounds each delivery attempt. Defaults to 5s.
+	WebhookTimeout time.Duration
+	// Metrics receives the bus counters. A private registry is created
+	// when nil.
+	Metrics *metrics.Registry
+	// Clock supplies time; defaults to the real clock.
+	Clock vclock.Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.Buffer <= 0 {
+		c.Buffer = 256
+	}
+	if c.Overflow == "" {
+		c.Overflow = OverflowDrop
+	}
+	if c.MaxChainDepth <= 0 {
+		c.MaxChainDepth = 8
+	}
+	if c.WebhookMaxRetries < 0 {
+		c.WebhookMaxRetries = 0
+	} else if c.WebhookMaxRetries == 0 {
+		c.WebhookMaxRetries = 3
+	}
+	if c.WebhookBackoff <= 0 {
+		c.WebhookBackoff = 10 * time.Millisecond
+	}
+	if c.WebhookTimeout <= 0 {
+		c.WebhookTimeout = 5 * time.Second
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{Timeout: c.WebhookTimeout}
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewRegistry()
+	}
+	if c.Clock == nil {
+		c.Clock = vclock.NewReal()
+	}
+	return c
+}
+
+// busShard is one dispatch partition.
+type busShard struct {
+	ch chan Event
+}
+
+// Stream is one live per-object event tail (the gateway's SSE feed).
+// Events arrive on Events() in commit order; a slow consumer whose
+// buffer fills loses events (counted in Stats().Dropped) rather than
+// stalling dispatch.
+type Stream struct {
+	bus    *Bus
+	object string
+	ch     chan Event
+	once   sync.Once
+}
+
+// Events is the stream's receive side; it is closed when the stream or
+// the bus closes.
+func (s *Stream) Events() <-chan Event { return s.ch }
+
+// Close detaches the stream from the bus and closes Events(). The
+// once runs under streamMu (never the other way around), so it cannot
+// deadlock against Bus.Close firing the same once while holding the
+// lock.
+func (s *Stream) Close() {
+	b := s.bus
+	b.streamMu.Lock()
+	defer b.streamMu.Unlock()
+	s.once.Do(func() {
+		if set, ok := b.streams[s.object]; ok {
+			delete(set, s)
+			if len(set) == 0 {
+				delete(b.streams, s.object)
+			}
+		}
+		close(s.ch)
+	})
+}
+
+// Bus is the event router. It is safe for concurrent use.
+type Bus struct {
+	cfg    Config
+	shards []*busShard
+	seq    atomic.Uint64
+
+	// subs holds named subscriptions; classSubs the YAML-declared sets,
+	// replaced wholesale on class redeploy. Both guarded by subMu.
+	subMu     sync.RWMutex
+	subs      map[string]Subscription
+	classSubs map[string][]Subscription
+
+	streamMu sync.Mutex
+	streams  map[string]map[*Stream]struct{}
+
+	// pubMu fences intake against Close: Publish holds the read side
+	// across its closed-check and shard send, Close flips closed under
+	// the write side, so once Close proceeds no publisher can be
+	// mid-send and closing the shard channels is race-free.
+	pubMu   sync.RWMutex
+	closed  bool
+	pending sync.WaitGroup // accepted-but-undispatched events
+	wg      sync.WaitGroup // dispatcher goroutines
+}
+
+// New builds a bus and starts one dispatcher per shard.
+func New(cfg Config) (*Bus, error) {
+	cfg = cfg.withDefaults()
+	if !cfg.Overflow.Valid() {
+		return nil, fmt.Errorf("trigger: unknown overflow policy %q (want %s or %s)",
+			cfg.Overflow, OverflowDrop, OverflowBlock)
+	}
+	b := &Bus{
+		cfg:       cfg,
+		shards:    make([]*busShard, cfg.Shards),
+		subs:      make(map[string]Subscription),
+		classSubs: make(map[string][]Subscription),
+		streams:   make(map[string]map[*Stream]struct{}),
+	}
+	for i := range b.shards {
+		b.shards[i] = &busShard{ch: make(chan Event, cfg.Buffer)}
+		b.wg.Add(1)
+		go b.dispatchLoop(b.shards[i])
+	}
+	return b, nil
+}
+
+// Metrics exposes the bus's registry.
+func (b *Bus) Metrics() *metrics.Registry { return b.cfg.Metrics }
+
+// shardFor routes an object's events to a fixed shard, preserving
+// per-object dispatch order.
+func (b *Bus) shardFor(object string) *busShard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(object))
+	return b.shards[h.Sum32()%uint32(len(b.shards))]
+}
+
+// Subscribe registers (or replaces) a named subscription.
+func (b *Bus) Subscribe(name string, sub Subscription) error {
+	if name == "" {
+		return errors.New("trigger: subscription needs a name")
+	}
+	if err := sub.Validate(); err != nil {
+		return err
+	}
+	b.subMu.Lock()
+	b.subs[name] = sub
+	b.subMu.Unlock()
+	return nil
+}
+
+// Unsubscribe removes a named subscription, reporting whether it
+// existed.
+func (b *Bus) Unsubscribe(name string) bool {
+	b.subMu.Lock()
+	_, ok := b.subs[name]
+	delete(b.subs, name)
+	b.subMu.Unlock()
+	return ok
+}
+
+// Subscriptions returns the named subscriptions, keys sorted.
+func (b *Bus) Subscriptions() (names []string, subs map[string]Subscription) {
+	b.subMu.RLock()
+	subs = make(map[string]Subscription, len(b.subs))
+	for name, sub := range b.subs {
+		subs[name] = sub
+		names = append(names, name)
+	}
+	b.subMu.RUnlock()
+	sort.Strings(names)
+	return names, subs
+}
+
+// SetClassTriggers replaces the YAML-declared subscription set of one
+// class (called on every class deploy; redeploys swap the whole set).
+// Invalid entries are skipped — the model layer validates declarations
+// before they reach the bus.
+func (b *Bus) SetClassTriggers(class string, subs []Subscription) {
+	kept := make([]Subscription, 0, len(subs))
+	for _, s := range subs {
+		if s.Validate() == nil {
+			kept = append(kept, s)
+		}
+	}
+	b.subMu.Lock()
+	if len(kept) == 0 {
+		delete(b.classSubs, class)
+	} else {
+		b.classSubs[class] = kept
+	}
+	b.subMu.Unlock()
+}
+
+// Stream opens a live event tail for one object. buf bounds the
+// consumer lag; <=0 selects 64.
+func (b *Bus) Stream(object string, buf int) *Stream {
+	if buf <= 0 {
+		buf = 64
+	}
+	s := &Stream{bus: b, object: object, ch: make(chan Event, buf)}
+	b.streamMu.Lock()
+	set, ok := b.streams[object]
+	if !ok {
+		set = make(map[*Stream]struct{})
+		b.streams[object] = set
+	}
+	set[s] = struct{}{}
+	b.streamMu.Unlock()
+	return s
+}
+
+// Publish routes one event. It assigns Seq and Time, counts the
+// emission, and enqueues onto the object's shard under the configured
+// overflow policy. Publishing on a closed bus discards the event.
+func (b *Bus) Publish(ev Event) {
+	m := b.cfg.Metrics
+	ev.Seq = b.seq.Add(1)
+	if ev.Time.IsZero() {
+		ev.Time = b.cfg.Clock.Now()
+	}
+	m.Counter("trigger.emitted").Inc()
+	b.pubMu.RLock()
+	defer b.pubMu.RUnlock()
+	if b.closed {
+		m.Counter("trigger.dropped").Inc()
+		return
+	}
+	sh := b.shardFor(ev.Object)
+	b.pending.Add(1)
+	if b.cfg.Overflow == OverflowBlock {
+		// Backpressure: wait for shard space. The dispatchers keep
+		// draining (Close cannot pass pubMu while we hold the read
+		// side), so the send always completes.
+		sh.ch <- ev
+		return
+	}
+	select {
+	case sh.ch <- ev:
+	default:
+		b.pending.Done()
+		m.Counter("trigger.dropped").Inc()
+	}
+}
+
+// dispatchLoop drains one shard until Close closes its channel.
+func (b *Bus) dispatchLoop(sh *busShard) {
+	defer b.wg.Done()
+	for ev := range sh.ch {
+		b.dispatch(ev)
+		b.pending.Done()
+	}
+}
+
+// dispatch fans one event out to every matching subscription and
+// stream.
+func (b *Bus) dispatch(ev Event) {
+	b.subMu.RLock()
+	matched := make([]Subscription, 0, 4)
+	for _, sub := range b.subs {
+		if sub.matches(ev) {
+			matched = append(matched, sub)
+		}
+	}
+	for _, subs := range b.classSubs {
+		for _, sub := range subs {
+			if sub.matches(ev) {
+				matched = append(matched, sub)
+			}
+		}
+	}
+	b.subMu.RUnlock()
+	for _, sub := range matched {
+		if sub.Webhook != "" {
+			b.deliverWebhook(sub.Webhook, ev)
+			continue
+		}
+		b.deliverMethod(sub, ev)
+	}
+	b.deliverStreams(ev)
+}
+
+// deliverMethod routes an event to its object-method sink through the
+// async queue, enforcing the chain depth limit.
+func (b *Bus) deliverMethod(sub Subscription, ev Event) {
+	m := b.cfg.Metrics
+	if ev.Depth >= b.cfg.MaxChainDepth {
+		// The chain has used its depth budget: terminate instead of
+		// looping (a trigger targeting its own emitting class would
+		// otherwise self-sustain forever).
+		m.Counter("trigger.cycle_dropped").Inc()
+		m.Counter("trigger.dropped").Inc()
+		return
+	}
+	if b.cfg.InvokeAsync == nil {
+		m.Counter("trigger.dropped").Inc()
+		return
+	}
+	target := sub.TargetObject
+	if target == "" {
+		target = ev.Object
+	}
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		m.Counter("trigger.dropped").Inc()
+		return
+	}
+	args := map[string]string{
+		ArgSource: string(ev.Type),
+		ArgDepth:  strconv.Itoa(ev.Depth + 1),
+	}
+	if _, err := b.cfg.InvokeAsync(context.Background(), target, sub.TargetFunction, payload, args); err != nil {
+		// Unknown target, full queue, closed platform: the delivery is
+		// lost, not retried — method sinks ride the async queue's own
+		// durability once accepted.
+		m.Counter("trigger.dropped").Inc()
+		return
+	}
+	m.Counter("trigger.delivered").Inc()
+}
+
+// deliverWebhook POSTs the event, retrying failures with doubling
+// backoff up to WebhookMaxRetries before dropping the delivery.
+func (b *Bus) deliverWebhook(url string, ev Event) {
+	m := b.cfg.Metrics
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		m.Counter("trigger.dropped").Inc()
+		return
+	}
+	backoff := b.cfg.WebhookBackoff
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if err := b.cfg.Clock.Sleep(context.Background(), backoff); err != nil {
+				break
+			}
+			backoff *= 2
+			m.Counter("trigger.retried").Inc()
+		}
+		if b.postWebhook(url, ev, payload) {
+			m.Counter("trigger.delivered").Inc()
+			return
+		}
+		if attempt >= b.cfg.WebhookMaxRetries {
+			break
+		}
+	}
+	m.Counter("trigger.dropped").Inc()
+}
+
+// postWebhook performs one delivery attempt.
+func (b *Bus) postWebhook(url string, ev Event, payload []byte) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), b.cfg.WebhookTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Oprc-Event", string(ev.Type))
+	resp, err := b.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode >= 200 && resp.StatusCode < 300
+}
+
+// deliverStreams copies the event to every live tail of its object.
+func (b *Bus) deliverStreams(ev Event) {
+	m := b.cfg.Metrics
+	b.streamMu.Lock()
+	defer b.streamMu.Unlock()
+	for s := range b.streams[ev.Object] {
+		select {
+		case s.ch <- ev:
+			m.Counter("trigger.delivered").Inc()
+		default:
+			// Slow consumer: losing its event beats stalling dispatch
+			// for every other sink.
+			m.Counter("trigger.dropped").Inc()
+		}
+	}
+}
+
+// Drain blocks until every accepted event has been dispatched (webhook
+// retries included — delivery runs inside dispatch). The async queue
+// calls this from its Close so terminal-record webhooks drain before
+// the platform tears down.
+func (b *Bus) Drain() { b.pending.Wait() }
+
+// Stats is a point-in-time bus snapshot.
+type Stats struct {
+	// Emitted counts published events (before any routing decision).
+	Emitted int64 `json:"emitted"`
+	// Delivered counts successful sink deliveries (method submissions,
+	// webhook 2xx responses, stream sends) — one event fanning to N
+	// sinks counts N.
+	Delivered int64 `json:"delivered"`
+	// Dropped counts lost deliveries and events: shard overflow, full
+	// streams, exhausted webhooks, failed method submissions, and
+	// chain-depth terminations.
+	Dropped int64 `json:"dropped"`
+	// Retried counts webhook re-POSTs under the backoff policy.
+	Retried int64 `json:"retried"`
+	// CycleDropped counts method deliveries suppressed by the chain
+	// depth limit (also included in Dropped).
+	CycleDropped int64 `json:"cycle_dropped"`
+}
+
+// Stats snapshots the bus counters.
+func (b *Bus) Stats() Stats {
+	m := b.cfg.Metrics
+	return Stats{
+		Emitted:      m.Counter("trigger.emitted").Value(),
+		Delivered:    m.Counter("trigger.delivered").Value(),
+		Dropped:      m.Counter("trigger.dropped").Value(),
+		Retried:      m.Counter("trigger.retried").Value(),
+		CycleDropped: m.Counter("trigger.cycle_dropped").Value(),
+	}
+}
+
+// Close stops intake, drains every accepted event through dispatch,
+// stops the dispatchers, and closes all live streams. Idempotent.
+func (b *Bus) Close() {
+	b.pubMu.Lock()
+	if b.closed {
+		b.pubMu.Unlock()
+		return
+	}
+	b.closed = true
+	b.pubMu.Unlock()
+	// No publisher can be mid-send now (sends hold pubMu's read side),
+	// so closing the shard channels is race-free; the dispatchers drain
+	// what was accepted and exit.
+	for _, sh := range b.shards {
+		close(sh.ch)
+	}
+	b.wg.Wait()
+	b.streamMu.Lock()
+	for _, set := range b.streams {
+		for s := range set {
+			s.once.Do(func() { close(s.ch) })
+		}
+	}
+	b.streams = make(map[string]map[*Stream]struct{})
+	b.streamMu.Unlock()
+}

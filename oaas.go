@@ -88,6 +88,53 @@
 // terminal or the bounded wait (≤30s) elapses, so clients (including
 // `ocli invoke-wait`) need no poll loop.
 //
+// # Triggers & events
+//
+// Objects are reactive: every committed state mutation emits a
+// StateChanged event — exactly one per committed write invocation,
+// from all three commit regimes (the locked window, the OCC/adaptive
+// CAS commit, and the InvokeBatch group commit); aborted and readonly
+// calls emit none — and terminal asynchronous invocations emit
+// InvocationCompleted/InvocationFailed. A sharded, bounded event bus
+// routes them to three kinds of sinks:
+//
+//   - another object's method, submitted through the async queue
+//     (data-triggered function chaining);
+//   - a webhook URL, POSTed with bounded doubling-backoff retry;
+//   - a live per-object stream (`GET /api/objects/{id}/events`, SSE).
+//
+// Subscriptions are declared per class in YAML:
+//
+//	classes:
+//	  - name: Order
+//	    keySpecs:
+//	      - name: status
+//	    functions:
+//	      - name: place
+//	        image: img/place
+//	    triggers:
+//	      - on: stateChanged        # fire on every committed write
+//	        keyPrefix: status      # ...that touched a "status"-prefixed key
+//	        targetObject: audit-1  # invoke audit-1.record (empty = same object)
+//	        function: record
+//	      - on: invocationFailed   # push failed async records
+//	        webhook: https://ops.example.com/hooks/orders
+//
+// or managed dynamically (Platform.SubscribeTrigger /
+// UnsubscribeTrigger, `PUT/DELETE /api/triggers/{name}`, `ocli
+// subscribe/unsubscribe/triggers/tail`). The chained invocation
+// receives the event JSON as its payload and args carrying the event
+// type and chain depth; object→object chains terminate at
+// Config.TriggerMaxChainDepth (default 8) instead of looping, so a
+// class whose trigger re-invokes its own writer converges. The bus is
+// sharded by object (per-object event order is preserved) and bounded:
+// Config.TriggerOverflow selects dropping (default, counted) or
+// blocking the commit path when a shard is full. Delivery counters —
+// emitted, delivered, dropped (overflow, exhausted webhooks, cycle
+// terminations), retried — surface in Stats().Triggers, and Close
+// drains accepted events (pending webhook deliveries included) before
+// tearing the platform down.
+//
 // # Concurrency modes
 //
 // How concurrent invocations on one object are handled is selectable
@@ -158,6 +205,7 @@ import (
 	"github.com/hpcclab/oparaca-go/internal/memtable"
 	"github.com/hpcclab/oparaca-go/internal/model"
 	"github.com/hpcclab/oparaca-go/internal/runtime"
+	"github.com/hpcclab/oparaca-go/internal/trigger"
 )
 
 // Platform is the OaaS platform: package manager, object manager, and
@@ -315,6 +363,42 @@ const (
 	InvocationFailed    = asyncq.StatusFailed
 )
 
+// Event and trigger types (see internal/trigger).
+type (
+	// Event is one platform occurrence routed by the event bus: a
+	// committed state mutation or a terminal asynchronous invocation.
+	Event = trigger.Event
+	// EventType discriminates event kinds.
+	EventType = trigger.EventType
+	// TriggerSubscription routes matching events to an object method
+	// (data-triggered chaining), a webhook URL, or a live stream.
+	TriggerSubscription = trigger.Subscription
+	// EventStream is a live per-object event tail.
+	EventStream = trigger.Stream
+	// TriggerStats carries the bus's emitted/delivered/dropped/retried
+	// counters (Stats().Triggers).
+	TriggerStats = trigger.Stats
+	// TriggerOverflowPolicy selects drop vs. block when the bus is
+	// full (Config.TriggerOverflow).
+	TriggerOverflowPolicy = trigger.OverflowPolicy
+)
+
+// Event types.
+const (
+	// EventStateChanged fires once per committed write invocation.
+	EventStateChanged = trigger.StateChanged
+	// EventInvocationCompleted / EventInvocationFailed fire when an
+	// asynchronous invocation record reaches its terminal status.
+	EventInvocationCompleted = trigger.InvocationCompleted
+	EventInvocationFailed    = trigger.InvocationFailed
+)
+
+// Event-bus overflow policies (Config.TriggerOverflow).
+const (
+	TriggerOverflowDrop  = trigger.OverflowDrop
+	TriggerOverflowBlock = trigger.OverflowBlock
+)
+
 // Re-exported sentinel errors for errors.Is checks.
 var (
 	ErrClassNotFound      = core.ErrClassNotFound
@@ -380,6 +464,13 @@ func (o Object) SetState(ctx context.Context, key string, value json.RawMessage)
 // of the object's file keys.
 func (o Object) FileURL(key, method string) (string, error) {
 	return o.Platform.PresignFile(o.ID, key, method)
+}
+
+// Events opens a live event tail for the object (commits and terminal
+// async invocations). buf bounds consumer lag (<=0 selects the
+// default); callers must Close the stream.
+func (o Object) Events(buf int) (*EventStream, error) {
+	return o.Platform.StreamEvents(o.ID, buf)
 }
 
 // Delete removes the object and its state.
