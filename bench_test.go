@@ -27,12 +27,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	goruntime "runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"github.com/hpcclab/oparaca-go/internal/dataflow"
+	"github.com/hpcclab/oparaca-go/internal/eventlog"
 	"github.com/hpcclab/oparaca-go/internal/experiment"
 	"github.com/hpcclab/oparaca-go/internal/invoker"
 	"github.com/hpcclab/oparaca-go/internal/kvstore"
@@ -543,6 +545,9 @@ func BenchmarkTriggerFanout(b *testing.B) {
 				}()
 			}
 			b.ReportAllocs()
+			var ms goruntime.MemStats
+			goruntime.ReadMemStats(&ms)
+			startMallocs := ms.Mallocs
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := plat.Invoke(ctx, id, "bump", nil, nil); err != nil {
@@ -551,16 +556,121 @@ func BenchmarkTriggerFanout(b *testing.B) {
 			}
 			plat.TriggerBus().Drain()
 			b.StopTimer()
+			// Whole-process allocs per committed write (invoke + bus +
+			// durable append + N stream deliveries): guards the publish
+			// path against per-event allocation creep — the inlined
+			// shardFor hash alone is pinned at zero by
+			// trigger.TestShardForNoAllocs.
+			goruntime.ReadMemStats(&ms)
+			allocsPerOp := float64(ms.Mallocs-startMallocs) / float64(b.N)
 			for _, st := range streams {
 				st.Close()
 			}
 			wg.Wait()
 			ops := float64(b.N) / b.Elapsed().Seconds()
 			b.ReportMetric(ops, "ops/s")
+			b.ReportMetric(allocsPerOp, "allocs/op")
 			b.ReportMetric(float64(consumed.Load())/float64(b.N), "deliveries/op")
 			recordInvokeBench("triggerfanout/"+name, ops)
+			recordInvokeBench("triggerfanout/"+name+"#allocs", allocsPerOp)
 		})
 	}
+}
+
+// benchEventPayload is a representative stored event (the JSON the
+// bus appends per committed write).
+var benchEventPayload = json.RawMessage(`{"seq":1,"offset":1,"type":"stateChanged","class":"Feed","object":"feed-0","function":"bump","keys":["n"]}`)
+
+// newBenchEventLog builds a backed event log with the background
+// sweep running at a bench-friendly cadence, so size-cap eviction and
+// garbage reclamation cost is included in steady-state numbers.
+func newBenchEventLog(b *testing.B) *eventlog.Log {
+	b.Helper()
+	st := kvstore.Open(kvstore.Config{})
+	l, err := eventlog.New(eventlog.Config{Backing: st, GCInterval: 20 * time.Millisecond})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		l.Close()
+		st.Close()
+	})
+	return l
+}
+
+// BenchmarkEventLogAppend measures the durable append path the
+// trigger bus takes on every committed write: write-through to the
+// backing store, then the in-memory commit. "single" is the Publish
+// path (one entry per backing write), "batch16" the group-commit
+// PublishBatch path (16 entries amortized into one backing write).
+// Results are recorded as "eventlog/append/<sub>" in BENCH_invoke.json
+// (BENCH_SNAPSHOT=1) and guarded by cmd/benchdiff.
+func BenchmarkEventLogAppend(b *testing.B) {
+	ctx := context.Background()
+	build := func(int64) (json.RawMessage, error) { return benchEventPayload, nil }
+	b.Run("single", func(b *testing.B) {
+		l := newBenchEventLog(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := l.Append(ctx, "feed-0", build); err != nil {
+				b.Fatal(err)
+			}
+		}
+		ops := float64(b.N) / b.Elapsed().Seconds()
+		b.ReportMetric(ops, "ops/s")
+		recordInvokeBench("eventlog/append/single", ops)
+	})
+	b.Run("batch16", func(b *testing.B) {
+		const batch = 16
+		l := newBenchEventLog(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := l.AppendBatch(ctx, "feed-0", batch, func(int, int64) (json.RawMessage, error) {
+				return benchEventPayload, nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// ops/s counts appended events, not batches, so single vs
+		// batch16 read as the same unit.
+		ops := float64(b.N*batch) / b.Elapsed().Seconds()
+		b.ReportMetric(ops, "ops/s")
+		recordInvokeBench("eventlog/append/batch16", ops)
+	})
+}
+
+// BenchmarkEventLogReplay measures cursor-resume throughput: paged
+// Reads over a warm retained log, the path every recovering consumer
+// and fromOffset stream takes. ops/s counts replayed entries.
+// Recorded as "eventlog/replay/page256" (BENCH_SNAPSHOT=1) and
+// guarded by cmd/benchdiff.
+func BenchmarkEventLogReplay(b *testing.B) {
+	const retained, page = 1024, 256
+	ctx := context.Background()
+	b.Run("page256", func(b *testing.B) {
+		l := newBenchEventLog(b)
+		if _, err := l.AppendBatch(ctx, "feed-0", retained, func(int, int64) (json.RawMessage, error) {
+			return benchEventPayload, nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		replayed := 0
+		for i := 0; i < b.N; i++ {
+			from := int64((i*page)%retained) + 1
+			entries, err := l.Read(ctx, "feed-0", from, page)
+			if err != nil {
+				b.Fatal(err)
+			}
+			replayed += len(entries)
+		}
+		ops := float64(replayed) / b.Elapsed().Seconds()
+		b.ReportMetric(ops, "ops/s")
+		recordInvokeBench("eventlog/replay/page256", ops)
+	})
 }
 
 // --- Invocation hot-path benchmarks ----------------------------------
@@ -574,7 +684,7 @@ func BenchmarkTriggerFanout(b *testing.B) {
 // Refresh it with (all guarded families in one run — the writer
 // rewrites the whole file from the metrics the run accumulated):
 //
-//	BENCH_SNAPSHOT=1 go test -bench='InvokeHotPath|AsyncDrainThroughput|TriggerFanout' -benchtime=2s -run='^$' .
+//	BENCH_SNAPSHOT=1 go test -bench='InvokeHotPath|AsyncDrainThroughput|TriggerFanout|EventLogAppend|EventLogReplay' -benchtime=2s -run='^$' .
 var invokeBench = struct {
 	mu      sync.Mutex
 	metrics map[string]float64

@@ -1,12 +1,20 @@
 // Command benchdiff is the CI bench regression guard: it parses a `go
 // test -bench` output stream, extracts every guarded sub-benchmark's
 // ops/s metric (BenchmarkInvokeHotPath as "invoke/<sub>",
-// BenchmarkAsyncDrainThroughput as "asyncdrain/<sub>" and
-// BenchmarkTriggerFanout as "triggerfanout/<sub>"), and compares
+// BenchmarkAsyncDrainThroughput as "asyncdrain/<sub>",
+// BenchmarkTriggerFanout as "triggerfanout/<sub>" and
+// BenchmarkEventLogAppend/Replay as "eventlog/<sub>"), and compares
 // it against the committed BENCH_invoke.json snapshot. A sub-benchmark
 // running more than the threshold factor (default 5x) below its
 // snapshot fails the run, as does a snapshot entry missing from the
 // stream (a renamed or deleted benchmark means the snapshot is stale).
+//
+// Lines that also report an allocs/op figure contribute a second
+// metric under "<key>#allocs". Allocation counts regress UPWARD, so
+// the comparison inverts for those keys: the run fails when measured
+// allocs/op exceed the snapshot by more than the threshold factor
+// (iteration-count noise is absent — allocs/op is deterministic up to
+// background goroutine scheduling).
 //
 // The smoke run feeding it should use a small fixed iteration count
 // (e.g. -benchtime=200x): enough iterations to amortize first-call
@@ -17,7 +25,7 @@
 //
 // Usage:
 //
-//	go test -bench='InvokeHotPath|AsyncDrainThroughput|TriggerFanout' -benchtime=200x -run='^$' . > bench.out
+//	go test -bench='InvokeHotPath|AsyncDrainThroughput|TriggerFanout|EventLogAppend|EventLogReplay' -benchtime=200x -run='^$' . > bench.out
 //	go run ./cmd/benchdiff -snapshot BENCH_invoke.json bench.out
 package main
 
@@ -31,6 +39,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // benchLine matches one guarded benchmark result line and captures the
@@ -38,25 +47,33 @@ import (
 //
 //	BenchmarkInvokeHotPath/hot-object-8  1234  567 ns/op  890 ops/s
 //	BenchmarkAsyncDrainThroughput/hot-object/w4/batch16-8  500  80901 ns/op  12361 ops/s
-var benchLine = regexp.MustCompile(`^Benchmark(InvokeHotPath|AsyncDrainThroughput|TriggerFanout)/(\S+)\s.*?([0-9.]+(?:e[+-]?[0-9]+)?) ops/s`)
+var benchLine = regexp.MustCompile(`^Benchmark(InvokeHotPath|AsyncDrainThroughput|TriggerFanout|EventLogAppend|EventLogReplay)/(\S+)\s.*?([0-9.]+(?:e[+-]?[0-9]+)?) ops/s`)
+
+// allocsMetric matches the allocs/op figure on a result line (either
+// testing's builtin -benchmem column or a ReportMetric override).
+var allocsMetric = regexp.MustCompile(`([0-9.]+(?:e[+-]?[0-9]+)?) allocs/op`)
 
 // snapshotPrefix maps a benchmark family to its snapshot key prefix.
 var snapshotPrefix = map[string]string{
 	"InvokeHotPath":        "invoke/",
 	"AsyncDrainThroughput": "asyncdrain/",
 	"TriggerFanout":        "triggerfanout/",
+	"EventLogAppend":       "eventlog/append/",
+	"EventLogReplay":       "eventlog/replay/",
 }
 
 // procSuffix is the -GOMAXPROCS suffix the testing package appends to
 // parallel benchmark names when GOMAXPROCS > 1.
 var procSuffix = regexp.MustCompile(`-[0-9]+$`)
 
-// parseOps extracts "<prefix>/<sub>" -> ops/s from bench output.
+// parseOps extracts "<prefix>/<sub>" -> ops/s from bench output, plus
+// "<prefix>/<sub>#allocs" -> allocs/op where the line reports one.
 func parseOps(r io.Reader) (map[string]float64, error) {
 	out := make(map[string]float64)
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
-		m := benchLine.FindStringSubmatch(sc.Text())
+		line := sc.Text()
+		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
 		}
@@ -65,7 +82,13 @@ func parseOps(r io.Reader) (map[string]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("benchdiff: bad ops/s %q on %q: %w", m[3], name, err)
 		}
-		out[snapshotPrefix[m[1]]+name] = ops
+		key := snapshotPrefix[m[1]] + name
+		out[key] = ops
+		if am := allocsMetric.FindStringSubmatch(line); am != nil {
+			if allocs, err := strconv.ParseFloat(am[1], 64); err == nil {
+				out[key+"#allocs"] = allocs
+			}
+		}
 	}
 	return out, sc.Err()
 }
@@ -88,6 +111,15 @@ func compare(snapshot, measured map[string]float64, threshold float64) []string 
 			continue
 		}
 		if want <= 0 {
+			continue
+		}
+		if strings.HasSuffix(k, "#allocs") {
+			// Allocation counts regress upward: fail when the run
+			// allocates more than threshold x the snapshot.
+			if got > want*threshold {
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.1f allocs/op is more than %.0fx above snapshot %.1f allocs/op", k, got, threshold, want))
+			}
 			continue
 		}
 		if got < want/threshold {
@@ -127,10 +159,14 @@ func run() error {
 		return fmt.Errorf("benchdiff: no guarded benchmark results in input")
 	}
 	for _, k := range sortedKeys(measured) {
+		unit := "ops/s"
+		if strings.HasSuffix(k, "#allocs") {
+			unit = "allocs/op"
+		}
 		if want, ok := snapshot[k]; ok {
-			fmt.Printf("%-38s %12.1f ops/s  (snapshot %12.1f, %5.2fx)\n", k, measured[k], want, measured[k]/want)
+			fmt.Printf("%-38s %12.1f %s  (snapshot %12.1f, %5.2fx)\n", k, measured[k], unit, want, measured[k]/want)
 		} else {
-			fmt.Printf("%-38s %12.1f ops/s  (no snapshot entry)\n", k, measured[k])
+			fmt.Printf("%-38s %12.1f %s  (no snapshot entry)\n", k, measured[k], unit)
 		}
 	}
 	if regs := compare(snapshot, measured, *threshold); len(regs) > 0 {

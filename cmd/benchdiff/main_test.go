@@ -14,6 +14,9 @@ BenchmarkInvokeHotPath/spread-warm-8             	  431349	      5155 ns/op	    
 BenchmarkInvokeHotPath/hot-object-readonly-w8-4  	   17586	    136242 ns/op	      7340 ops/s	    1404 B/op	      13 allocs/op
 BenchmarkAsyncDrainThroughput/hot-object/w4/batch16-8  	     500	     80901 ns/op	     12361 ops/s
 BenchmarkAsyncDrainThroughput/spread/w16/batch1          	     500	    500000 ns/op	      2000 ops/s
+BenchmarkTriggerFanout/subs16-8                  	  100000	     10000 ns/op	        42 allocs/op	    100000 ops/s
+BenchmarkEventLogAppend/batch16-8                	   50000	      2000 ns/op	   8000000 ops/s
+BenchmarkEventLogReplay/page256-8                	   20000	      5000 ns/op	  51200000 ops/s
 BenchmarkMicroKVStorePut-8                       	  999999	       500 ns/op
 PASS
 ok  	github.com/hpcclab/oparaca-go	23.751s
@@ -25,11 +28,18 @@ func TestParseOps(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := map[string]float64{
-		"invoke/spread-cold-reads":         897.5,
-		"invoke/spread-warm":               193997,
-		"invoke/hot-object-readonly-w8":    7340,
-		"asyncdrain/hot-object/w4/batch16": 12361,
-		"asyncdrain/spread/w16/batch1":     2000,
+		"invoke/spread-cold-reads":             897.5,
+		"invoke/spread-cold-reads#allocs":      31,
+		"invoke/spread-warm":                   193997,
+		"invoke/spread-warm#allocs":            20,
+		"invoke/hot-object-readonly-w8":        7340,
+		"invoke/hot-object-readonly-w8#allocs": 13,
+		"asyncdrain/hot-object/w4/batch16":     12361,
+		"asyncdrain/spread/w16/batch1":         2000,
+		"triggerfanout/subs16":                 100000,
+		"triggerfanout/subs16#allocs":          42,
+		"eventlog/append/batch16":              8000000,
+		"eventlog/replay/page256":              51200000,
 	}
 	if len(got) != len(want) {
 		t.Fatalf("parsed %d entries (%v), want %d", len(got), got, len(want))
@@ -72,5 +82,34 @@ func TestCompareExactThresholdPasses(t *testing.T) {
 	}
 	if regs := compare(snapshot, map[string]float64{"invoke/a": 199}, 5); len(regs) != 1 {
 		t.Fatal("just-below-boundary value not flagged")
+	}
+}
+
+func TestCompareAllocsKeysInvert(t *testing.T) {
+	snapshot := map[string]float64{
+		"triggerfanout/subs1#allocs": 40,
+		"triggerfanout/subs1":        1000,
+	}
+	// Fewer allocs and faster ops: both fine.
+	if regs := compare(snapshot, map[string]float64{
+		"triggerfanout/subs1#allocs": 10,
+		"triggerfanout/subs1":        5000,
+	}, 5); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v", regs)
+	}
+	// Exactly threshold x the alloc snapshot is the boundary: passes.
+	if regs := compare(snapshot, map[string]float64{
+		"triggerfanout/subs1#allocs": 200,
+		"triggerfanout/subs1":        1000,
+	}, 5); len(regs) != 0 {
+		t.Fatalf("boundary allocs flagged: %v", regs)
+	}
+	// Above the boundary: the alloc key (and only it) regresses.
+	regs := compare(snapshot, map[string]float64{
+		"triggerfanout/subs1#allocs": 201,
+		"triggerfanout/subs1":        1000,
+	}, 5)
+	if len(regs) != 1 || !strings.Contains(regs[0], "#allocs") {
+		t.Fatalf("regressions = %v, want one #allocs entry", regs)
 	}
 }

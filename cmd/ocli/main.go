@@ -26,7 +26,8 @@
 //	subscribe <name> -class C -on EV [-prefix P] [-object O] [-fn F] [-url U]
 //	                                   add/replace a trigger subscription
 //	unsubscribe <name>                 remove a trigger subscription
-//	tail <id> [-n max] [-t 30s]        stream an object's live events (SSE)
+//	tail <id> [-n max] [-t 30s] [-from N]  stream an object's events (SSE);
+//	                                   -from replays stored history from offset N
 //	stats                              platform statistics
 //	actions                            optimizer decision log
 //
@@ -46,6 +47,7 @@ import (
 	"net/url"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -88,7 +90,7 @@ commands:
   state-get <id> <key> | state-set <id> <key> <json>
   file-url <id> <key> [GET|PUT|DELETE]
   triggers | subscribe <name> -class C -on EV [-prefix P] [-object O] [-fn F] [-url U]
-  unsubscribe <name> | tail <id> [-n max] [-t 30s]
+  unsubscribe <name> | tail <id> [-n max] [-t 30s] [-from offset]
   stats | actions
 `)
 }
@@ -311,24 +313,30 @@ func (c *client) subscribe(args []string) error {
 	return c.request(http.MethodPut, "/api/triggers/"+url.PathEscape(name), "application/json", body, printJSON)
 }
 
-// tail streams an object's live events over the gateway's SSE feed,
+// tail streams an object's events over the gateway's SSE feed,
 // printing one JSON event per line until -n events arrived, the -t
-// timeout elapsed, or the server closed the stream.
+// timeout elapsed, or the server closed the stream. With -from N the
+// gateway first replays retained event-log history starting at
+// offset N, then continues live.
 func (c *client) tail(args []string) error {
 	fs := flag.NewFlagSet("tail", flag.ContinueOnError)
 	max := fs.Int("n", 0, "stop after this many events (0 = until timeout)")
 	timeout := fs.Duration("t", 30*time.Second, "stream duration")
+	from := fs.Int64("from", 0, "replay stored events from this offset (0 = live only)")
 	if len(args) < 1 {
-		return fmt.Errorf("usage: tail <object-id> [-n max] [-t 30s]")
+		return fmt.Errorf("usage: tail <object-id> [-n max] [-t 30s] [-from offset]")
 	}
 	id := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
+	target := c.base + "/api/objects/" + url.PathEscape(id) + "/events"
+	if *from > 0 {
+		target += "?fromOffset=" + strconv.FormatInt(*from, 10)
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		c.base+"/api/objects/"+url.PathEscape(id)+"/events", nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
 	if err != nil {
 		return err
 	}

@@ -60,6 +60,7 @@ import (
 	"hash/fnv"
 	"maps"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/hpcclab/oparaca-go/internal/kvstore"
@@ -294,6 +295,7 @@ type Queue struct {
 
 	wg        sync.WaitGroup
 	closeOnce sync.Once
+	killed    atomic.Bool // drop queued tasks instead of running them
 }
 
 // expiringRecord is one entry of the GC's eviction index.
@@ -624,6 +626,12 @@ func (q *Queue) worker(shard chan task) {
 		if !ok {
 			return
 		}
+		if q.killed.Load() {
+			// Simulated crash: drain the shard without running anything
+			// so Kill's wg.Wait returns promptly. The submissions'
+			// pending records stay in the backing store for recovery.
+			continue
+		}
 		batch = append(batch[:0], t)
 	fill:
 		for len(batch) < q.cfg.DrainBatch {
@@ -950,6 +958,20 @@ func (q *Queue) Stats() Stats {
 // worker pool, then flushes and closes the record table. It is
 // idempotent and safe to call concurrently with Submit.
 func (q *Queue) Close() {
+	q.shutdown(false)
+}
+
+// Kill models process death: intake stops, queued tasks are abandoned
+// without running, downstream deliveries are not drained, and the
+// record table is dropped without its final flush. Only state already
+// flushed to the backing store survives — exactly what a crash leaves
+// for recovery.
+func (q *Queue) Kill() {
+	q.killed.Store(true)
+	q.shutdown(true)
+}
+
+func (q *Queue) shutdown(kill bool) {
 	q.closeOnce.Do(func() {
 		q.mu.Lock()
 		q.closed = true
@@ -963,7 +985,7 @@ func (q *Queue) Close() {
 		// Every accepted invocation has finished and fired its terminal
 		// hook; drain downstream deliveries (terminal-record webhooks on
 		// the event bus) before the platform tears anything down.
-		if q.cfg.Drain != nil {
+		if !kill && q.cfg.Drain != nil {
 			q.cfg.Drain()
 		}
 		// Stop the GC before closing the record table so the sweeper
@@ -971,6 +993,10 @@ func (q *Queue) Close() {
 		if q.gcStop != nil {
 			close(q.gcStop)
 			<-q.gcDone
+		}
+		if kill {
+			q.records.Kill()
+			return
 		}
 		q.records.Close()
 	})

@@ -247,7 +247,7 @@ func TestWebhookPushOnTerminalRecords(t *testing.T) {
 			t.Fatalf("delivered event = %+v", ev)
 		}
 	})
-	t.Run("exhausted retries drop", func(t *testing.T) {
+	t.Run("exhausted retries leave delivery pending", func(t *testing.T) {
 		var hits atomic.Int64
 		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 			hits.Add(1)
@@ -276,18 +276,30 @@ func TestWebhookPushOnTerminalRecords(t *testing.T) {
 		if rec, err := p.WaitInvocation(ctx, invID); err != nil || !rec.Status.Terminal() {
 			t.Fatalf("record = %+v, %v", rec, err)
 		}
+		// With the durable log the event is NOT dropped once the retry
+		// budget is spent: the consumer's cursor stays put (visible as
+		// CursorLag) and the delivery is re-attempted on the next
+		// notify or restart.
 		deadline := time.Now().Add(5 * time.Second)
-		for p.Stats().Triggers.Dropped == 0 {
+		for p.Stats().Triggers.Retried < 2 {
 			if time.Now().After(deadline) {
-				t.Fatalf("drop never counted: %+v", p.Stats().Triggers)
+				t.Fatalf("retries never counted: %+v", p.Stats().Triggers)
 			}
 			time.Sleep(2 * time.Millisecond)
 		}
-		if s := p.Stats().Triggers; s.Retried != 2 || s.Delivered != 0 {
-			t.Fatalf("stats = %+v", s)
+		for hits.Load() < 3 {
+			if time.Now().After(deadline) {
+				t.Fatalf("attempts = %d, want 3 (1 + 2 retries)", hits.Load())
+			}
+			time.Sleep(2 * time.Millisecond)
 		}
-		if hits.Load() != 3 {
-			t.Fatalf("attempts = %d, want 3 (1 + 2 retries)", hits.Load())
+		s := p.Stats().Triggers
+		if s.Delivered != 0 {
+			t.Fatalf("stats = %+v, want no deliveries", s)
+		}
+		sub := s.Subscriptions["named/hook"]
+		if sub.CursorLag < 1 {
+			t.Fatalf("per-sub stats = %+v, want pending cursor lag", sub)
 		}
 	})
 	t.Run("close drains pending deliveries", func(t *testing.T) {

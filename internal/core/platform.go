@@ -26,6 +26,7 @@ import (
 
 	"github.com/hpcclab/oparaca-go/internal/asyncq"
 	"github.com/hpcclab/oparaca-go/internal/cluster"
+	"github.com/hpcclab/oparaca-go/internal/eventlog"
 	"github.com/hpcclab/oparaca-go/internal/invoker"
 	"github.com/hpcclab/oparaca-go/internal/kvstore"
 	"github.com/hpcclab/oparaca-go/internal/model"
@@ -58,6 +59,10 @@ var (
 	// ErrClassQuotaExceeded is returned for async submissions that
 	// would push a class past its Config.AsyncClassQuotas cap.
 	ErrClassQuotaExceeded = asyncq.ErrClassQuotaExceeded
+	// ErrOffsetCompacted is returned when reading an object's event log
+	// below its retained floor (re-exported for errors.Is at the API
+	// boundary; HTTP 410 at the gateway).
+	ErrOffsetCompacted = eventlog.ErrOffsetCompacted
 )
 
 // Config sizes and tunes a Platform.
@@ -157,6 +162,30 @@ type Config struct {
 	// dispatched to method sinks (counted in Stats().Triggers.Dropped
 	// and CycleDropped). Defaults to 8.
 	TriggerMaxChainDepth int
+	// TriggerDeliveryWorkers sizes the event bus's sink delivery pool
+	// (webhook POSTs and cursor-consumer runs; never the dispatch
+	// loops, so a stalled endpoint cannot block dispatch). Defaults
+	// to 4.
+	TriggerDeliveryWorkers int
+	// EventLogMemoryOnly keeps the durable event log in memory: replay
+	// within the process still works (offsets, fromOffset resumption)
+	// but nothing survives a restart and — crucially for the paper's
+	// write-accounting experiments — event appends cost no document
+	// store writes. The experiment harness sets it so measured DB
+	// write ops reflect the paper's systems, not the event plumbing.
+	EventLogMemoryOnly bool
+	// EventLogRetention evicts an object's log entries this long after
+	// their append (on the background sweep). Zero keeps entries until
+	// EventLogMaxPerObject evicts them.
+	EventLogRetention time.Duration
+	// EventLogMaxPerObject caps each object's retained log entries
+	// (oldest evicted first). Defaults to 1024; negative disables the
+	// cap.
+	EventLogMaxPerObject int
+	// EventLogGCInterval overrides the event-log retention sweep
+	// period; it piggybacks on the async GC cadence by default
+	// (AsyncGCInterval when set, else EventLogRetention/4).
+	EventLogGCInterval time.Duration
 	// WebhookMaxRetries / WebhookRetryBackoff / WebhookTimeout tune
 	// webhook sink delivery: a failed POST is retried up to
 	// WebhookMaxRetries additional times with WebhookRetryBackoff
@@ -179,6 +208,13 @@ type Config struct {
 	// store so presigned URLs are fetchable. Defaults to true; benches
 	// that never touch file keys can disable it.
 	ServeObjectStore *bool
+	// Backing injects an existing document store instead of opening a
+	// fresh one — the restart path: a new platform against the store a
+	// killed one wrote recovers its object directory, named trigger
+	// subscriptions, event log and delivery cursors. The caller keeps
+	// ownership (Close/Kill leave the store open). Nil opens a private
+	// store sized by the DB* knobs.
+	Backing *kvstore.Store
 	// Secret signs presigned URLs. Defaults to a random value.
 	Secret string
 	// Clock supplies time; defaults to the real clock.
@@ -212,6 +248,10 @@ func (c Config) withDefaults() Config {
 		// Piggyback the tombstone sweep on the async GC cadence so one
 		// configured interval paces both background reclaimers.
 		c.TombstoneGCInterval = c.AsyncGCInterval
+	}
+	if c.EventLogGCInterval <= 0 && c.AsyncGCInterval > 0 {
+		// Same piggyback for the event-log retention sweep.
+		c.EventLogGCInterval = c.AsyncGCInterval
 	}
 	return c
 }
@@ -247,6 +287,11 @@ type Platform struct {
 	optim     *optimizer.Optimizer
 	queue     *asyncq.Queue
 	bus       *trigger.Bus
+	elog      *eventlog.Log
+
+	// ownsBacking is false when Config.Backing injected the store; the
+	// caller then keeps it open across platform restarts.
+	ownsBacking bool
 
 	mu       sync.Mutex
 	classes  map[string]*model.Class
@@ -287,39 +332,77 @@ func New(cfg Config) (*Platform, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &Platform{
-		cfg:     cfg,
-		cluster: cl,
-		backing: kvstore.Open(kvstore.Config{
+	backing := cfg.Backing
+	ownsBacking := backing == nil
+	if ownsBacking {
+		backing = kvstore.Open(kvstore.Config{
 			WriteOpsPerSec: cfg.DBWriteOpsPerSec,
 			WriteLatency:   cfg.DBWriteLatency,
 			ReadLatency:    cfg.DBReadLatency,
 			Clock:          cfg.Clock,
-		}),
-		objects:   objectstore.New(cfg.Secret, cfg.Clock),
-		images:    invoker.NewRegistry(),
-		templates: templates,
-		classes:   make(map[string]*model.Class),
-		runtimes:  make(map[string]*runtime.ClassRuntime),
-		dir:       make(map[string]objectRecord),
+		})
+	}
+	p := &Platform{
+		cfg:         cfg,
+		cluster:     cl,
+		backing:     backing,
+		ownsBacking: ownsBacking,
+		objects:     objectstore.New(cfg.Secret, cfg.Clock),
+		images:      invoker.NewRegistry(),
+		templates:   templates,
+		classes:     make(map[string]*model.Class),
+		runtimes:    make(map[string]*runtime.ClassRuntime),
+		dir:         make(map[string]objectRecord),
+	}
+	closeBacking := func() {
+		if p.ownsBacking {
+			p.backing.Close()
+		}
 	}
 	p.optim = optimizer.New(optimizer.Config{Interval: cfg.OptimizerInterval, Clock: cfg.Clock})
+	// The durable event log: every published event is appended (one
+	// write-through batch per publication) before dispatch, and sink
+	// delivery cursors persist beside it, so committed events and
+	// delivery progress survive process death.
+	elogBacking := p.backing
+	if cfg.EventLogMemoryOnly {
+		elogBacking = nil
+	}
+	p.elog, err = eventlog.New(eventlog.Config{
+		Backing:      elogBacking,
+		RetentionTTL: cfg.EventLogRetention,
+		MaxPerObject: cfg.EventLogMaxPerObject,
+		GCInterval:   cfg.EventLogGCInterval,
+		Clock:        cfg.Clock,
+	})
+	if err != nil {
+		closeBacking()
+		return nil, fmt.Errorf("core: event log: %w", err)
+	}
+	if err := p.elog.LoadCursors(context.Background()); err != nil {
+		p.elog.Close()
+		closeBacking()
+		return nil, fmt.Errorf("core: recovering event cursors: %w", err)
+	}
 	// The event bus routes committed-state and terminal-invocation
 	// events to data-triggered methods (through the async queue),
 	// webhooks, and live streams.
 	p.bus, err = trigger.New(trigger.Config{
 		InvokeAsync:       p.InvokeAsync,
+		Log:               p.elog,
 		Shards:            cfg.TriggerShards,
 		Buffer:            cfg.TriggerBuffer,
 		Overflow:          cfg.TriggerOverflow,
 		MaxChainDepth:     cfg.TriggerMaxChainDepth,
+		DeliveryWorkers:   cfg.TriggerDeliveryWorkers,
 		WebhookMaxRetries: cfg.WebhookMaxRetries,
 		WebhookBackoff:    cfg.WebhookRetryBackoff,
 		WebhookTimeout:    cfg.WebhookTimeout,
 		Clock:             cfg.Clock,
 	})
 	if err != nil {
-		p.backing.Close()
+		p.elog.Close()
+		closeBacking()
 		return nil, fmt.Errorf("core: event bus: %w", err)
 	}
 	// The async queue drains through the synchronous Invoke path and
@@ -347,14 +430,26 @@ func New(cfg Config) (*Platform, error) {
 	})
 	if err != nil {
 		p.bus.Close()
-		p.backing.Close()
+		p.elog.Close()
+		closeBacking()
 		return nil, fmt.Errorf("core: async queue: %w", err)
+	}
+	// Recover durable control-plane state from the backing store: the
+	// object directory and named trigger subscriptions. Re-registering
+	// a subscription schedules redelivery of any backlog its stored
+	// cursors point at, so deliveries a crash interrupted resume here.
+	if err := p.recover(context.Background()); err != nil {
+		p.queue.Close()
+		p.elog.Close()
+		closeBacking()
+		return nil, err
 	}
 	if *cfg.ServeObjectStore {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			p.queue.Close()
-			p.backing.Close()
+			p.elog.Close()
+			closeBacking()
 			return nil, fmt.Errorf("core: object store listener: %w", err)
 		}
 		p.objectsLn = ln
@@ -368,6 +463,63 @@ func New(cfg Config) (*Platform, error) {
 	// functions declared in class trigger definitions.
 	p.objects.Subscribe(p.handleUpload)
 	return p, nil
+}
+
+// recover reloads durable control-plane state persisted by a previous
+// platform against the same backing store: the object directory and
+// the named trigger subscriptions. Re-registering a subscription
+// schedules consumer runs for its stored cursors, so deliveries a
+// crash interrupted are re-attempted. On a fresh store both scans are
+// empty and recovery is two cheap reads.
+func (p *Platform) recover(ctx context.Context) error {
+	keys, err := p.backing.List(ctx, "objects/")
+	if err != nil {
+		return fmt.Errorf("core: recovering object directory: %w", err)
+	}
+	if len(keys) > 0 {
+		docs, err := p.backing.BatchGet(ctx, keys)
+		if err != nil {
+			return fmt.Errorf("core: recovering object directory: %w", err)
+		}
+		p.mu.Lock()
+		for _, k := range keys {
+			doc, ok := docs[k]
+			if !ok {
+				continue
+			}
+			var rec objectRecord
+			if json.Unmarshal(doc.Value, &rec) != nil || rec.Class == "" {
+				continue
+			}
+			p.dir[strings.TrimPrefix(k, "objects/")] = rec
+		}
+		p.mu.Unlock()
+	}
+	subKeys, err := p.backing.List(ctx, "triggersubs/")
+	if err != nil {
+		return fmt.Errorf("core: recovering trigger subscriptions: %w", err)
+	}
+	if len(subKeys) > 0 {
+		docs, err := p.backing.BatchGet(ctx, subKeys)
+		if err != nil {
+			return fmt.Errorf("core: recovering trigger subscriptions: %w", err)
+		}
+		for _, k := range subKeys {
+			doc, ok := docs[k]
+			if !ok {
+				continue
+			}
+			var sub trigger.Subscription
+			if json.Unmarshal(doc.Value, &sub) != nil {
+				continue
+			}
+			// Subscribe re-stamps the deterministic "named/<name>"
+			// identity, so the recovered subscription finds the same
+			// cursors the killed platform persisted.
+			_ = p.bus.Subscribe(strings.TrimPrefix(k, "triggersubs/"), sub)
+		}
+	}
+	return nil
 }
 
 // handleUpload dispatches object-store upload events to the triggers
@@ -439,16 +591,35 @@ func (p *Platform) onAsyncTerminal(rec asyncq.Record, args map[string]string) {
 func (p *Platform) TriggerBus() *trigger.Bus { return p.bus }
 
 // SubscribeTrigger registers (or replaces) a named dynamic event
-// subscription. YAML-declared class triggers are managed separately by
-// DeployPackage and are not addressable here.
+// subscription and persists it, so a platform restart against the
+// same backing store restores the subscription — and resumes its
+// delivery cursors. YAML-declared class triggers are managed
+// separately by DeployPackage and are not addressable here.
 func (p *Platform) SubscribeTrigger(name string, sub trigger.Subscription) error {
-	return p.bus.Subscribe(name, sub)
+	if err := p.bus.Subscribe(name, sub); err != nil {
+		return err
+	}
+	raw, err := json.Marshal(sub)
+	if err != nil {
+		return err
+	}
+	if _, err := p.backing.Put(context.Background(), "triggersubs/"+name, raw); err != nil {
+		return fmt.Errorf("core: persisting trigger subscription: %w", err)
+	}
+	return nil
 }
 
 // UnsubscribeTrigger removes a named dynamic subscription, reporting
-// whether it existed.
+// whether it existed. The stored delivery cursors are kept:
+// re-subscribing under the same name resumes them.
 func (p *Platform) UnsubscribeTrigger(name string) bool {
-	return p.bus.Unsubscribe(name)
+	ok := p.bus.Unsubscribe(name)
+	if err := p.backing.Delete(context.Background(), "triggersubs/"+name); err != nil && !errors.Is(err, kvstore.ErrNotFound) {
+		// The in-memory removal stands; a restart may resurrect the
+		// subscription until the delete lands on a retry path.
+		_ = err
+	}
+	return ok
 }
 
 // TriggerSubscriptions lists the named dynamic subscriptions (sorted
@@ -460,12 +631,40 @@ func (p *Platform) TriggerSubscriptions() ([]string, map[string]trigger.Subscrip
 // StreamEvents opens a live event tail for one object (the gateway's
 // SSE feed). buf bounds consumer lag (<=0 selects the default); a
 // stream whose buffer fills loses events rather than stalling
-// dispatch. Callers must Close the stream.
+// dispatch — the gateway heals such gaps by replaying ReadEvents.
+// Callers must Close the stream.
 func (p *Platform) StreamEvents(objectID string, buf int) (*trigger.Stream, error) {
 	if _, err := p.ObjectClass(objectID); err != nil {
 		return nil, err
 	}
 	return p.bus.Stream(objectID, buf), nil
+}
+
+// EventLog exposes the durable event log (tests and stats).
+func (p *Platform) EventLog() *eventlog.Log { return p.elog }
+
+// EventLogEntry is one stored event-log record, re-exported so API
+// consumers (gateway, CLI helpers) need not import internal/eventlog.
+type EventLogEntry = eventlog.Entry
+
+// ReadEvents returns up to max retained entries of one object's
+// durable event log starting at offset from (1-based; <=0 reads from
+// the start, max<=0 is unlimited). Reading below the retained floor
+// fails with ErrOffsetCompacted.
+func (p *Platform) ReadEvents(ctx context.Context, objectID string, from int64, max int) ([]eventlog.Entry, error) {
+	if _, err := p.ObjectClass(objectID); err != nil {
+		return nil, err
+	}
+	return p.elog.Read(ctx, objectID, from, max)
+}
+
+// EventBounds returns one object's retained event-log floor and
+// next-append offset (replayable entries are [first, next)).
+func (p *Platform) EventBounds(ctx context.Context, objectID string) (first, next int64, err error) {
+	if _, err := p.ObjectClass(objectID); err != nil {
+		return 0, 0, err
+	}
+	return p.elog.Bounds(ctx, objectID)
 }
 
 // randomID returns an 8-byte hex identifier.
@@ -521,6 +720,7 @@ func (p *Platform) infra() runtime.Infra {
 		IdleTimeout:         p.cfg.IdleTimeout,
 		ConcurrencyMode:     p.cfg.ConcurrencyMode,
 		Events:              p.bus.Publish,
+		EventsBatch:         p.bus.PublishBatch,
 		TombstoneTTL:        p.cfg.TombstoneTTL,
 		TombstoneGCInterval: p.cfg.TombstoneGCInterval,
 		Clock:               p.cfg.Clock,
@@ -582,6 +782,10 @@ func (p *Platform) DeployPackage(ctx context.Context, pkg *model.Package) ([]str
 		subs := make([]trigger.Subscription, 0, len(class.Triggers))
 		for _, tr := range class.EventTriggers() {
 			subs = append(subs, trigger.Subscription{
+				// The declaration-derived identity keys the trigger's
+				// durable delivery cursors, so redeploys (even with the
+				// trigger list reordered) resume rather than restart.
+				ID:             "class/" + name + "/" + tr.Identity(),
 				Class:          name,
 				Type:           trigger.EventType(tr.On),
 				KeyPrefix:      tr.KeyPrefix,
@@ -666,6 +870,11 @@ func (p *Platform) CreateObject(ctx context.Context, class, id string) (string, 
 	rec := objectRecord{Class: class, Created: p.cfg.Clock.Now()}
 	p.dir[id] = rec
 	p.mu.Unlock()
+	// A brand-new object (the directory check above rules out a
+	// recovered incarnation) provably has an empty event log; telling
+	// the log now spares its first append the backing-store recovery
+	// probe.
+	p.elog.NoteCreated(id)
 	if err := rt.InitObjectState(ctx, id); err != nil {
 		p.mu.Lock()
 		delete(p.dir, id)
@@ -695,6 +904,9 @@ func (p *Platform) DeleteObject(ctx context.Context, id string) error {
 	p.mu.Lock()
 	delete(p.dir, id)
 	p.mu.Unlock()
+	if err := p.elog.Drop(ctx, id); err != nil {
+		return fmt.Errorf("core: dropping %s event log: %w", id, err)
+	}
 	return p.backing.Delete(ctx, "objects/"+id)
 }
 
@@ -1067,10 +1279,47 @@ func (p *Platform) Close() {
 		rt.Close()
 	}
 	p.bus.Close()
+	p.elog.Close()
 	if p.objectsSv != nil {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		_ = p.objectsSv.Shutdown(ctx)
 		cancel()
 	}
-	p.backing.Close()
+	if p.ownsBacking {
+		p.backing.Close()
+	}
+}
+
+// Kill models process death for crash/replay testing: nothing drains
+// and nothing flushes. Queued async tasks and undispatched events are
+// abandoned, in-flight webhook deliveries are cancelled, and every
+// write-behind table (class state, async records, delivery cursors)
+// is dropped without its final flush — only state already persisted
+// in the backing store survives. An injected Config.Backing store is
+// left open so a successor platform can recover from it.
+func (p *Platform) Kill() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	rts := make([]*runtime.ClassRuntime, 0, len(p.runtimes))
+	for _, rt := range p.runtimes {
+		rts = append(rts, rt)
+	}
+	p.mu.Unlock()
+	p.optim.Stop()
+	p.queue.Kill()
+	p.bus.Kill()
+	for _, rt := range rts {
+		rt.Kill()
+	}
+	p.elog.Kill()
+	if p.objectsSv != nil {
+		_ = p.objectsSv.Close()
+	}
+	if p.ownsBacking {
+		p.backing.Close()
+	}
 }

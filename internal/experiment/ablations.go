@@ -73,6 +73,9 @@ func SetupCustomPlatform(ctx context.Context, tmpl runtime.Template, workers int
 		ColdStart:        10 * time.Millisecond,
 		Templates:        []runtime.Template{tmpl},
 		ServeObjectStore: &noServe,
+		// Keep the paper's DB write accounting: the experiment rows
+		// measure the modeled systems' writes, not event-log plumbing.
+		EventLogMemoryOnly: true,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -150,6 +153,9 @@ func RunColdStartAblation(ctx context.Context, rounds int, coldStart time.Durati
 		ColdStart:        coldStart,
 		Templates:        []runtime.Template{tmpl},
 		ServeObjectStore: &noServe,
+		// Keep the paper's DB write accounting: the experiment rows
+		// measure the modeled systems' writes, not event-log plumbing.
+		EventLogMemoryOnly: true,
 	})
 	if err != nil {
 		return ColdStartRow{}, err
@@ -275,6 +281,9 @@ func RunDataflowAblation(ctx context.Context, width int, stepTime time.Duration,
 		Workers:          2,
 		Templates:        []runtime.Template{tmpl},
 		ServeObjectStore: &noServe,
+		// Keep the paper's DB write accounting: the experiment rows
+		// measure the modeled systems' writes, not event-log plumbing.
+		EventLogMemoryOnly: true,
 	})
 	if err != nil {
 		return nil, err
@@ -352,6 +361,9 @@ func RunLocalityAblation(ctx context.Context, objects int, dbReadLatency time.Du
 		DBReadLatency:    dbReadLatency,
 		Templates:        []runtime.Template{tmpl},
 		ServeObjectStore: &noServe,
+		// Keep the paper's DB write accounting: the experiment rows
+		// measure the modeled systems' writes, not event-log plumbing.
+		EventLogMemoryOnly: true,
 	})
 	if err != nil {
 		return LocalityRow{}, err

@@ -129,6 +129,9 @@ func writeError(w http.ResponseWriter, err error) {
 		errors.Is(err, model.ErrInheritanceCycle),
 		errors.Is(err, model.ErrClassNotFound):
 		status = http.StatusBadRequest
+	case errors.Is(err, core.ErrOffsetCompacted):
+		status = http.StatusGone
+		code = "offset_compacted"
 	case errors.Is(err, core.ErrClosed):
 		status = http.StatusServiceUnavailable
 	}
@@ -458,17 +461,25 @@ func (g *Gateway) handlePresign(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"url": url, "method": method})
 }
 
-// triggerView is one named subscription in the list response.
+// triggerView is one named subscription in the list response, with
+// its durable-delivery counters (delivered/retried/dropped and the
+// cursor lag — events appended but not yet acknowledged).
 type triggerView struct {
 	Name string `json:"name"`
 	trigger.Subscription
+	Stats trigger.SubscriptionStats `json:"stats"`
 }
 
 func (g *Gateway) handleListTriggers(w http.ResponseWriter, _ *http.Request) {
 	names, subs := g.platform.TriggerSubscriptions()
+	bus := g.platform.TriggerBus()
 	views := make([]triggerView, 0, len(names))
 	for _, name := range names {
-		views = append(views, triggerView{Name: name, Subscription: subs[name]})
+		views = append(views, triggerView{
+			Name:         name,
+			Subscription: subs[name],
+			Stats:        bus.SubscriptionStatsFor("named/" + name),
+		})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"triggers": views})
 }
@@ -496,43 +507,122 @@ func (g *Gateway) handleDeleteTrigger(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleObjectEvents serves a server-sent-events stream of one
-// object's live events (StateChanged commits plus terminal async
+// object's events (StateChanged commits plus terminal async
 // invocations): `event:` carries the event type, `data:` the event
-// JSON. The stream runs until the client disconnects; a consumer that
-// falls behind its buffer loses events (counted in
-// Stats().Triggers.Dropped) rather than stalling bus dispatch.
+// JSON. With ?fromOffset=N the handler first replays retained
+// event-log entries from offset N (410 Gone when N has been
+// compacted away), then switches to the live stream; replayed and
+// live deliveries are deduplicated by offset, and any gap between a
+// live event's offset and the last delivered one is healed by
+// re-reading the log, so a resuming client observes a gap-free,
+// per-object-ordered sequence. Without fromOffset the stream is
+// live-only and a consumer that falls behind its buffer loses events
+// (counted in Stats().Triggers.Dropped) rather than stalling bus
+// dispatch.
 func (g *Gateway) handleObjectEvents(w http.ResponseWriter, r *http.Request) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "streaming unsupported"})
 		return
 	}
-	stream, err := g.platform.StreamEvents(r.PathValue("id"), 64)
+	id := r.PathValue("id")
+	var from int64
+	if s := r.URL.Query().Get("fromOffset"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil || v < 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "fromOffset must be a non-negative integer"})
+			return
+		}
+		from = v
+	}
+	// Subscribe to the live stream BEFORE replaying history so no
+	// event can fall between the replay and the subscription; the
+	// offset dedup below absorbs the overlap.
+	stream, err := g.platform.StreamEvents(id, 64)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	defer stream.Close()
+	// Fetch the stored backlog before committing the response status:
+	// a compacted fromOffset must fail the whole request with 410, not
+	// surface mid-stream.
+	var backlog []core.EventLogEntry
+	if from > 0 {
+		backlog, err = g.platform.ReadEvents(r.Context(), id, from, 0)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+	}
 	h := w.Header()
 	h.Set("Content-Type", "text/event-stream")
 	h.Set("Cache-Control", "no-cache")
 	h.Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
+	// last is the highest durable offset delivered so far; 0 until the
+	// first offset-stamped event is seen.
+	var last int64
+	emit := func(evType string, data []byte) bool {
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", evType, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	emitEntry := func(e core.EventLogEntry) bool {
+		var ev trigger.Event
+		if err := json.Unmarshal(e.Payload, &ev); err != nil {
+			return true // malformed stored payload: skip, keep streaming
+		}
+		if !emit(string(ev.Type), e.Payload) {
+			return false
+		}
+		last = e.Offset
+		return true
+	}
+	for _, e := range backlog {
+		if !emitEntry(e) {
+			return
+		}
+	}
 	for {
 		select {
 		case ev, open := <-stream.Events():
 			if !open {
 				return // platform shutting down
 			}
+			if ev.Offset > 0 && ev.Offset <= last {
+				continue // already delivered during replay
+			}
+			if last > 0 && ev.Offset > last+1 {
+				// The live buffer skipped ahead (stream overflow or
+				// out-of-order shard delivery): heal the gap from the
+				// log. A compacted gap start can't 410 after the
+				// headers — jump over it instead.
+				gap, err := g.platform.ReadEvents(r.Context(), id, last+1, int(ev.Offset-last-1))
+				if err == nil {
+					for _, e := range gap {
+						if e.Offset >= ev.Offset {
+							break
+						}
+						if !emitEntry(e) {
+							return
+						}
+					}
+				}
+			}
 			data, err := json.Marshal(ev)
 			if err != nil {
 				continue
 			}
-			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+			if !emit(string(ev.Type), data) {
 				return
 			}
-			flusher.Flush()
+			if ev.Offset > last {
+				last = ev.Offset
+			}
 		case <-r.Context().Done():
 			return
 		}

@@ -48,13 +48,27 @@ type fixture struct {
 }
 
 func newFixture(t *testing.T) *fixture {
+	return newFixtureCfg(t, core.Config{})
+}
+
+// newFixtureCfg builds a fixture over a platform with extra config
+// (event-log knobs, webhook timing); zero fields get the test
+// defaults.
+func newFixtureCfg(t *testing.T, cfg core.Config) *fixture {
 	t.Helper()
-	p, err := core.New(core.Config{
-		Workers:       2,
-		ScaleInterval: 10 * time.Millisecond,
-		IdleTimeout:   time.Minute,
-		ColdStart:     time.Millisecond,
-	})
+	if cfg.Workers == 0 {
+		cfg.Workers = 2
+	}
+	if cfg.ScaleInterval == 0 {
+		cfg.ScaleInterval = 10 * time.Millisecond
+	}
+	if cfg.IdleTimeout == 0 {
+		cfg.IdleTimeout = time.Minute
+	}
+	if cfg.ColdStart == 0 {
+		cfg.ColdStart = time.Millisecond
+	}
+	p, err := core.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,10 +6,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
 
+	"github.com/hpcclab/oparaca-go/internal/core"
 	"github.com/hpcclab/oparaca-go/internal/trigger"
 )
 
@@ -185,5 +187,146 @@ func TestClientRegionHeaderOnAsyncRoute(t *testing.T) {
 		if status, _ := f.do(http.MethodGet, fmt.Sprintf("/api/invocations/%s?waitMs=5000", out.Invocation), "", nil); status != http.StatusOK {
 			t.Fatalf("wait status = %d", status)
 		}
+	}
+}
+
+// invokeSet commits one write on the object and fails the test on a
+// non-200.
+func (f *fixture) invokeSet(id, val string) {
+	f.t.Helper()
+	if status, body := f.do(http.MethodPost, "/api/objects/"+id+"/invoke/set", "application/json", []byte(val)); status != http.StatusOK {
+		f.t.Fatalf("invoke = %d %v", status, body)
+	}
+}
+
+// TestObjectEventsFromOffsetReplay resumes the SSE feed from a stored
+// offset: the retained history replays first, then the stream goes
+// live, and the client observes a gap-free, strictly increasing
+// offset sequence with no duplicates across the replay/live seam.
+func TestObjectEventsFromOffsetReplay(t *testing.T) {
+	f := newFixture(t)
+	f.deploy()
+	id := f.createObject("resume-1")
+	for i := 0; i < 3; i++ {
+		f.invokeSet(id, fmt.Sprintf(`"v%d"`, i))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		f.srv.URL+"/api/objects/"+id+"/events?fromOffset=1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status = %d", resp.StatusCode)
+	}
+	events := make(chan sseEvent, 16)
+	go readSSE(t, bufio.NewScanner(resp.Body), events)
+	var offsets []int64
+	for len(offsets) < 3 {
+		select {
+		case ev := <-events:
+			offsets = append(offsets, ev.data.Offset)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("replay stalled at offsets %v", offsets)
+		}
+	}
+	// A commit made after the resume arrives live on the same stream.
+	f.invokeSet(id, `"live"`)
+	select {
+	case ev := <-events:
+		offsets = append(offsets, ev.data.Offset)
+	case <-time.After(5 * time.Second):
+		t.Fatal("no live frame after replay")
+	}
+	for i, off := range offsets {
+		if off != int64(i+1) {
+			t.Fatalf("offsets = %v, want 1,2,3,4 gap-free", offsets)
+		}
+	}
+}
+
+// TestObjectEventsFromOffsetErrors maps a compacted resume offset to
+// 410 Gone (code offset_compacted) and a malformed one to 400.
+func TestObjectEventsFromOffsetErrors(t *testing.T) {
+	f := newFixtureCfg(t, core.Config{EventLogMaxPerObject: 2})
+	f.deploy()
+	id := f.createObject("gone-1")
+	for i := 0; i < 5; i++ {
+		f.invokeSet(id, fmt.Sprintf(`"v%d"`, i))
+	}
+	status, body := f.do(http.MethodGet, "/api/objects/"+id+"/events?fromOffset=1", "", nil)
+	if status != http.StatusGone {
+		t.Fatalf("compacted resume status = %d body=%v", status, body)
+	}
+	var code string
+	_ = json.Unmarshal(body["code"], &code)
+	if code != "offset_compacted" {
+		t.Fatalf("error code = %q body=%v", code, body)
+	}
+	// Resuming at the retained floor still works.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet,
+		f.srv.URL+"/api/objects/"+id+"/events?fromOffset=4", nil)
+	resp, err := f.client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("floor resume status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	if status, _ := f.do(http.MethodGet, "/api/objects/"+id+"/events?fromOffset=nope", "", nil); status != http.StatusBadRequest {
+		t.Fatalf("bad fromOffset status = %d", status)
+	}
+}
+
+// TestTriggersListIncludesStats checks the per-subscription delivery
+// counters surface on GET /api/triggers.
+func TestTriggersListIncludesStats(t *testing.T) {
+	f := newFixture(t)
+	f.deploy()
+	id := f.createObject("stats-1")
+	hook := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer hook.Close()
+	sub, _ := json.Marshal(map[string]string{
+		"class": "Note", "type": "stateChanged", "webhook": hook.URL,
+	})
+	if status, body := f.do(http.MethodPut, "/api/triggers/hook", "application/json", sub); status != http.StatusCreated {
+		t.Fatalf("put status = %d body=%v", status, body)
+	}
+	f.invokeSet(id, `"x"`)
+	type statsView struct {
+		Name  string `json:"name"`
+		Stats struct {
+			Delivered int64 `json:"delivered"`
+			CursorLag int64 `json:"cursorLag"`
+		} `json:"stats"`
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		status, body := f.do(http.MethodGet, "/api/triggers", "", nil)
+		if status != http.StatusOK {
+			t.Fatalf("list status = %d", status)
+		}
+		var views []statsView
+		if err := json.Unmarshal(body["triggers"], &views); err != nil {
+			t.Fatal(err)
+		}
+		if len(views) == 1 && views[0].Name == "hook" && views[0].Stats.Delivered >= 1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("delivery never surfaced in stats: %+v", views)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }

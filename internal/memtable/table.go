@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/hpcclab/oparaca-go/internal/kvstore"
@@ -160,6 +161,7 @@ type Table struct {
 
 	closeOnce sync.Once
 	closed    chan struct{}
+	killed    atomic.Bool // suppresses the final flush (simulated crash)
 	flushWake chan struct{}
 	done      chan struct{} // flusher exited
 
@@ -799,6 +801,10 @@ func (t *Table) flushLoop() {
 	for {
 		select {
 		case <-t.closed:
+			if t.killed.Load() {
+				// Simulated crash: abandon dirty entries unflushed.
+				return
+			}
 			// Final synchronous flush so Close is durable.
 			t.flushAll(context.Background())
 			return
@@ -1004,6 +1010,15 @@ func (t *Table) Close() {
 	t.closeOnce.Do(func() { close(t.closed) })
 	<-t.done
 	<-t.compactDone
+}
+
+// Kill stops the table WITHOUT the final flush, modeling process
+// death: dirty write-behind entries are abandoned exactly as a crash
+// would abandon them. The crash/replay tests use it to assert what
+// recovery owes after an unclean shutdown.
+func (t *Table) Kill() {
+	t.killed.Store(true)
+	t.Close()
 }
 
 // Stats is a point-in-time view of cache behaviour.

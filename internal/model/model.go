@@ -251,17 +251,25 @@ type TriggerDef struct {
 // upload trigger).
 func (t TriggerDef) IsEvent() bool { return t.On != "" }
 
-// id is the trigger's override identity for inheritance merging:
-// upload triggers override per file key; event triggers override per
-// (event, filter, sink) tuple — two identical declarations collapse,
-// distinct ones coexist. Fields are quoted so user-controlled strings
-// containing the separator cannot make distinct triggers collide.
-func (t TriggerDef) id() string {
+// Identity is the trigger's stable identity, derived from its
+// declaration: upload triggers identify per file key; event triggers
+// per (event, filter, sink) tuple — two identical declarations
+// collapse, distinct ones coexist. Fields are quoted so
+// user-controlled strings containing the separator cannot make
+// distinct triggers collide. Inheritance merging overrides by this
+// identity, and the platform keys an event trigger's durable delivery
+// cursors under it, so redeploying a class (even with the trigger
+// list reordered) resumes the same cursors instead of redelivering
+// from scratch.
+func (t TriggerDef) Identity() string {
 	if !t.IsEvent() {
 		return "upload/" + t.OnUpload
 	}
 	return fmt.Sprintf("event/%s/%q/%q/%q/%q", t.On, t.KeyPrefix, t.TargetObject, t.Function, t.Webhook)
 }
+
+// id keeps the short internal spelling for inheritance merging.
+func (t TriggerDef) id() string { return t.Identity() }
 
 // ClassDef is a class as written by the developer.
 type ClassDef struct {

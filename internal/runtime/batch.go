@@ -11,6 +11,7 @@ import (
 	"github.com/hpcclab/oparaca-go/internal/invoker"
 	"github.com/hpcclab/oparaca-go/internal/memtable"
 	"github.com/hpcclab/oparaca-go/internal/model"
+	"github.com/hpcclab/oparaca-go/internal/trigger"
 )
 
 // BatchCall is one method call of an InvokeBatch group. All calls of a
@@ -290,13 +291,36 @@ func (rt *ClassRuntime) batchLockedPlain(ctx context.Context, objectID string, g
 // emitGroupCommits publishes one StateChanged event per call the
 // merged commit carried — the group-commit path's realization of
 // one-event-per-committed-write-invocation. Calls that failed inside
-// the group emit nothing.
+// the group emit nothing. When the platform wires EventsBatch, the
+// whole group publishes in one call so the durable event log appends
+// it in one backing write (the commit itself was one write; its
+// events should not cost n).
 func (rt *ClassRuntime) emitGroupCommits(objectID string, group []writerCall, results []BatchCallResult, callKeys [][]string) {
+	if rt.infra.EventsBatch == nil || len(rt.stateSpecs) == 0 {
+		for gi, w := range group {
+			if results[w.idx].Err != nil {
+				continue
+			}
+			rt.emitCommitKeys(objectID, w.fn, callKeys[gi], w.call.Args)
+		}
+		return
+	}
+	evs := make([]trigger.Event, 0, len(group))
 	for gi, w := range group {
 		if results[w.idx].Err != nil {
 			continue
 		}
-		rt.emitCommitKeys(objectID, w.fn, callKeys[gi], w.call.Args)
+		evs = append(evs, trigger.Event{
+			Type:     trigger.StateChanged,
+			Class:    rt.class.Name,
+			Object:   objectID,
+			Function: w.fn.Name,
+			Keys:     callKeys[gi],
+			Depth:    trigger.DepthOf(w.call.Args),
+		})
+	}
+	if len(evs) > 0 {
+		rt.infra.EventsBatch(evs)
 	}
 }
 

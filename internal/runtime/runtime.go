@@ -75,6 +75,12 @@ type Infra struct {
 	// commit) after the commit lands, never on abort or for readonly
 	// calls. nil disables emission.
 	Events func(trigger.Event)
+	// EventsBatch, when set, receives the StateChanged events of one
+	// group-committed invocation batch as a single publication (all
+	// events share the object): the bus appends them to the durable
+	// event log in one backing write, matching the group commit's own
+	// one-write cost. nil falls back to per-event Events calls.
+	EventsBatch func([]trigger.Event)
 	// TombstoneTTL evicts a deleted key's version tombstone this long
 	// after the deletion, bounding state-table growth under object
 	// churn (see memtable.Config.TombstoneTTL). Zero keeps tombstones
@@ -1037,5 +1043,17 @@ func (rt *ClassRuntime) Close() {
 	}
 	if rt.table != nil {
 		rt.table.Close()
+	}
+}
+
+// Kill tears the runtime down WITHOUT the state table's final flush,
+// modeling process death: dirty write-behind state is abandoned, as a
+// crash would abandon it.
+func (rt *ClassRuntime) Kill() {
+	if rt.engine != nil {
+		rt.engine.Close()
+	}
+	if rt.table != nil {
+		rt.table.Kill()
 	}
 }

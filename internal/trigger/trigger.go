@@ -14,19 +14,38 @@
 //   - a webhook URL, POSTed with bounded doubling-backoff retry;
 //   - a live per-object stream (the gateway's SSE tail).
 //
-// The bus is sharded by object (per-object publish order is preserved
-// through dispatch; note that under optimistic concurrency two racing
-// commits on one object may publish in either order — emission happens
-// after the validated commit lands, outside the table's shard locks,
-// so event order tracks publish order, not version order, across
-// concurrent lock-free committers) and bounded with an explicit
-// overflow policy:
-// OverflowDrop counts and discards events that find their shard full,
-// OverflowBlock applies backpressure to the publisher. Object→object
-// chains are cycle-limited: an event whose trigger-chain depth has
-// reached Config.MaxChainDepth is not dispatched to method sinks, so a
-// self- or mutually-triggering class terminates instead of looping
-// forever. Close drains every accepted event before returning.
+// # Durability
+//
+// With Config.Log set, Publish writes every event through the
+// per-object append-only event log BEFORE dispatch, stamping the
+// assigned Offset into the event. Webhook and object-method sinks then
+// become cursor-based log consumers: each (subscription, object) pair
+// owns a durable cursor that only advances past an event once its
+// delivery succeeded (or terminally failed, e.g. the chain-depth
+// limit). A crash loses in-flight deliveries but not the events — on
+// restart, re-registering a subscription resumes its consumers from
+// the stored cursors, giving at-least-once delivery. Live streams stay
+// best-effort; the gateway heals their gaps by replaying the log.
+//
+// Sink delivery runs on a bounded worker pool, never inline in the
+// shard dispatch loop, so one stalled webhook endpoint (backoff sleeps
+// of up to retries × timeout) cannot delay stream delivery or method
+// chains for other objects on the same shard, nor — under
+// OverflowBlock — backpressure the commit path of unrelated writes.
+//
+// The bus is sharded by object and bounded with an explicit overflow
+// policy: OverflowDrop counts and discards events that find their
+// shard full, OverflowBlock applies backpressure to the publisher.
+// (Two racing OCC commits on one object may publish in either order —
+// emission happens after the validated commit lands, outside the
+// table's shard locks — so stream order tracks publish order across
+// concurrent lock-free committers; log offsets and cursor-based
+// consumers are ordered regardless.) Object→object chains are
+// cycle-limited: an event whose trigger-chain depth has reached
+// Config.MaxChainDepth is not dispatched to method sinks, so a self-
+// or mutually-triggering class terminates instead of looping forever.
+// Close drains every accepted event before returning; Kill models
+// process death (nothing drains, nothing flushes).
 package trigger
 
 import (
@@ -35,7 +54,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"net/http"
 	"sort"
 	"strconv"
@@ -43,6 +61,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/hpcclab/oparaca-go/internal/eventlog"
 	"github.com/hpcclab/oparaca-go/internal/metrics"
 	"github.com/hpcclab/oparaca-go/internal/vclock"
 )
@@ -99,8 +118,14 @@ func DepthOf(args map[string]string) int {
 
 // Event is one platform occurrence routed by the bus.
 type Event struct {
-	// Seq is a bus-assigned monotone sequence number.
+	// Seq is a bus-assigned monotone sequence number (process-local,
+	// resets on restart; Offset is the durable coordinate).
 	Seq uint64 `json:"seq"`
+	// Offset is the event's position in its object's durable log,
+	// 1-based and monotone per object. Zero when the bus runs without
+	// a log (or the append failed and the event was dispatched
+	// best-effort).
+	Offset int64 `json:"offset,omitempty"`
 	// Type discriminates the event kind.
 	Type EventType `json:"type"`
 	// Class and Object identify the emitting object.
@@ -126,6 +151,13 @@ type Event struct {
 
 // Subscription routes matching events to one sink.
 type Subscription struct {
+	// ID is the subscription's durable identity — the key its delivery
+	// cursors and counters persist under, stable across restarts. The
+	// bus stamps "named/<name>" on Subscribe and "class/<class>/<i>"
+	// on SetClassTriggers when empty; the platform passes
+	// declaration-derived identities for YAML triggers so a redeploy
+	// resumes the same cursors. Not part of the wire shape.
+	ID string `json:"-"`
 	// Class filters events to one emitting class; required.
 	Class string `json:"class"`
 	// Type is the event type subscribed to; required.
@@ -190,7 +222,9 @@ type OverflowPolicy string
 // Overflow policies.
 const (
 	// OverflowDrop (the default) discards the event and counts it in
-	// Stats().Dropped — emission never blocks the commit path.
+	// Stats().Dropped — emission never blocks the commit path. With a
+	// log, "discards" only skips dispatch; the event is already
+	// appended and cursor-based consumers still deliver it.
 	OverflowDrop OverflowPolicy = "drop"
 	// OverflowBlock applies backpressure: Publish waits for shard
 	// space, so no event is lost at the cost of commit-path latency.
@@ -211,6 +245,11 @@ type Config struct {
 	// InvokeAsync realizes the object-method sink; nil fails such
 	// deliveries (counted dropped).
 	InvokeAsync AsyncInvoker
+	// Log, when set, makes the bus durable: Publish appends every
+	// event to the log before dispatch and webhook/method sinks become
+	// cursor-based consumers with at-least-once redelivery. Nil keeps
+	// the PR 5 fire-and-forget behaviour.
+	Log *eventlog.Log
 	// Shards partitions the bus; events are spread by emitting object,
 	// so per-object order survives dispatch. Defaults to 4.
 	Shards int
@@ -223,6 +262,9 @@ type Config struct {
 	// this depth is not dispatched to method sinks (counted in
 	// CycleDropped and Dropped). Defaults to 8.
 	MaxChainDepth int
+	// DeliveryWorkers sizes the sink delivery pool (webhook POSTs and
+	// cursor-consumer runs). Defaults to 4.
+	DeliveryWorkers int
 	// HTTPClient delivers webhooks; defaults to a client with
 	// WebhookTimeout.
 	HTTPClient *http.Client
@@ -254,6 +296,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxChainDepth <= 0 {
 		c.MaxChainDepth = 8
+	}
+	if c.DeliveryWorkers <= 0 {
+		c.DeliveryWorkers = 4
 	}
 	if c.WebhookMaxRetries < 0 {
 		c.WebhookMaxRetries = 0
@@ -317,11 +362,44 @@ func (s *Stream) Close() {
 	})
 }
 
+// consumerState is one (subscription, object) cursor consumer. At most
+// one run is in flight per state; a notify arriving mid-run sets rerun
+// so the worker loops again instead of enqueuing a duplicate — the
+// delivery queue is therefore bounded by the number of distinct
+// (subscription, object) pairs, not by event volume.
+type consumerState struct {
+	sub    Subscription
+	object string
+	queued bool
+	rerun  bool
+}
+
+// delItem is one unit of delivery-pool work: a consumer run (st set)
+// or a one-shot direct job (legacy webhook delivery when the bus has
+// no log).
+type delItem struct {
+	st  *consumerState
+	run func()
+}
+
+// subCounters accumulates one subscription's delivery outcomes.
+type subCounters struct {
+	delivered atomic.Int64
+	retried   atomic.Int64
+	dropped   atomic.Int64
+}
+
 // Bus is the event router. It is safe for concurrent use.
 type Bus struct {
 	cfg    Config
 	shards []*busShard
 	seq    atomic.Uint64
+
+	// killCtx is cancelled by Kill so backoff sleeps and in-flight
+	// webhook requests abort instead of delaying the simulated crash.
+	killCtx    context.Context
+	killCancel context.CancelFunc
+	killed     atomic.Bool
 
 	// subs holds named subscriptions; classSubs the YAML-declared sets,
 	// replaced wholesale on class redeploy. Both guarded by subMu.
@@ -332,17 +410,32 @@ type Bus struct {
 	streamMu sync.Mutex
 	streams  map[string]map[*Stream]struct{}
 
+	// The delivery pool. delCond (on delMu) is broadcast on every
+	// enqueue and every completed run; workers and Drain both wait on
+	// it against their own predicates.
+	delMu     sync.Mutex
+	delCond   *sync.Cond
+	delQueue  []delItem
+	delState  map[string]*consumerState
+	delBusy   int
+	delClosed bool
+	delWg     sync.WaitGroup
+
+	subStatsMu sync.Mutex
+	subStats   map[string]*subCounters
+
 	// pubMu fences intake against Close: Publish holds the read side
-	// across its closed-check and shard send, Close flips closed under
-	// the write side, so once Close proceeds no publisher can be
-	// mid-send and closing the shard channels is race-free.
+	// across its closed-check, log append and shard send; Close flips
+	// closed under the write side, so once Close proceeds no publisher
+	// can be mid-send and closing the shard channels is race-free.
 	pubMu   sync.RWMutex
 	closed  bool
 	pending sync.WaitGroup // accepted-but-undispatched events
 	wg      sync.WaitGroup // dispatcher goroutines
 }
 
-// New builds a bus and starts one dispatcher per shard.
+// New builds a bus and starts one dispatcher per shard plus the
+// delivery pool.
 func New(cfg Config) (*Bus, error) {
 	cfg = cfg.withDefaults()
 	if !cfg.Overflow.Valid() {
@@ -355,11 +448,19 @@ func New(cfg Config) (*Bus, error) {
 		subs:      make(map[string]Subscription),
 		classSubs: make(map[string][]Subscription),
 		streams:   make(map[string]map[*Stream]struct{}),
+		delState:  make(map[string]*consumerState),
+		subStats:  make(map[string]*subCounters),
 	}
+	b.killCtx, b.killCancel = context.WithCancel(context.Background())
+	b.delCond = sync.NewCond(&b.delMu)
 	for i := range b.shards {
 		b.shards[i] = &busShard{ch: make(chan Event, cfg.Buffer)}
 		b.wg.Add(1)
 		go b.dispatchLoop(b.shards[i])
+	}
+	for i := 0; i < cfg.DeliveryWorkers; i++ {
+		b.delWg.Add(1)
+		go b.deliveryWorker()
 	}
 	return b, nil
 }
@@ -367,15 +468,43 @@ func New(cfg Config) (*Bus, error) {
 // Metrics exposes the bus's registry.
 func (b *Bus) Metrics() *metrics.Registry { return b.cfg.Metrics }
 
+// Log exposes the bus's durable event log (nil without one).
+func (b *Bus) Log() *eventlog.Log { return b.cfg.Log }
+
 // shardFor routes an object's events to a fixed shard, preserving
-// per-object dispatch order.
+// per-object dispatch order. The FNV-1a fold is inlined over the
+// string: Publish sits on every commit path, and hash/fnv's
+// hasher-plus-[]byte construction cost two heap allocations per
+// event (TestShardForNoAllocs pins this at zero).
 func (b *Bus) shardFor(object string) *busShard {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(object))
-	return b.shards[h.Sum32()%uint32(len(b.shards))]
+	h := uint32(2166136261)
+	for i := 0; i < len(object); i++ {
+		h ^= uint32(object[i])
+		h *= 16777619
+	}
+	return b.shards[h%uint32(len(b.shards))]
 }
 
-// Subscribe registers (or replaces) a named subscription.
+// subCountersFor returns (creating if needed) one subscription's
+// counters.
+func (b *Bus) subCountersFor(id string) *subCounters {
+	if id == "" {
+		return nil
+	}
+	b.subStatsMu.Lock()
+	defer b.subStatsMu.Unlock()
+	c, ok := b.subStats[id]
+	if !ok {
+		c = &subCounters{}
+		b.subStats[id] = c
+	}
+	return c
+}
+
+// Subscribe registers (or replaces) a named subscription. Its durable
+// identity is "named/<name>" (unless the caller pre-stamped one), so
+// re-subscribing after a restart resumes the stored cursors — any
+// backlog behind them is scheduled for redelivery immediately.
 func (b *Bus) Subscribe(name string, sub Subscription) error {
 	if name == "" {
 		return errors.New("trigger: subscription needs a name")
@@ -383,14 +512,20 @@ func (b *Bus) Subscribe(name string, sub Subscription) error {
 	if err := sub.Validate(); err != nil {
 		return err
 	}
+	if sub.ID == "" {
+		sub.ID = "named/" + name
+	}
 	b.subMu.Lock()
 	b.subs[name] = sub
 	b.subMu.Unlock()
+	b.recoverSub(sub)
 	return nil
 }
 
 // Unsubscribe removes a named subscription, reporting whether it
-// existed.
+// existed. Stored cursors are kept: a later Subscribe under the same
+// name resumes them (delivering the interim backlog) rather than
+// starting fresh.
 func (b *Bus) Unsubscribe(name string) bool {
 	b.subMu.Lock()
 	_, ok := b.subs[name]
@@ -415,13 +550,20 @@ func (b *Bus) Subscriptions() (names []string, subs map[string]Subscription) {
 // SetClassTriggers replaces the YAML-declared subscription set of one
 // class (called on every class deploy; redeploys swap the whole set).
 // Invalid entries are skipped — the model layer validates declarations
-// before they reach the bus.
+// before they reach the bus. Subscriptions without a pre-stamped ID
+// get a positional "class/<class>/<i>" identity; the platform stamps
+// declaration-derived identities instead so cursors survive reordered
+// redeploys.
 func (b *Bus) SetClassTriggers(class string, subs []Subscription) {
 	kept := make([]Subscription, 0, len(subs))
-	for _, s := range subs {
-		if s.Validate() == nil {
-			kept = append(kept, s)
+	for i, s := range subs {
+		if s.Validate() != nil {
+			continue
 		}
+		if s.ID == "" {
+			s.ID = "class/" + class + "/" + strconv.Itoa(i)
+		}
+		kept = append(kept, s)
 	}
 	b.subMu.Lock()
 	if len(kept) == 0 {
@@ -430,6 +572,21 @@ func (b *Bus) SetClassTriggers(class string, subs []Subscription) {
 		b.classSubs[class] = kept
 	}
 	b.subMu.Unlock()
+	for _, s := range kept {
+		b.recoverSub(s)
+	}
+}
+
+// recoverSub schedules a consumer run for every stored cursor of one
+// subscription: after a restart (or a re-subscribe) any backlog the
+// crash interrupted is redelivered without waiting for fresh events.
+func (b *Bus) recoverSub(sub Subscription) {
+	if b.cfg.Log == nil || sub.ID == "" {
+		return
+	}
+	for object := range b.cfg.Log.CursorsFor(sub.ID) {
+		b.notify(sub, object, 0)
+	}
 }
 
 // Stream opens a live event tail for one object. buf bounds the
@@ -450,7 +607,8 @@ func (b *Bus) Stream(object string, buf int) *Stream {
 	return s
 }
 
-// Publish routes one event. It assigns Seq and Time, counts the
+// Publish routes one event. It assigns Seq and Time, appends to the
+// durable log (stamping Offset) when one is configured, counts the
 // emission, and enqueues onto the object's shard under the configured
 // overflow policy. Publishing on a closed bus discards the event.
 func (b *Bus) Publish(ev Event) {
@@ -466,6 +624,71 @@ func (b *Bus) Publish(ev Event) {
 		m.Counter("trigger.dropped").Inc()
 		return
 	}
+	if b.cfg.Log != nil {
+		// Durability before dispatch: the event is in the log before
+		// any consumer can observe it, so an acknowledged append can
+		// never be lost to a crash. A failed append degrades to the
+		// fire-and-forget path (Offset zero) rather than losing the
+		// dispatch too.
+		_, err := b.cfg.Log.Append(b.killCtx, ev.Object, func(off int64) (json.RawMessage, error) {
+			ev.Offset = off
+			return json.Marshal(ev)
+		})
+		if err != nil {
+			ev.Offset = 0
+			m.Counter("trigger.log_failed").Inc()
+		}
+	}
+	b.enqueue(ev)
+}
+
+// PublishBatch routes a group of events emitted by one object's
+// group-committed invocation batch: all of them are appended to the
+// log in a single backing write (the commit itself was one write, its
+// events should not cost n), then enqueued individually. All events
+// must carry the same Object.
+func (b *Bus) PublishBatch(evs []Event) {
+	if len(evs) == 0 {
+		return
+	}
+	if len(evs) == 1 {
+		b.Publish(evs[0])
+		return
+	}
+	m := b.cfg.Metrics
+	for i := range evs {
+		evs[i].Seq = b.seq.Add(1)
+		if evs[i].Time.IsZero() {
+			evs[i].Time = b.cfg.Clock.Now()
+		}
+	}
+	m.Counter("trigger.emitted").Add(int64(len(evs)))
+	b.pubMu.RLock()
+	defer b.pubMu.RUnlock()
+	if b.closed {
+		m.Counter("trigger.dropped").Add(int64(len(evs)))
+		return
+	}
+	if b.cfg.Log != nil {
+		_, err := b.cfg.Log.AppendBatch(b.killCtx, evs[0].Object, len(evs), func(i int, off int64) (json.RawMessage, error) {
+			evs[i].Offset = off
+			return json.Marshal(evs[i])
+		})
+		if err != nil {
+			for i := range evs {
+				evs[i].Offset = 0
+			}
+			m.Counter("trigger.log_failed").Inc()
+		}
+	}
+	for _, ev := range evs {
+		b.enqueue(ev)
+	}
+}
+
+// enqueue sends one stamped event to its shard under the overflow
+// policy. Callers hold pubMu's read side with closed already checked.
+func (b *Bus) enqueue(ev Event) {
 	sh := b.shardFor(ev.Object)
 	b.pending.Add(1)
 	if b.cfg.Overflow == OverflowBlock {
@@ -479,7 +702,7 @@ func (b *Bus) Publish(ev Event) {
 	case sh.ch <- ev:
 	default:
 		b.pending.Done()
-		m.Counter("trigger.dropped").Inc()
+		b.cfg.Metrics.Counter("trigger.dropped").Inc()
 	}
 }
 
@@ -487,13 +710,18 @@ func (b *Bus) Publish(ev Event) {
 func (b *Bus) dispatchLoop(sh *busShard) {
 	defer b.wg.Done()
 	for ev := range sh.ch {
-		b.dispatch(ev)
+		if !b.killed.Load() {
+			b.dispatch(ev)
+		}
 		b.pending.Done()
 	}
 }
 
 // dispatch fans one event out to every matching subscription and
-// stream.
+// stream. Sink work is only scheduled here — webhook POSTs and
+// consumer runs execute on the delivery pool, so a slow endpoint
+// cannot stall this shard's queue (the head-of-line defect the pool
+// exists to fix).
 func (b *Bus) dispatch(ev Event) {
 	b.subMu.RLock()
 	matched := make([]Subscription, 0, 4)
@@ -511,30 +739,249 @@ func (b *Bus) dispatch(ev Event) {
 	}
 	b.subMu.RUnlock()
 	for _, sub := range matched {
-		if sub.Webhook != "" {
-			b.deliverWebhook(sub.Webhook, ev)
+		if b.cfg.Log != nil && sub.ID != "" && ev.Offset > 0 {
+			// Durable path: the subscription's cursor consumer picks
+			// the event up from the log.
+			b.notify(sub, ev.Object, ev.Offset)
 			continue
 		}
-		b.deliverMethod(sub, ev)
+		if sub.Webhook != "" {
+			b.enqueueDirect(sub, ev)
+			continue
+		}
+		b.deliverMethodCounted(sub, ev)
 	}
 	b.deliverStreams(ev)
 }
 
+// notify schedules (or re-arms) the cursor consumer of one
+// (subscription, object) pair. offset is the just-appended event's
+// offset, used to seed the initial cursor — a consumer starts at its
+// first matching event, not at the log floor, so subscribing does not
+// replay history; zero means "resume from the stored cursor"
+// (recovery).
+func (b *Bus) notify(sub Subscription, object string, offset int64) {
+	if _, ok := b.cfg.Log.Cursor(sub.ID, object); !ok {
+		if offset <= 0 {
+			return
+		}
+		// First contact: persist the cursor write-through so a crash
+		// after this point redelivers the event instead of forgetting
+		// the consumer ever existed.
+		if err := b.cfg.Log.SetCursor(b.killCtx, sub.ID, object, offset); err != nil {
+			b.cfg.Metrics.Counter("trigger.dropped").Inc()
+			if c := b.subCountersFor(sub.ID); c != nil {
+				c.dropped.Add(1)
+			}
+			return
+		}
+	}
+	key := sub.ID + "\x00" + object
+	b.delMu.Lock()
+	defer b.delMu.Unlock()
+	if b.delClosed {
+		return
+	}
+	st, ok := b.delState[key]
+	if !ok {
+		st = &consumerState{object: object}
+		b.delState[key] = st
+	}
+	st.sub = sub // refresh: a redeploy may have changed the sink
+	if st.queued {
+		st.rerun = true
+		return
+	}
+	st.queued = true
+	b.delQueue = append(b.delQueue, delItem{st: st})
+	b.delCond.Broadcast()
+}
+
+// enqueueDirect schedules a one-shot webhook delivery (log-less mode
+// only). The pool is fed by the bounded shard queues, so the FIFO here
+// stays shallow.
+func (b *Bus) enqueueDirect(sub Subscription, ev Event) {
+	b.delMu.Lock()
+	defer b.delMu.Unlock()
+	if b.delClosed {
+		b.cfg.Metrics.Counter("trigger.dropped").Inc()
+		return
+	}
+	b.delQueue = append(b.delQueue, delItem{run: func() {
+		c := b.subCountersFor(sub.ID)
+		if b.deliverWebhook(sub.Webhook, ev, c) {
+			b.cfg.Metrics.Counter("trigger.delivered").Inc()
+			if c != nil {
+				c.delivered.Add(1)
+			}
+		} else {
+			b.cfg.Metrics.Counter("trigger.dropped").Inc()
+			if c != nil {
+				c.dropped.Add(1)
+			}
+		}
+	}})
+	b.delCond.Broadcast()
+}
+
+// deliveryWorker executes pool items until Close (after the queue
+// drains) or Kill (immediately).
+func (b *Bus) deliveryWorker() {
+	defer b.delWg.Done()
+	for {
+		b.delMu.Lock()
+		for len(b.delQueue) == 0 && !b.delClosed {
+			b.delCond.Wait()
+		}
+		if len(b.delQueue) == 0 {
+			b.delMu.Unlock()
+			return
+		}
+		item := b.delQueue[0]
+		b.delQueue = b.delQueue[1:]
+		b.delBusy++
+		b.delMu.Unlock()
+		if item.st != nil {
+			b.runConsumer(item.st)
+		} else if !b.killed.Load() {
+			item.run()
+		}
+		b.delMu.Lock()
+		b.delBusy--
+		if item.st != nil {
+			if item.st.rerun && !b.killed.Load() {
+				item.st.rerun = false
+				b.delQueue = append(b.delQueue, delItem{st: item.st})
+			} else {
+				item.st.queued = false
+			}
+		}
+		b.delCond.Broadcast()
+		b.delMu.Unlock()
+	}
+}
+
+// runConsumer advances one (subscription, object) cursor through the
+// log, delivering every matching event in offset order. The cursor
+// only moves past an event on success or a terminal failure; a
+// retriable failure (webhook budget exhausted, async queue full)
+// leaves it in place, so the delivery is re-attempted on the next
+// notify and — because the cursor is durable — after a restart.
+func (b *Bus) runConsumer(st *consumerState) {
+	b.delMu.Lock()
+	sub, object := st.sub, st.object
+	b.delMu.Unlock()
+	log, m := b.cfg.Log, b.cfg.Metrics
+	c := b.subCountersFor(sub.ID)
+	cursor, ok := log.Cursor(sub.ID, object)
+	if !ok {
+		return
+	}
+	for !b.killed.Load() {
+		entries, err := log.Read(b.killCtx, object, cursor, 64)
+		if errors.Is(err, eventlog.ErrOffsetCompacted) {
+			// Retention overtook the consumer: the evicted entries are
+			// undeliverable. Count them dropped and resume at the
+			// floor.
+			floor, _, berr := log.Bounds(b.killCtx, object)
+			if berr != nil || floor <= cursor {
+				return
+			}
+			m.Counter("trigger.dropped").Add(floor - cursor)
+			if c != nil {
+				c.dropped.Add(floor - cursor)
+			}
+			cursor = floor
+			if err := log.SetCursor(b.killCtx, sub.ID, object, cursor); err != nil {
+				return
+			}
+			continue
+		}
+		if err != nil || len(entries) == 0 {
+			return
+		}
+		for _, e := range entries {
+			if b.killed.Load() {
+				return
+			}
+			var ev Event
+			advance := true
+			if uerr := json.Unmarshal(e.Payload, &ev); uerr == nil && sub.matches(ev) {
+				var delivered bool
+				delivered, advance = b.deliverDurable(sub, ev, c)
+				if delivered {
+					m.Counter("trigger.delivered").Inc()
+					if c != nil {
+						c.delivered.Add(1)
+					}
+				} else if advance {
+					m.Counter("trigger.dropped").Inc()
+					if c != nil {
+						c.dropped.Add(1)
+					}
+				}
+			}
+			if !advance {
+				return
+			}
+			cursor = e.Offset + 1
+			if err := log.SetCursor(b.killCtx, sub.ID, object, cursor); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// deliverDurable attempts one event's delivery for a cursor consumer,
+// returning whether it succeeded and whether the cursor may advance
+// (false only for retriable failures).
+func (b *Bus) deliverDurable(sub Subscription, ev Event, c *subCounters) (delivered, advance bool) {
+	if sub.Webhook != "" {
+		if b.deliverWebhook(sub.Webhook, ev, c) {
+			return true, true
+		}
+		// The retry budget is spent but the event is not lost: the
+		// cursor stays put and the next notify (or restart) retries.
+		// A permanently failing endpoint therefore stalls this
+		// consumer — visible as growing CursorLag in Stats.
+		return false, false
+	}
+	switch b.deliverMethod(sub, ev) {
+	case methodDelivered:
+		return true, true
+	case methodRetry:
+		return false, false
+	default:
+		return false, true
+	}
+}
+
+// methodOutcome classifies one object-method delivery attempt.
+type methodOutcome int
+
+const (
+	methodDelivered methodOutcome = iota
+	// methodDropped is terminal: retrying cannot help (chain-depth
+	// limit, no invoker, unmarshalable payload).
+	methodDropped
+	// methodRetry is transient: the async queue refused the submission
+	// (full, quota, closed) and a later attempt may succeed.
+	methodRetry
+)
+
 // deliverMethod routes an event to its object-method sink through the
 // async queue, enforcing the chain depth limit.
-func (b *Bus) deliverMethod(sub Subscription, ev Event) {
+func (b *Bus) deliverMethod(sub Subscription, ev Event) methodOutcome {
 	m := b.cfg.Metrics
 	if ev.Depth >= b.cfg.MaxChainDepth {
 		// The chain has used its depth budget: terminate instead of
 		// looping (a trigger targeting its own emitting class would
 		// otherwise self-sustain forever).
 		m.Counter("trigger.cycle_dropped").Inc()
-		m.Counter("trigger.dropped").Inc()
-		return
+		return methodDropped
 	}
 	if b.cfg.InvokeAsync == nil {
-		m.Counter("trigger.dropped").Inc()
-		return
+		return methodDropped
 	}
 	target := sub.TargetObject
 	if target == "" {
@@ -542,55 +989,72 @@ func (b *Bus) deliverMethod(sub Subscription, ev Event) {
 	}
 	payload, err := json.Marshal(ev)
 	if err != nil {
-		m.Counter("trigger.dropped").Inc()
-		return
+		return methodDropped
 	}
 	args := map[string]string{
 		ArgSource: string(ev.Type),
 		ArgDepth:  strconv.Itoa(ev.Depth + 1),
 	}
 	if _, err := b.cfg.InvokeAsync(context.Background(), target, sub.TargetFunction, payload, args); err != nil {
-		// Unknown target, full queue, closed platform: the delivery is
-		// lost, not retried — method sinks ride the async queue's own
-		// durability once accepted.
-		m.Counter("trigger.dropped").Inc()
+		// Full queue, quota, closed platform: retriable. Once
+		// accepted, the delivery rides the async queue's own
+		// durability.
+		return methodRetry
+	}
+	return methodDelivered
+}
+
+// deliverMethodCounted is the log-less dispatch path: one attempt,
+// failures counted dropped.
+func (b *Bus) deliverMethodCounted(sub Subscription, ev Event) {
+	m := b.cfg.Metrics
+	c := b.subCountersFor(sub.ID)
+	if b.deliverMethod(sub, ev) == methodDelivered {
+		m.Counter("trigger.delivered").Inc()
+		if c != nil {
+			c.delivered.Add(1)
+		}
 		return
 	}
-	m.Counter("trigger.delivered").Inc()
+	m.Counter("trigger.dropped").Inc()
+	if c != nil {
+		c.dropped.Add(1)
+	}
 }
 
 // deliverWebhook POSTs the event, retrying failures with doubling
-// backoff up to WebhookMaxRetries before dropping the delivery.
-func (b *Bus) deliverWebhook(url string, ev Event) {
+// backoff up to WebhookMaxRetries, and reports success. It runs on the
+// delivery pool, never a dispatch loop.
+func (b *Bus) deliverWebhook(url string, ev Event, c *subCounters) bool {
 	m := b.cfg.Metrics
 	payload, err := json.Marshal(ev)
 	if err != nil {
-		m.Counter("trigger.dropped").Inc()
-		return
+		return false
 	}
 	backoff := b.cfg.WebhookBackoff
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
-			if err := b.cfg.Clock.Sleep(context.Background(), backoff); err != nil {
-				break
+			if err := b.cfg.Clock.Sleep(b.killCtx, backoff); err != nil {
+				return false
 			}
 			backoff *= 2
 			m.Counter("trigger.retried").Inc()
+			if c != nil {
+				c.retried.Add(1)
+			}
 		}
 		if b.postWebhook(url, ev, payload) {
-			m.Counter("trigger.delivered").Inc()
-			return
+			return true
 		}
 		if attempt >= b.cfg.WebhookMaxRetries {
-			break
+			return false
 		}
 	}
-	m.Counter("trigger.dropped").Inc()
 }
 
 // postWebhook performs one delivery attempt.
 func (b *Bus) postWebhook(url string, ev Event, payload []byte) bool {
-	ctx, cancel := context.WithTimeout(context.Background(), b.cfg.WebhookTimeout)
+	ctx, cancel := context.WithTimeout(b.killCtx, b.cfg.WebhookTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
 	if err != nil {
@@ -617,17 +1081,44 @@ func (b *Bus) deliverStreams(ev Event) {
 			m.Counter("trigger.delivered").Inc()
 		default:
 			// Slow consumer: losing its event beats stalling dispatch
-			// for every other sink.
+			// for every other sink. With a log the loss is cosmetic —
+			// the gateway replays the gap from the stored entries.
 			m.Counter("trigger.dropped").Inc()
 		}
 	}
 }
 
-// Drain blocks until every accepted event has been dispatched (webhook
-// retries included — delivery runs inside dispatch). The async queue
+// Drain blocks until every accepted event has been dispatched and the
+// delivery pool is quiet (webhook retries included). The async queue
 // calls this from its Close so terminal-record webhooks drain before
 // the platform tears down.
-func (b *Bus) Drain() { b.pending.Wait() }
+func (b *Bus) Drain() {
+	b.pending.Wait()
+	b.delMu.Lock()
+	for (len(b.delQueue) > 0 || b.delBusy > 0) && !b.killed.Load() {
+		b.delCond.Wait()
+	}
+	b.delMu.Unlock()
+	// Pool runs may have published follow-on events (method sinks
+	// chain); cover the dispatch of anything they enqueued.
+	b.pending.Wait()
+}
+
+// SubscriptionStats is one subscription's delivery counters.
+type SubscriptionStats struct {
+	// Delivered counts successful sink deliveries.
+	Delivered int64 `json:"delivered"`
+	// Retried counts webhook re-POSTs under the backoff policy.
+	Retried int64 `json:"retried"`
+	// Dropped counts terminally failed deliveries (and, for durable
+	// consumers, retention-evicted undelivered events).
+	Dropped int64 `json:"dropped"`
+	// CursorLag sums the undelivered backlog across the
+	// subscription's cursors (durable mode only): log end minus
+	// cursor, over every object the consumer has touched. A growing
+	// lag with no deliveries is the signature of a stuck sink.
+	CursorLag int64 `json:"cursorLag"`
+}
 
 // Stats is a point-in-time bus snapshot.
 type Stats struct {
@@ -646,23 +1137,82 @@ type Stats struct {
 	// CycleDropped counts method deliveries suppressed by the chain
 	// depth limit (also included in Dropped).
 	CycleDropped int64 `json:"cycle_dropped"`
+	// LogFailed counts events whose durable append failed (dispatched
+	// best-effort instead).
+	LogFailed int64 `json:"log_failed,omitempty"`
+	// Subscriptions holds per-subscription delivery counters, keyed by
+	// durable identity ("named/<name>", "class/<class>/<id>").
+	Subscriptions map[string]SubscriptionStats `json:"subscriptions,omitempty"`
 }
 
 // Stats snapshots the bus counters.
 func (b *Bus) Stats() Stats {
 	m := b.cfg.Metrics
-	return Stats{
+	st := Stats{
 		Emitted:      m.Counter("trigger.emitted").Value(),
 		Delivered:    m.Counter("trigger.delivered").Value(),
 		Dropped:      m.Counter("trigger.dropped").Value(),
 		Retried:      m.Counter("trigger.retried").Value(),
 		CycleDropped: m.Counter("trigger.cycle_dropped").Value(),
+		LogFailed:    m.Counter("trigger.log_failed").Value(),
 	}
+	b.subStatsMu.Lock()
+	if len(b.subStats) > 0 {
+		st.Subscriptions = make(map[string]SubscriptionStats, len(b.subStats))
+		for id, c := range b.subStats {
+			st.Subscriptions[id] = SubscriptionStats{
+				Delivered: c.delivered.Load(),
+				Retried:   c.retried.Load(),
+				Dropped:   c.dropped.Load(),
+			}
+		}
+	}
+	b.subStatsMu.Unlock()
+	if b.cfg.Log != nil {
+		for id, s := range st.Subscriptions {
+			s.CursorLag = b.cfg.Log.CursorLag(id)
+			st.Subscriptions[id] = s
+		}
+	}
+	return st
 }
 
-// Close stops intake, drains every accepted event through dispatch,
-// stops the dispatchers, and closes all live streams. Idempotent.
+// SubscriptionStatsFor returns one subscription's counters by durable
+// identity.
+func (b *Bus) SubscriptionStatsFor(id string) SubscriptionStats {
+	var s SubscriptionStats
+	b.subStatsMu.Lock()
+	if c, ok := b.subStats[id]; ok {
+		s.Delivered = c.delivered.Load()
+		s.Retried = c.retried.Load()
+		s.Dropped = c.dropped.Load()
+	}
+	b.subStatsMu.Unlock()
+	if b.cfg.Log != nil {
+		s.CursorLag = b.cfg.Log.CursorLag(id)
+	}
+	return s
+}
+
+// Close stops intake, drains every accepted event through dispatch and
+// the delivery pool, stops the workers, and closes all live streams.
+// Idempotent.
 func (b *Bus) Close() {
+	b.shutdown(false)
+}
+
+// Kill models process death: intake stops, queued events and pool work
+// are abandoned (not drained), in-flight webhook requests and backoff
+// sleeps are cancelled. The durable log is untouched — everything
+// appended before the kill is recoverable, which is exactly what the
+// crash/replay tests assert.
+func (b *Bus) Kill() {
+	b.killed.Store(true)
+	b.killCancel()
+	b.shutdown(true)
+}
+
+func (b *Bus) shutdown(kill bool) {
 	b.pubMu.Lock()
 	if b.closed {
 		b.pubMu.Unlock()
@@ -672,11 +1222,21 @@ func (b *Bus) Close() {
 	b.pubMu.Unlock()
 	// No publisher can be mid-send now (sends hold pubMu's read side),
 	// so closing the shard channels is race-free; the dispatchers drain
-	// what was accepted and exit.
+	// what was accepted and exit (a kill skips their dispatch work).
 	for _, sh := range b.shards {
 		close(sh.ch)
 	}
 	b.wg.Wait()
+	// Dispatchers are gone — nothing enqueues pool work anymore. Let
+	// the workers finish the backlog (or abandon it on kill) and exit.
+	b.delMu.Lock()
+	b.delClosed = true
+	if kill {
+		b.delQueue = nil
+	}
+	b.delCond.Broadcast()
+	b.delMu.Unlock()
+	b.delWg.Wait()
 	b.streamMu.Lock()
 	for _, set := range b.streams {
 		for s := range set {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -442,5 +443,67 @@ func TestUnsubscribeStopsDelivery(t *testing.T) {
 	names, _ := b.Subscriptions()
 	if len(names) != 0 {
 		t.Fatalf("subscriptions = %v", names)
+	}
+}
+
+// TestStalledWebhookDoesNotBlockStreams is the head-of-line
+// regression test: webhook delivery runs on the delivery pool, so a
+// webhook hung mid-request on one object must not delay stream
+// delivery for a different object routed to the same shard.
+func TestStalledWebhookDoesNotBlockStreams(t *testing.T) {
+	release := make(chan struct{})
+	var stalled atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		stalled.Store(true)
+		<-release
+	}))
+	defer srv.Close()
+	// Unblock the handler before srv.Close (which waits for in-flight
+	// requests) and before the bus cleanup drains the delivery pool.
+	defer close(release)
+	// One shard forces both objects through the same dispatch loop.
+	b := newBus(t, Config{Shards: 1, WebhookTimeout: 5 * time.Second})
+	if err := b.Subscribe("hook", Subscription{Class: "A", Type: StateChanged, Webhook: srv.URL}); err != nil {
+		t.Fatal(err)
+	}
+	st := b.Stream("b-1", 8)
+	defer st.Close()
+	b.Publish(Event{Type: StateChanged, Class: "A", Object: "a-1", Keys: []string{"k"}})
+	deadline := time.Now().Add(5 * time.Second)
+	for !stalled.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("webhook never reached the stalling handler")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.Publish(Event{Type: StateChanged, Class: "B", Object: "b-1", Keys: []string{"k"}})
+	select {
+	case ev := <-st.Events():
+		if ev.Object != "b-1" {
+			t.Fatalf("stream got event for %q", ev.Object)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stream delivery stalled behind a hung webhook on the same shard")
+	}
+}
+
+// TestShardForNoAllocs pins the inlined FNV-1a fold at zero
+// allocations per publish-path hash and checks it agrees with the
+// stdlib hasher it replaced.
+func TestShardForNoAllocs(t *testing.T) {
+	b := newBus(t, Config{Shards: 8})
+	objects := []string{"", "a-1", "counter-with-a-much-longer-object-name"}
+	for _, obj := range objects {
+		if n := testing.AllocsPerRun(200, func() { b.shardFor(obj) }); n != 0 {
+			t.Errorf("shardFor(%q) allocates %.1f per call, want 0", obj, n)
+		}
+	}
+	for _, obj := range objects {
+		h := fnv.New32a()
+		_, _ = h.Write([]byte(obj))
+		want := b.shards[h.Sum32()%uint32(len(b.shards))]
+		if got := b.shardFor(obj); got != want {
+			t.Errorf("shardFor(%q) diverges from hash/fnv", obj)
+		}
 	}
 }

@@ -130,10 +130,47 @@
 // sharded by object (per-object event order is preserved) and bounded:
 // Config.TriggerOverflow selects dropping (default, counted) or
 // blocking the commit path when a shard is full. Delivery counters —
-// emitted, delivered, dropped (overflow, exhausted webhooks, cycle
-// terminations), retried — surface in Stats().Triggers, and Close
-// drains accepted events (pending webhook deliveries included) before
-// tearing the platform down.
+// emitted, delivered, dropped (overflow, cycle terminations),
+// retried — surface in Stats().Triggers, and Close drains accepted
+// events (pending webhook deliveries included) before tearing the
+// platform down.
+//
+// # Event durability & replay
+//
+// Events are durable: the bus writes every committed StateChanged and
+// terminal invocation event through a per-object append-only log
+// (internal/eventlog) before dispatch, assigning each a 1-based
+// monotone per-object offset (Event.Offset). The log and the
+// per-subscription delivery cursors persist in the platform's backing
+// store, so delivery survives process death with at-least-once
+// semantics:
+//
+//   - Webhook and object-method sinks consume the log behind a stored
+//     cursor that only advances after the sink acknowledged the
+//     event. A webhook that exhausts its retry budget is NOT dropped:
+//     the cursor stays put (visible as a growing cursorLag in
+//     `GET /api/triggers` / `ocli triggers`) and delivery resumes on
+//     the next event or after a restart. A restarted platform given
+//     the same Config.Backing recovers named subscriptions and — once
+//     the package is redeployed — class triggers, and redelivers
+//     everything their cursors never acknowledged; duplicates are
+//     possible (cursor advances flush lazily), lost deliveries are
+//     not.
+//   - Stream clients resume with `GET /api/objects/{id}/events?
+//     fromOffset=N` (`ocli tail <id> -from N`): retained history
+//     replays first, then the stream continues live, deduplicated and
+//     gap-healed by offset — the client observes a gap-free,
+//     per-object-ordered sequence. Resuming below the retained floor
+//     fails with ErrOffsetCompacted (HTTP 410 Gone,
+//     "offset_compacted").
+//
+// Retention is bounded per object (Config.EventLogMaxPerObject,
+// default 1024 entries) and by age (Config.EventLogRetention), swept
+// on the async GC cadence; per-subscription delivered/retried/dropped
+// counters ride the same stats surfaces. Config.EventLogMemoryOnly
+// keeps the full event machinery in process memory only — the
+// experiment harness uses it so the paper's DB write accounting stays
+// untouched by event-log plumbing.
 //
 // # Concurrency modes
 //
@@ -408,7 +445,12 @@ var (
 	ErrQueueFull          = core.ErrQueueFull
 	ErrClassQuotaExceeded = core.ErrClassQuotaExceeded
 	ErrInvocationNotFound = core.ErrInvocationNotFound
+	ErrOffsetCompacted    = core.ErrOffsetCompacted
 )
+
+// EventLogEntry is one stored record of an object's durable event
+// log: the offset-stamped event JSON as appended at commit time.
+type EventLogEntry = core.EventLogEntry
 
 // Object is a convenience handle for one cloud object.
 type Object struct {
