@@ -966,6 +966,72 @@ func BenchmarkInvokeHotPath(b *testing.B) {
 	}
 }
 
+// BenchmarkInvokeWithDeadline isolates the deadline watchdog's cost on
+// the synchronous invoke path:
+//
+//   - disabled: no function/class/platform timeout — the warm path
+//     stays a plain in-goroutine handler call.
+//   - armed-1s: a generous (never-firing) 1s function deadline — every
+//     invocation pays context.WithTimeout plus the watchdog goroutine
+//     and outcome channel.
+//
+// The guarded gap between the two is the price of failure semantics on
+// a hot object.
+func BenchmarkInvokeWithDeadline(b *testing.B) {
+	ctx := context.Background()
+	setup := func(b *testing.B) *Platform {
+		b.Helper()
+		noServe := false
+		plat, err := New(Config{Workers: 4, OpsPerMilliCPU: 1000, ServeObjectStore: &noServe})
+		if err != nil {
+			b.Fatal(err)
+		}
+		plat.Images().Register("img/dlbump", HandlerFunc(func(_ context.Context, task Task) (Result, error) {
+			var n float64
+			if raw, ok := task.State["n"]; ok {
+				_ = json.Unmarshal(raw, &n)
+			}
+			out, _ := json.Marshal(n + 1)
+			return Result{Output: out, State: map[string]json.RawMessage{"n": out}}, nil
+		}))
+		pkg := "classes:\n  - name: DL\n    keySpecs:\n      - name: n\n        kind: number\n        default: 0\n" +
+			"    functions:\n      - name: free\n        image: img/dlbump\n" +
+			"      - name: timed\n        image: img/dlbump\n        timeoutMs: 1000\n"
+		if _, err := plat.DeployYAML(ctx, []byte(pkg)); err != nil {
+			plat.Close()
+			b.Fatal(err)
+		}
+		return plat
+	}
+	for _, bc := range []struct{ name, fn string }{
+		{"disabled", "free"},
+		{"armed-1s", "timed"},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			plat := setup(b)
+			defer plat.Close()
+			id, err := plat.CreateObject(ctx, "DL", "dl-0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := plat.Invoke(ctx, id, bc.fn, nil, nil); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := plat.Invoke(ctx, id, bc.fn, nil, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			ops := float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(ops, "ops/s")
+			recordInvokeBench("invokedeadline/"+bc.name, ops)
+		})
+	}
+}
+
 // --- Substrate micro-benchmarks --------------------------------------
 
 // BenchmarkMicroYAMLDecode parses the paper's Listing 1.

@@ -1,0 +1,302 @@
+package oaas
+
+// Chaos fault-injection soak: seeded probabilistic backing-store
+// faults (Config.Chaos) drive the whole platform — deadlines,
+// concurrency-exact counters, the circuit breaker's full
+// open/half-open/closed cycle, degraded cache reads, durable event
+// offsets, and async drain — under the race detector. Each seed is a
+// reproducible schedule; a failing run replays with its seed.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/hpcclab/oparaca-go/internal/kvstore"
+	"github.com/hpcclab/oparaca-go/internal/resilience"
+)
+
+const chaosYAML = `classes:
+  - name: CCounter
+    concurrencyMode: adaptive
+    keySpecs:
+      - name: value
+        kind: number
+        default: 0
+    functions:
+      - name: incr
+        image: img/chaos-incr
+      - name: stuck
+        image: img/chaos-stall
+        timeoutMs: 50
+`
+
+func registerChaosImages(p *Platform) {
+	p.Images().Register("img/chaos-incr", HandlerFunc(func(_ context.Context, task Task) (Result, error) {
+		var n float64
+		if raw, ok := task.State["value"]; ok {
+			_ = json.Unmarshal(raw, &n)
+		}
+		out, _ := json.Marshal(n + 1)
+		return Result{Output: out, State: map[string]json.RawMessage{"value": out}}, nil
+	}))
+	p.Images().Register("img/chaos-stall", HandlerFunc(func(context.Context, Task) (Result, error) {
+		time.Sleep(300 * time.Millisecond) // deliberately ignores ctx
+		return Result{State: map[string]json.RawMessage{"value": json.RawMessage(`777`)}}, nil
+	}))
+}
+
+// TestChaosSoak runs the randomized fault schedule under three seeds.
+// CI runs it with -race -count=3; each run must hold every invariant.
+func TestChaosSoak(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) { chaosSoak(t, seed) })
+	}
+}
+
+func chaosSoak(t *testing.T, seed int64) {
+	// Inject the backing store so the fault schedule can be flipped
+	// mid-run (soak faults -> total blackout -> recovery).
+	backing := kvstore.Open(kvstore.Config{})
+	p, err := New(Config{
+		Workers:     2,
+		ColdStart:   time.Millisecond,
+		IdleTimeout: time.Minute,
+		Backing:     backing,
+		Chaos: FaultPlan{
+			Seed:             seed,
+			ReadErrorRate:    0.05,
+			WriteErrorRate:   0.05,
+			LatencySpikeRate: 0.02,
+			LatencySpike:     time.Millisecond,
+			PartialBatchRate: 0.10,
+			PermanentRate:    0.25,
+		},
+		Breaker: BreakerConfig{
+			Window:           16,
+			FailureThreshold: 0.5,
+			MinSamples:       4,
+			OpenTimeout:      50 * time.Millisecond,
+			HalfOpenProbes:   2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	registerChaosImages(p)
+	ctx := context.Background()
+	if _, err := p.DeployYAML(ctx, []byte(chaosYAML)); err != nil {
+		t.Fatal(err)
+	}
+
+	const nObjects = 4
+	objects := make([]string, nObjects)
+	successes := make([]atomic.Int64, nObjects)
+	for i := range objects {
+		objects[i] = fmt.Sprintf("c%d", i)
+		if _, err := p.CreateObject(ctx, "CCounter", objects[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Phase 1 — soak: concurrent increments under probabilistic
+	// faults, a deadline-expiring stuck handler, and async
+	// submissions. Chaos may fail invocations; every acknowledged
+	// success must land exactly once.
+	var wg sync.WaitGroup
+	for i := range objects {
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for n := 0; n < 30; n++ {
+					if _, err := p.Invoke(ctx, objects[i], "incr", nil, nil); err == nil {
+						successes[i].Add(1)
+					}
+				}
+			}(i)
+		}
+	}
+	// The stuck handler must fail on its 50ms deadline within 2x the
+	// deadline while the soak hammers the same shard.
+	start := time.Now()
+	_, stuckErr := p.Invoke(ctx, objects[0], "stuck", nil, nil)
+	stuckElapsed := time.Since(start)
+	var asyncIDs []string
+	for n := 0; n < 8; n++ {
+		if id, err := p.InvokeAsync(ctx, objects[n%nObjects], "incr", nil, nil); err == nil {
+			asyncIDs = append(asyncIDs, id)
+		}
+	}
+	wg.Wait()
+	if !errors.Is(stuckErr, ErrDeadlineExceeded) {
+		t.Fatalf("stuck invoke err = %v, want ErrDeadlineExceeded", stuckErr)
+	}
+	if stuckElapsed > 100*time.Millisecond {
+		t.Fatalf("deadline failure took %v, want <= 2x the 50ms deadline", stuckElapsed)
+	}
+	// Every accepted async submission reaches a terminal record — an
+	// acknowledged invocation is never lost, whatever chaos did to it.
+	for _, id := range asyncIDs {
+		wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		rec, err := p.WaitInvocation(wctx, id)
+		cancel()
+		if err != nil {
+			t.Fatalf("acknowledged async invocation %s lost: %v", id, err)
+		}
+		if rec.Status == InvocationCompleted {
+			// Completed asyncs are acknowledged increments too.
+			for i, obj := range objects {
+				if rec.Object == obj {
+					successes[i].Add(1)
+				}
+			}
+		}
+	}
+
+	// Phase 2 — blackout: every store op fails. The breaker must trip,
+	// then fast-fail writes, while reads of cached state serve from
+	// the memtable in degraded mode.
+	backing.SetFaultPlan(FaultPlan{Seed: seed, ReadErrorRate: 1, WriteErrorRate: 1, PermanentRate: 1})
+	tripDeadline := time.Now().Add(5 * time.Second)
+	for p.Breaker().State() != resilience.StateOpen {
+		if time.Now().After(tripDeadline) {
+			t.Fatalf("breaker never opened under total blackout (state %v)", p.Breaker().State())
+		}
+		_, _ = p.CreateObject(ctx, "CCounter", "")
+	}
+	// Fast-fail with the sentinel while open.
+	var sawOpen bool
+	for n := 0; n < 20 && !sawOpen; n++ {
+		_, err := p.CreateObject(ctx, "CCounter", "")
+		sawOpen = errors.Is(err, ErrBackingUnavailable)
+	}
+	if !sawOpen {
+		t.Fatal("open breaker never surfaced ErrBackingUnavailable on writes")
+	}
+	// Cached read serves degraded.
+	if _, err := p.GetState(ctx, objects[0], "value"); err != nil {
+		t.Fatalf("cached read failed during blackout: %v", err)
+	}
+	if got := p.Stats().Resilience.DegradedReads; got == 0 {
+		t.Fatal("no degraded reads counted while the breaker was open")
+	}
+
+	// Phase 3 — recovery: clear the faults; after OpenTimeout the
+	// half-open probes must close the breaker again.
+	backing.SetFaultPlan(FaultPlan{})
+	closeDeadline := time.Now().Add(10 * time.Second)
+	for p.Breaker().State() != resilience.StateClosed {
+		if time.Now().After(closeDeadline) {
+			t.Fatalf("breaker never closed after recovery (state %v)", p.Breaker().State())
+		}
+		time.Sleep(10 * time.Millisecond)
+		_, _ = p.CreateObject(ctx, "CCounter", "")
+	}
+
+	// Phase 4 — exact epilogue: with faults cleared every increment
+	// must succeed, and each hot counter must equal exactly its
+	// acknowledged successes.
+	const epilogue = 10
+	for i := range objects {
+		for n := 0; n < epilogue; n++ {
+			if _, err := p.Invoke(ctx, objects[i], "incr", nil, nil); err != nil {
+				t.Fatalf("post-recovery incr on %s failed: %v", objects[i], err)
+			}
+			successes[i].Add(1)
+		}
+	}
+	for i, obj := range objects {
+		raw, err := p.GetState(ctx, obj, "value")
+		if err != nil {
+			t.Fatalf("reading %s: %v", obj, err)
+		}
+		if want := fmt.Sprintf("%d", successes[i].Load()); string(raw) != want {
+			t.Fatalf("counter %s = %s, want exactly %s acknowledged increments", obj, raw, want)
+		}
+	}
+
+	// Durable event offsets stay per-object monotone through the
+	// blackout, and the exact epilogue's commits are all retained.
+	entries, err := p.ReadEvents(ctx, objects[0], 1, 0)
+	if err != nil {
+		t.Fatalf("reading event log: %v", err)
+	}
+	if len(entries) < epilogue {
+		t.Fatalf("event log retained %d entries, want >= %d post-recovery commits", len(entries), epilogue)
+	}
+	var last int64
+	for _, e := range entries {
+		if e.Offset <= last {
+			t.Fatalf("event offsets not strictly increasing: %d after %d", e.Offset, last)
+		}
+		last = e.Offset
+	}
+
+	// Final invariants: a full breaker cycle happened, the stuck
+	// handler eventually returned (no goroutine-gauge leak), and the
+	// async queue drained.
+	st := p.Stats()
+	if st.Resilience.Breaker.Opened < 1 || st.Resilience.Breaker.Closes < 1 {
+		t.Fatalf("breaker cycle incomplete: %+v", st.Resilience.Breaker)
+	}
+	if st.Resilience.Degraded {
+		t.Fatal("platform still degraded after recovery")
+	}
+	leakDeadline := time.Now().Add(5 * time.Second)
+	for p.Stats().Resilience.LeakedHandlers != 0 {
+		if time.Now().After(leakDeadline) {
+			t.Fatalf("leaked handlers never drained: %d", p.Stats().Resilience.LeakedHandlers)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.Async.Depth != 0 || st.Async.InFlight != 0 {
+		t.Fatalf("async queue not drained: depth=%d inflight=%d", st.Async.Depth, st.Async.InFlight)
+	}
+	// The stuck handler's late delta never committed: counters above
+	// already proved it (777 would have broken exactness).
+}
+
+// TestAsyncDeadlineExpires verifies a running async handler that
+// outlives its submission deadline terminates as "expired", not
+// "failed", and surfaces in the expired counters.
+func TestAsyncDeadlineExpires(t *testing.T) {
+	p, err := New(Config{Workers: 2, ColdStart: time.Millisecond, IdleTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	registerChaosImages(p)
+	ctx := context.Background()
+	if _, err := p.DeployYAML(ctx, []byte(chaosYAML)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CreateObject(ctx, "CCounter", "a1"); err != nil {
+		t.Fatal(err)
+	}
+	id, err := p.InvokeAsync(ctx, "a1", "stuck", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	rec, err := p.WaitInvocation(wctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Status != InvocationExpired {
+		t.Fatalf("status = %q (err %q), want expired", rec.Status, rec.Error)
+	}
+	if got := p.Stats().Async.Expired; got < 1 {
+		t.Fatalf("Stats().Async.Expired = %d, want >= 1", got)
+	}
+	if got := p.Stats().Resilience.Expired; got < 1 {
+		t.Fatalf("Stats().Resilience.Expired = %d, want >= 1", got)
+	}
+}

@@ -47,7 +47,7 @@ import (
 //
 //	BenchmarkInvokeHotPath/hot-object-8  1234  567 ns/op  890 ops/s
 //	BenchmarkAsyncDrainThroughput/hot-object/w4/batch16-8  500  80901 ns/op  12361 ops/s
-var benchLine = regexp.MustCompile(`^Benchmark(InvokeHotPath|AsyncDrainThroughput|TriggerFanout|EventLogAppend|EventLogReplay)/(\S+)\s.*?([0-9.]+(?:e[+-]?[0-9]+)?) ops/s`)
+var benchLine = regexp.MustCompile(`^Benchmark(InvokeHotPath|InvokeWithDeadline|AsyncDrainThroughput|TriggerFanout|EventLogAppend|EventLogReplay)/(\S+)\s.*?([0-9.]+(?:e[+-]?[0-9]+)?) ops/s`)
 
 // allocsMetric matches the allocs/op figure on a result line (either
 // testing's builtin -benchmem column or a ReportMetric override).
@@ -56,6 +56,7 @@ var allocsMetric = regexp.MustCompile(`([0-9.]+(?:e[+-]?[0-9]+)?) allocs/op`)
 // snapshotPrefix maps a benchmark family to its snapshot key prefix.
 var snapshotPrefix = map[string]string{
 	"InvokeHotPath":        "invoke/",
+	"InvokeWithDeadline":   "invokedeadline/",
 	"AsyncDrainThroughput": "asyncdrain/",
 	"TriggerFanout":        "triggerfanout/",
 	"EventLogAppend":       "eventlog/append/",

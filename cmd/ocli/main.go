@@ -15,10 +15,11 @@
 //	objects [class]                    list objects
 //	object <id>                        show an object's class
 //	delete <id>                        delete an object
-//	invoke <id> <fn> [-d payload] [-a k=v]...   invoke a method/dataflow
-//	invoke-async <id> <fn> [-d payload] [-a k=v]...  enqueue an async invocation
+//	invoke <id> <fn> [-d payload] [-a k=v]... [-t 0]   invoke a method/dataflow
+//	                                   (-t sets a per-request deadline)
+//	invoke-async <id> <fn> [-d payload] [-a k=v]... [-t 0]  enqueue an async invocation
 //	invocation <id>                    poll one async invocation record
-//	invoke-wait <invocation-id> [-t 30s]  poll until completed/failed
+//	invoke-wait <invocation-id> [-t 30s]  poll until completed/failed/expired
 //	state-get <id> <key>               read a structured state key
 //	state-set <id> <key> <json>        write a structured state key
 //	file-url <id> <key> [GET|PUT|DELETE]  presigned URL for a file key
@@ -29,6 +30,9 @@
 //	tail <id> [-n max] [-t 30s] [-from N]  stream an object's events (SSE);
 //	                                   -from replays stored history from offset N
 //	stats                              platform statistics
+//	health                             readiness probe (breaker state, queue
+//	                                   depth, trigger backlog); exits 1 when
+//	                                   the platform is degraded or saturated
 //	actions                            optimizer decision log
 //
 // The server address can also be set via the OPARACA_URL environment
@@ -84,14 +88,14 @@ commands:
   apply <package.yaml|json>
   classes | class <name>
   create <class> [id] | objects [class] | object <id> | delete <id>
-  invoke <id> <fn> [-d payload] [-a k=v]...
-  invoke-async <id> <fn> [-d payload] [-a k=v]...
+  invoke <id> <fn> [-d payload] [-a k=v]... [-t deadline]
+  invoke-async <id> <fn> [-d payload] [-a k=v]... [-t deadline]
   invocation <id> | invoke-wait <invocation-id> [-t 30s]
   state-get <id> <key> | state-set <id> <key> <json>
   file-url <id> <key> [GET|PUT|DELETE]
   triggers | subscribe <name> -class C -on EV [-prefix P] [-object O] [-fn F] [-url U]
   unsubscribe <name> | tail <id> [-n max] [-t 30s] [-from offset]
-  stats | actions
+  stats | health | actions
 `)
 }
 
@@ -168,6 +172,8 @@ func (c *client) dispatch(args []string) error {
 		return c.tail(rest)
 	case "stats":
 		return c.getAndPrint("/api/stats")
+	case "health":
+		return c.health()
 	case "actions":
 		return c.getAndPrint("/api/optimizer/actions")
 	default:
@@ -214,6 +220,7 @@ func (c *client) invoke(args []string, async bool) error {
 	}
 	fs := flag.NewFlagSet(verb, flag.ContinueOnError)
 	payload := fs.String("d", "", "JSON payload")
+	timeout := fs.Duration("t", 0, "per-request invocation deadline (0 = class/platform default)")
 	var kvs multiFlag
 	fs.Var(&kvs, "a", "invocation arg k=v (repeatable)")
 	// Positional args come first: <id> <fn>.
@@ -231,6 +238,9 @@ func (c *client) invoke(args []string, async bool) error {
 			return fmt.Errorf("bad -a %q (want k=v)", kv)
 		}
 		q.Set(k, v)
+	}
+	if *timeout > 0 {
+		q.Set("timeoutMs", strconv.FormatInt(timeout.Milliseconds(), 10))
 	}
 	path := fmt.Sprintf("/api/objects/%s/%s/%s", url.PathEscape(id), verb, url.PathEscape(fn))
 	if len(q) > 0 {
@@ -278,7 +288,7 @@ func (c *client) invokeWait(args []string) error {
 		if err != nil {
 			return err
 		}
-		if status == "completed" || status == "failed" {
+		if status == "completed" || status == "failed" || status == "expired" {
 			printJSON(raw)
 			return nil
 		}
@@ -363,6 +373,24 @@ func (c *client) tail(args []string) error {
 	}
 	if err := sc.Err(); err != nil && ctx.Err() == nil {
 		return err
+	}
+	return nil
+}
+
+// health probes GET /readyz and prints the readiness report. Unlike
+// the generic request helper it prints the body even on 503 — the
+// report (breaker state, queue depth, trigger backlog) is the point —
+// and signals not-ready through the exit status for scripts.
+func (c *client) health() error {
+	resp, err := http.Get(c.base + "/readyz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	printJSON(raw)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("not ready (HTTP %d)", resp.StatusCode)
 	}
 	return nil
 }

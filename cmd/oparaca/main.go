@@ -43,14 +43,19 @@ func main() {
 		apply     = flag.String("apply", "", "optional package YAML to deploy at startup")
 		recordTTL = flag.Duration("async-record-ttl", 0,
 			"evict completed/failed async invocation records this long after they finish (0 = keep forever)")
+		invokeTimeout = flag.Duration("invoke-timeout", 0,
+			"default per-invocation deadline for classes that declare none (0 = unlimited)")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second,
+			"how long shutdown waits for in-flight requests and queued async work")
 	)
 	flag.Parse()
 
 	p, err := core.New(core.Config{
-		Workers:          *workers,
-		DBWriteOpsPerSec: *dbCap,
-		EnableOptimizer:  *optimize,
-		AsyncRecordTTL:   *recordTTL,
+		Workers:              *workers,
+		DBWriteOpsPerSec:     *dbCap,
+		EnableOptimizer:      *optimize,
+		AsyncRecordTTL:       *recordTTL,
+		DefaultInvokeTimeout: *invokeTimeout,
 	})
 	if err != nil {
 		log.Fatalf("oparaca: %v", err)
@@ -70,7 +75,17 @@ func main() {
 		log.Printf("deployed classes: %s", strings.Join(names, ", "))
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: gateway.New(p)}
+	// Slow-client protection: a peer that stalls mid-headers or never
+	// reads its response must not pin a handler goroutine forever. The
+	// write timeout leaves headroom over the gateway's 30s long-poll
+	// cap; the SSE handler clears its own write deadline for the
+	// lifetime of the stream.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           gateway.New(p),
+		ReadHeaderTimeout: 5 * time.Second,
+		WriteTimeout:      60 * time.Second,
+	}
 	go func() {
 		log.Printf("oparaca gateway listening on %s (workers=%d, object store at %s)",
 			*addr, *workers, p.ObjectStoreURL())
@@ -82,10 +97,15 @@ func main() {
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	log.Println("oparaca: shutting down")
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	log.Println("oparaca: draining in-flight requests")
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	_ = srv.Shutdown(ctx)
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("oparaca: forced shutdown with requests in flight: %v", err)
+	}
+	// The deferred platform Close drains queued async work before the
+	// process exits.
+	log.Println("oparaca: gateway stopped, draining async queue")
 }
 
 // registerBuiltinImages installs the stock function library. Each

@@ -93,10 +93,16 @@ const (
 	StatusRunning   Status = "running"
 	StatusCompleted Status = "completed"
 	StatusFailed    Status = "failed"
+	// StatusExpired marks an invocation whose deadline elapsed — either
+	// while it sat queued (stale work is dropped without executing) or
+	// while its handler ran (the handler's delta never committed).
+	StatusExpired Status = "expired"
 )
 
 // Terminal reports whether s is a final status.
-func (s Status) Terminal() bool { return s == StatusCompleted || s == StatusFailed }
+func (s Status) Terminal() bool {
+	return s == StatusCompleted || s == StatusFailed || s == StatusExpired
+}
 
 // Record is the durable state of one asynchronous invocation.
 type Record struct {
@@ -204,6 +210,15 @@ type Config struct {
 	// ClassOf resolves an object ID to its class name for quota
 	// accounting. Objects resolving to "" bypass quotas.
 	ClassOf func(objectID string) string
+	// TimeoutFor resolves the declared invocation deadline for one
+	// submission (the platform passes its function/class/platform
+	// TimeoutMs resolution). The duration is measured from submission
+	// time: queued work that outlives it is dropped as expired instead
+	// of executed, and a running handler is cut off when it elapses.
+	// Zero (or a nil TimeoutFor) leaves the task without a declared
+	// deadline; a deadline on the submitter's context still applies
+	// (the earlier of the two wins).
+	TimeoutFor func(objectID, member string) time.Duration
 	// OnTerminal, when set, is called once per invocation record that
 	// reaches a terminal status (completed or failed), after the record
 	// is persisted, with the submission's args — the platform publishes
@@ -268,6 +283,11 @@ type task struct {
 	args    map[string]string
 	ctx     context.Context // submitter's context; cancellation is observed
 	queued  time.Time
+	// deadline is the absolute submission deadline (zero = none): the
+	// earlier of queued+TimeoutFor and the submitter context's own
+	// deadline. Execution contexts are capped to it, and a task still
+	// queued past it is dropped as expired.
+	deadline time.Time
 }
 
 // Queue is the asynchronous invocation engine. It is safe for
@@ -393,6 +413,14 @@ func (q *Queue) Submit(ctx context.Context, objectID, member string, payload jso
 		args:    maps.Clone(args),
 		ctx:     ctx,
 		queued:  q.cfg.Clock.Now(),
+	}
+	if q.cfg.TimeoutFor != nil {
+		if d := q.cfg.TimeoutFor(objectID, member); d > 0 {
+			t.deadline = t.queued.Add(d)
+		}
+	}
+	if ctxDl, ok := ctx.Deadline(); ok && (t.deadline.IsZero() || ctxDl.Before(t.deadline)) {
+		t.deadline = ctxDl
 	}
 	if len(q.cfg.ClassQuotas) > 0 && q.cfg.ClassOf != nil {
 		t.class = q.cfg.ClassOf(objectID)
@@ -687,14 +715,32 @@ func (q *Queue) runBatch(batch []task) {
 			ID: t.id, Object: t.object, Member: t.member,
 			Status: StatusRunning, Enqueued: t.queued, Started: started,
 		}
-		// A submission cancelled while queued fails without invoking;
-		// its terminal metrics mirror every other exit path (a zero
-		// execution-time sample keeps queue.exec's count equal to the
-		// completed+failed total).
+		// A submission cancelled or expired while queued goes terminal
+		// without invoking; its terminal metrics mirror every other exit
+		// path (a zero execution-time sample keeps queue.exec's count
+		// equal to the terminal-record total).
 		if err := t.ctx.Err(); err != nil {
-			rec.Status, rec.Error, rec.Finished = StatusFailed, err.Error(), started
+			rec.Finished = started
+			if errors.Is(err, context.DeadlineExceeded) {
+				rec.Status, rec.Error = StatusExpired, err.Error()
+				m.Counter("queue.expired").Inc()
+			} else {
+				rec.Status, rec.Error = StatusFailed, err.Error()
+				m.Counter("queue.failed").Inc()
+			}
 			m.Histogram("queue.exec").Observe(0)
-			m.Counter("queue.failed").Inc()
+			recs = append(recs, rec)
+			cancelled = append(cancelled, terminalHook{rec: rec, args: t.args})
+			continue
+		}
+		if !t.deadline.IsZero() && !started.Before(t.deadline) {
+			// Stale queued work: the submission deadline elapsed while
+			// the task waited. Nobody is waiting for the result anymore,
+			// so dropping it beats executing it.
+			rec.Status, rec.Finished = StatusExpired, started
+			rec.Error = "asyncq: submission deadline elapsed while queued"
+			m.Histogram("queue.exec").Observe(0)
+			m.Counter("queue.expired").Inc()
 			recs = append(recs, rec)
 			cancelled = append(cancelled, terminalHook{rec: rec, args: t.args})
 			continue
@@ -725,10 +771,16 @@ func (q *Queue) runBatch(batch []task) {
 		// One exec sample per task keeps the histogram count equal to
 		// the terminal-record count across batch sizes.
 		m.Histogram("queue.exec").Observe(finished.Sub(started))
-		if err != nil {
+		switch {
+		case err != nil && errors.Is(err, context.DeadlineExceeded):
+			// The handler outlived the task's deadline; the runtime's
+			// commit guards guarantee its delta never persisted.
+			rec.Status, rec.Error = StatusExpired, err.Error()
+			m.Counter("queue.expired").Inc()
+		case err != nil:
 			rec.Status, rec.Error = StatusFailed, err.Error()
 			m.Counter("queue.failed").Inc()
-		} else {
+		default:
 			rec.Status, rec.Result = StatusCompleted, out
 			m.Counter("queue.completed").Inc()
 		}
@@ -807,14 +859,24 @@ func (q *Queue) executeGroups(tasks []task) []outcome {
 		}
 		q.cfg.Metrics.Counter("queue.coalesced").Add(int64(len(idxs)))
 		calls := make([]Call, len(idxs))
+		var cancels []context.CancelFunc
 		for j, i := range idxs {
 			t := tasks[i]
-			calls[j] = Call{Member: t.member, Payload: t.payload, Args: t.args, Ctx: t.ctx}
+			cctx := t.ctx
+			if !t.deadline.IsZero() {
+				var cancel context.CancelFunc
+				cctx, cancel = context.WithDeadline(cctx, t.deadline)
+				cancels = append(cancels, cancel)
+			}
+			calls[j] = Call{Member: t.member, Payload: t.payload, Args: t.args, Ctx: cctx}
 		}
 		results := q.invokeBatch(object, calls)
+		for _, cancel := range cancels {
+			cancel()
+		}
 		for j, i := range idxs {
 			out, err := results[j].Output, results[j].Err
-			if err != nil && q.cfg.MaxRetries > 0 {
+			if err != nil && q.cfg.MaxRetries > 0 && !errors.Is(err, context.DeadlineExceeded) {
 				// Failed group members re-run individually under the
 				// standard retry policy, keeping per-call retry
 				// semantics identical to the per-task path.
@@ -861,7 +923,9 @@ func failAll(calls []Call, err error) []CallResult {
 // queue.retries metric (Stats().Retried).
 func (q *Queue) invokeWithRetries(t task) (json.RawMessage, error) {
 	out, err := q.invoke(t)
-	if err == nil || q.cfg.MaxRetries <= 0 {
+	if err == nil || q.cfg.MaxRetries <= 0 || errors.Is(err, context.DeadlineExceeded) {
+		// A deadline expiry is never retried: the deadline is absolute,
+		// so every re-run would start already expired.
 		return out, err
 	}
 	return q.retry(t, out, err)
@@ -874,6 +938,9 @@ func (q *Queue) retry(t task, out json.RawMessage, err error) (json.RawMessage, 
 		if t.ctx.Err() != nil {
 			return out, err
 		}
+		if !t.deadline.IsZero() && !q.cfg.Clock.Now().Before(t.deadline) {
+			return out, err
+		}
 		if serr := q.cfg.Clock.Sleep(t.ctx, backoff); serr != nil {
 			return out, err
 		}
@@ -882,11 +949,15 @@ func (q *Queue) retry(t task, out json.RawMessage, err error) (json.RawMessage, 
 		if out, err = q.invoke(t); err == nil {
 			return out, nil
 		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			return out, err
+		}
 	}
 	return out, err
 }
 
-// invoke calls the handler with panic isolation.
+// invoke calls the handler with panic isolation, capping the execution
+// context to the task's submission deadline.
 func (q *Queue) invoke(t task) (out json.RawMessage, err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -894,7 +965,13 @@ func (q *Queue) invoke(t task) (out json.RawMessage, err error) {
 			out, err = nil, fmt.Errorf("asyncq: handler panic: %v", r)
 		}
 	}()
-	return q.cfg.Invoke(t.ctx, t.object, t.member, t.payload, t.args)
+	ctx := t.ctx
+	if !t.deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, t.deadline)
+		defer cancel()
+	}
+	return q.cfg.Invoke(ctx, t.object, t.member, t.payload, t.args)
 }
 
 // Stats is a point-in-time queue snapshot.
@@ -912,6 +989,10 @@ type Stats struct {
 	Rejected  int64 `json:"rejected"`
 	Completed int64 `json:"completed"`
 	Failed    int64 `json:"failed"`
+	// Expired counts invocations dropped or cut off by their deadline
+	// (StatusExpired): stale queued work plus handlers that outlived
+	// their submission deadline.
+	Expired int64 `json:"expired"`
 	// Retried counts re-runs of failed invocations under the retry
 	// policy (Config.MaxRetries).
 	Retried int64 `json:"retried"`
@@ -945,6 +1026,7 @@ func (q *Queue) Stats() Stats {
 		Rejected:      m.Counter("queue.rejected").Value(),
 		Completed:     m.Counter("queue.completed").Value(),
 		Failed:        m.Counter("queue.failed").Value(),
+		Expired:       m.Counter("queue.expired").Value(),
 		Retried:       m.Counter("queue.retries").Value(),
 		Evicted:       m.Counter("queue.evicted").Value(),
 		BatchedDrains: m.Counter("queue.batched_drains").Value(),

@@ -32,6 +32,7 @@ import (
 	"github.com/hpcclab/oparaca-go/internal/model"
 	"github.com/hpcclab/oparaca-go/internal/objectstore"
 	"github.com/hpcclab/oparaca-go/internal/optimizer"
+	"github.com/hpcclab/oparaca-go/internal/resilience"
 	"github.com/hpcclab/oparaca-go/internal/runtime"
 	"github.com/hpcclab/oparaca-go/internal/trigger"
 	"github.com/hpcclab/oparaca-go/internal/vclock"
@@ -147,6 +148,18 @@ type Config struct {
 	// classes that do not declare their own (occ, locked or adaptive;
 	// see model.ConcurrencyMode). Defaults to adaptive.
 	ConcurrencyMode model.ConcurrencyMode
+	// DefaultInvokeTimeout bounds invocations whose function and class
+	// declare no timeoutMs of their own (see model.FunctionDef). Zero
+	// leaves such invocations without a platform-imposed deadline.
+	DefaultInvokeTimeout time.Duration
+	// Breaker tunes the backing-store circuit breaker (zero fields take
+	// the resilience package's defaults). While the breaker is open,
+	// reads are served from the memtable cache where populated
+	// (degraded mode) and writes fail fast with a Retry-After hint.
+	Breaker resilience.Config
+	// Chaos installs a seeded probabilistic fault schedule on the
+	// backing store (the chaos harness). The zero plan injects nothing.
+	Chaos kvstore.FaultPlan
 	// TriggerShards / TriggerBuffer size the event bus: events spread
 	// across TriggerShards dispatch partitions (by object, preserving
 	// per-object order) of TriggerBuffer queued events each. Default
@@ -288,6 +301,7 @@ type Platform struct {
 	queue     *asyncq.Queue
 	bus       *trigger.Bus
 	elog      *eventlog.Log
+	breaker   *resilience.Breaker
 
 	// ownsBacking is false when Config.Backing injected the store; the
 	// caller then keeps it open across platform restarts.
@@ -342,10 +356,25 @@ func New(cfg Config) (*Platform, error) {
 			Clock:          cfg.Clock,
 		})
 	}
+	// One circuit breaker guards the backing store: the store consults
+	// it on every operation (Allow before, Record after), so kvstore
+	// failures trip it and successful probes close it regardless of
+	// which subsystem — state tables, async records, event log — issued
+	// the operation.
+	breakerCfg := cfg.Breaker
+	if breakerCfg.Clock == nil {
+		breakerCfg.Clock = cfg.Clock
+	}
+	breaker := resilience.New(breakerCfg)
+	backing.SetBreaker(breaker)
+	if cfg.Chaos != (kvstore.FaultPlan{}) {
+		backing.SetFaultPlan(cfg.Chaos)
+	}
 	p := &Platform{
 		cfg:         cfg,
 		cluster:     cl,
 		backing:     backing,
+		breaker:     breaker,
 		ownsBacking: ownsBacking,
 		objects:     objectstore.New(cfg.Secret, cfg.Clock),
 		images:      invoker.NewRegistry(),
@@ -423,6 +452,7 @@ func New(cfg Config) (*Platform, error) {
 		RetryBackoff: cfg.AsyncRetryBackoff,
 		ClassQuotas:  cfg.AsyncClassQuotas,
 		ClassOf:      p.classOf,
+		TimeoutFor:   p.timeoutFor,
 		OnTerminal:   p.onAsyncTerminal,
 		Drain:        p.bus.Drain,
 		Backing:      p.backing,
@@ -573,7 +603,9 @@ func (p *Platform) TriggersFired() int64 { return p.triggersFired.Load() }
 // cycle-limited like state-change chains.
 func (p *Platform) onAsyncTerminal(rec asyncq.Record, args map[string]string) {
 	typ := trigger.InvocationCompleted
-	if rec.Status == asyncq.StatusFailed {
+	if rec.Status == asyncq.StatusFailed || rec.Status == asyncq.StatusExpired {
+		// An expired invocation never ran to commit; reactions treat it
+		// like any other failure (the record keeps the precise status).
 		typ = trigger.InvocationFailed
 	}
 	p.bus.Publish(trigger.Event{
@@ -708,23 +740,47 @@ func (p *Platform) Templates() *runtime.TemplateRegistry { return p.templates }
 // infra assembles the Infra view handed to class runtimes.
 func (p *Platform) infra() runtime.Infra {
 	return runtime.Infra{
-		Cluster:         p.cluster,
-		Transport:       newRoutingTransport(p.images),
-		Backing:         p.backing,
-		Objects:         p.objects,
-		ObjectsBaseURL:  p.ObjectStoreURL(),
-		KnativeOverhead: p.cfg.KnativeOverhead,
-		BypassOverhead:  p.cfg.BypassOverhead,
-		ColdStart:       p.cfg.ColdStart,
-		ScaleInterval:       p.cfg.ScaleInterval,
-		IdleTimeout:         p.cfg.IdleTimeout,
-		ConcurrencyMode:     p.cfg.ConcurrencyMode,
-		Events:              p.bus.Publish,
-		EventsBatch:         p.bus.PublishBatch,
-		TombstoneTTL:        p.cfg.TombstoneTTL,
-		TombstoneGCInterval: p.cfg.TombstoneGCInterval,
-		Clock:               p.cfg.Clock,
+		Cluster:              p.cluster,
+		Transport:            newRoutingTransport(p.images),
+		Backing:              p.backing,
+		Objects:              p.objects,
+		ObjectsBaseURL:       p.ObjectStoreURL(),
+		KnativeOverhead:      p.cfg.KnativeOverhead,
+		BypassOverhead:       p.cfg.BypassOverhead,
+		ColdStart:            p.cfg.ColdStart,
+		ScaleInterval:        p.cfg.ScaleInterval,
+		IdleTimeout:          p.cfg.IdleTimeout,
+		ConcurrencyMode:      p.cfg.ConcurrencyMode,
+		DefaultInvokeTimeout: p.cfg.DefaultInvokeTimeout,
+		Events:               p.bus.Publish,
+		EventsBatch:          p.bus.PublishBatch,
+		TombstoneTTL:         p.cfg.TombstoneTTL,
+		TombstoneGCInterval:  p.cfg.TombstoneGCInterval,
+		Degraded:             p.Degraded,
+		Clock:                p.cfg.Clock,
 	}
+}
+
+// Breaker exposes the backing-store circuit breaker.
+func (p *Platform) Breaker() *resilience.Breaker { return p.breaker }
+
+// Degraded reports whether the platform is in degraded mode: the
+// backing-store breaker is not closed, so reads serve from the
+// memtable cache where populated and writes fail fast.
+func (p *Platform) Degraded() bool {
+	return p.breaker.State() != resilience.StateClosed
+}
+
+// timeoutFor resolves the declared invocation deadline of one async
+// submission (the queue's TimeoutFor hook): function timeoutMs, then
+// class, then the platform default. Unknown objects resolve to zero —
+// they fail on dispatch anyway.
+func (p *Platform) timeoutFor(objectID, member string) time.Duration {
+	rt, _, err := p.objectRuntime(objectID)
+	if err != nil {
+		return 0
+	}
+	return rt.EffectiveTimeout(member)
 }
 
 // DeployPackage resolves and deploys every class in pkg, selecting a
@@ -1202,6 +1258,27 @@ func (p *Platform) PresignFile(objectID, key, method string) (string, error) {
 	return rt.PresignFile(objectID, key, method)
 }
 
+// ResilienceStats is the failure-semantics view of a platform
+// snapshot.
+type ResilienceStats struct {
+	// Breaker is the backing-store circuit breaker snapshot.
+	Breaker resilience.Stats `json:"breaker"`
+	// Degraded reports whether the platform is currently serving in
+	// degraded mode (breaker not closed).
+	Degraded bool `json:"degraded"`
+	// DegradedReads counts state-table cache hits served while the
+	// backing store was unavailable, summed across class runtimes.
+	DegradedReads int64 `json:"degraded_reads"`
+	// LeakedHandlers gauges handlers abandoned past their invocation
+	// deadline that have not yet returned, summed across class
+	// runtimes. A bounded value means stuck handlers terminate rather
+	// than accumulate.
+	LeakedHandlers int64 `json:"leaked_handlers"`
+	// Expired counts asynchronous invocations dropped or cut off by
+	// their deadline (mirrors Async.Expired).
+	Expired int64 `json:"expired"`
+}
+
 // Stats is a platform-wide snapshot.
 type Stats struct {
 	Workers     int                                 `json:"workers"`
@@ -1213,6 +1290,7 @@ type Stats struct {
 	Async       asyncq.Stats                        `json:"async"`
 	Concurrency map[string]runtime.ConcurrencyStats `json:"concurrency"`
 	Triggers    trigger.Stats                       `json:"triggers"`
+	Resilience  ResilienceStats                     `json:"resilience"`
 }
 
 // Stats snapshots the platform.
@@ -1232,10 +1310,17 @@ func (p *Platform) Stats() Stats {
 		s.Classes = append(s.Classes, name)
 	}
 	sort.Strings(s.Classes)
+	s.Resilience = ResilienceStats{
+		Breaker:  p.breaker.Stats(),
+		Degraded: p.breaker.State() != resilience.StateClosed,
+		Expired:  s.Async.Expired,
+	}
 	for name, rt := range p.runtimes {
 		s.ByClass[name] = rt.ThroughputRPS()
 		s.Invocations += rt.Metrics().Counter("invoke.total").Value()
 		s.Concurrency[name] = rt.ConcurrencyStats()
+		s.Resilience.DegradedReads += rt.Table().Stats().DegradedHits
+		s.Resilience.LeakedHandlers += rt.LeakedHandlers()
 	}
 	return s
 }

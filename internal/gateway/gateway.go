@@ -21,6 +21,7 @@ import (
 	"github.com/hpcclab/oparaca-go/internal/asyncq"
 	"github.com/hpcclab/oparaca-go/internal/core"
 	"github.com/hpcclab/oparaca-go/internal/model"
+	"github.com/hpcclab/oparaca-go/internal/resilience"
 	"github.com/hpcclab/oparaca-go/internal/trigger"
 )
 
@@ -37,13 +38,20 @@ func New(p *core.Platform) *Gateway {
 	return g
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. While the platform is in
+// degraded mode (backing-store breaker not closed) every response
+// carries X-Oparaca-Degraded so clients can tell a cache-served read
+// from a fully durable one.
 func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if g.platform.Degraded() {
+		w.Header().Set("X-Oparaca-Degraded", "true")
+	}
 	g.mux.ServeHTTP(w, r)
 }
 
 func (g *Gateway) routes() {
 	g.mux.HandleFunc("GET /healthz", g.handleHealth)
+	g.mux.HandleFunc("GET /readyz", g.handleReady)
 	g.mux.HandleFunc("GET /api/stats", g.handleStats)
 	g.mux.HandleFunc("GET /api/classes", g.handleListClasses)
 	g.mux.HandleFunc("GET /api/classes/{name}", g.handleGetClass)
@@ -132,6 +140,24 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, core.ErrOffsetCompacted):
 		status = http.StatusGone
 		code = "offset_compacted"
+	case errors.Is(err, resilience.ErrOpen):
+		// The backing-store circuit breaker is open: the write (or
+		// uncached read) was fast-failed without touching the store.
+		// Retry-After tells well-behaved clients when the breaker will
+		// admit its next half-open probe.
+		status = http.StatusServiceUnavailable
+		code = "backing_unavailable"
+		var open *resilience.OpenError
+		if errors.As(err, &open) && open.RetryAfter > 0 {
+			secs := int((open.RetryAfter + time.Second - 1) / time.Second)
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
+	case errors.Is(err, context.DeadlineExceeded):
+		// An invocation deadline (function/class/platform default or
+		// the request's ?timeoutMs=) expired before the handler
+		// committed. Nothing was committed.
+		status = http.StatusRequestTimeout
+		code = "deadline_exceeded"
 	case errors.Is(err, core.ErrClosed):
 		status = http.StatusServiceUnavailable
 	}
@@ -140,6 +166,51 @@ func writeError(w http.ResponseWriter, err error) {
 
 func (g *Gateway) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// readyView is the GET /readyz body: liveness says the process is up
+// (healthz), readiness says it can currently take durable work.
+type readyView struct {
+	Ready bool `json:"ready"`
+	// Breaker is the backing-store circuit breaker state
+	// (closed|open|half-open); anything but closed means degraded.
+	Breaker  string `json:"breaker"`
+	Degraded bool   `json:"degraded"`
+	// AsyncDepth / AsyncCapacity report queue pressure; a full queue
+	// rejects new submissions, so it flips readiness too.
+	AsyncDepth    int64 `json:"async_depth"`
+	AsyncCapacity int   `json:"async_capacity"`
+	// TriggerBacklog sums undelivered durable-cursor lag across
+	// trigger subscriptions.
+	TriggerBacklog int64 `json:"trigger_backlog"`
+	// LeakedHandlers gauges deadline-abandoned handlers still running.
+	LeakedHandlers int64 `json:"leaked_handlers"`
+}
+
+// handleReady reports whether the platform can take durable work
+// right now: 200 when the backing-store breaker is closed and the
+// async queue has headroom, 503 (with the same body) otherwise so
+// load balancers can steer traffic away during degraded mode.
+func (g *Gateway) handleReady(w http.ResponseWriter, _ *http.Request) {
+	st := g.platform.Stats()
+	var backlog int64
+	for _, sub := range st.Triggers.Subscriptions {
+		backlog += sub.CursorLag
+	}
+	view := readyView{
+		Breaker:        st.Resilience.Breaker.State,
+		Degraded:       st.Resilience.Degraded,
+		AsyncDepth:     st.Async.Depth,
+		AsyncCapacity:  st.Async.Capacity,
+		TriggerBacklog: backlog,
+		LeakedHandlers: st.Resilience.LeakedHandlers,
+	}
+	view.Ready = !view.Degraded && st.Async.Depth < int64(st.Async.Capacity)
+	status := http.StatusOK
+	if !view.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, view)
 }
 
 func (g *Gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -256,21 +327,24 @@ func (g *Gateway) handleDeleteObject(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// readInvokeRequest extracts the JSON payload and query-string args
-// shared by the sync and async invoke handlers. It writes the error
-// response itself and reports ok=false on bad input.
-func readInvokeRequest(w http.ResponseWriter, r *http.Request) (payload []byte, args map[string]string, ok bool) {
+// readInvokeRequest extracts the JSON payload, query-string args, and
+// the optional ?timeoutMs= deadline override shared by the sync and
+// async invoke handlers. timeoutMs is consumed here — it shapes the
+// request context rather than reaching the handler as an invocation
+// arg. It writes the error response itself and reports ok=false on
+// bad input.
+func readInvokeRequest(w http.ResponseWriter, r *http.Request) (payload []byte, args map[string]string, timeout time.Duration, ok bool) {
 	payload, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "unreadable body"})
-		return nil, nil, false
+		return nil, nil, 0, false
 	}
 	if len(payload) > 0 && !json.Valid(payload) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "payload must be JSON"})
-		return nil, nil, false
+		return nil, nil, 0, false
 	}
 	for k, vs := range r.URL.Query() {
-		if len(vs) == 0 {
+		if len(vs) == 0 || k == "timeoutMs" {
 			continue
 		}
 		if args == nil {
@@ -278,8 +352,30 @@ func readInvokeRequest(w http.ResponseWriter, r *http.Request) (payload []byte, 
 		}
 		args[k] = vs[0]
 	}
-	return payload, args, true
+	if raw := r.URL.Query().Get("timeoutMs"); raw != "" {
+		ms, err := strconv.Atoi(raw)
+		if err != nil || ms < 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad timeoutMs %q: want a non-negative integer", raw)})
+			return nil, nil, 0, false
+		}
+		timeout = time.Duration(ms) * time.Millisecond
+	}
+	return payload, args, timeout, true
 }
+
+// detachedDeadline carries a deadline without cancellation machinery.
+// Async submissions must outlive the HTTP request (the handler runs
+// after the 202), so the request context is detached — but a
+// ?timeoutMs= override still needs to surface through Deadline() for
+// the queue to min-combine into the task's submission deadline. The
+// queue enforces the absolute deadline with its own timers; this
+// context never fires Done.
+type detachedDeadline struct {
+	context.Context
+	dl time.Time
+}
+
+func (c detachedDeadline) Deadline() (time.Time, bool) { return c.dl, true }
 
 // clientRegion resolves the requester's declared region: the
 // X-Client-Region header, with X-Oprc-Region kept as the historical
@@ -295,11 +391,17 @@ func clientRegion(r *http.Request) string {
 
 func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 	id, fn := r.PathValue("id"), r.PathValue("fn")
-	payload, args, ok := readInvokeRequest(w, r)
+	payload, args, timeout, ok := readInvokeRequest(w, r)
 	if !ok {
 		return
 	}
-	out, err := g.platform.InvokeFrom(r.Context(), clientRegion(r), id, fn, payload, args)
+	ctx := r.Context()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	out, err := g.platform.InvokeFrom(ctx, clientRegion(r), id, fn, payload, args)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -309,13 +411,20 @@ func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 
 func (g *Gateway) handleInvokeAsync(w http.ResponseWriter, r *http.Request) {
 	id, fn := r.PathValue("id"), r.PathValue("fn")
-	payload, args, ok := readInvokeRequest(w, r)
+	payload, args, timeout, ok := readInvokeRequest(w, r)
 	if !ok {
 		return
 	}
 	// The submission context must outlive this request: the handler
-	// runs after the 202 response is written.
-	invID, err := g.platform.InvokeAsyncFrom(context.WithoutCancel(r.Context()), clientRegion(r), id, fn, payload, args)
+	// runs after the 202 response is written. A ?timeoutMs= override
+	// still has to reach the queue's submission-deadline min-combine,
+	// so it rides a deadline-only context rather than a cancellable
+	// one — the queue enforces the absolute deadline itself.
+	ctx := context.WithoutCancel(r.Context())
+	if timeout > 0 {
+		ctx = detachedDeadline{Context: ctx, dl: time.Now().Add(timeout)}
+	}
+	invID, err := g.platform.InvokeAsyncFrom(ctx, clientRegion(r), id, fn, payload, args)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -555,6 +664,10 @@ func (g *Gateway) handleObjectEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// The stream outlives any server-wide WriteTimeout by design;
+	// clear the connection's write deadline for its lifetime (no-op
+	// when the server sets none).
+	_ = http.NewResponseController(w).SetWriteDeadline(time.Time{})
 	h := w.Header()
 	h.Set("Content-Type", "text/event-stream")
 	h.Set("Cache-Control", "no-cache")

@@ -25,12 +25,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"os"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"github.com/hpcclab/oparaca-go/internal/resilience"
 	"github.com/hpcclab/oparaca-go/internal/vclock"
 )
 
@@ -42,6 +45,13 @@ var (
 	ErrVersionMismatch = errors.New("kvstore: version mismatch")
 	// ErrClosed is returned after Close.
 	ErrClosed = errors.New("kvstore: store closed")
+	// ErrInjectedTransient is the error class of chaos-plan faults a
+	// retry can outlive (the store recovers on its own).
+	ErrInjectedTransient = errors.New("kvstore: injected transient fault")
+	// ErrInjectedPermanent is the error class of chaos-plan faults
+	// retrying cannot fix (a dead replica, a full disk); the breaker —
+	// not the retry loop — is the right response.
+	ErrInjectedPermanent = errors.New("kvstore: injected permanent fault")
 )
 
 // Document is a versioned value.
@@ -112,6 +122,142 @@ type Store struct {
 	failRemain   int   // write ops left to fail
 	failErr      error // injected error
 	faultsServed int64
+	plan         *FaultPlan // probabilistic chaos schedule (nil = off)
+	planRand     *rand.Rand // seeded; guarded by faultMu
+
+	// breaker, when set, gates every operation: open-state rejections
+	// fail fast before any capacity or latency is charged, and every
+	// admitted operation's outcome is recorded back.
+	breaker atomic.Pointer[resilience.Breaker]
+}
+
+// FaultPlan is a seeded probabilistic fault schedule — the chaos
+// harness's generalization of InjectWriteFailures' "fail next N
+// writes". Rates are per-operation probabilities in [0, 1]; the Seed
+// makes a schedule reproducible (modulo goroutine interleaving) so a
+// failing chaos run can be replayed.
+type FaultPlan struct {
+	// Seed initializes the schedule's random source.
+	Seed int64
+	// ReadErrorRate / WriteErrorRate fail the operation before any
+	// capacity or latency is charged.
+	ReadErrorRate  float64
+	WriteErrorRate float64
+	// LatencySpikeRate adds LatencySpike of extra service time to the
+	// operation (on top of the configured base latency).
+	LatencySpikeRate float64
+	LatencySpike     time.Duration
+	// PartialBatchRate makes a BatchPut apply only a random prefix of
+	// its documents before failing — the torn-batch case write-behind
+	// retry logic must absorb.
+	PartialBatchRate float64
+	// PermanentRate is the fraction of injected errors classed
+	// ErrInjectedPermanent instead of ErrInjectedTransient.
+	PermanentRate float64
+}
+
+// enabled reports whether the plan can ever fire.
+func (p FaultPlan) enabled() bool {
+	return p.ReadErrorRate > 0 || p.WriteErrorRate > 0 ||
+		p.LatencySpikeRate > 0 || p.PartialBatchRate > 0
+}
+
+// SetFaultPlan installs (or, with a zero-rate plan, clears) the
+// store's chaos schedule.
+func (s *Store) SetFaultPlan(plan FaultPlan) {
+	s.faultMu.Lock()
+	defer s.faultMu.Unlock()
+	if !plan.enabled() {
+		s.plan, s.planRand = nil, nil
+		return
+	}
+	s.plan = &plan
+	s.planRand = rand.New(rand.NewSource(plan.Seed))
+}
+
+// SetBreaker attaches a circuit breaker to the store. Pass nil to
+// detach.
+func (s *Store) SetBreaker(b *resilience.Breaker) { s.breaker.Store(b) }
+
+// Breaker returns the attached circuit breaker (nil when none).
+func (s *Store) Breaker() *resilience.Breaker { return s.breaker.Load() }
+
+// opKind distinguishes read from write faults in the chaos plan.
+type opKind int
+
+const (
+	opRead opKind = iota
+	opWrite
+)
+
+// planFault rolls the chaos schedule for one operation, returning any
+// extra latency spike and the injected error (nil when the op
+// survives).
+func (s *Store) planFault(kind opKind) (time.Duration, error) {
+	s.faultMu.Lock()
+	defer s.faultMu.Unlock()
+	if s.plan == nil {
+		return 0, nil
+	}
+	var spike time.Duration
+	if s.plan.LatencySpikeRate > 0 && s.planRand.Float64() < s.plan.LatencySpikeRate {
+		spike = s.plan.LatencySpike
+	}
+	rate := s.plan.WriteErrorRate
+	if kind == opRead {
+		rate = s.plan.ReadErrorRate
+	}
+	if rate > 0 && s.planRand.Float64() < rate {
+		s.faultsServed++
+		if s.plan.PermanentRate > 0 && s.planRand.Float64() < s.plan.PermanentRate {
+			return spike, ErrInjectedPermanent
+		}
+		return spike, ErrInjectedTransient
+	}
+	return spike, nil
+}
+
+// planPartialCount rolls the partial-batch fault for an n-document
+// BatchPut: -1 means no fault, otherwise the number of documents to
+// apply before failing.
+func (s *Store) planPartialCount(n int) int {
+	s.faultMu.Lock()
+	defer s.faultMu.Unlock()
+	if s.plan == nil || s.plan.PartialBatchRate <= 0 || n < 2 {
+		return -1
+	}
+	if s.planRand.Float64() < s.plan.PartialBatchRate {
+		s.faultsServed++
+		return s.planRand.Intn(n)
+	}
+	return -1
+}
+
+// allowOp consults the breaker before an operation touches capacity or
+// latency. A non-nil return means fail fast (errors.Is
+// resilience.ErrOpen).
+func (s *Store) allowOp() error {
+	if b := s.breaker.Load(); b != nil {
+		return b.Allow()
+	}
+	return nil
+}
+
+// recordOp feeds an admitted operation's outcome to the breaker.
+// Not-found, version-mismatch, closed-store and context errors are
+// business outcomes, not store health signals: they record as success
+// so a contended CAS loop cannot trip the breaker.
+func (s *Store) recordOp(err error) {
+	b := s.breaker.Load()
+	if b == nil {
+		return
+	}
+	if err != nil && (errors.Is(err, ErrNotFound) || errors.Is(err, ErrVersionMismatch) ||
+		errors.Is(err, ErrClosed) || errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)) {
+		err = nil
+	}
+	b.Record(err)
 }
 
 // Open creates a store with the given configuration.
@@ -165,9 +311,14 @@ func (s *Store) takeFault() error {
 	return s.failErr
 }
 
-// admitWrite charges cost write-capacity tokens and the write latency.
+// admitWrite charges cost write-capacity tokens and the write latency,
+// after rolling the injected-fault hooks.
 func (s *Store) admitWrite(ctx context.Context, cost float64) error {
 	if err := s.takeFault(); err != nil {
+		return err
+	}
+	spike, err := s.planFault(opWrite)
+	if err != nil {
 		return err
 	}
 	if s.writes != nil {
@@ -178,8 +329,23 @@ func (s *Store) admitWrite(ctx context.Context, cost float64) error {
 			return err
 		}
 	}
-	if s.cfg.WriteLatency > 0 {
-		if err := s.cfg.Clock.Sleep(ctx, s.cfg.WriteLatency); err != nil {
+	if lat := s.cfg.WriteLatency + spike; lat > 0 {
+		if err := s.cfg.Clock.Sleep(ctx, lat); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// admitRead rolls the read-fault hooks and charges the read latency
+// (plus any chaos latency spike).
+func (s *Store) admitRead(ctx context.Context) error {
+	spike, err := s.planFault(opRead)
+	if err != nil {
+		return err
+	}
+	if lat := s.cfg.ReadLatency + spike; lat > 0 {
+		if err := s.cfg.Clock.Sleep(ctx, lat); err != nil {
 			return err
 		}
 	}
@@ -188,10 +354,17 @@ func (s *Store) admitWrite(ctx context.Context, cost float64) error {
 
 // Get returns the document stored at key.
 func (s *Store) Get(ctx context.Context, key string) (Document, error) {
-	if s.cfg.ReadLatency > 0 {
-		if err := s.cfg.Clock.Sleep(ctx, s.cfg.ReadLatency); err != nil {
-			return Document{}, err
-		}
+	if err := s.allowOp(); err != nil {
+		return Document{}, err
+	}
+	doc, err := s.get(ctx, key)
+	s.recordOp(err)
+	return doc, err
+}
+
+func (s *Store) get(ctx context.Context, key string) (Document, error) {
+	if err := s.admitRead(ctx); err != nil {
+		return Document{}, err
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -218,10 +391,17 @@ func (s *Store) BatchGet(ctx context.Context, keys []string) (map[string]Documen
 	if len(keys) == 0 {
 		return nil, nil
 	}
-	if s.cfg.ReadLatency > 0 {
-		if err := s.cfg.Clock.Sleep(ctx, s.cfg.ReadLatency); err != nil {
-			return nil, err
-		}
+	if err := s.allowOp(); err != nil {
+		return nil, err
+	}
+	docs, err := s.batchGet(ctx, keys)
+	s.recordOp(err)
+	return docs, err
+}
+
+func (s *Store) batchGet(ctx context.Context, keys []string) (map[string]Document, error) {
+	if err := s.admitRead(ctx); err != nil {
+		return nil, err
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -244,6 +424,15 @@ func (s *Store) BatchGet(ctx context.Context, keys []string) (map[string]Documen
 // Put stores value at key unconditionally and returns the stored
 // document (with its new version).
 func (s *Store) Put(ctx context.Context, key string, value json.RawMessage) (Document, error) {
+	if err := s.allowOp(); err != nil {
+		return Document{}, err
+	}
+	doc, err := s.put(ctx, key, value)
+	s.recordOp(err)
+	return doc, err
+}
+
+func (s *Store) put(ctx context.Context, key string, value json.RawMessage) (Document, error) {
 	if err := s.admitWrite(ctx, 1); err != nil {
 		return Document{}, err
 	}
@@ -276,6 +465,15 @@ func (s *Store) putLocked(key string, value json.RawMessage) Document {
 // CompareAndPut stores value only if the current version equals
 // expect. expect 0 requires the key to be absent.
 func (s *Store) CompareAndPut(ctx context.Context, key string, value json.RawMessage, expect int64) (Document, error) {
+	if err := s.allowOp(); err != nil {
+		return Document{}, err
+	}
+	doc, err := s.compareAndPut(ctx, key, value, expect)
+	s.recordOp(err)
+	return doc, err
+}
+
+func (s *Store) compareAndPut(ctx context.Context, key string, value json.RawMessage, expect int64) (Document, error) {
 	if err := s.admitWrite(ctx, 1); err != nil {
 		return Document{}, err
 	}
@@ -304,14 +502,43 @@ func (s *Store) BatchPut(ctx context.Context, entries map[string]json.RawMessage
 	if len(entries) == 0 {
 		return nil
 	}
+	if err := s.allowOp(); err != nil {
+		return err
+	}
+	err := s.batchPut(ctx, entries)
+	s.recordOp(err)
+	return err
+}
+
+func (s *Store) batchPut(ctx context.Context, entries map[string]json.RawMessage) error {
 	cost := 1 + float64(len(entries)-1)*s.cfg.BatchDocCost
 	if err := s.admitWrite(ctx, cost); err != nil {
 		return err
 	}
+	partial := s.planPartialCount(len(entries))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
+	}
+	if partial >= 0 {
+		// Torn batch: apply a deterministic (sorted) prefix, then fail.
+		// The caller's retry re-sends the whole batch; puts are
+		// idempotent modulo version bumps, so retries converge.
+		keys := make([]string, 0, len(entries))
+		for k := range entries {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys[:partial] {
+			s.putLocked(k, entries[k])
+		}
+		s.statsMu.Lock()
+		s.writeOps++
+		s.docsWritten += int64(partial)
+		s.statsMu.Unlock()
+		return fmt.Errorf("%w: batch torn after %d/%d documents",
+			ErrInjectedTransient, partial, len(entries))
 	}
 	for k, v := range entries {
 		s.putLocked(k, v)
@@ -325,6 +552,15 @@ func (s *Store) BatchPut(ctx context.Context, entries map[string]json.RawMessage
 
 // Delete removes key. Deleting an absent key is not an error.
 func (s *Store) Delete(ctx context.Context, key string) error {
+	if err := s.allowOp(); err != nil {
+		return err
+	}
+	err := s.del(ctx, key)
+	s.recordOp(err)
+	return err
+}
+
+func (s *Store) del(ctx context.Context, key string) error {
 	if err := s.admitWrite(ctx, 1); err != nil {
 		return err
 	}
@@ -342,10 +578,17 @@ func (s *Store) Delete(ctx context.Context, key string) error {
 
 // List returns the keys with the given prefix, sorted.
 func (s *Store) List(ctx context.Context, prefix string) ([]string, error) {
-	if s.cfg.ReadLatency > 0 {
-		if err := s.cfg.Clock.Sleep(ctx, s.cfg.ReadLatency); err != nil {
-			return nil, err
-		}
+	if err := s.allowOp(); err != nil {
+		return nil, err
+	}
+	keys, err := s.list(ctx, prefix)
+	s.recordOp(err)
+	return keys, err
+}
+
+func (s *Store) list(ctx context.Context, prefix string) ([]string, error) {
+	if err := s.admitRead(ctx); err != nil {
+		return nil, err
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()

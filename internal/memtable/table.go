@@ -91,6 +91,12 @@ type Config struct {
 	// TombstoneTTL/4 (clamped to at least 1ms); ignored when
 	// TombstoneTTL is zero.
 	TombstoneGCInterval time.Duration
+	// Degraded reports whether the backing store is currently
+	// unavailable (the platform wires it to the store's circuit
+	// breaker). While it returns true, cache hits are additionally
+	// counted as Stats.DegradedHits — reads the table kept serving
+	// from memory while the store was down. nil means never degraded.
+	Degraded func() bool
 	// Clock supplies time; defaults to the real clock.
 	Clock vclock.Clock
 }
@@ -165,12 +171,13 @@ type Table struct {
 	flushWake chan struct{}
 	done      chan struct{} // flusher exited
 
-	statsMu     sync.Mutex
-	hits        int64
-	misses      int64
-	flushes     int64
-	flushDocs   int64
-	tombEvicted int64
+	statsMu      sync.Mutex
+	hits         int64
+	misses       int64
+	degradedHits int64
+	flushes      int64
+	flushDocs    int64
+	tombEvicted  int64
 
 	compactDone chan struct{} // tombstone compactor exited
 }
@@ -297,6 +304,20 @@ func (t *Table) isClosed() bool {
 	}
 }
 
+// noteReads books cache read outcomes, additionally counting hits as
+// degraded when the backing store is currently unavailable (reads the
+// table kept serving from memory while the store was down).
+func (t *Table) noteReads(hits, misses int64) {
+	degraded := hits > 0 && t.cfg.Degraded != nil && t.cfg.Degraded()
+	t.statsMu.Lock()
+	t.hits += hits
+	t.misses += misses
+	if degraded {
+		t.degradedHits += hits
+	}
+	t.statsMu.Unlock()
+}
+
 // Get returns the value for key, reading through to the backing store
 // on a miss (and caching the result).
 func (t *Table) Get(ctx context.Context, key string) (json.RawMessage, error) {
@@ -307,9 +328,7 @@ func (t *Table) Get(ctx context.Context, key string) (json.RawMessage, error) {
 	sh.mu.Lock()
 	if v, ok := sh.data[key]; ok {
 		sh.mu.Unlock()
-		t.statsMu.Lock()
-		t.hits++
-		t.statsMu.Unlock()
+		t.noteReads(1, 0)
 		return v, nil
 	}
 	if _, tombstoned := sh.vers[key]; tombstoned {
@@ -318,15 +337,11 @@ func (t *Table) Get(ctx context.Context, key string) (json.RawMessage, error) {
 		// backing delete may still be in flight or retrying) and
 		// re-arm the key's version for optimistic commits.
 		sh.mu.Unlock()
-		t.statsMu.Lock()
-		t.hits++
-		t.statsMu.Unlock()
+		t.noteReads(1, 0)
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
 	sh.mu.Unlock()
-	t.statsMu.Lock()
-	t.misses++
-	t.statsMu.Unlock()
+	t.noteReads(0, 1)
 	if t.cfg.Mode == ModeMemoryOnly {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
@@ -387,10 +402,7 @@ func (t *Table) GetMany(ctx context.Context, keys []string) (map[string]json.Raw
 			misses++
 		}
 	})
-	t.statsMu.Lock()
-	t.hits += hits
-	t.misses += misses
-	t.statsMu.Unlock()
+	t.noteReads(hits, misses)
 	if len(missing) == 0 || t.cfg.Mode == ModeMemoryOnly {
 		return out, nil
 	}
@@ -469,10 +481,7 @@ func (t *Table) GetManyVersioned(ctx context.Context, keys []string) (map[string
 			misses++
 		}
 	})
-	t.statsMu.Lock()
-	t.hits += hits
-	t.misses += misses
-	t.statsMu.Unlock()
+	t.noteReads(hits, misses)
 	if len(missing) == 0 {
 		return out, nil
 	}
@@ -1027,6 +1036,10 @@ type Stats struct {
 	Misses    int64 `json:"misses"`
 	Flushes   int64 `json:"flushes"`
 	FlushDocs int64 `json:"flush_docs"`
+	// DegradedHits counts cache hits served while Config.Degraded
+	// reported the backing store unavailable — the reads degraded mode
+	// kept answering from memory.
+	DegradedHits int64 `json:"degraded_hits"`
 	// TombstonesEvicted counts deletion tombstones compacted after
 	// Config.TombstoneTTL elapsed.
 	TombstonesEvicted int64 `json:"tombstones_evicted"`
@@ -1037,7 +1050,7 @@ func (t *Table) Stats() Stats {
 	t.statsMu.Lock()
 	defer t.statsMu.Unlock()
 	return Stats{Hits: t.hits, Misses: t.misses, Flushes: t.flushes, FlushDocs: t.flushDocs,
-		TombstonesEvicted: t.tombEvicted}
+		DegradedHits: t.degradedHits, TombstonesEvicted: t.tombEvicted}
 }
 
 // Mode returns the configured persistence mode.

@@ -158,6 +158,12 @@ type FunctionDef struct {
 	// Concurrency is the per-pod concurrent request limit (0 = engine
 	// default).
 	Concurrency int `json:"concurrency,omitempty"`
+	// TimeoutMs is the invocation deadline for this method in
+	// milliseconds: an invocation (handler run plus state commit) that
+	// exceeds it fails with the runtime's deadline error and never
+	// commits. 0 defers to the class TimeoutMs, then the platform
+	// default.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
 	// QoS optionally overrides the class QoS for this method (paper
 	// §II-C: requirements "for a whole object or even for a specific
 	// part (method)").
@@ -289,6 +295,11 @@ type ClassDef struct {
 	// handled ("occ", "locked", or "adaptive"; empty defers to the
 	// platform default). Inherited from the parent unless overridden.
 	Concurrency ConcurrencyMode `json:"concurrencyMode,omitempty"`
+	// TimeoutMs is the class-level default invocation deadline in
+	// milliseconds, applied to every function without its own
+	// TimeoutMs. 0 defers to the platform default. Inherited from the
+	// parent unless overridden.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
 	// QoS and Constraint are the class's non-functional requirements.
 	QoS        QoS         `json:"qos,omitempty"`
 	Constraint Constraints `json:"constraint,omitempty"`
@@ -405,6 +416,9 @@ func (c *ClassDef) validate() error {
 			return fmt.Errorf("%w: class %q has duplicate function %q", ErrValidation, c.Name, f.Name)
 		}
 		fns[f.Name] = true
+		if f.TimeoutMs < 0 {
+			return fmt.Errorf("%w: class %q function %q has negative timeoutMs", ErrValidation, c.Name, f.Name)
+		}
 		if err := validateQoS(f.QoS, c.Name, f.Name); err != nil {
 			return err
 		}
@@ -463,6 +477,9 @@ func (c *ClassDef) validate() error {
 	if !c.Concurrency.Valid() {
 		return fmt.Errorf("%w: class %q has unknown concurrency mode %q (want occ, locked or adaptive)",
 			ErrValidation, c.Name, c.Concurrency)
+	}
+	if c.TimeoutMs < 0 {
+		return fmt.Errorf("%w: class %q has negative timeoutMs", ErrValidation, c.Name)
 	}
 	if err := validateQoS(c.QoS, c.Name, ""); err != nil {
 		return err
@@ -547,6 +564,10 @@ type Class struct {
 	// (inherited from the parent unless the child sets one; empty
 	// defers to the platform default).
 	Concurrency ConcurrencyMode
+	// TimeoutMs is the effective class-level invocation deadline in
+	// milliseconds (inherited from the parent unless the child sets
+	// one; 0 defers to the platform default).
+	TimeoutMs int
 	// QoS and Constraint are the effective non-functional
 	// requirements (child overrides parent field-by-field).
 	QoS        QoS
@@ -698,9 +719,13 @@ func merge(def *ClassDef, parent *Class) *Class {
 		c.QoS = parent.QoS
 		c.Constraint = parent.Constraint
 		c.Concurrency = parent.Concurrency
+		c.TimeoutMs = parent.TimeoutMs
 	}
 	if def.Concurrency != ConcurrencyDefault {
 		c.Concurrency = def.Concurrency
+	}
+	if def.TimeoutMs != 0 {
+		c.TimeoutMs = def.TimeoutMs
 	}
 	for _, k := range def.KeySpecs {
 		if i, ok := keyIdx[k.Name]; ok {

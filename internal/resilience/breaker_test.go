@@ -1,0 +1,155 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/hpcclab/oparaca-go/internal/vclock"
+)
+
+var errBoom = errors.New("boom")
+
+func newTestBreaker(clock vclock.Clock) *Breaker {
+	return New(Config{
+		Window:           8,
+		FailureThreshold: 0.5,
+		MinSamples:       4,
+		OpenTimeout:      time.Second,
+		HalfOpenProbes:   2,
+		Clock:            clock,
+	})
+}
+
+func mustAllow(t *testing.T, b *Breaker) {
+	t.Helper()
+	if err := b.Allow(); err != nil {
+		t.Fatalf("Allow: %v", err)
+	}
+}
+
+func TestBreakerStaysClosedBelowMinSamples(t *testing.T) {
+	b := newTestBreaker(vclock.NewManual(time.Unix(0, 0)))
+	for i := 0; i < 3; i++ {
+		mustAllow(t, b)
+		b.Record(errBoom)
+	}
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state = %v after %d failures (< MinSamples), want closed", got, 3)
+	}
+}
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b := newTestBreaker(vclock.NewManual(time.Unix(0, 0)))
+	for i := 0; i < 4; i++ {
+		mustAllow(t, b)
+		b.Record(errBoom)
+	}
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+	err := b.Allow()
+	if !errors.Is(err, ErrOpen) {
+		t.Fatalf("Allow while open = %v, want ErrOpen", err)
+	}
+	var oe *OpenError
+	if !errors.As(err, &oe) || oe.RetryAfter <= 0 {
+		t.Fatalf("open rejection %v carries no positive RetryAfter", err)
+	}
+}
+
+func TestBreakerSuccessesKeepItClosed(t *testing.T) {
+	b := newTestBreaker(vclock.NewManual(time.Unix(0, 0)))
+	// 3 failures in a window of 8 with 13 successes: rate well under
+	// the 0.5 threshold at every point after MinSamples.
+	for i := 0; i < 16; i++ {
+		mustAllow(t, b)
+		if i%6 == 0 {
+			b.Record(errBoom)
+			continue
+		}
+		b.Record(nil)
+	}
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state = %v, want closed", got)
+	}
+}
+
+func TestBreakerHalfOpenRecovery(t *testing.T) {
+	clock := vclock.NewManual(time.Unix(0, 0))
+	b := newTestBreaker(clock)
+	for i := 0; i < 4; i++ {
+		mustAllow(t, b)
+		b.Record(errBoom)
+	}
+	if b.State() != StateOpen {
+		t.Fatal("breaker did not open")
+	}
+	clock.Advance(time.Second + time.Millisecond)
+	// First Allow after the timeout becomes a half-open probe.
+	mustAllow(t, b)
+	if got := b.State(); got != StateHalfOpen {
+		t.Fatalf("state = %v, want half-open", got)
+	}
+	mustAllow(t, b) // second probe (budget = 2)
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("third concurrent probe = %v, want ErrOpen (budget exhausted)", err)
+	}
+	b.Record(nil)
+	b.Record(nil)
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after %d probe successes = %v, want closed", 2, got)
+	}
+	st := b.Stats()
+	if st.Opened < 1 || st.HalfOpens < 1 || st.Closes < 1 {
+		t.Fatalf("recovery cycle not reflected in stats: %+v", st)
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clock := vclock.NewManual(time.Unix(0, 0))
+	b := newTestBreaker(clock)
+	for i := 0; i < 4; i++ {
+		mustAllow(t, b)
+		b.Record(errBoom)
+	}
+	clock.Advance(time.Second + time.Millisecond)
+	mustAllow(t, b)
+	b.Record(errBoom)
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Allow immediately after re-open = %v, want ErrOpen", err)
+	}
+}
+
+func TestBreakerWindowEvictsOldOutcomes(t *testing.T) {
+	b := newTestBreaker(vclock.NewManual(time.Unix(0, 0)))
+	// 4 successes, 3 failures (rate 3/7, below threshold), then a long
+	// success run that pushes the failures out of the 8-slot window:
+	// the breaker must never open.
+	for i := 0; i < 4; i++ {
+		mustAllow(t, b)
+		b.Record(nil)
+	}
+	for i := 0; i < 3; i++ {
+		mustAllow(t, b)
+		b.Record(errBoom)
+	}
+	for i := 0; i < 20; i++ {
+		mustAllow(t, b)
+		b.Record(nil)
+	}
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state = %v, want closed", got)
+	}
+	// A fresh failure plateau still trips it (window is live).
+	for i := 0; i < 8 && b.State() == StateClosed; i++ {
+		mustAllow(t, b)
+		b.Record(errBoom)
+	}
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+}

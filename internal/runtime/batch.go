@@ -84,7 +84,9 @@ func (rt *ClassRuntime) InvokeBatch(ctx context.Context, objectID string, calls 
 			continue
 		}
 		if fn.Readonly {
-			out, err := rt.invokeReadonlySafe(callContext(ctx, c), objectID, fn, c.Payload, c.Args)
+			callCtx, cancel := rt.callTimeoutCtx(ctx, c, fn)
+			out, err := rt.invokeReadonlySafe(callCtx, objectID, fn, c.Payload, c.Args)
+			cancel()
 			results[i] = BatchCallResult{Output: out, Err: err}
 			continue
 		}
@@ -119,6 +121,31 @@ func callContext(batch context.Context, c BatchCall) context.Context {
 		return c.Ctx
 	}
 	return batch
+}
+
+// callTimeoutCtx resolves a call's handler context and applies the
+// function's effective deadline to it (min-combining with any deadline
+// the context already carries). The cancel func must always be called.
+func (rt *ClassRuntime) callTimeoutCtx(batch context.Context, c BatchCall, fn model.FunctionDef) (context.Context, context.CancelFunc) {
+	ctx := callContext(batch, c)
+	if d := rt.effectiveTimeout(fn); d > 0 {
+		return context.WithTimeout(ctx, d)
+	}
+	return ctx, func() {}
+}
+
+// groupCtxAbort reports the group-level error for an expired or
+// cancelled batch context (nil while the context is live). Expiry maps
+// to the runtime deadline sentinel; an expired group never commits.
+func (rt *ClassRuntime) groupCtxAbort(ctx context.Context, objectID string) error {
+	err := ctx.Err()
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("runtime: batch on %s/%s: %w", rt.class.Name, objectID, ErrDeadlineExceeded)
+	}
+	return err
 }
 
 // invokeReadonlySafe is invokeReadonly with panic isolation: a
@@ -191,7 +218,15 @@ func (rt *ClassRuntime) applyGroup(ctx context.Context, objectID string, group [
 		callKeys[gi] = nil
 		// Handlers may mutate their Task.State; a shallow clone keeps
 		// the shared evolving view out of their reach.
-		res, err := rt.runTaskSafe(callContext(ctx, w.call), objectID, w.fn, w.call.Payload, w.call.Args, maps.Clone(state))
+		callCtx, cancel := rt.callTimeoutCtx(ctx, w.call, w.fn)
+		res, err := rt.runTaskSafe(callCtx, objectID, w.fn, w.call.Payload, w.call.Args, maps.Clone(state))
+		if err == nil && callCtx.Err() != nil {
+			// The call's deadline expired after its handler returned:
+			// its delta must not ride the group commit, and only this
+			// entry fails.
+			err = rt.ctxAbort(callCtx, w.fn)
+		}
+		cancel()
 		if err != nil {
 			results[w.idx] = BatchCallResult{Err: err}
 			continue
@@ -252,6 +287,15 @@ func (rt *ClassRuntime) batchLockedPlain(ctx context.Context, objectID string, g
 	}
 	callKeys := make([][]string, len(group))
 	merged := rt.applyGroup(ctx, objectID, group, state, results, callKeys)
+	if err := rt.groupCtxAbort(ctx, objectID); err != nil {
+		// An expired group never commits its merged delta.
+		for _, w := range group {
+			if results[w.idx].Err == nil {
+				results[w.idx] = BatchCallResult{Err: err}
+			}
+		}
+		return
+	}
 	var puts map[string]json.RawMessage
 	var dels []string
 	for k, v := range merged {
@@ -333,6 +377,9 @@ func (rt *ClassRuntime) batchAttempt(ctx context.Context, objectID string, group
 		return err
 	}
 	merged := rt.applyGroup(ctx, objectID, group, snap.state, results, callKeys)
+	if err := rt.groupCtxAbort(ctx, objectID); err != nil {
+		return err
+	}
 	if len(merged) == 0 {
 		return nil
 	}
@@ -407,6 +454,9 @@ func (rt *ClassRuntime) batchRetryLoop(ctx context.Context, objectID string, gro
 	var lastErr error
 	callKeys := make([][]string, len(group))
 	for attempt := 0; attempt < attempts; attempt++ {
+		if err := rt.groupCtxAbort(ctx, objectID); err != nil {
+			return err
+		}
 		if attempt > 0 {
 			rt.reg.Counter("occ.retries").Inc()
 		}

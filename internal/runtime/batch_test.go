@@ -8,10 +8,12 @@ package runtime
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/hpcclab/oparaca-go/internal/invoker"
 	"github.com/hpcclab/oparaca-go/internal/model"
@@ -247,6 +249,150 @@ func TestInvokeBatchInterleavesWithSingles(t *testing.T) {
 			}
 			if v, err := rt.GetState(ctx, "o", "value"); err != nil || string(v) != fmt.Sprintf("%d", wantTotal) {
 				t.Fatalf("state = %s (%v), want %d", v, err, wantTotal)
+			}
+		})
+	}
+}
+
+// deadlineYAML declares a counter class whose `stuck` member carries a
+// 150ms deadline; `incr` inherits no timeout.
+const deadlineYAML = `classes:
+  - name: TCounter
+    concurrencyMode: %s
+    keySpecs:
+      - name: value
+        kind: number
+        default: 0
+    functions:
+      - name: incr
+        image: img/incr
+      - name: stuck
+        image: img/stuck
+        timeoutMs: 150
+`
+
+// newDeadlineRuntime builds a TCounter runtime whose img/stuck handler
+// ignores its context entirely: it blocks until release is closed and
+// then tries to write value=99. The watchdog must abandon it at the
+// deadline and the commit guards must discard its late delta.
+func newDeadlineRuntime(t *testing.T, mode model.ConcurrencyMode, release <-chan struct{}) *ClassRuntime {
+	t.Helper()
+	infra := testInfra(t)
+	reg := invoker.NewRegistry()
+	reg.Register("img/incr", invoker.HandlerFunc(func(_ context.Context, task invoker.Task) (invoker.Result, error) {
+		var n float64
+		if raw, ok := task.State["value"]; ok {
+			_ = json.Unmarshal(raw, &n)
+		}
+		out, _ := json.Marshal(n + 1)
+		return invoker.Result{Output: out, State: map[string]json.RawMessage{"value": out}}, nil
+	}))
+	reg.Register("img/stuck", invoker.HandlerFunc(func(context.Context, invoker.Task) (invoker.Result, error) {
+		<-release
+		return invoker.Result{State: map[string]json.RawMessage{"value": json.RawMessage(`99`)}}, nil
+	}))
+	infra.Transport = invoker.NewLocal(reg)
+	rt, err := New(infra, resolvedClass(t, fmt.Sprintf(deadlineYAML, mode), "TCounter"), stdTemplate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return rt
+}
+
+// drainLeakedHandlers waits for abandoned handlers to return after
+// their release channel is closed.
+func drainLeakedHandlers(t *testing.T, rt *ClassRuntime) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.LeakedHandlers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("leaked handlers never drained: %d", rt.LeakedHandlers())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestInvokeDeadlineExpiredNeverCommits drives a handler that ignores
+// cancellation into its 150ms deadline under every concurrency mode:
+// the invocation must fail with ErrDeadlineExceeded within 2x the
+// deadline, other objects must keep committing while the stuck handler
+// is still running, and the handler's late delta must never land.
+func TestInvokeDeadlineExpiredNeverCommits(t *testing.T) {
+	for _, mode := range batchModes {
+		t.Run(string(mode), func(t *testing.T) {
+			release := make(chan struct{})
+			rt := newDeadlineRuntime(t, mode, release)
+			ctx := context.Background()
+			for _, id := range []string{"o", "other"} {
+				if err := rt.InitObjectState(ctx, id); err != nil {
+					t.Fatal(err)
+				}
+			}
+			start := time.Now()
+			_, err := rt.Invoke(ctx, "o", "stuck", nil, nil)
+			elapsed := time.Since(start)
+			if !errors.Is(err, ErrDeadlineExceeded) || !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+			}
+			if elapsed > 300*time.Millisecond {
+				t.Fatalf("deadline failure took %v, want <= 2x the 150ms deadline", elapsed)
+			}
+			if got := rt.LeakedHandlers(); got != 1 {
+				t.Fatalf("LeakedHandlers = %d, want 1 while the abandoned handler runs", got)
+			}
+			// The shard is not wedged: another object commits while the
+			// abandoned handler is still blocked.
+			if _, err := rt.Invoke(ctx, "other", "incr", nil, nil); err != nil {
+				t.Fatalf("sibling object blocked by expired handler: %v", err)
+			}
+			close(release)
+			drainLeakedHandlers(t, rt)
+			// The late delta never committed.
+			if v, err := rt.GetState(ctx, "o", "value"); err != nil || string(v) != "0" {
+				t.Fatalf("state = %s (%v), want 0 (expired handler committed)", v, err)
+			}
+			// The object is healthy afterwards.
+			if _, err := rt.Invoke(ctx, "o", "incr", nil, nil); err != nil {
+				t.Fatal(err)
+			}
+			if v, _ := rt.GetState(ctx, "o", "value"); string(v) != "1" {
+				t.Fatalf("post-expiry state = %s, want 1", v)
+			}
+		})
+	}
+}
+
+// TestInvokeBatchDeadlineFailsOnlyOwnEntry puts the stuck member
+// between two increments in one group-commit window: its expiry fails
+// only its own entry, the sibling increments commit exactly, and the
+// late delta stays out of the merged commit — in every mode.
+func TestInvokeBatchDeadlineFailsOnlyOwnEntry(t *testing.T) {
+	for _, mode := range batchModes {
+		t.Run(string(mode), func(t *testing.T) {
+			release := make(chan struct{})
+			rt := newDeadlineRuntime(t, mode, release)
+			ctx := context.Background()
+			if err := rt.InitObjectState(ctx, "o"); err != nil {
+				t.Fatal(err)
+			}
+			results := rt.InvokeBatch(ctx, "o", []BatchCall{
+				{Function: "incr"},
+				{Function: "stuck"},
+				{Function: "incr"},
+			})
+			if err := results[1].Err; !errors.Is(err, ErrDeadlineExceeded) {
+				t.Fatalf("stuck entry err = %v, want ErrDeadlineExceeded", err)
+			}
+			for _, i := range []int{0, 2} {
+				if results[i].Err != nil {
+					t.Fatalf("incr call %d poisoned by expired sibling: %v", i, results[i].Err)
+				}
+			}
+			close(release)
+			drainLeakedHandlers(t, rt)
+			if v, err := rt.GetState(ctx, "o", "value"); err != nil || string(v) != "2" {
+				t.Fatalf("state = %s (%v), want exactly the two increments", v, err)
 			}
 		})
 	}

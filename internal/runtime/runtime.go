@@ -36,6 +36,12 @@ var (
 	ErrFunctionUnknown = errors.New("runtime: function not declared on class")
 	// ErrDataflowUnknown is returned for undeclared dataflows.
 	ErrDataflowUnknown = errors.New("runtime: dataflow not declared on class")
+	// ErrDeadlineExceeded is returned when an invocation outlives its
+	// effective deadline (function TimeoutMs > class TimeoutMs >
+	// platform default > request deadline). It wraps
+	// context.DeadlineExceeded so errors.Is matches either sentinel.
+	// An expired invocation never commits its state delta.
+	ErrDeadlineExceeded = fmt.Errorf("runtime: invocation deadline exceeded: %w", context.DeadlineExceeded)
 )
 
 // Infra bundles the shared platform substrates a class runtime is
@@ -69,6 +75,11 @@ type Infra struct {
 	// declare their own (model.ClassDef.Concurrency). Empty means
 	// model.ConcurrencyAdaptive.
 	ConcurrencyMode model.ConcurrencyMode
+	// DefaultInvokeTimeout bounds invocations whose function and class
+	// declare no TimeoutMs of their own. Zero leaves such invocations
+	// without a platform-imposed deadline (request contexts still
+	// apply).
+	DefaultInvokeTimeout time.Duration
 	// Events receives one trigger.StateChanged event per committed
 	// write invocation on a stateful class — emitted by every commit
 	// path (locked window, OCC/adaptive CAS commit, InvokeBatch group
@@ -88,6 +99,12 @@ type Infra struct {
 	TombstoneTTL time.Duration
 	// TombstoneGCInterval overrides the tombstone sweep period.
 	TombstoneGCInterval time.Duration
+	// Degraded reports whether the backing store is currently
+	// unavailable (the platform wires it to the store's circuit
+	// breaker); forwarded to the state table so cache hits served
+	// during an outage are surfaced as degraded reads. nil means never
+	// degraded.
+	Degraded func() bool
 	// Clock supplies time; defaults to the real clock.
 	Clock vclock.Clock
 }
@@ -140,6 +157,12 @@ type ClassRuntime struct {
 	// taskSeq generates invocation task IDs; seeded from the clock at
 	// construction so IDs stay unique across runtime generations.
 	taskSeq atomic.Uint64
+	// leakedHandlers gauges handlers still running detached after
+	// their invocation's deadline expired: the watchdog fails the
+	// invocation and abandons the handler goroutine, and a reaper
+	// decrements the gauge when the handler finally returns. A bounded
+	// value means abandoned handlers terminate rather than pile up.
+	leakedHandlers atomic.Int64
 
 	// refsCache memoizes presigned file refs per object; entries are
 	// regenerated once half the presign TTL has elapsed so handed-out
@@ -256,6 +279,7 @@ func New(infra Infra, class *model.Class, tmpl Template) (*ClassRuntime, error) 
 		FlushBatchSize:      tmpl.FlushBatchSize,
 		TombstoneTTL:        infra.TombstoneTTL,
 		TombstoneGCInterval: infra.TombstoneGCInterval,
+		Degraded:            infra.Degraded,
 		Clock:               infra.Clock,
 	})
 	if err != nil {
@@ -606,14 +630,65 @@ func (rt *ClassRuntime) buildRefs(objectID string) (map[string]string, error) {
 	return maps.Clone(refs), nil
 }
 
+// LeakedHandlers gauges handlers abandoned past their deadline that
+// have not yet returned (see ClassRuntime.leakedHandlers).
+func (rt *ClassRuntime) LeakedHandlers() int64 { return rt.leakedHandlers.Load() }
+
+// effectiveTimeout resolves one function's invocation deadline:
+// function TimeoutMs beats the class default beats the platform
+// default. Zero means no declared deadline (the request context may
+// still carry one).
+func (rt *ClassRuntime) effectiveTimeout(fn model.FunctionDef) time.Duration {
+	if fn.TimeoutMs > 0 {
+		return time.Duration(fn.TimeoutMs) * time.Millisecond
+	}
+	if rt.class.TimeoutMs > 0 {
+		return time.Duration(rt.class.TimeoutMs) * time.Millisecond
+	}
+	return rt.infra.DefaultInvokeTimeout
+}
+
+// EffectiveTimeout resolves the declared invocation deadline for one
+// member name (zero when neither the function, the class nor the
+// platform declares one). Unknown members resolve to the class or
+// platform default — the asyncq deadline hook calls this before the
+// member is validated.
+func (rt *ClassRuntime) EffectiveTimeout(member string) time.Duration {
+	fn, _ := rt.class.Function(member)
+	return rt.effectiveTimeout(fn)
+}
+
+// deadlineError is the sentinel-wrapping error surfaced for one
+// function's expired invocation.
+func (rt *ClassRuntime) deadlineError(fn model.FunctionDef) error {
+	return fmt.Errorf("%s.%s: %w", rt.class.Name, fn.Name, ErrDeadlineExceeded)
+}
+
+// ctxAbort translates an expired or cancelled invocation context into
+// the error surfaced to the caller: deadline expiry maps to the
+// runtime sentinel, plain cancellation passes through.
+func (rt *ClassRuntime) ctxAbort(ctx context.Context, fn model.FunctionDef) error {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return rt.deadlineError(fn)
+	}
+	return ctx.Err()
+}
+
 // Invoke executes one method on an object: it bundles the object's
 // state and the request into a standalone task, offloads it to the
 // FaaS engine, and merges the returned state delta back into the state
-// table (the pure-function contract, paper §III-C).
+// table (the pure-function contract, paper §III-C). The function's
+// effective deadline (if any) is applied here, min-combining with
+// whatever deadline the request context already carries.
 func (rt *ClassRuntime) Invoke(ctx context.Context, objectID, function string, payload json.RawMessage, args map[string]string) (json.RawMessage, error) {
 	fn, ok := rt.class.Function(function)
 	if !ok {
 		return nil, fmt.Errorf("%w: %s.%s", ErrFunctionUnknown, rt.class.Name, function)
+	}
+	if d := rt.effectiveTimeout(fn); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
 	}
 	start := rt.infra.Clock.Now()
 	out, err := rt.invokeFn(ctx, objectID, fn, payload, args)
@@ -758,7 +833,39 @@ func (rt *ClassRuntime) runTask(ctx context.Context, objectID string, fn model.F
 		Args:     args,
 		Refs:     refs,
 	}
-	return rt.engine.Invoke(ctx, rt.fnKey(fn.Name), task)
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+		// No deadline, no watchdog: the warm path stays a plain call.
+		return rt.engine.Invoke(ctx, rt.fnKey(fn.Name), task)
+	}
+	type outcome struct {
+		res invoker.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := rt.engine.Invoke(ctx, rt.fnKey(fn.Name), task)
+		done <- outcome{res, err}
+	}()
+	select {
+	case out := <-done:
+		if out.err != nil && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			// The handler noticed the expiry itself (or failed after
+			// it); either way the invocation is expired, not failed.
+			return invoker.Result{}, rt.deadlineError(fn)
+		}
+		return out.res, out.err
+	case <-ctx.Done():
+		// A handler stuck past its deadline: fail the invocation now —
+		// the commit guards guarantee it can never commit — and leave a
+		// reaper behind so the leaked-handler gauge drops when the
+		// abandoned goroutine finally returns.
+		rt.leakedHandlers.Add(1)
+		go func() {
+			<-done
+			rt.leakedHandlers.Add(-1)
+		}()
+		return invoker.Result{}, rt.ctxAbort(ctx, fn)
+	}
 }
 
 // invokeReadonly is the read-only fast path: no lock, no merge, no
@@ -794,6 +901,12 @@ func (rt *ClassRuntime) invokeLockedPlain(ctx context.Context, objectID string, 
 	res, err := rt.runTask(ctx, objectID, fn, payload, args, state)
 	if err != nil {
 		return nil, err
+	}
+	// An invocation whose context expired while the handler ran must
+	// never commit: the caller has been (or is being) failed with the
+	// deadline error, so a late commit would be a lost-response write.
+	if ctx.Err() != nil {
+		return nil, rt.ctxAbort(ctx, fn)
 	}
 	// Persist the state delta: validate every key first so a rogue
 	// delta persists nothing, then write all updates in one batched
@@ -912,6 +1025,10 @@ func (rt *ClassRuntime) occAttempt(ctx context.Context, objectID string, fn mode
 	if err != nil {
 		return nil, err
 	}
+	// Expired invocations never commit (see invokeLockedPlain).
+	if ctx.Err() != nil {
+		return nil, rt.ctxAbort(ctx, fn)
+	}
 	ops, err := rt.buildCommit(objectID, fn, snap, res.State)
 	if err != nil {
 		return nil, err
@@ -940,6 +1057,9 @@ func (rt *ClassRuntime) invokeOCC(ctx context.Context, guard *sync.RWMutex, obje
 	defer guard.RUnlock()
 	var lastErr error
 	for attempt := 0; attempt < maxOCCAttempts; attempt++ {
+		if ctx.Err() != nil {
+			return nil, rt.ctxAbort(ctx, fn)
+		}
 		if attempt > 0 {
 			rt.reg.Counter("occ.retries").Inc()
 		}
@@ -972,6 +1092,9 @@ func (rt *ClassRuntime) invokeBarrier(ctx context.Context, guard *sync.RWMutex, 
 	defer guard.Unlock()
 	var lastErr error
 	for attempt := 0; attempt < maxLockedCASAttempts; attempt++ {
+		if ctx.Err() != nil {
+			return nil, rt.ctxAbort(ctx, fn)
+		}
 		if attempt > 0 {
 			rt.reg.Counter("occ.retries").Inc()
 		}

@@ -223,6 +223,61 @@
 // throughput than validated commits allow, shard the state across
 // several objects and aggregate on read.
 //
+// # Failure semantics
+//
+// Invocations carry deadlines. A function declares one in YAML
+// (`timeoutMs:` on the function, or class-wide as a default for every
+// member), the platform supplies a fallback for classes that declare
+// none (Config.DefaultInvokeTimeout), and a single request can
+// tighten — never loosen the platform's enforcement of — its own
+// budget with `?timeoutMs=` on the gateway's invoke routes (`ocli
+// invoke -t`). Resolution order is function over class over platform
+// default; the request context's deadline min-combines with the
+// resolved timeout, so the effective deadline is always the earliest
+// one. An invocation that exceeds its deadline fails with
+// ErrDeadlineExceeded (HTTP 408, code "deadline_exceeded") and
+// commits nothing: the expired handler's delta is discarded in every
+// concurrency mode and in the InvokeBatch group window, where it
+// fails only its own entry. The abandoned handler keeps running on
+// its goroutine until it returns — visible in
+// Stats().Resilience.LeakedHandlers — but its stripe/queue slot is
+// released immediately, so other objects (and other invocations of
+// the same shard) keep committing. Asynchronous submissions stamp the
+// deadline at submission time: work that goes stale while queued is
+// dropped with InvocationExpired rather than executed, and a running
+// async handler that outlives its deadline terminates with the same
+// status (Stats().Async.Expired counts both).
+//
+// The backing store sits behind a circuit breaker
+// (Config.Breaker). Sustained read/write failures trip it open:
+// writes then fail fast with ErrBackingUnavailable (HTTP 503 with
+// code "backing_unavailable" and a Retry-After header) instead of
+// stacking up on a dead store, while reads of cached state are served
+// from the in-memory table — counted in
+// Stats().Resilience.DegradedReads, flagged by the
+// X-Oparaca-Degraded response header. Durable event delivery parks:
+// cursors simply stop advancing (growing cursorLag) and redeliver
+// once the store recovers, preserving at-least-once semantics. After
+// Config.Breaker.OpenTimeout the breaker admits a half-open probe
+// budget; enough successes close it again. GET /readyz (and `ocli
+// health`) reports the breaker state, async queue depth vs. capacity,
+// and trigger backlog — 503 while degraded or saturated, for load
+// balancers.
+//
+// Error-to-status map at the gateway:
+//
+//	ErrDeadlineExceeded    408  "deadline_exceeded"   nothing committed
+//	ErrBackingUnavailable  503  "backing_unavailable" breaker open, Retry-After set
+//	ErrQueueFull           429  "queue_full"          async backpressure
+//	ErrClassQuotaExceeded  429  "class_quota_exceeded"
+//	(async record)              status "expired"      dropped or cut off by deadline
+//
+// Config.Chaos injects seeded, probabilistic backing-store faults
+// (read/write errors, latency spikes, torn batch writes,
+// transient vs. permanent classification) for fault-injection
+// testing; the platform's own chaos soak test drives it under the
+// race detector to hold the invariants above.
+//
 // The subpackages under internal/ implement the platform and every
 // substrate it depends on (cluster simulator, FaaS engines, document
 // store, distributed memtable, S3-style object store, dataflow engine,
@@ -239,8 +294,10 @@ import (
 	"github.com/hpcclab/oparaca-go/internal/faas"
 	"github.com/hpcclab/oparaca-go/internal/gateway"
 	"github.com/hpcclab/oparaca-go/internal/invoker"
+	"github.com/hpcclab/oparaca-go/internal/kvstore"
 	"github.com/hpcclab/oparaca-go/internal/memtable"
 	"github.com/hpcclab/oparaca-go/internal/model"
+	"github.com/hpcclab/oparaca-go/internal/resilience"
 	"github.com/hpcclab/oparaca-go/internal/runtime"
 	"github.com/hpcclab/oparaca-go/internal/trigger"
 )
@@ -398,6 +455,9 @@ const (
 	InvocationRunning   = asyncq.StatusRunning
 	InvocationCompleted = asyncq.StatusCompleted
 	InvocationFailed    = asyncq.StatusFailed
+	// InvocationExpired marks an asynchronous invocation dropped while
+	// queued, or cut off while running, by its submission deadline.
+	InvocationExpired = asyncq.StatusExpired
 )
 
 // Event and trigger types (see internal/trigger).
@@ -446,6 +506,33 @@ var (
 	ErrClassQuotaExceeded = core.ErrClassQuotaExceeded
 	ErrInvocationNotFound = core.ErrInvocationNotFound
 	ErrOffsetCompacted    = core.ErrOffsetCompacted
+	// ErrDeadlineExceeded marks an invocation that exceeded its
+	// deadline (function/class timeoutMs, Config.DefaultInvokeTimeout,
+	// or the request context). Nothing was committed. Also matches
+	// errors.Is(err, context.DeadlineExceeded).
+	ErrDeadlineExceeded = runtime.ErrDeadlineExceeded
+	// ErrBackingUnavailable marks an operation fast-failed because the
+	// backing store's circuit breaker is open.
+	ErrBackingUnavailable = resilience.ErrOpen
+)
+
+// Failure-semantics types (see internal/resilience and the "Failure
+// semantics" section above).
+type (
+	// BreakerConfig tunes the backing-store circuit breaker
+	// (Config.Breaker): failure window, trip threshold, open timeout,
+	// half-open probe budget.
+	BreakerConfig = resilience.Config
+	// BreakerStats snapshots the breaker's state and transition
+	// counters (Stats().Resilience.Breaker).
+	BreakerStats = resilience.Stats
+	// ResilienceStats is the failure-semantics section of a platform
+	// snapshot: breaker state, degraded reads, leaked handlers,
+	// expired invocations.
+	ResilienceStats = core.ResilienceStats
+	// FaultPlan is a seeded probabilistic backing-store fault schedule
+	// (Config.Chaos) for fault-injection testing.
+	FaultPlan = kvstore.FaultPlan
 )
 
 // EventLogEntry is one stored record of an object's durable event
