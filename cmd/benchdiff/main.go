@@ -11,10 +11,15 @@
 //
 // Lines that also report an allocs/op figure contribute a second
 // metric under "<key>#allocs". Allocation counts regress UPWARD, so
-// the comparison inverts for those keys: the run fails when measured
-// allocs/op exceed the snapshot by more than the threshold factor
-// (iteration-count noise is absent — allocs/op is deterministic up to
-// background goroutine scheduling).
+// the comparison inverts for those keys, and they get their own, much
+// tighter factor: -allocs-threshold (default 1.25, i.e. a run fails
+// when it allocates >25% more per op than the snapshot). Alloc counts
+// are deterministic enough for a tight guard — no iteration-count
+// noise — except at very small snapshot values, where whole-process
+// counting picks up background goroutine allocations; -allocs-slack
+// (default 8) is the absolute allocs/op grace that absorbs this: a
+// key only regresses when it exceeds BOTH want*allocsThreshold and
+// want+allocsSlack.
 //
 // The smoke run feeding it should use a small fixed iteration count
 // (e.g. -benchtime=200x): enough iterations to amortize first-call
@@ -96,7 +101,9 @@ func parseOps(r io.Reader) (map[string]float64, error) {
 
 // compare checks every snapshot entry against the measured run and
 // returns human-readable regression reports (empty means pass).
-func compare(snapshot, measured map[string]float64, threshold float64) []string {
+// threshold guards ops/s keys (downward); allocsThreshold and
+// allocsSlack guard #allocs keys (upward, see the package comment).
+func compare(snapshot, measured map[string]float64, threshold, allocsThreshold, allocsSlack float64) []string {
 	keys := make([]string, 0, len(snapshot))
 	for k := range snapshot {
 		keys = append(keys, k)
@@ -116,10 +123,15 @@ func compare(snapshot, measured map[string]float64, threshold float64) []string 
 		}
 		if strings.HasSuffix(k, "#allocs") {
 			// Allocation counts regress upward: fail when the run
-			// allocates more than threshold x the snapshot.
-			if got > want*threshold {
+			// allocates more than allocsThreshold x the snapshot,
+			// with an absolute slack floor for near-zero snapshots.
+			limit := want * allocsThreshold
+			if floor := want + allocsSlack; floor > limit {
+				limit = floor
+			}
+			if got > limit {
 				regressions = append(regressions,
-					fmt.Sprintf("%s: %.1f allocs/op is more than %.0fx above snapshot %.1f allocs/op", k, got, threshold, want))
+					fmt.Sprintf("%s: %.1f allocs/op exceeds snapshot %.1f allocs/op by more than %.2fx (limit %.1f)", k, got, want, allocsThreshold, limit))
 			}
 			continue
 		}
@@ -133,7 +145,9 @@ func compare(snapshot, measured map[string]float64, threshold float64) []string 
 
 func run() error {
 	snapshotPath := flag.String("snapshot", "BENCH_invoke.json", "committed snapshot to compare against")
-	threshold := flag.Float64("threshold", 5, "maximum tolerated slowdown factor vs the snapshot")
+	threshold := flag.Float64("threshold", 5, "maximum tolerated ops/s slowdown factor vs the snapshot")
+	allocsThreshold := flag.Float64("allocs-threshold", 1.25, "maximum tolerated allocs/op growth factor vs the snapshot (#allocs keys)")
+	allocsSlack := flag.Float64("allocs-slack", 8, "absolute allocs/op grace added to small snapshots before the growth factor trips")
 	flag.Parse()
 	raw, err := os.ReadFile(*snapshotPath)
 	if err != nil {
@@ -170,13 +184,13 @@ func run() error {
 			fmt.Printf("%-38s %12.1f %s  (no snapshot entry)\n", k, measured[k], unit)
 		}
 	}
-	if regs := compare(snapshot, measured, *threshold); len(regs) > 0 {
+	if regs := compare(snapshot, measured, *threshold, *allocsThreshold, *allocsSlack); len(regs) > 0 {
 		for _, r := range regs {
 			fmt.Fprintln(os.Stderr, "REGRESSION:", r)
 		}
 		return fmt.Errorf("benchdiff: %d regression(s)", len(regs))
 	}
-	fmt.Printf("benchdiff: %d benchmarks within %.0fx of snapshot\n", len(measured), *threshold)
+	fmt.Printf("benchdiff: %d benchmarks within %.0fx ops/s, %.2fx allocs of snapshot\n", len(measured), *threshold, *allocsThreshold)
 	return nil
 }
 

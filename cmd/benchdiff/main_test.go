@@ -62,7 +62,7 @@ func TestCompareFlagsRegressions(t *testing.T) {
 		"invoke/b": 150, // >5x below
 		// c missing entirely
 	}
-	regs := compare(snapshot, measured, 5)
+	regs := compare(snapshot, measured, 5, 1.25, 8)
 	if len(regs) != 2 {
 		t.Fatalf("regressions = %v, want 2 entries", regs)
 	}
@@ -77,10 +77,10 @@ func TestCompareFlagsRegressions(t *testing.T) {
 func TestCompareExactThresholdPasses(t *testing.T) {
 	snapshot := map[string]float64{"invoke/a": 1000}
 	// Exactly 1/5th of the snapshot is the boundary: not a regression.
-	if regs := compare(snapshot, map[string]float64{"invoke/a": 200}, 5); len(regs) != 0 {
+	if regs := compare(snapshot, map[string]float64{"invoke/a": 200}, 5, 1.25, 8); len(regs) != 0 {
 		t.Fatalf("boundary value flagged: %v", regs)
 	}
-	if regs := compare(snapshot, map[string]float64{"invoke/a": 199}, 5); len(regs) != 1 {
+	if regs := compare(snapshot, map[string]float64{"invoke/a": 199}, 5, 1.25, 8); len(regs) != 1 {
 		t.Fatal("just-below-boundary value not flagged")
 	}
 }
@@ -94,22 +94,85 @@ func TestCompareAllocsKeysInvert(t *testing.T) {
 	if regs := compare(snapshot, map[string]float64{
 		"triggerfanout/subs1#allocs": 10,
 		"triggerfanout/subs1":        5000,
-	}, 5); len(regs) != 0 {
+	}, 5, 1.25, 8); len(regs) != 0 {
 		t.Fatalf("improvement flagged: %v", regs)
 	}
-	// Exactly threshold x the alloc snapshot is the boundary: passes.
+	// Exactly allocsThreshold x the snapshot is the boundary: passes.
+	// (40*1.25 = 50 > 40+8, so the factor governs here.)
 	if regs := compare(snapshot, map[string]float64{
-		"triggerfanout/subs1#allocs": 200,
+		"triggerfanout/subs1#allocs": 50,
 		"triggerfanout/subs1":        1000,
-	}, 5); len(regs) != 0 {
+	}, 5, 1.25, 8); len(regs) != 0 {
 		t.Fatalf("boundary allocs flagged: %v", regs)
 	}
-	// Above the boundary: the alloc key (and only it) regresses.
+	// Above the boundary: the alloc key (and only it) regresses, even
+	// though its ops/s twin is exactly at snapshot.
 	regs := compare(snapshot, map[string]float64{
-		"triggerfanout/subs1#allocs": 201,
+		"triggerfanout/subs1#allocs": 51,
 		"triggerfanout/subs1":        1000,
-	}, 5)
+	}, 5, 1.25, 8)
 	if len(regs) != 1 || !strings.Contains(regs[0], "#allocs") {
 		t.Fatalf("regressions = %v, want one #allocs entry", regs)
+	}
+}
+
+func TestCompareAllocsThresholdSeparateFromOps(t *testing.T) {
+	// A wide ops/s threshold must not loosen the allocs guard: 2x the
+	// alloc snapshot fails at allocsThreshold 1.25 even with the ops
+	// factor at 5.
+	snapshot := map[string]float64{"invoke/hot-object#allocs": 32}
+	regs := compare(snapshot, map[string]float64{"invoke/hot-object#allocs": 64}, 5, 1.25, 8)
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want the 2x alloc growth flagged", regs)
+	}
+	if !strings.Contains(regs[0], "1.25x") {
+		t.Errorf("regression %q should cite the allocs threshold factor", regs[0])
+	}
+}
+
+func TestCompareAllocsSlackAbsorbsSmallCounts(t *testing.T) {
+	// Near-zero snapshots get an absolute grace: 5 -> 12 allocs/op is
+	// a 2.4x factor but within want+slack, so it passes...
+	snapshot := map[string]float64{"invoke/spread-warm#allocs": 5}
+	if regs := compare(snapshot, map[string]float64{"invoke/spread-warm#allocs": 12}, 5, 1.25, 8); len(regs) != 0 {
+		t.Fatalf("within-slack growth flagged: %v", regs)
+	}
+	// ...and just past want+slack it fails.
+	if regs := compare(snapshot, map[string]float64{"invoke/spread-warm#allocs": 14}, 5, 1.25, 8); len(regs) != 1 {
+		t.Fatal("beyond-slack growth not flagged")
+	}
+}
+
+func TestParseFamilyRegexes(t *testing.T) {
+	// Every guarded family maps to its snapshot prefix; unguarded
+	// benchmarks (Micro*, Figure3) never contribute keys.
+	lines := map[string]string{
+		"BenchmarkInvokeHotPath/hot-object-8  100  100 ns/op  500 ops/s":               "invoke/hot-object",
+		"BenchmarkInvokeWithDeadline/armed-1s-8  100  100 ns/op  500 ops/s":            "invokedeadline/armed-1s",
+		"BenchmarkAsyncDrainThroughput/spread/w4/batch16-8  100  100 ns/op  500 ops/s": "asyncdrain/spread/w4/batch16",
+		"BenchmarkTriggerFanout/subs1-8  100  100 ns/op  500 ops/s":                    "triggerfanout/subs1",
+		"BenchmarkEventLogAppend/single-8  100  100 ns/op  500 ops/s":                  "eventlog/append/single",
+		"BenchmarkEventLogReplay/page256-8  100  100 ns/op  500 ops/s":                 "eventlog/replay/page256",
+	}
+	for line, key := range lines {
+		got, err := parseOps(strings.NewReader(line + "\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[key] != 500 {
+			t.Errorf("line %q: parsed %v, want key %q = 500", line, got, key)
+		}
+	}
+	for _, line := range []string{
+		"BenchmarkMicroKVStorePut-8  999999  500 ns/op  100 ops/s",
+		"BenchmarkFigure3/oprc/vms-3-8  100  100 ns/op  500 ops/s",
+	} {
+		got, err := parseOps(strings.NewReader(line + "\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 0 {
+			t.Errorf("unguarded line %q parsed as %v", line, got)
+		}
 	}
 }

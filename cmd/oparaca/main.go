@@ -12,7 +12,7 @@
 //
 // Usage:
 //
-//	oparaca [-addr :8020] [-workers 3] [-db-write-cap 0] [-optimize]
+//	oparaca [-addr :8020] [-workers 3] [-db-write-cap 0] [-optimize] [-pprof addr]
 package main
 
 import (
@@ -23,6 +23,7 @@ import (
 	"hash/fnv"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -47,8 +48,28 @@ func main() {
 			"default per-invocation deadline for classes that declare none (0 = unlimited)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second,
 			"how long shutdown waits for in-flight requests and queued async work")
+		pprofAddr = flag.String("pprof", "",
+			"serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
 	)
 	flag.Parse()
+
+	// Profiling is opt-in and served on its own listener, never the
+	// gateway address: the debug endpoints expose heap contents and
+	// must not ride on the customer-facing port.
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("oparaca pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil && err != http.ErrServerClosed {
+				log.Printf("oparaca: pprof server: %v", err)
+			}
+		}()
+	}
 
 	p, err := core.New(core.Config{
 		Workers:              *workers,

@@ -754,6 +754,7 @@ func (p *Platform) infra() runtime.Infra {
 		DefaultInvokeTimeout: p.cfg.DefaultInvokeTimeout,
 		Events:               p.bus.Publish,
 		EventsBatch:          p.bus.PublishBatch,
+		EventsNeeded:         p.bus.NeedsEvents,
 		TombstoneTTL:         p.cfg.TombstoneTTL,
 		TombstoneGCInterval:  p.cfg.TombstoneGCInterval,
 		Degraded:             p.Degraded,

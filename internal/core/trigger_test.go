@@ -80,19 +80,18 @@ func TestUploadTriggerFiresFunction(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("upload status = %d", resp.StatusCode)
 	}
-	// The trigger runs asynchronously; wait for it.
+	// The trigger runs asynchronously; wait for it. TriggersFired only
+	// increments once the triggered invocation fully returns (the
+	// handler records its call before that), so poll the counter too.
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		if _, ok := calls.Load(id); ok {
+		if _, ok := calls.Load(id); ok && p.TriggersFired() >= 1 {
 			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatal("trigger never fired")
+			t.Fatalf("trigger never fired (calls=%v, fired=%d)", func() bool { _, ok := calls.Load(id); return ok }(), p.TriggersFired())
 		}
 		time.Sleep(2 * time.Millisecond)
-	}
-	if got := p.TriggersFired(); got < 1 {
-		t.Fatalf("TriggersFired = %d", got)
 	}
 	// The trigger's state delta persisted.
 	deadline = time.Now().Add(2 * time.Second)

@@ -198,10 +198,26 @@ func New(cfg Config) (*Log, error) {
 // separator in a cursor key unambiguously splits subscription from
 // object even though subscription identities may contain '/'.
 func entryKey(object string, off int64) string {
-	return fmt.Sprintf("evlog/%s/%016x", object, off)
+	// Hand-rolled %016x: entryKey runs once per appended event on the
+	// commit path, and fmt's reflection pass costs several allocations
+	// where this costs exactly the result string.
+	const hexDigits = "0123456789abcdef"
+	var hex [16]byte
+	u := uint64(off)
+	for i := 15; i >= 0; i-- {
+		hex[i] = hexDigits[u&0xf]
+		u >>= 4
+	}
+	var b strings.Builder
+	b.Grow(len("evlog/") + len(object) + 1 + len(hex))
+	b.WriteString("evlog/")
+	b.WriteString(object)
+	b.WriteByte('/')
+	b.Write(hex[:])
+	return b.String()
 }
-func metaKey(object string) string         { return "evmeta/" + object }
-func cursorKey(sub, object string) string  { return "evcursor/" + sub + "/" + object }
+func metaKey(object string) string        { return "evmeta/" + object }
+func cursorKey(sub, object string) string { return "evcursor/" + sub + "/" + object }
 
 // object returns (creating if needed) the in-memory log of one object.
 func (l *Log) object(object string) *objectLog {

@@ -69,7 +69,8 @@ type Config struct {
 	// Backing is the persistent store; required unless ModeMemoryOnly.
 	Backing *kvstore.Store
 	// Shards is the number of in-memory shard maps (per-VM partitions
-	// in the paper's deployment). Defaults to 16.
+	// in the paper's deployment). Defaults to 16, capped at 64 (the
+	// commit path tracks shard sets in a uint64 bitmask).
 	Shards int
 	// FlushInterval is the write-behind flush period. Defaults 50ms.
 	FlushInterval time.Duration
@@ -107,6 +108,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Shards <= 0 {
 		c.Shards = 16
+	}
+	if c.Shards > 64 {
+		// The commit path tracks an op's shard set in one uint64
+		// bitmask (opShardMask); 64 shards is already far past lock
+		// contention relief for any realistic key population.
+		c.Shards = 64
 	}
 	if c.FlushInterval <= 0 {
 		c.FlushInterval = 50 * time.Millisecond
@@ -376,13 +383,32 @@ func (t *Table) Get(ctx context.Context, key string) (json.RawMessage, error) {
 // map — batch callers resolve defaults themselves, so absence is not
 // an error, unlike Get's ErrNotFound.
 func (t *Table) GetMany(ctx context.Context, keys []string) (map[string]json.RawMessage, error) {
-	if t.isClosed() {
-		return nil, ErrClosed
-	}
 	if len(keys) == 0 {
+		if t.isClosed() {
+			return nil, ErrClosed
+		}
 		return nil, nil
 	}
 	out := make(map[string]json.RawMessage, len(keys))
+	if err := t.GetManyInto(ctx, keys, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GetManyInto is GetMany writing into a caller-supplied map, so a hot
+// caller can reuse one map across reads instead of allocating per
+// call. Existing entries of out are left in place (callers reusing a
+// map clear it between reads). Values are read-only views aliasing
+// table memory: callers must not mutate them — the table clones on
+// every write path, never on reads.
+func (t *Table) GetManyInto(ctx context.Context, keys []string, out map[string]json.RawMessage) error {
+	if t.isClosed() {
+		return ErrClosed
+	}
+	if len(keys) == 0 {
+		return nil
+	}
 	var missing []string
 	var hits, misses int64
 	t.forEachShardGroup(keys, func(sh *shard, positions []int) {
@@ -404,14 +430,14 @@ func (t *Table) GetMany(ctx context.Context, keys []string) (map[string]json.Raw
 	})
 	t.noteReads(hits, misses)
 	if len(missing) == 0 || t.cfg.Mode == ModeMemoryOnly {
-		return out, nil
+		return nil
 	}
 	docs, err := t.cfg.Backing.BatchGet(ctx, missing)
 	if err != nil {
-		return nil, fmt.Errorf("memtable: batch read-through: %w", err)
+		return fmt.Errorf("memtable: batch read-through: %w", err)
 	}
 	if len(docs) == 0 {
-		return out, nil
+		return nil
 	}
 	found := make([]string, 0, len(docs))
 	for k := range docs {
@@ -436,7 +462,7 @@ func (t *Table) GetMany(ctx context.Context, keys []string) (map[string]json.Raw
 			out[k] = v
 		}
 	})
-	return out, nil
+	return nil
 }
 
 // VersionedValue couples a state value with the table version it was
@@ -454,13 +480,32 @@ type VersionedValue struct {
 // version with a nil value (reading through would let a stale commit
 // resurrect them); keys found nowhere report {nil, 0}.
 func (t *Table) GetManyVersioned(ctx context.Context, keys []string) (map[string]VersionedValue, error) {
-	if t.isClosed() {
-		return nil, ErrClosed
-	}
 	if len(keys) == 0 {
+		if t.isClosed() {
+			return nil, ErrClosed
+		}
 		return nil, nil
 	}
 	out := make(map[string]VersionedValue, len(keys))
+	if err := t.GetManyVersionedInto(ctx, keys, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GetManyVersionedInto is GetManyVersioned writing into a
+// caller-supplied map, so a hot caller can reuse one map across reads
+// instead of allocating per call. Existing entries of out are left in
+// place (callers reusing a map clear it between reads). Values are
+// read-only views aliasing table memory: callers must not mutate
+// them — the table clones on every write path, never on reads.
+func (t *Table) GetManyVersionedInto(ctx context.Context, keys []string, out map[string]VersionedValue) error {
+	if t.isClosed() {
+		return ErrClosed
+	}
+	if len(keys) == 0 {
+		return nil
+	}
 	var missing []string
 	var hits, misses int64
 	t.forEachShardGroup(keys, func(sh *shard, positions []int) {
@@ -483,17 +528,17 @@ func (t *Table) GetManyVersioned(ctx context.Context, keys []string) (map[string
 	})
 	t.noteReads(hits, misses)
 	if len(missing) == 0 {
-		return out, nil
+		return nil
 	}
 	if t.cfg.Mode == ModeMemoryOnly {
 		for _, k := range missing {
 			out[k] = VersionedValue{}
 		}
-		return out, nil
+		return nil
 	}
 	docs, err := t.cfg.Backing.BatchGet(ctx, missing)
 	if err != nil {
-		return nil, fmt.Errorf("memtable: batch read-through: %w", err)
+		return fmt.Errorf("memtable: batch read-through: %w", err)
 	}
 	found := make([]string, 0, len(docs))
 	for _, k := range missing {
@@ -504,7 +549,7 @@ func (t *Table) GetManyVersioned(ctx context.Context, keys []string) (map[string
 		}
 	}
 	if len(found) == 0 {
-		return out, nil
+		return nil
 	}
 	// Cache the read-through results with their backing versions. A
 	// writer (or deleter) may have raced the batch read; its newer
@@ -526,7 +571,7 @@ func (t *Table) GetManyVersioned(ctx context.Context, keys []string) (map[string
 			out[k] = VersionedValue{Value: v, Version: docs[k].Version}
 		}
 	})
-	return out, nil
+	return nil
 }
 
 // PutMany stores every entry, taking each shard lock once. In
@@ -674,23 +719,31 @@ type CASOp struct {
 	Write bool
 }
 
-// lockShards locks every shard owning one of keys, in ascending shard
-// index order (the fixed global order keeps concurrent multi-shard
-// commits deadlock-free), and returns the unlock function.
-func (t *Table) lockShards(keys []string) func() {
-	owned := make([]bool, len(t.shards))
-	for _, k := range keys {
-		owned[t.shardIndexFor(k)] = true
+// opShardMask returns the set of shards owning an op key as a bitmask
+// (valid because New caps Shards at 64), so the commit path can lock
+// and unlock its shard set without allocating tracking slices.
+func (t *Table) opShardMask(ops map[string]CASOp) uint64 {
+	var mask uint64
+	for k := range ops {
+		mask |= 1 << uint(t.shardIndexFor(k))
 	}
-	locked := make([]int, 0, len(t.shards))
-	for i, own := range owned {
-		if own {
+	return mask
+}
+
+// lockMask locks every shard in mask in ascending index order (the
+// fixed global order keeps concurrent multi-shard commits
+// deadlock-free); unlockMask releases them.
+func (t *Table) lockMask(mask uint64) {
+	for i := range t.shards {
+		if mask&(1<<uint(i)) != 0 {
 			t.shards[i].mu.Lock()
-			locked = append(locked, i)
 		}
 	}
-	return func() {
-		for _, i := range locked {
+}
+
+func (t *Table) unlockMask(mask uint64) {
+	for i := range t.shards {
+		if mask&(1<<uint(i)) != 0 {
 			t.shards[i].mu.Unlock()
 		}
 	}
@@ -719,18 +772,9 @@ func (t *Table) PutManyIfVersion(ctx context.Context, ops map[string]CASOp) erro
 	if len(ops) == 0 {
 		return nil
 	}
-	keys := make([]string, 0, len(ops))
-	var puts map[string]json.RawMessage
-	for k, op := range ops {
-		keys = append(keys, k)
-		if op.Write && op.Value != nil {
-			if puts == nil {
-				puts = make(map[string]json.RawMessage, len(ops))
-			}
-			puts[k] = append(json.RawMessage(nil), op.Value...)
-		}
-	}
-	unlock := t.lockShards(keys)
+	mask := t.opShardMask(ops)
+	t.lockMask(mask)
+	unlock := func() { t.unlockMask(mask) }
 	for k, op := range ops {
 		if op.Expect == AnyVersion {
 			continue
@@ -739,6 +783,23 @@ func (t *Table) PutManyIfVersion(ctx context.Context, ops map[string]CASOp) erro
 			unlock()
 			return fmt.Errorf("%w: key %q at version %d, expected %d",
 				ErrVersionMismatch, k, cur, op.Expect)
+		}
+	}
+	// Written values are cloned before they reach a shard (or the
+	// backing store): the ops map and its values belong to the caller —
+	// typically a pooled commit scratch — and must never be aliased by
+	// table memory. Write-through collects the clones into a batch map
+	// (the backing API needs one); write-behind clones straight into
+	// the per-shard commit below and skips the map.
+	var puts map[string]json.RawMessage
+	if t.cfg.Mode == ModeWriteThrough {
+		for k, op := range ops {
+			if op.Write && op.Value != nil {
+				if puts == nil {
+					puts = make(map[string]json.RawMessage, len(ops))
+				}
+				puts[k] = append(json.RawMessage(nil), op.Value...)
+			}
 		}
 	}
 	// Backing I/O happens before the in-memory commit, still under the
@@ -783,7 +844,11 @@ func (t *Table) PutManyIfVersion(ctx context.Context, ops map[string]CASOp) erro
 			}
 			continue
 		}
-		sh.data[k] = puts[k]
+		v, cloned := puts[k]
+		if !cloned {
+			v = append(json.RawMessage(nil), op.Value...)
+		}
+		sh.data[k] = v
 		sh.vers[k]++
 		delete(sh.deleted, k)
 		delete(sh.tombs, k)

@@ -611,3 +611,69 @@ func TestBatchOpsWidePath(t *testing.T) {
 		t.Fatalf("wide cold batch cost %d read ops, want 1", delta)
 	}
 }
+
+// TestGetManyIntoReusesCallerMap: the Into variant must write found
+// keys into the supplied map without allocating a fresh one, leave
+// unrelated entries the caller put there alone, and omit absent keys
+// — the contract the runtime's pooled scratch maps rely on.
+func TestGetManyIntoReusesCallerMap(t *testing.T) {
+	tbl, db := newBacked(t, ModeWriteBehind)
+	ctx := context.Background()
+	if _, err := db.Put(ctx, "k1", json.RawMessage(`"one"`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Put(ctx, "k2", json.RawMessage(`"two"`)); err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]json.RawMessage{"stale": json.RawMessage(`"untouched"`)}
+	if err := tbl.GetManyInto(ctx, []string{"k1", "k2", "absent"}, out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("out = %v, want stale + k1 + k2", out)
+	}
+	if string(out["k1"]) != `"one"` || string(out["k2"]) != `"two"` {
+		t.Fatalf("out = %v", out)
+	}
+	if string(out["stale"]) != `"untouched"` {
+		t.Fatalf("caller's unrelated entry clobbered: %v", out)
+	}
+	if _, ok := out["absent"]; ok {
+		t.Fatal("absent key materialized")
+	}
+	// GetMany delegates to GetManyInto: both see the same values.
+	got, err := tbl.GetMany(ctx, []string{"k1", "k2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got["k1"]) != `"one"` || len(got) != 2 {
+		t.Fatalf("GetMany = %v", got)
+	}
+}
+
+// TestShardCountCapped: the bitmask shard-locking scheme in
+// PutManyIfVersion indexes shards by a uint64 mask, so configured
+// shard counts clamp to 64 instead of overflowing it.
+func TestShardCountCapped(t *testing.T) {
+	tbl, err := New(Config{Mode: ModeMemoryOnly, Shards: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tbl.Close()
+	if n := len(tbl.shards); n != 64 {
+		t.Fatalf("shards = %d, want capped at 64", n)
+	}
+	// A cross-shard versioned batch still commits atomically.
+	ctx := context.Background()
+	ops := make(map[string]CASOp, 100)
+	for i := 0; i < 100; i++ {
+		ops[fmt.Sprintf("key-%03d", i)] = CASOp{Expect: AnyVersion, Value: json.RawMessage(`1`), Write: true}
+	}
+	if err := tbl.PutManyIfVersion(ctx, ops); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tbl.Get(ctx, "key-042")
+	if err != nil || string(got) != "1" {
+		t.Fatalf("key-042 = %s (%v)", got, err)
+	}
+}

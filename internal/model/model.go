@@ -140,6 +140,36 @@ func (m ConcurrencyMode) Valid() bool {
 	return false
 }
 
+// OCCValidate selects how wide an optimistic commit's validation set
+// is for a class running under occ or adaptive concurrency.
+type OCCValidate string
+
+// Validation scopes.
+const (
+	// OCCValidateDefault defers to OCCValidateReadset.
+	OCCValidateDefault OCCValidate = ""
+	// OCCValidateReadset validates every structured key the handler's
+	// snapshot carried (the full read set): decisions a handler made
+	// against unwritten keys cannot commit against changed state, so
+	// write skew is excluded. This is the safe default.
+	OCCValidateReadset OCCValidate = "readset"
+	// OCCValidateKeys validates only the keys the handler actually
+	// wrote. Methods touching disjoint keys of one wide object no
+	// longer abort each other, trading write-skew protection for
+	// fewer false conflicts — opt in only when the class's methods
+	// do not make decisions based on keys they leave unwritten.
+	OCCValidateKeys OCCValidate = "keys"
+)
+
+// Valid reports whether v is a known validation scope.
+func (v OCCValidate) Valid() bool {
+	switch v {
+	case OCCValidateDefault, OCCValidateReadset, OCCValidateKeys:
+		return true
+	}
+	return false
+}
+
 // FunctionDef declares one method of a class, realized by a serverless
 // function image.
 type FunctionDef struct {
@@ -295,6 +325,13 @@ type ClassDef struct {
 	// handled ("occ", "locked", or "adaptive"; empty defers to the
 	// platform default). Inherited from the parent unless overridden.
 	Concurrency ConcurrencyMode `json:"concurrencyMode,omitempty"`
+	// OCCValidate selects the optimistic commit's validation scope
+	// ("readset" validates every snapshotted key — the default — or
+	// "keys" validates only written keys, so disjoint-key writers on
+	// one object stop aborting each other). Only meaningful under occ
+	// or adaptive concurrency. Inherited from the parent unless
+	// overridden.
+	OCCValidate OCCValidate `json:"occValidate,omitempty"`
 	// TimeoutMs is the class-level default invocation deadline in
 	// milliseconds, applied to every function without its own
 	// TimeoutMs. 0 defers to the platform default. Inherited from the
@@ -478,6 +515,10 @@ func (c *ClassDef) validate() error {
 		return fmt.Errorf("%w: class %q has unknown concurrency mode %q (want occ, locked or adaptive)",
 			ErrValidation, c.Name, c.Concurrency)
 	}
+	if !c.OCCValidate.Valid() {
+		return fmt.Errorf("%w: class %q has unknown occValidate scope %q (want readset or keys)",
+			ErrValidation, c.Name, c.OCCValidate)
+	}
 	if c.TimeoutMs < 0 {
 		return fmt.Errorf("%w: class %q has negative timeoutMs", ErrValidation, c.Name)
 	}
@@ -564,6 +605,10 @@ type Class struct {
 	// (inherited from the parent unless the child sets one; empty
 	// defers to the platform default).
 	Concurrency ConcurrencyMode
+	// OCCValidate is the effective optimistic-commit validation scope
+	// (inherited from the parent unless the child sets one; empty
+	// means readset).
+	OCCValidate OCCValidate
 	// TimeoutMs is the effective class-level invocation deadline in
 	// milliseconds (inherited from the parent unless the child sets
 	// one; 0 defers to the platform default).
@@ -719,10 +764,14 @@ func merge(def *ClassDef, parent *Class) *Class {
 		c.QoS = parent.QoS
 		c.Constraint = parent.Constraint
 		c.Concurrency = parent.Concurrency
+		c.OCCValidate = parent.OCCValidate
 		c.TimeoutMs = parent.TimeoutMs
 	}
 	if def.Concurrency != ConcurrencyDefault {
 		c.Concurrency = def.Concurrency
+	}
+	if def.OCCValidate != OCCValidateDefault {
+		c.OCCValidate = def.OCCValidate
 	}
 	if def.TimeoutMs != 0 {
 		c.TimeoutMs = def.TimeoutMs

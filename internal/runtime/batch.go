@@ -298,8 +298,12 @@ func (rt *ClassRuntime) batchLockedPlain(ctx context.Context, objectID string, g
 	}
 	var puts map[string]json.RawMessage
 	var dels []string
+	keys := rt.keysFor(objectID)
 	for k, v := range merged {
-		key := rt.stateKey(objectID, k)
+		key, ok := keys.byName[k]
+		if !ok {
+			key = rt.stateKey(objectID, k)
+		}
 		if isNull(v) {
 			dels = append(dels, key)
 			continue
@@ -335,12 +339,16 @@ func (rt *ClassRuntime) batchLockedPlain(ctx context.Context, objectID string, g
 // emitGroupCommits publishes one StateChanged event per call the
 // merged commit carried — the group-commit path's realization of
 // one-event-per-committed-write-invocation. Calls that failed inside
-// the group emit nothing. When the platform wires EventsBatch, the
+// the group emit nothing, and neither do committed calls with an empty
+// delta (no state changed). When the platform wires EventsBatch, the
 // whole group publishes in one call so the durable event log appends
 // it in one backing write (the commit itself was one write; its
 // events should not cost n).
 func (rt *ClassRuntime) emitGroupCommits(objectID string, group []writerCall, results []BatchCallResult, callKeys [][]string) {
-	if rt.infra.EventsBatch == nil || len(rt.stateSpecs) == 0 {
+	if !rt.eventsNeeded() {
+		return
+	}
+	if rt.infra.EventsBatch == nil {
 		for gi, w := range group {
 			if results[w.idx].Err != nil {
 				continue
@@ -351,7 +359,7 @@ func (rt *ClassRuntime) emitGroupCommits(objectID string, group []writerCall, re
 	}
 	evs := make([]trigger.Event, 0, len(group))
 	for gi, w := range group {
-		if results[w.idx].Err != nil {
+		if results[w.idx].Err != nil || len(callKeys[gi]) == 0 {
 			continue
 		}
 		evs = append(evs, trigger.Event{
@@ -370,9 +378,14 @@ func (rt *ClassRuntime) emitGroupCommits(objectID string, group []writerCall, re
 
 // batchAttempt runs one optimistic group pass: one versioned snapshot,
 // sequential handlers on the evolving view, one validated merged
-// commit (an all-calls-failed pass has nothing to commit).
+// commit (an all-calls-failed pass has nothing to commit). The pooled
+// scratch backing the snapshot and commit ops lives exactly as long as
+// the attempt; handlers only ever see per-call clones of the evolving
+// view (applyGroup), never the scratch.
 func (rt *ClassRuntime) batchAttempt(ctx context.Context, objectID string, group []writerCall, results []BatchCallResult, callKeys [][]string) error {
-	snap, err := rt.loadStateVersioned(ctx, objectID)
+	sc := getScratch()
+	defer sc.release()
+	snap, err := rt.loadStateVersioned(ctx, objectID, sc)
 	if err != nil {
 		return err
 	}
@@ -383,17 +396,25 @@ func (rt *ClassRuntime) batchAttempt(ctx context.Context, objectID string, group
 	if len(merged) == 0 {
 		return nil
 	}
-	// Full read-set validation plus the merged writes, exactly like the
-	// per-call buildCommit: decisions every handler in the group made
-	// against unwritten keys cannot commit against changed state.
-	ops := make(map[string]memtable.CASOp, len(snap.vers)+len(merged))
-	for key, ver := range snap.vers {
-		ops[key] = memtable.CASOp{Expect: ver}
+	// Read-set validation plus the merged writes, exactly like the
+	// per-call buildCommit: by default decisions every handler in the
+	// group made against unwritten keys cannot commit against changed
+	// state; under model.OCCValidateKeys only the written keys are
+	// checked.
+	ops := snap.sc.ops
+	clear(ops)
+	if !rt.occKeysOnly {
+		for _, key := range snap.keys.keys {
+			ops[key] = memtable.CASOp{Expect: snap.sc.got[key].Version}
+		}
 	}
 	for k, v := range merged {
-		key := rt.stateKey(objectID, k)
-		op, ok := ops[key]
-		if !ok {
+		key, inSnap := snap.keys.byName[k]
+		var op memtable.CASOp
+		if inSnap {
+			op = memtable.CASOp{Expect: snap.sc.got[key].Version}
+		} else {
+			key = rt.stateKey(objectID, k)
 			op = memtable.CASOp{Expect: memtable.AnyVersion}
 		}
 		op.Write = true

@@ -9,7 +9,6 @@ import (
 	"math"
 	"net/http"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -81,11 +80,19 @@ type Infra struct {
 	// apply).
 	DefaultInvokeTimeout time.Duration
 	// Events receives one trigger.StateChanged event per committed
-	// write invocation on a stateful class — emitted by every commit
-	// path (locked window, OCC/adaptive CAS commit, InvokeBatch group
-	// commit) after the commit lands, never on abort or for readonly
-	// calls. nil disables emission.
+	// write invocation with a non-empty state delta on a stateful class
+	// — emitted by every commit path (locked window, OCC/adaptive CAS
+	// commit, InvokeBatch group commit) after the commit lands, never
+	// on abort, for readonly calls, or for committed calls that wrote
+	// nothing (no state changed, so there is nothing to react to). nil
+	// disables emission.
 	Events func(trigger.Event)
+	// EventsNeeded, when set, reports whether any event consumer — a
+	// durable event log, a matching subscription, or a live stream —
+	// currently exists for the class. Commit paths consult it before
+	// constructing an event so a bus nobody listens to costs the warm
+	// path nothing. nil means events are always needed.
+	EventsNeeded func(class string) bool
 	// EventsBatch, when set, receives the StateChanged events of one
 	// group-committed invocation batch as a single publication (all
 	// events share the object): the bus appends them to the durable
@@ -132,9 +139,22 @@ type ClassRuntime struct {
 	// stateSpecs are the class's structured (non-file) keys, cached so
 	// the hot path never re-filters class.Keys.
 	stateSpecs []model.KeySpec
+	// fnKeys maps each declared function name to its engine-level key,
+	// precomputed at construction so the hot path never re-concatenates
+	// it. Read-only after New.
+	fnKeys map[string]string
+	// keyCache memoizes per-object table-key slices (see pool.go);
+	// keyCacheLen approximates its size for the wholesale-reset bound.
+	keyCache    sync.Map
+	keyCacheLen atomic.Int64
 	// concMode is the resolved concurrency mode for this class (class
 	// declaration > platform default > adaptive).
 	concMode model.ConcurrencyMode
+	// occKeysOnly narrows optimistic commit validation from the full
+	// read set to the written keys (model.OCCValidateKeys): methods
+	// touching disjoint keys of one wide object stop aborting each
+	// other, at the cost of admitting write skew on unwritten reads.
+	occKeysOnly bool
 	// objLocks serializes the load→invoke→merge window of concurrent
 	// invocations on one object in the locked mode and in OCC/adaptive
 	// fallbacks (see invokeFn). Striped: two distinct objects contend
@@ -325,6 +345,11 @@ func New(infra Infra, class *model.Class, tmpl Template) (*ClassRuntime, error) 
 			rt.stateSpecs = append(rt.stateSpecs, k)
 		}
 	}
+	rt.fnKeys = make(map[string]string, len(class.Functions))
+	for _, fn := range class.Functions {
+		rt.fnKeys[fn.Name] = rt.fnKey(fn.Name)
+	}
+	rt.occKeysOnly = class.OCCValidate == model.OCCValidateKeys
 	rt.concMode = class.Concurrency
 	if rt.concMode == model.ConcurrencyDefault {
 		rt.concMode = infra.ConcurrencyMode
@@ -441,6 +466,15 @@ func (rt *ClassRuntime) Bucket() string {
 // fnKey is the engine-level function name for a class method.
 func (rt *ClassRuntime) fnKey(fn string) string {
 	return rt.class.Name + "." + fn
+}
+
+// fnKeyFor is fnKey served from the precomputed table (falling back to
+// concatenation for undeclared names, e.g. probes in tests).
+func (rt *ClassRuntime) fnKeyFor(fn string) string {
+	if k, ok := rt.fnKeys[fn]; ok {
+		return k
+	}
+	return rt.fnKey(fn)
 }
 
 // stateKey is the table key for one object's state attribute.
@@ -571,16 +605,14 @@ func (rt *ClassRuntime) loadState(ctx context.Context, objectID string) (map[str
 	if len(rt.stateSpecs) == 0 {
 		return state, nil
 	}
-	keys := make([]string, len(rt.stateSpecs))
-	for i, k := range rt.stateSpecs {
-		keys[i] = rt.stateKey(objectID, k.Name)
-	}
-	got, err := rt.table.GetMany(ctx, keys)
-	if err != nil {
+	keys := rt.keysFor(objectID)
+	sc := getScratch()
+	defer sc.release()
+	if err := rt.table.GetManyInto(ctx, keys.keys, sc.raw); err != nil {
 		return nil, fmt.Errorf("runtime: loading state %s: %w", objectID, err)
 	}
 	for i, k := range rt.stateSpecs {
-		if v, ok := got[keys[i]]; ok {
+		if v, ok := sc.raw[keys.keys[i]]; ok {
 			state[k.Name] = v
 		} else if len(k.Default) > 0 {
 			state[k.Name] = k.Default
@@ -771,15 +803,29 @@ func (rt *ClassRuntime) contentionFor(objectID string) *contentionTracker {
 	return &rt.contention[rt.delGuard.Index(objectID)]
 }
 
+// eventsNeeded reports whether a committed delta on this class should
+// be turned into a StateChanged event at all: an event sink must be
+// wired, the class must be stateful, and — when the platform exposes
+// consumer interest — someone (durable log, subscription, stream) must
+// actually be listening. Checked before any event or key-slice
+// allocation so an unobserved commit costs nothing.
+func (rt *ClassRuntime) eventsNeeded() bool {
+	if (rt.infra.Events == nil && rt.infra.EventsBatch == nil) || len(rt.stateSpecs) == 0 {
+		return false
+	}
+	return rt.infra.EventsNeeded == nil || rt.infra.EventsNeeded(rt.class.Name)
+}
+
 // emitCommit publishes the StateChanged event of one committed write
-// invocation: called exactly once per committed call by every commit
-// path, after its persistence step succeeded. Keys carries the sorted
-// key names of the call's delta (deletes included; empty for a
-// committed call that wrote nothing), Depth the trigger-chain depth of
-// the invocation so chained reactions can be cycle-limited. Stateless
-// classes emit nothing — there is no state mutation to react to.
+// invocation: called once per committed call by every commit path,
+// after its persistence step succeeded. Keys carries the sorted key
+// names of the call's delta (deletes included), Depth the
+// trigger-chain depth of the invocation so chained reactions can be
+// cycle-limited. Committed calls whose delta is empty emit nothing —
+// no state changed, so there is no mutation to react to — and neither
+// do stateless classes.
 func (rt *ClassRuntime) emitCommit(objectID string, fn model.FunctionDef, delta map[string]json.RawMessage, args map[string]string) {
-	if rt.infra.Events == nil || len(rt.stateSpecs) == 0 {
+	if len(delta) == 0 || !rt.eventsNeeded() {
 		return
 	}
 	rt.emitCommitKeys(objectID, fn, deltaKeys(delta), args)
@@ -788,7 +834,7 @@ func (rt *ClassRuntime) emitCommit(objectID string, fn model.FunctionDef, delta 
 // emitCommitKeys is emitCommit for callers that already hold the
 // delta's sorted key names (the group-commit path).
 func (rt *ClassRuntime) emitCommitKeys(objectID string, fn model.FunctionDef, keys []string, args map[string]string) {
-	if rt.infra.Events == nil || len(rt.stateSpecs) == 0 {
+	if len(keys) == 0 || rt.infra.Events == nil || !rt.eventsNeeded() {
 		return
 	}
 	rt.infra.Events(trigger.Event{
@@ -824,7 +870,7 @@ func (rt *ClassRuntime) runTask(ctx context.Context, objectID string, fn model.F
 		return invoker.Result{}, err
 	}
 	task := invoker.Task{
-		ID:       rt.nextTaskID(objectID, fn.Name),
+		ID:       buildTaskID(objectID, fn.Name, rt.taskSeq.Add(1)),
 		Class:    rt.class.Name,
 		Object:   objectID,
 		Function: fn.Name,
@@ -833,9 +879,10 @@ func (rt *ClassRuntime) runTask(ctx context.Context, objectID string, fn model.F
 		Args:     args,
 		Refs:     refs,
 	}
+	fnk := rt.fnKeyFor(fn.Name)
 	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
 		// No deadline, no watchdog: the warm path stays a plain call.
-		return rt.engine.Invoke(ctx, rt.fnKey(fn.Name), task)
+		return rt.engine.Invoke(ctx, fnk, task)
 	}
 	type outcome struct {
 		res invoker.Result
@@ -843,7 +890,7 @@ func (rt *ClassRuntime) runTask(ctx context.Context, objectID string, fn model.F
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		res, err := rt.engine.Invoke(ctx, rt.fnKey(fn.Name), task)
+		res, err := rt.engine.Invoke(ctx, fnk, task)
 		done <- outcome{res, err}
 	}()
 	select {
@@ -916,8 +963,12 @@ func (rt *ClassRuntime) invokeLockedPlain(ctx context.Context, objectID string, 
 	}
 	var puts map[string]json.RawMessage
 	var dels []string
+	keys := rt.keysFor(objectID)
 	for k, v := range res.State {
-		key := rt.stateKey(objectID, k)
+		key, ok := keys.byName[k]
+		if !ok {
+			key = rt.stateKey(objectID, k)
+		}
 		if isNull(v) {
 			dels = append(dels, key)
 			continue
@@ -942,48 +993,50 @@ func (rt *ClassRuntime) invokeLockedPlain(ctx context.Context, objectID string, 
 }
 
 // stateSnapshot is one version-stamped view of an object's structured
-// state: values by key name (class defaults resolved), versions by
-// table key.
+// state. state maps key names to values (class defaults resolved) and
+// is handler-facing, so it is allocated fresh per attempt — never
+// pooled. keys and sc are invocation-internal: keys is the object's
+// precomputed table-key bundle and sc.got holds the versioned read
+// set (every snapshot key present; absent keys carry the version a
+// creating CAS expects). The owning attempt releases sc.
 type stateSnapshot struct {
 	state map[string]json.RawMessage
-	vers  map[string]int64
+	keys  *objectKeys
+	sc    *invokeScratch
 }
 
 // loadStateVersioned gathers the object's structured state with the
 // version of every key (including absent ones, whose version anchors a
-// creating CAS), in one batched table read.
-func (rt *ClassRuntime) loadStateVersioned(ctx context.Context, objectID string) (stateSnapshot, error) {
-	snap := stateSnapshot{
-		state: make(map[string]json.RawMessage, len(rt.stateSpecs)),
-		vers:  make(map[string]int64, len(rt.stateSpecs)),
-	}
-	keys := make([]string, len(rt.stateSpecs))
-	for i, k := range rt.stateSpecs {
-		keys[i] = rt.stateKey(objectID, k.Name)
-	}
-	got, err := rt.table.GetManyVersioned(ctx, keys)
-	if err != nil {
+// creating CAS), in one batched table read into the attempt's pooled
+// scratch.
+func (rt *ClassRuntime) loadStateVersioned(ctx context.Context, objectID string, sc *invokeScratch) (stateSnapshot, error) {
+	keys := rt.keysFor(objectID)
+	clear(sc.got) // retry attempts reuse the scratch
+	if err := rt.table.GetManyVersionedInto(ctx, keys.keys, sc.got); err != nil {
 		return stateSnapshot{}, fmt.Errorf("runtime: loading state %s: %w", objectID, err)
 	}
+	state := make(map[string]json.RawMessage, len(rt.stateSpecs))
 	for i, k := range rt.stateSpecs {
-		vv := got[keys[i]]
-		snap.vers[keys[i]] = vv.Version
-		if vv.Value != nil {
-			snap.state[k.Name] = vv.Value
+		if vv := sc.got[keys.keys[i]]; vv.Value != nil {
+			state[k.Name] = vv.Value
 		} else if len(k.Default) > 0 {
-			snap.state[k.Name] = k.Default
+			state[k.Name] = k.Default
 		}
 	}
-	return snap, nil
+	return stateSnapshot{state: state, keys: keys, sc: sc}, nil
 }
 
 // buildCommit turns a handler's state delta into a version-validated
-// commit: write ops for delta keys (JSON null deletes), check-only ops
-// for every other state key read by the handler — validating the full
-// read set, not just the write set, so decisions based on unwritten
-// keys cannot commit against changed state (write skew). Undeclared
+// commit: write ops for delta keys (JSON null deletes) and — in the
+// default full-read-set mode — check-only ops for every other state
+// key read by the handler, so decisions based on unwritten keys cannot
+// commit against changed state (write skew). Under
+// model.OCCValidateKeys only the written keys are validated: writers
+// on disjoint keys of one object no longer abort each other, and the
+// class has opted into write skew on its unwritten reads. Undeclared
 // keys reject the whole delta; an empty delta returns no ops (nothing
-// to commit).
+// to commit). The returned map is the attempt's pooled scratch — valid
+// until the snapshot's scratch is released.
 func (rt *ClassRuntime) buildCommit(objectID string, fn model.FunctionDef, snap stateSnapshot, delta map[string]json.RawMessage) (map[string]memtable.CASOp, error) {
 	if len(delta) == 0 {
 		return nil, nil
@@ -991,17 +1044,23 @@ func (rt *ClassRuntime) buildCommit(objectID string, fn model.FunctionDef, snap 
 	if err := rt.validateDelta(fn, delta); err != nil {
 		return nil, err
 	}
-	ops := make(map[string]memtable.CASOp, len(rt.stateSpecs)+len(delta))
-	for key, ver := range snap.vers {
-		ops[key] = memtable.CASOp{Expect: ver}
+	ops := snap.sc.ops
+	clear(ops)
+	if !rt.occKeysOnly {
+		for _, key := range snap.keys.keys {
+			ops[key] = memtable.CASOp{Expect: snap.sc.got[key].Version}
+		}
 	}
 	for k, v := range delta {
-		key := rt.stateKey(objectID, k)
-		op, ok := ops[key]
-		if !ok {
+		key, inSnap := snap.keys.byName[k]
+		var op memtable.CASOp
+		if inSnap {
+			op = memtable.CASOp{Expect: snap.sc.got[key].Version}
+		} else {
 			// A declared key outside the structured snapshot (a file
 			// key written as state): keep the pre-OCC unconditional
 			// write semantics.
+			key = rt.stateKey(objectID, k)
 			op = memtable.CASOp{Expect: memtable.AnyVersion}
 		}
 		op.Write = true
@@ -1015,9 +1074,14 @@ func (rt *ClassRuntime) buildCommit(objectID string, fn model.FunctionDef, snap 
 
 // occAttempt runs one optimistic pass: snapshot, lock-free handler
 // execution, validated commit. It returns memtable.ErrVersionMismatch
-// when a concurrent commit invalidated the snapshot.
+// when a concurrent commit invalidated the snapshot. The pooled
+// scratch backing the snapshot and commit ops lives exactly as long as
+// the attempt (the deferred release covers every exit, panic unwind
+// included); only the never-pooled state map reaches the handler.
 func (rt *ClassRuntime) occAttempt(ctx context.Context, objectID string, fn model.FunctionDef, payload json.RawMessage, args map[string]string) (json.RawMessage, error) {
-	snap, err := rt.loadStateVersioned(ctx, objectID)
+	sc := getScratch()
+	defer sc.release()
+	snap, err := rt.loadStateVersioned(ctx, objectID, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -1113,13 +1177,6 @@ func (rt *ClassRuntime) invokeBarrier(ctx context.Context, guard *sync.RWMutex, 
 	}
 	return nil, fmt.Errorf("runtime: %s.%s on %s: commit contention persisted through %d serialized attempts: %w",
 		rt.class.Name, fn.Name, objectID, maxLockedCASAttempts, lastErr)
-}
-
-// nextTaskID builds a task identifier from an atomic counter. The
-// previous fmt.Sprintf+UnixNano scheme paid a clock read and full
-// format pass per invocation on the hot path.
-func (rt *ClassRuntime) nextTaskID(objectID, fn string) string {
-	return objectID + "/" + fn + "#" + strconv.FormatUint(rt.taskSeq.Add(1), 36)
 }
 
 // isNull reports whether v is empty or the JSON literal null. It works

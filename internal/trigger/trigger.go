@@ -71,10 +71,11 @@ type EventType string
 
 // Platform event types.
 const (
-	// StateChanged is emitted once per committed write invocation by
-	// every runtime commit path (locked window, OCC/adaptive CAS
-	// commit, InvokeBatch group commit). Aborted and readonly calls
-	// emit nothing.
+	// StateChanged is emitted once per committed write invocation with
+	// a non-empty state delta by every runtime commit path (locked
+	// window, OCC/adaptive CAS commit, InvokeBatch group commit).
+	// Aborted and readonly calls emit nothing, and neither do committed
+	// calls that wrote no keys — no state changed.
 	StateChanged EventType = "stateChanged"
 	// InvocationCompleted / InvocationFailed are emitted when an
 	// asynchronous invocation record reaches its terminal status.
@@ -135,8 +136,9 @@ type Event struct {
 	// member (terminal invocation events).
 	Function string `json:"function,omitempty"`
 	// Keys lists the structured state keys the commit wrote, sorted
-	// (StateChanged only; empty for a committed call whose delta was
-	// empty).
+	// (StateChanged only; always non-empty for freshly emitted events —
+	// empty-delta commits emit nothing — but logs written before that
+	// rule may replay key-less StateChanged entries).
 	Keys []string `json:"keys,omitempty"`
 	// Invocation is the asynchronous invocation ID (terminal events).
 	Invocation string `json:"invocation,omitempty"`
@@ -706,25 +708,65 @@ func (b *Bus) enqueue(ev Event) {
 	}
 }
 
-// dispatchLoop drains one shard until Close closes its channel.
+// dispatchLoop drains one shard until Close closes its channel. The
+// matched-subscription scratch is owned by this goroutine (one loop
+// per shard) and reused across events, so steady-state fanout
+// allocates nothing for the match pass.
 func (b *Bus) dispatchLoop(sh *busShard) {
 	defer b.wg.Done()
+	var matched []Subscription
 	for ev := range sh.ch {
 		if !b.killed.Load() {
-			b.dispatch(ev)
+			matched = b.dispatch(ev, matched[:0])
 		}
 		b.pending.Done()
 	}
 }
 
-// dispatch fans one event out to every matching subscription and
-// stream. Sink work is only scheduled here — webhook POSTs and
-// consumer runs execute on the delivery pool, so a slow endpoint
-// cannot stall this shard's queue (the head-of-line defect the pool
-// exists to fix).
-func (b *Bus) dispatch(ev Event) {
+// NeedsEvents reports whether publishing an event for class would
+// reach any consumer: the durable log records every event regardless
+// of subscriptions (replay and late subscribers depend on it), so a
+// logged bus always needs events; a fire-and-forget bus needs them
+// only while a live stream is open or some subscription filters on the
+// class. The runtime consults this before constructing commit events,
+// so the answer may be stale by one subscribe/unsubscribe — a skipped
+// event for a subscriber racing its registration is within the
+// fire-and-forget contract this path already has.
+func (b *Bus) NeedsEvents(class string) bool {
+	if b.cfg.Log != nil {
+		return true
+	}
+	b.streamMu.Lock()
+	open := len(b.streams)
+	b.streamMu.Unlock()
+	if open > 0 {
+		return true
+	}
 	b.subMu.RLock()
-	matched := make([]Subscription, 0, 4)
+	defer b.subMu.RUnlock()
+	for _, sub := range b.subs {
+		if sub.Class == class {
+			return true
+		}
+	}
+	for _, subs := range b.classSubs {
+		for _, sub := range subs {
+			if sub.Class == class {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// dispatch fans one event out to every matching subscription and
+// stream, collecting matches into the caller's scratch slice (returned
+// so the caller can reuse its growth). Sink work is only scheduled
+// here — webhook POSTs and consumer runs execute on the delivery pool,
+// so a slow endpoint cannot stall this shard's queue (the head-of-line
+// defect the pool exists to fix).
+func (b *Bus) dispatch(ev Event, matched []Subscription) []Subscription {
+	b.subMu.RLock()
 	for _, sub := range b.subs {
 		if sub.matches(ev) {
 			matched = append(matched, sub)
@@ -752,6 +794,7 @@ func (b *Bus) dispatch(ev Event) {
 		b.deliverMethodCounted(sub, ev)
 	}
 	b.deliverStreams(ev)
+	return matched
 }
 
 // notify schedules (or re-arms) the cursor consumer of one

@@ -11,6 +11,9 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"github.com/hpcclab/oparaca-go/internal/eventlog"
+	"github.com/hpcclab/oparaca-go/internal/kvstore"
 )
 
 // newBus builds a bus with test-friendly webhook timing.
@@ -505,5 +508,70 @@ func TestShardForNoAllocs(t *testing.T) {
 		if got := b.shardFor(obj); got != want {
 			t.Errorf("shardFor(%q) diverges from hash/fnv", obj)
 		}
+	}
+}
+
+// TestNeedsEvents pins the publish-gate the runtime consults before
+// constructing events at all (Infra.EventsNeeded): a bus with a
+// durable log always needs them (the log is a standing consumer —
+// replay must work with zero subscribers), otherwise only classes
+// with a matching subscription, any open stream making the answer a
+// global yes.
+func TestNeedsEvents(t *testing.T) {
+	b := newBus(t, Config{})
+	if b.NeedsEvents("Order") {
+		t.Fatal("fresh bus with no log/subs/streams claims to need events")
+	}
+	// A named subscription gates by class.
+	if err := b.Subscribe("s1", Subscription{
+		Class: "Order", Type: StateChanged, Webhook: "http://127.0.0.1:1/sink",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !b.NeedsEvents("Order") {
+		t.Fatal("subscribed class not needed")
+	}
+	if b.NeedsEvents("Other") {
+		t.Fatal("unsubscribed class needed")
+	}
+	b.Unsubscribe("s1")
+	if b.NeedsEvents("Order") {
+		t.Fatal("unsubscribe did not clear the need")
+	}
+	// Class triggers (YAML-declared) gate the same way.
+	b.SetClassTriggers("Photo", []Subscription{{
+		Class: "Photo", Type: StateChanged, TargetFunction: "makeThumbnail",
+	}})
+	if !b.NeedsEvents("Photo") || b.NeedsEvents("Order") {
+		t.Fatal("class triggers not reflected per class")
+	}
+	b.SetClassTriggers("Photo", nil)
+	// An open stream is object-scoped at delivery but class-blind at
+	// the gate: any live stream means every class publishes.
+	st := b.Stream("obj-1", 4)
+	if !b.NeedsEvents("Order") {
+		t.Fatal("open stream ignored")
+	}
+	st.Close()
+	// Stream teardown is synchronous on Close.
+	if b.NeedsEvents("Order") {
+		t.Fatal("closed stream still forces publishing")
+	}
+}
+
+// TestNeedsEventsWithDurableLog: a durable log makes every class need
+// events regardless of subscriptions — replay and cursor redelivery
+// depend on the log seeing commits that had no live consumer.
+func TestNeedsEventsWithDurableLog(t *testing.T) {
+	st := kvstore.Open(kvstore.Config{})
+	t.Cleanup(func() { st.Close() })
+	l, err := eventlog.New(eventlog.Config{Backing: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	b := newBus(t, Config{Log: l})
+	if !b.NeedsEvents("Anything") {
+		t.Fatal("bus with durable log must always need events")
 	}
 }

@@ -91,11 +91,14 @@
 // # Triggers & events
 //
 // Objects are reactive: every committed state mutation emits a
-// StateChanged event — exactly one per committed write invocation,
-// from all three commit regimes (the locked window, the OCC/adaptive
-// CAS commit, and the InvokeBatch group commit); aborted and readonly
-// calls emit none — and terminal asynchronous invocations emit
-// InvocationCompleted/InvocationFailed. A sharded, bounded event bus
+// StateChanged event — exactly one per committed write invocation
+// with a non-empty state delta, from all three commit regimes (the
+// locked window, the OCC/adaptive CAS commit, and the InvokeBatch
+// group commit); aborted and readonly calls emit none, and neither
+// does a write invocation whose handler returned no delta: nothing
+// changed, so there is nothing to react to (and the warm no-op path
+// stays event-free, see "Performance & tuning") — and terminal
+// asynchronous invocations emit InvocationCompleted/InvocationFailed. A sharded, bounded event bus
 // routes them to three kinds of sinks:
 //
 //   - another object's method, submitted through the async queue
@@ -222,6 +225,51 @@
 // constraint stands. If a single object must absorb more write
 // throughput than validated commits allow, shard the state across
 // several objects and aggregate on read.
+//
+// # Performance & tuning
+//
+// The warm invocation path — object state resident in the memtable,
+// handler a plain in-process function — is engineered to run nearly
+// allocation-free. Per-invoke transients (versioned snapshot maps,
+// raw state load maps, CAS op sets) come from pools and the composed
+// state keys of an object are built once and cached, so the steady
+// per-op cost is the handler's own work plus the state map handed to
+// it. The pooling is invisible at the API boundary: everything a
+// Handler receives (Task.State) or returns (Result.State) is owned by
+// the handler and never recycled — retaining either past the call is
+// safe. State values loaded from the table are zero-copy views; they
+// are copied only at the commit boundary, where the table clones
+// every written value.
+//
+// The alloc budget is enforced, not aspirational: BENCH_invoke.json
+// records "#allocs"-suffixed keys (whole-process allocations per
+// operation, measured by the BenchmarkInvokeHotPath,
+// AsyncDrainThroughput and TriggerFanout families) alongside the
+// ops/s keys, and CI's cmd/benchdiff guard fails a build whose
+// allocs/op grow more than 25% over the committed snapshot. Refresh
+// the snapshot with BENCH_SNAPSHOT=1 (see bench_test.go) whenever a
+// deliberate change moves the numbers. As reference points: a warm
+// spread-object no-op invoke runs at ~5 allocs/op and a contended
+// hot-object read-modify-write at ~31.
+//
+// Two tuning levers matter for write-hot objects. First,
+// `occValidate: keys` (ClassDef.OCCValidate / OCCValidateKeys)
+// narrows optimistic validation from the full snapshot readset to
+// just the keys the handler wrote: concurrent writers of DISJOINT
+// keys on one object stop conflicting entirely and commit in
+// parallel, and large-readset classes skip building check-only ops
+// for keys they never touch. The trade is write skew — a handler
+// that read key A to decide its write of key B can commit against a
+// stale A. Reserve it for classes whose methods partition the key
+// space (per-field counters, independent columns); leave the default
+// `readset` wherever a write depends on what was read. Second, the
+// adaptive mode's escalation is unchanged by either scope: an object
+// whose aborts run hot still degrades to the serializing barrier.
+//
+// For production profiling, the oparaca daemon mounts net/http/pprof
+// behind the opt-in `-pprof addr` flag on a separate listener (off by
+// default; keep it on localhost or behind a firewall — heap and
+// goroutine dumps are sensitive).
 //
 // # Failure semantics
 //
@@ -374,6 +422,23 @@ const (
 	// ConcurrencyAdaptive (the default) starts optimistic and degrades
 	// per object to the lock while CAS aborts run hot.
 	ConcurrencyAdaptive = model.ConcurrencyAdaptive
+)
+
+// OCCValidate selects what an optimistic commit validates against the
+// versions its snapshot read (per class via ClassDef.OCCValidate /
+// `occValidate:` in YAML). See the "Performance & tuning" section of
+// the package documentation for when to narrow it.
+type OCCValidate = model.OCCValidate
+
+// OCC validation scopes.
+const (
+	// OCCValidateReadset (the default) validates every snapshot key:
+	// a commit lands only if nothing the handler could have read moved.
+	OCCValidateReadset = model.OCCValidateReadset
+	// OCCValidateKeys validates only the keys the handler wrote:
+	// writers of disjoint keys on one object commit without conflicts,
+	// at the cost of admitting write skew between keys.
+	OCCValidateKeys = model.OCCValidateKeys
 )
 
 // ParseYAML loads a Package from YAML.
