@@ -729,8 +729,10 @@ const hotHandlerDelay = 50 * time.Microsecond
 // setupHotPathPlatform deploys a Spread class (hotPathKeys keys without
 // defaults, so cold reads must go to the backing store) and a
 // HotCounter class (one numeric key bumped per call, plus a readonly
-// peek), with the given per-object concurrency mode.
-func setupHotPathPlatform(b *testing.B, readLatency time.Duration, conc ConcurrencyMode) *Platform {
+// peek), with the given per-object concurrency mode. Optional mutators
+// adjust the platform Config before construction (e.g. enabling
+// lease-based ownership for the routed-invoke bench).
+func setupHotPathPlatform(b *testing.B, readLatency time.Duration, conc ConcurrencyMode, mutate ...func(*Config)) *Platform {
 	b.Helper()
 	noServe := false
 	tmpl := Template{
@@ -739,13 +741,17 @@ func setupHotPathPlatform(b *testing.B, readLatency time.Duration, conc Concurre
 		FlushInterval: 20 * time.Millisecond, FlushBatchSize: 512,
 		DefaultConcurrency: 64, InitialScale: 4, MaxScale: 64,
 	}
-	plat, err := New(Config{
+	cfg := Config{
 		Workers: 4, OpsPerMilliCPU: 1000,
 		DBReadLatency:    readLatency,
 		Templates:        []Template{tmpl},
 		ServeObjectStore: &noServe,
 		ConcurrencyMode:  conc,
-	})
+	}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	plat, err := New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -1065,6 +1071,98 @@ func BenchmarkInvokeWithDeadline(b *testing.B) {
 			recordInvokeBench("invokedeadline/"+bc.name, ops)
 		})
 	}
+}
+
+// BenchmarkInvokeRouted measures the cluster-routed invocation path
+// with lease-based ownership enabled (OwnershipLeaseTTL > 0), over the
+// same warm 512-object working set as invoke/spread-warm:
+//
+//   - owner-local: every request enters at the object's owner node, so
+//     routing adds one ownership admission up front plus the epoch
+//     fence check at commit. This is the common case after the gateway
+//     has steered a client to the owner, and the acceptance bar is
+//     staying within ~10% of the ownership-disabled spread-warm path.
+//   - forwarded: every request enters at a fixed non-owner node and
+//     takes the single ingress→owner forwarding hop (ForwardLatency is
+//     left at zero, so the measured delta over owner-local is the pure
+//     re-admission and forwarding bookkeeping, not simulated wire
+//     time).
+func BenchmarkInvokeRouted(b *testing.B) {
+	ctx := context.Background()
+	run := func(name string, pickVia func(owner string, names []string) string) {
+		b.Run(name, func(b *testing.B) {
+			plat := setupHotPathPlatform(b, 250*time.Microsecond, ConcurrencyAdaptive, func(cfg *Config) {
+				// A long TTL keeps heartbeat/sweep churn negligible
+				// under measurement: this bench is about the per-invoke
+				// admission + fence cost, not lease maintenance.
+				cfg.OwnershipLeaseTTL = 5 * time.Second
+			})
+			defer plat.Close()
+			mem := plat.Membership()
+			if mem == nil {
+				b.Fatal("ownership not enabled")
+			}
+			var names []string
+			for _, m := range mem.Members() {
+				names = append(names, m.Name)
+			}
+			const working = 512
+			ids := make([]string, working)
+			vias := make([]string, working)
+			for i := range ids {
+				id, err := plat.CreateObject(ctx, "Spread", fmt.Sprintf("spr-%04d", i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				ids[i] = id
+				// Warm every key so the measured loop is all memory hits.
+				for k := 0; k < hotPathKeys; k++ {
+					if err := plat.PutState(ctx, id, fmt.Sprintf("k%d", k), json.RawMessage(`{"v":1}`)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				owner, ok := mem.Owner(id)
+				if !ok {
+					b.Fatalf("no owner for %s", id)
+				}
+				vias[i] = pickVia(owner, names)
+			}
+			b.ReportAllocs()
+			b.SetParallelism(4)
+			allocs := allocCounter()
+			b.ResetTimer()
+			var next atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(next.Add(1))
+					if _, _, err := plat.InvokeRoutedFrom(ctx, "", vias[i%working], ids[i%working], "touch", nil, nil); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			apo := allocs(b.N)
+			ops := float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(ops, "ops/s")
+			b.ReportMetric(apo, "allocs/op")
+			recordInvokeBench("invokerouted/"+name, ops)
+			// Like invoke/spread-warm#allocs, the snapshot key is
+			// baselined from a -benchtime=200x run so the CI smoke run
+			// compares like with like (the whole-process counter charges
+			// RunParallel's fixed setup to the measurement).
+			recordInvokeBench("invokerouted/"+name+"#allocs", apo)
+		})
+	}
+	run("owner-local", func(owner string, _ []string) string { return owner })
+	run("forwarded", func(owner string, names []string) string {
+		for _, n := range names {
+			if n != owner {
+				return n
+			}
+		}
+		return owner
+	})
 }
 
 // --- Substrate micro-benchmarks --------------------------------------

@@ -34,6 +34,8 @@ const chaosYAML = `classes:
       - name: stuck
         image: img/chaos-stall
         timeoutMs: 50
+      - name: slow
+        image: img/chaos-slow
 `
 
 func registerChaosImages(p *Platform) {
@@ -49,6 +51,14 @@ func registerChaosImages(p *Platform) {
 		time.Sleep(300 * time.Millisecond) // deliberately ignores ctx
 		return Result{State: map[string]json.RawMessage{"value": json.RawMessage(`777`)}}, nil
 	}))
+	// slow has no timeout: it commits after its sleep, so an invocation
+	// admitted before a failover reaches the epoch fence after the
+	// rebalance. Its sentinel value landing on a counter would prove a
+	// double-commit.
+	p.Images().Register("img/chaos-slow", HandlerFunc(func(context.Context, Task) (Result, error) {
+		time.Sleep(800 * time.Millisecond)
+		return Result{State: map[string]json.RawMessage{"value": json.RawMessage(`999999`)}}, nil
+	}))
 }
 
 // TestChaosSoak runs the randomized fault schedule under three seeds.
@@ -56,6 +66,303 @@ func registerChaosImages(p *Platform) {
 func TestChaosSoak(t *testing.T) {
 	for _, seed := range []int64{1, 7, 42} {
 		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) { chaosSoak(t, seed) })
+	}
+	for _, seed := range []int64{1, 42} {
+		t.Run(fmt.Sprintf("node-kill-seed-%d", seed), func(t *testing.T) { chaosNodeKill(t, seed) })
+	}
+}
+
+// chaosNodeKill kills a worker VM's lease mid-traffic and holds the
+// failover invariants: the rebalance lands within a bounded window,
+// commits straddling the epoch bump are fenced (no double-commit by
+// the ex-owner), acknowledged async work is requeued and redelivered
+// rather than lost, and every counter equals exactly its acknowledged
+// successes afterwards.
+func chaosNodeKill(t *testing.T, seed int64) {
+	backing := kvstore.Open(kvstore.Config{})
+	defer backing.Close()
+	p, err := New(Config{
+		Workers:            3,
+		ColdStart:          time.Millisecond,
+		IdleTimeout:        time.Minute,
+		Backing:            backing,
+		OwnershipLeaseTTL:  300 * time.Millisecond,
+		OwnershipHeartbeat: 75 * time.Millisecond,
+		Chaos:              FaultPlan{Seed: seed}, // seeds lease/backoff jitter
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	registerChaosImages(p)
+	ctx := context.Background()
+	if _, err := p.DeployYAML(ctx, []byte(chaosYAML)); err != nil {
+		t.Fatal(err)
+	}
+	mem := p.Membership()
+	if mem == nil {
+		t.Fatal("ownership layer not enabled")
+	}
+
+	const nObjects = 6
+	objects := make([]string, nObjects)
+	successes := make([]atomic.Int64, nObjects)
+	for i := range objects {
+		objects[i] = fmt.Sprintf("c%d", i)
+		if _, err := p.CreateObject(ctx, "CCounter", objects[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The fence probe object picks the victim: whichever node owns it
+	// dies, so its owner provably changes at the rebalance.
+	const fenceObj = "f0"
+	if _, err := p.CreateObject(ctx, "CCounter", fenceObj); err != nil {
+		t.Fatal(err)
+	}
+	victim, ok := mem.Owner(fenceObj)
+	if !ok {
+		t.Fatal("no owner for fence object")
+	}
+	// A second victim-owned object carries the async requeue probe.
+	slowObj := ""
+	for i := 0; i < 256 && slowObj == ""; i++ {
+		id := fmt.Sprintf("s%d", i)
+		if owner, _ := mem.Owner(id); owner == victim {
+			if _, err := p.CreateObject(ctx, "CCounter", id); err != nil {
+				t.Fatal(err)
+			}
+			slowObj = id
+		}
+	}
+	if slowObj == "" {
+		t.Fatal("no candidate object hashed to the victim node")
+	}
+
+	// Straddling sync commit: admitted now (pre-kill epoch), commits
+	// ~800ms from now — after the failover — and must be fenced.
+	fenceRes := make(chan error, 1)
+	go func() {
+		_, err := p.Invoke(ctx, fenceObj, "slow", nil, nil)
+		fenceRes <- err
+	}()
+	// Straddling async commit: same timing, but the queue must requeue
+	// it after the fence rejection and redeliver it under the new
+	// ownership instead of failing it.
+	slowID, err := p.InvokeAsync(ctx, slowObj, "slow", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Async increments in flight across the kill.
+	var asyncIDs []string
+	for n := 0; n < 4*nObjects; n++ {
+		if id, err := p.InvokeAsync(ctx, objects[n%nObjects], "incr", nil, nil); err == nil {
+			asyncIDs = append(asyncIDs, id)
+		}
+	}
+	// Sync increment workers hammer across the kill; only acknowledged
+	// successes are counted.
+	var wg sync.WaitGroup
+	for i := range objects {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for n := 0; n < 25; n++ {
+				if _, err := p.Invoke(ctx, objects[i], "incr", nil, nil); err == nil {
+					successes[i].Add(1)
+				}
+			}
+		}(i)
+	}
+
+	time.Sleep(50 * time.Millisecond) // let the slow probes get admitted
+	epoch0 := mem.Epoch()
+	if err := p.KillNode(victim); err != nil {
+		t.Fatal(err)
+	}
+	killedAt := time.Now()
+	// Bounded reassignment: lease TTL + sweep + transition window is
+	// well under a second; give chatter on slow CI 5s.
+	deadline := time.Now().Add(5 * time.Second)
+	for mem.Epoch() == epoch0 || !mem.Converge() {
+		if time.Now().After(deadline) {
+			t.Fatalf("rebalance never completed: epoch %d (was %d), live %d",
+				mem.Epoch(), epoch0, mem.LiveCount())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if took := time.Since(killedAt); took > 2*time.Second {
+		t.Fatalf("reassignment took %v, want bounded by a few lease TTLs", took)
+	}
+	if n := mem.LiveCount(); n != 2 {
+		t.Fatalf("live members = %d after kill, want 2", n)
+	}
+	if owner, _ := mem.Owner(fenceObj); owner == victim {
+		t.Fatalf("dead node %s still owns %s", victim, fenceObj)
+	}
+	wg.Wait()
+
+	// The straddling sync commit was fenced — the ex-owner's write
+	// never landed.
+	if err := <-fenceRes; !errors.Is(err, ErrOwnershipMoved) {
+		t.Fatalf("straddling commit err = %v, want ErrOwnershipMoved", err)
+	}
+	// The straddling async commit was fenced too, then requeued and
+	// redelivered: it must complete, and its (sole) sentinel write must
+	// have landed under the new ownership.
+	wctx, cancel := context.WithTimeout(ctx, 15*time.Second)
+	rec, err := p.WaitInvocation(wctx, slowID)
+	cancel()
+	if err != nil {
+		t.Fatalf("requeued async invocation lost: %v", err)
+	}
+	if rec.Status != InvocationCompleted {
+		t.Fatalf("requeued async invocation = %q (err %q), want completed", rec.Status, rec.Error)
+	}
+	if raw, err := p.GetState(ctx, slowObj, "value"); err != nil || string(raw) != "999999" {
+		t.Fatalf("redelivered slow write: value=%s err=%v, want 999999", raw, err)
+	}
+	// Every acknowledged async increment reaches a terminal record;
+	// completed ones are acknowledged increments.
+	for _, id := range asyncIDs {
+		wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		rec, err := p.WaitInvocation(wctx, id)
+		cancel()
+		if err != nil {
+			t.Fatalf("acknowledged async invocation %s lost: %v", id, err)
+		}
+		if rec.Status == InvocationCompleted {
+			for i, obj := range objects {
+				if rec.Object == obj {
+					successes[i].Add(1)
+				}
+			}
+		}
+	}
+
+	// Post-failover epilogue through the routed path: every call must
+	// succeed against the new owner set.
+	for i := range objects {
+		for n := 0; n < 5; n++ {
+			if _, _, err := p.InvokeRouted(ctx, objects[i], "incr", nil, nil); err != nil {
+				t.Fatalf("post-failover routed incr on %s: %v", objects[i], err)
+			}
+			successes[i].Add(1)
+		}
+	}
+	// Exactness: each counter equals exactly its acknowledged
+	// successes — nothing lost, nothing double-committed (a fenced
+	// ex-owner write would have landed 999999).
+	for i, obj := range objects {
+		raw, err := p.GetState(ctx, obj, "value")
+		if err != nil {
+			t.Fatalf("reading %s: %v", obj, err)
+		}
+		if want := fmt.Sprintf("%d", successes[i].Load()); string(raw) != want {
+			t.Fatalf("counter %s = %s, want exactly %s acknowledged increments", obj, raw, want)
+		}
+	}
+
+	cs := p.Stats().Cluster
+	if !cs.Enabled || cs.Epoch < 1 || cs.Rebalances < 1 {
+		t.Fatalf("cluster stats missed the failover: %+v", cs)
+	}
+	if cs.FenceRejections < 2 {
+		t.Fatalf("fence rejections = %d, want >= 2 (sync + async straddlers)", cs.FenceRejections)
+	}
+	if cs.Requeued < 1 {
+		t.Fatalf("requeued = %d, want >= 1 (the fenced async straddler)", cs.Requeued)
+	}
+	if cs.OwnerLocal+cs.Forwarded < int64(5*nObjects) {
+		t.Fatalf("routed counters = local %d + forwarded %d, want >= %d",
+			cs.OwnerLocal, cs.Forwarded, 5*nObjects)
+	}
+	if len(cs.Members) != 2 {
+		t.Fatalf("members = %+v, want the 2 survivors", cs.Members)
+	}
+}
+
+// TestOwnershipCrashRecovery kills a whole platform process with async
+// work queued and in flight, then verifies a successor platform over
+// the same backing store adopts the stranded durable records and runs
+// them to completion — the dead node's queued work drains instead of
+// being lost.
+func TestOwnershipCrashRecovery(t *testing.T) {
+	backing := kvstore.Open(kvstore.Config{})
+	defer backing.Close()
+	cfg := Config{
+		Workers:            2,
+		ColdStart:          time.Millisecond,
+		IdleTimeout:        time.Minute,
+		Backing:            backing,
+		OwnershipLeaseTTL:  2 * time.Second,
+		OwnershipHeartbeat: 100 * time.Millisecond,
+		AsyncWorkers:       1,
+	}
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	registerChaosImages(a)
+	ctx := context.Background()
+	if _, err := a.DeployYAML(ctx, []byte(chaosYAML)); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"r0", "r1"} {
+		if _, err := a.CreateObject(ctx, "CCounter", id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One slow invocation pins the single worker (running), then
+	// increments pile up queued behind it (pending).
+	ids := make([]string, 0, 6)
+	slowID, err := a.InvokeAsync(ctx, "r0", "slow", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids = append(ids, slowID)
+	for n := 0; n < 5; n++ {
+		id, err := a.InvokeAsync(ctx, "r1", "incr", nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Let the write-behind record table flush the pending/running
+	// records to the backing store, then die without draining.
+	time.Sleep(250 * time.Millisecond)
+	a.Kill()
+
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	registerChaosImages(b)
+	if _, err := b.DeployYAML(ctx, []byte(chaosYAML)); err != nil {
+		t.Fatal(err)
+	}
+	// Classes are redeployed; adopt the predecessor's stranded records.
+	n, err := b.RecoverStrandedInvocations(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 1 {
+		t.Fatalf("recovered %d stranded records, want >= 1", n)
+	}
+	for _, id := range ids {
+		wctx, cancel := context.WithTimeout(ctx, 15*time.Second)
+		rec, err := b.WaitInvocation(wctx, id)
+		cancel()
+		if err != nil {
+			t.Fatalf("stranded invocation %s lost across the crash: %v", id, err)
+		}
+		if rec.Status != InvocationCompleted {
+			t.Fatalf("stranded invocation %s = %q (err %q), want completed", id, rec.Status, rec.Error)
+		}
+	}
+	if got := b.Stats().Cluster.Recovered; got < int64(n) {
+		t.Fatalf("Stats().Cluster.Recovered = %d, want >= %d", got, n)
 	}
 }
 

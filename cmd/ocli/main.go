@@ -34,6 +34,8 @@
 //	                                   depth, trigger backlog); exits 1 when
 //	                                   the platform is degraded or saturated
 //	actions                            optimizer decision log
+//	cluster                            ownership layer: live members, lease
+//	                                   ages, epoch, failover counters
 //
 // The server address can also be set via the OPARACA_URL environment
 // variable.
@@ -95,7 +97,7 @@ commands:
   file-url <id> <key> [GET|PUT|DELETE]
   triggers | subscribe <name> -class C -on EV [-prefix P] [-object O] [-fn F] [-url U]
   unsubscribe <name> | tail <id> [-n max] [-t 30s] [-from offset]
-  stats | health | actions
+  stats | health | actions | cluster
 `)
 }
 
@@ -172,6 +174,8 @@ func (c *client) dispatch(args []string) error {
 		return c.tail(rest)
 	case "stats":
 		return c.getAndPrint("/api/stats")
+	case "cluster":
+		return c.getAndPrint("/api/cluster")
 	case "health":
 		return c.health()
 	case "actions":

@@ -50,6 +50,8 @@ func main() {
 			"how long shutdown waits for in-flight requests and queued async work")
 		pprofAddr = flag.String("pprof", "",
 			"serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
+		leaseTTL = flag.Duration("ownership-lease-ttl", 0,
+			"enable lease-based object ownership across the worker nodes with this lease TTL (0 = disabled)")
 	)
 	flag.Parse()
 
@@ -77,6 +79,7 @@ func main() {
 		EnableOptimizer:      *optimize,
 		AsyncRecordTTL:       *recordTTL,
 		DefaultInvokeTimeout: *invokeTimeout,
+		OwnershipLeaseTTL:    *leaseTTL,
 	})
 	if err != nil {
 		log.Fatalf("oparaca: %v", err)

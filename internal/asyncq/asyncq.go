@@ -113,6 +113,12 @@ type Record struct {
 	Member string `json:"member"`
 	// Status is the lifecycle phase.
 	Status Status `json:"status"`
+	// Payload and Args echo the submission while the record is
+	// non-terminal, so a successor process (or a rebalanced owner) can
+	// re-execute stranded work from the durable record alone. Both are
+	// dropped from terminal records to keep the table lean.
+	Payload json.RawMessage   `json:"payload,omitempty"`
+	Args    map[string]string `json:"args,omitempty"`
 	// Result holds the method output once Status is completed.
 	Result json.RawMessage `json:"result,omitempty"`
 	// Error holds the failure message once Status is failed.
@@ -219,6 +225,18 @@ type Config struct {
 	// deadline; a deadline on the submitter's context still applies
 	// (the earlier of the two wins).
 	TimeoutFor func(objectID, member string) time.Duration
+	// Requeue, when set, classifies execution errors that mean the
+	// invocation should go back to the queue with the same ID instead
+	// of retrying inline or failing terminally — the cluster ownership
+	// layer passes a predicate matching epoch-fence rejections, so work
+	// admitted on an ex-owner re-runs under the new ownership without
+	// ever acknowledging a failure. Requeued work is bounded by
+	// MaxRequeues and still respects the submission deadline.
+	Requeue func(error) bool
+	// MaxRequeues bounds how many times one invocation may be requeued
+	// by the Requeue classifier before its error goes terminal.
+	// Defaults to 8 when Requeue is set.
+	MaxRequeues int
 	// OnTerminal, when set, is called once per invocation record that
 	// reaches a terminal status (completed or failed), after the record
 	// is persisted, with the submission's args — the platform publishes
@@ -267,6 +285,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxRetries > 0 && c.RetryBackoff <= 0 {
 		c.RetryBackoff = 10 * time.Millisecond
 	}
+	if c.Requeue != nil && c.MaxRequeues <= 0 {
+		c.MaxRequeues = 8
+	}
 	if c.Clock == nil {
 		c.Clock = vclock.NewReal()
 	}
@@ -288,6 +309,9 @@ type task struct {
 	// deadline. Execution contexts are capped to it, and a task still
 	// queued past it is dropped as expired.
 	deadline time.Time
+	// requeues counts how many times the Requeue classifier sent this
+	// task back to its shard (bounded by Config.MaxRequeues).
+	requeues int
 }
 
 // Queue is the asynchronous invocation engine. It is safe for
@@ -303,6 +327,12 @@ type Queue struct {
 	// classPending counts queued (accepted, not yet dequeued) tasks per
 	// class, the ClassQuotas accounting. Guarded by mu.
 	classPending map[string]int
+	// tracked holds the IDs of every invocation currently queued or
+	// executing in this process. RecoverStranded consults it so it only
+	// adopts records orphaned by another (dead) process — replaying a
+	// task that is still live here would double-execute it. Guarded by
+	// mu.
+	tracked map[string]struct{}
 
 	// terminal is the GC's eviction index: records that reached a
 	// terminal status, in roughly finish order, with the instant each
@@ -357,6 +387,7 @@ func New(cfg Config) (*Queue, error) {
 		shards:       make([]chan task, cfg.Shards),
 		waiters:      make(map[string]chan struct{}),
 		classPending: make(map[string]int),
+		tracked:      make(map[string]struct{}),
 	}
 	perShard := (cfg.Capacity + cfg.Shards - 1) / cfg.Shards
 	for i := range q.shards {
@@ -432,6 +463,7 @@ func (q *Queue) Submit(ctx context.Context, objectID, member string, payload jso
 	q.putRecord(Record{
 		ID: t.id, Object: objectID, Member: member,
 		Status: StatusPending, Enqueued: t.queued,
+		Payload: t.payload, Args: t.args,
 	})
 	m := q.cfg.Metrics
 	m.Gauge("queue.depth").Add(1)
@@ -464,6 +496,7 @@ func (q *Queue) Submit(ctx context.Context, objectID, member string, payload jso
 	if t.class != "" {
 		q.classPending[t.class]++
 	}
+	q.tracked[t.id] = struct{}{}
 	m.Counter("queue.enqueued").Inc()
 	q.mu.Unlock()
 	return t.id, nil
@@ -536,6 +569,7 @@ func (q *Queue) noteTerminal(id string) {
 		close(ch)
 		delete(q.waiters, id)
 	}
+	delete(q.tracked, id)
 	q.mu.Unlock()
 	if q.cfg.RecordTTL > 0 {
 		q.terminalMu.Lock()
@@ -714,6 +748,9 @@ func (q *Queue) runBatch(batch []task) {
 		rec := Record{
 			ID: t.id, Object: t.object, Member: t.member,
 			Status: StatusRunning, Enqueued: t.queued, Started: started,
+			// Running records keep the submission so a crash mid-run
+			// leaves enough in the backing store to re-execute.
+			Payload: t.payload, Args: t.args,
 		}
 		// A submission cancelled or expired while queued goes terminal
 		// without invoking; its terminal metrics mirror every other exit
@@ -721,6 +758,7 @@ func (q *Queue) runBatch(batch []task) {
 		// equal to the terminal-record total).
 		if err := t.ctx.Err(); err != nil {
 			rec.Finished = started
+			rec.Payload, rec.Args = nil, nil
 			if errors.Is(err, context.DeadlineExceeded) {
 				rec.Status, rec.Error = StatusExpired, err.Error()
 				m.Counter("queue.expired").Inc()
@@ -738,6 +776,7 @@ func (q *Queue) runBatch(batch []task) {
 			// the task waited. Nobody is waiting for the result anymore,
 			// so dropping it beats executing it.
 			rec.Status, rec.Finished = StatusExpired, started
+			rec.Payload, rec.Args = nil, nil
 			rec.Error = "asyncq: submission deadline elapsed while queued"
 			m.Histogram("queue.exec").Observe(0)
 			m.Counter("queue.expired").Inc()
@@ -764,6 +803,19 @@ func (q *Queue) runBatch(batch []task) {
 		if err == nil && len(out) > 0 && !json.Valid(out) {
 			err = fmt.Errorf("asyncq: handler returned invalid JSON output")
 		}
+		// Ownership-fence (and other Requeue-classified) failures go
+		// back to the queue with the same ID instead of terminating:
+		// the work was never acknowledged, so the new owner simply
+		// re-runs it. The terminal path below is the fallback when the
+		// requeue bound is hit or the queue is closing.
+		if err != nil && q.cfg.Requeue != nil && q.cfg.Requeue(err) &&
+			t.requeues < q.cfg.MaxRequeues && t.ctx.Err() == nil &&
+			(t.deadline.IsZero() || q.cfg.Clock.Now().Before(t.deadline)) {
+			t.requeues++
+			if q.requeue(t) {
+				continue
+			}
+		}
 		rec := Record{
 			ID: t.id, Object: t.object, Member: t.member,
 			Enqueued: t.queued, Started: started, Finished: finished,
@@ -789,6 +841,129 @@ func (q *Queue) runBatch(batch []task) {
 	}
 	q.putRecords(term)
 	q.notifyTerminal(hooks)
+}
+
+// requeue sends a live task back to its shard, restoring the pending
+// record first (record before send, same as Submit, so a fast worker
+// cannot have its terminal write clobbered). It reports false when the
+// queue is closing or the shard is full — the caller then falls back
+// to the terminal path. Safe against Close: the closed check and the
+// send share q.mu, and shutdown closes the shards only after setting
+// closed under the same lock.
+func (q *Queue) requeue(t task) bool {
+	q.putRecord(Record{
+		ID: t.id, Object: t.object, Member: t.member,
+		Status: StatusPending, Enqueued: t.queued,
+		Payload: t.payload, Args: t.args,
+	})
+	m := q.cfg.Metrics
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return false
+	}
+	select {
+	case q.shardFor(t.id) <- t:
+	default:
+		q.mu.Unlock()
+		return false
+	}
+	if t.class != "" {
+		q.classPending[t.class]++
+	}
+	q.tracked[t.id] = struct{}{}
+	m.Gauge("queue.depth").Add(1)
+	m.Counter("queue.requeued").Inc()
+	q.mu.Unlock()
+	return true
+}
+
+// RecoverStranded adopts non-terminal invocation records that no live
+// worker in this process owns — the queued and in-flight work a dead
+// node (or a crashed predecessor on the same backing store) left
+// behind. Each stranded record is re-run from its persisted payload
+// under the same invocation ID, so pollers waiting on the original ID
+// observe the eventual terminal record. Returns how many invocations
+// were adopted.
+func (q *Queue) RecoverStranded(ctx context.Context) (int, error) {
+	if q.cfg.Backing == nil {
+		return 0, nil
+	}
+	keys, err := q.cfg.Backing.List(ctx, "invocations/")
+	if err != nil {
+		return 0, err
+	}
+	adopted := 0
+	now := q.cfg.Clock.Now()
+	for _, key := range keys {
+		id := key[len("invocations/"):]
+		// Tracked check BEFORE the record read: a worker untracks only
+		// after persisting the terminal record, so an untracked ID
+		// whose record still reads non-terminal is genuinely stranded
+		// (the inverse order could adopt a task that went terminal
+		// between the read and the check).
+		q.mu.Lock()
+		_, live := q.tracked[id]
+		q.mu.Unlock()
+		if live {
+			continue // still queued or executing in this process
+		}
+		// Read through the record table, not the raw backing doc: this
+		// process's own terminal transitions may not have flushed yet,
+		// and replaying a locally-completed invocation would
+		// double-execute it.
+		raw, err := q.records.Get(ctx, key)
+		if err != nil {
+			continue
+		}
+		var rec Record
+		if json.Unmarshal(raw, &rec) != nil || rec.ID == "" || rec.Status.Terminal() {
+			continue
+		}
+		t := task{
+			id:       rec.ID,
+			object:   rec.Object,
+			member:   rec.Member,
+			payload:  rec.Payload,
+			args:     rec.Args,
+			ctx:      context.Background(),
+			queued:   now,
+			requeues: 0,
+		}
+		if q.cfg.TimeoutFor != nil {
+			if d := q.cfg.TimeoutFor(t.object, t.member); d > 0 {
+				t.deadline = now.Add(d)
+			}
+		}
+		if len(q.cfg.ClassQuotas) > 0 && q.cfg.ClassOf != nil {
+			t.class = q.cfg.ClassOf(t.object)
+		}
+		m := q.cfg.Metrics
+		q.mu.Lock()
+		if q.closed {
+			q.mu.Unlock()
+			break
+		}
+		if _, live := q.tracked[rec.ID]; live {
+			q.mu.Unlock()
+			continue // still queued or executing in this process
+		}
+		select {
+		case q.shardFor(t.id) <- t:
+		default:
+			q.mu.Unlock()
+			continue // shard full; the next recovery pass retries
+		}
+		if t.class != "" {
+			q.classPending[t.class]++
+		}
+		q.tracked[t.id] = struct{}{}
+		m.Gauge("queue.depth").Add(1)
+		m.Counter("queue.recovered").Inc()
+		q.mu.Unlock()
+		adopted++
+	}
+	return adopted, nil
 }
 
 // terminalHook pairs a terminal record with its submission args for
@@ -876,7 +1051,8 @@ func (q *Queue) executeGroups(tasks []task) []outcome {
 		}
 		for j, i := range idxs {
 			out, err := results[j].Output, results[j].Err
-			if err != nil && q.cfg.MaxRetries > 0 && !errors.Is(err, context.DeadlineExceeded) {
+			if err != nil && q.cfg.MaxRetries > 0 && !errors.Is(err, context.DeadlineExceeded) &&
+				!(q.cfg.Requeue != nil && q.cfg.Requeue(err)) {
 				// Failed group members re-run individually under the
 				// standard retry policy, keeping per-call retry
 				// semantics identical to the per-task path.
@@ -926,6 +1102,12 @@ func (q *Queue) invokeWithRetries(t task) (json.RawMessage, error) {
 	if err == nil || q.cfg.MaxRetries <= 0 || errors.Is(err, context.DeadlineExceeded) {
 		// A deadline expiry is never retried: the deadline is absolute,
 		// so every re-run would start already expired.
+		return out, err
+	}
+	if q.cfg.Requeue != nil && q.cfg.Requeue(err) {
+		// Requeue-classified errors (ownership fences) skip the inline
+		// retry: re-running immediately on this worker would race the
+		// rebalance it lost to. runBatch requeues it instead.
 		return out, err
 	}
 	return q.retry(t, out, err)
@@ -996,6 +1178,12 @@ type Stats struct {
 	// Retried counts re-runs of failed invocations under the retry
 	// policy (Config.MaxRetries).
 	Retried int64 `json:"retried"`
+	// Requeued counts invocations sent back to the queue by the
+	// Requeue classifier (ownership moved mid-flight).
+	Requeued int64 `json:"requeued"`
+	// Recovered counts stranded invocations adopted from durable
+	// records by RecoverStranded (dead-node / crash failover).
+	Recovered int64 `json:"recovered"`
 	// Evicted counts terminal records garbage-collected after
 	// Config.RecordTTL elapsed.
 	Evicted int64 `json:"evicted"`
@@ -1028,6 +1216,8 @@ func (q *Queue) Stats() Stats {
 		Failed:        m.Counter("queue.failed").Value(),
 		Expired:       m.Counter("queue.expired").Value(),
 		Retried:       m.Counter("queue.retries").Value(),
+		Requeued:      m.Counter("queue.requeued").Value(),
+		Recovered:     m.Counter("queue.recovered").Value(),
 		Evicted:       m.Counter("queue.evicted").Value(),
 		BatchedDrains: m.Counter("queue.batched_drains").Value(),
 		Coalesced:     m.Counter("queue.coalesced").Value(),

@@ -307,7 +307,9 @@ func (c *Cluster) placePodLocked(d *Deployment) (*Pod, error) {
 }
 
 // pickNodeLocked selects a node for req per strategy, restricted to
-// region when non-empty. Caller holds c.mu.
+// region when non-empty. Equal-fit ties break by node name so repeated
+// placements are deterministic regardless of iteration order. Caller
+// holds c.mu.
 func (c *Cluster) pickNodeLocked(req Resources, strategy Strategy, region string) *Node {
 	var best *Node
 	var bestFree int64
@@ -323,11 +325,13 @@ func (c *Cluster) pickNodeLocked(req Resources, strategy Strategy, region string
 		}
 		switch strategy {
 		case StrategySpread:
-			if best == nil || free.MilliCPU > bestFree {
+			if best == nil || free.MilliCPU > bestFree ||
+				(free.MilliCPU == bestFree && n.name < best.name) {
 				best, bestFree = n, free.MilliCPU
 			}
 		default: // StrategyBinPack
-			if best == nil || free.MilliCPU < bestFree {
+			if best == nil || free.MilliCPU < bestFree ||
+				(free.MilliCPU == bestFree && n.name < best.name) {
 				best, bestFree = n, free.MilliCPU
 			}
 		}

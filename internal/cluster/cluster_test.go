@@ -323,3 +323,51 @@ func TestAllocationConservationProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPickNodeDeterministicTieBreak places pods repeatedly on
+// equal-fit nodes and asserts the choice is stable (lowest name wins),
+// under both strategies and regardless of node insertion order.
+func TestPickNodeDeterministicTieBreak(t *testing.T) {
+	orders := [][]string{
+		{"vm-00", "vm-01", "vm-02", "vm-03"},
+		{"vm-03", "vm-01", "vm-00", "vm-02"},
+		{"vm-02", "vm-03", "vm-01", "vm-00"},
+	}
+	for _, strategy := range []Strategy{StrategySpread, StrategyBinPack} {
+		var want []string
+		for trial, order := range orders {
+			c := New(Config{})
+			for _, name := range order {
+				if _, err := c.AddNode(name, Resources{MilliCPU: 4000, MemoryMB: 8192}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			d, err := c.CreateDeployment("tie", Resources{MilliCPU: 500, MemoryMB: 256}, 0, strategy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []string
+			for i := 1; i <= 8; i++ {
+				if err := d.Scale(i); err != nil {
+					t.Fatal(err)
+				}
+				pods := d.Pods()
+				got = append(got, pods[len(pods)-1].Node)
+			}
+			if trial == 0 {
+				want = got
+				// All nodes start equal, so the very first tie must
+				// resolve to the lexicographically smallest name.
+				if got[0] != "vm-00" {
+					t.Fatalf("%v: first placement on %q, want vm-00", strategy, got[0])
+				}
+				continue
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%v: placement sequence differs across insertion orders:\n  %v\n  %v", strategy, want, got)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,352 @@
+// Ownership wires the cluster membership layer into the platform:
+// worker VMs hold kvstore-persisted leases, objects map to live
+// workers by rendezvous hash, and every state commit carries an
+// admission stamp that the runtime fences at commit time. On lease
+// expiry or explicit drain the membership rebalances, and the
+// platform's rebalance hook requeues the dead node's durable async
+// work and replays trigger delivery cursors so acknowledged work is
+// never lost.
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"github.com/hpcclab/oparaca-go/internal/cluster"
+)
+
+// ErrOwnershipDisabled is returned by ownership admin operations when
+// the platform was built without OwnershipLeaseTTL.
+var ErrOwnershipDisabled = errors.New("core: ownership layer disabled (set OwnershipLeaseTTL)")
+
+// ownerStampKey carries the admission stamp through an invocation's
+// context so the commit-time fence can compare it against the current
+// epoch.
+type ownerStampKey struct{}
+
+type ownerStamp struct {
+	owner string
+	epoch uint64
+}
+
+// ownership is the platform-side view of the membership layer.
+type ownership struct {
+	members *cluster.Membership
+	// forward is the one-way ingress→owner hop latency charged per
+	// forwarded invocation (round trip: 2×).
+	forward time.Duration
+	// retryAfter hints clients how long to back off when a routed
+	// invocation races a handoff.
+	retryAfter time.Duration
+
+	ingress    atomic.Uint64
+	forwarded  atomic.Int64
+	ownerLocal atomic.Int64
+	recovered  atomic.Int64
+	replays    atomic.Int64
+}
+
+// admitCtx stamps ctx with the object's current owner and epoch — the
+// ticket the commit fence validates. Invocations arriving with a stamp
+// (the routed path admitted them at ingress) pass through unchanged.
+// Admission itself never fast-fails on an open transition window: the
+// fence provides correctness, and internal dispatch (async drain,
+// trigger chains) admitted at the post-rebalance epoch commits safely.
+// Only the routing layer (InvokeRoutedFrom) turns the window into a
+// retryable fast-fail.
+func (p *Platform) admitCtx(ctx context.Context, objectID string) (context.Context, error) {
+	if p.own == nil {
+		return ctx, nil
+	}
+	if _, ok := ctx.Value(ownerStampKey{}).(ownerStamp); ok {
+		return ctx, nil
+	}
+	owner, epoch, ok := p.own.members.Admit(objectID)
+	if !ok {
+		return ctx, nil // no live members: ownership inert
+	}
+	return context.WithValue(ctx, ownerStampKey{}, ownerStamp{owner: owner, epoch: epoch}), nil
+}
+
+// fence is the runtime.Infra hook consulted at every commit exit. A
+// commit whose admission stamp is stale — the epoch moved and the
+// object's owner changed — is rejected with ErrOwnershipMoved before
+// anything is persisted, so a paused ex-owner cannot double-commit
+// after failover.
+func (p *Platform) fence(ctx context.Context, objectID string) error {
+	st, ok := ctx.Value(ownerStampKey{}).(ownerStamp)
+	if !ok {
+		return nil
+	}
+	return p.own.members.Fence(objectID, st.owner, st.epoch)
+}
+
+// requeueable classifies invocation errors the async queue should
+// redeliver rather than fail: fence rejections and transition-window
+// fast-fails both mean "the work is fine, the owner moved".
+func requeueable(err error) bool {
+	return errors.Is(err, cluster.ErrOwnershipMoved) || errors.Is(err, cluster.ErrOwnershipMoving)
+}
+
+// onRebalance is the membership's rebalance hook: after an epoch bump
+// it adopts the dead nodes' durable async records back into the local
+// queue and replays trigger delivery cursors, so queued and in-flight
+// work acknowledged before the failure is redelivered under the new
+// ownership.
+func (p *Platform) onRebalance(dead []string, epoch uint64) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	n, err := p.queue.RecoverStranded(ctx)
+	if err == nil {
+		p.own.recovered.Add(int64(n))
+	}
+	p.bus.ReplayCursors()
+	p.own.replays.Add(1)
+}
+
+// Membership exposes the lease-based membership layer (nil when
+// ownership is disabled).
+func (p *Platform) Membership() *cluster.Membership {
+	if p.own == nil {
+		return nil
+	}
+	return p.own.members
+}
+
+// KillNode models a worker VM crash for the ownership layer: its
+// heartbeat stops and failover happens when the lease expires, exactly
+// as for a real dead machine.
+func (p *Platform) KillNode(name string) error {
+	if p.own == nil {
+		return ErrOwnershipDisabled
+	}
+	return p.own.members.Kill(name)
+}
+
+// DrainNode removes a worker from the ownership layer gracefully: its
+// lease is deleted and its objects reassigned immediately.
+func (p *Platform) DrainNode(name string) error {
+	if p.own == nil {
+		return ErrOwnershipDisabled
+	}
+	return p.own.members.Leave(name)
+}
+
+// InvokeRouted is InvokeRoutedFrom for a client in the default region
+// with no ingress affinity.
+func (p *Platform) InvokeRouted(ctx context.Context, objectID, member string, payload json.RawMessage, args map[string]string) (json.RawMessage, string, error) {
+	return p.InvokeRoutedFrom(ctx, "", "", objectID, member, payload, args)
+}
+
+// InvokeRoutedFrom executes a method or dataflow on an object through
+// the ownership router: the request lands on ingress node via (empty
+// picks one round-robin, modelling a load balancer), and when that
+// node does not own the object the invocation is forwarded one hop to
+// the owner, charging 2×ForwardLatency for the round trip — the same
+// charge model InvokeFrom applies to inter-region clients. The node
+// that served the invocation is returned for response attribution.
+//
+// During a post-rebalance transition window, or when ownership moves
+// again while the forwarded request is in flight, the call fast-fails
+// with a retryable TransitionError (HTTP 503 + Retry-After at the
+// gateway) instead of chasing the handoff. With ownership disabled it
+// degrades to InvokeFrom.
+func (p *Platform) InvokeRoutedFrom(ctx context.Context, clientRegion, via, objectID, member string, payload json.RawMessage, args map[string]string) (json.RawMessage, string, error) {
+	o := p.own
+	if o == nil {
+		out, err := p.InvokeFrom(ctx, clientRegion, objectID, member, payload, args)
+		return out, "", err
+	}
+	if err := o.members.CheckMoving(); err != nil {
+		return nil, "", err
+	}
+	owner, epoch, ok := o.members.Admit(objectID)
+	if !ok {
+		out, err := p.InvokeFrom(ctx, clientRegion, objectID, member, payload, args)
+		return out, "", err
+	}
+	ingress := via
+	if ingress == "" {
+		ingress = o.pickIngress()
+	}
+	if ingress == owner {
+		o.ownerLocal.Add(1)
+	} else {
+		// One forwarding hop ingress→owner (and the response back).
+		if o.forward > 0 {
+			if err := p.cfg.Clock.Sleep(ctx, 2*o.forward); err != nil {
+				return nil, "", err
+			}
+		}
+		// Re-admit at the owner: a single-hop guard. If ownership moved
+		// while the request was in flight, fail fast retryably rather
+		// than hop again and race the rebalance around the ring.
+		owner2, epoch2, ok2 := o.members.Admit(objectID)
+		if !ok2 || owner2 != owner {
+			return nil, "", &cluster.TransitionError{RetryAfter: o.retryAfter}
+		}
+		owner, epoch = owner2, epoch2
+		o.forwarded.Add(1)
+	}
+	ctx = context.WithValue(ctx, ownerStampKey{}, ownerStamp{owner: owner, epoch: epoch})
+	out, err := p.InvokeFrom(ctx, clientRegion, objectID, member, payload, args)
+	return out, owner, err
+}
+
+// pickIngress round-robins over the live member set, modelling a
+// load balancer spreading requests across nodes. It reads the
+// published lock-free name set so un-pinned ingress selection costs
+// no locks or allocations on the invoke hot path.
+func (o *ownership) pickIngress() string {
+	names := o.members.LiveNames()
+	if len(names) == 0 {
+		return ""
+	}
+	i := o.ingress.Add(1)
+	return names[int((i-1)%uint64(len(names)))]
+}
+
+// MemberStats describes one lease-holding node in the cluster
+// ownership view.
+type MemberStats struct {
+	Name  string `json:"name"`
+	Local bool   `json:"local"`
+	// LeaseAge is how long the node has held its lease.
+	LeaseAge time.Duration `json:"lease_age"`
+	// LeaseRemaining is time until lease expiry; ≤ 0 means the node is
+	// about to be swept out.
+	LeaseRemaining time.Duration `json:"lease_remaining"`
+	// Objects is how many directory objects currently hash to this
+	// node.
+	Objects int `json:"objects"`
+}
+
+// ClusterStats is the ownership-layer half of a platform snapshot.
+type ClusterStats struct {
+	// Enabled reports whether the ownership layer is active; all other
+	// fields are zero when it is not.
+	Enabled bool `json:"enabled"`
+	// Epoch is the current ownership epoch (bumped per rebalance).
+	Epoch uint64 `json:"epoch"`
+	// Moving reports an open post-rebalance transition window.
+	Moving bool `json:"moving"`
+	// Members is the live member set with per-node object counts.
+	Members []MemberStats `json:"members,omitempty"`
+	// Rebalances counts completed failovers/drains.
+	Rebalances int64 `json:"rebalances"`
+	// FenceRejections counts commits the epoch fence refused — each is
+	// a double-commit that did not happen.
+	FenceRejections int64 `json:"fence_rejections"`
+	// Forwarded / OwnerLocal split routed invocations by whether the
+	// ingress node owned the object.
+	Forwarded  int64 `json:"forwarded"`
+	OwnerLocal int64 `json:"owner_local"`
+	// Requeued counts async invocations redelivered after a fence or
+	// transition rejection; Recovered counts stranded records adopted
+	// from dead nodes by rebalances.
+	Requeued  int64 `json:"requeued"`
+	Recovered int64 `json:"recovered"`
+}
+
+// clusterStatsLocked snapshots the ownership layer; p.mu must be held
+// (it walks the object directory to attribute objects to owners).
+func (p *Platform) clusterStatsLocked() ClusterStats {
+	if p.own == nil {
+		return ClusterStats{}
+	}
+	m := p.own.members
+	cs := ClusterStats{
+		Enabled:         true,
+		Epoch:           m.Epoch(),
+		Moving:          m.CheckMoving() != nil,
+		Rebalances:      m.Rebalances(),
+		FenceRejections: m.FenceRejections(),
+		Forwarded:       p.own.forwarded.Load(),
+		OwnerLocal:      p.own.ownerLocal.Load(),
+		Recovered:       p.own.recovered.Load(),
+	}
+	counts := make(map[string]int, 8)
+	for id := range p.dir {
+		if owner, ok := m.Owner(id); ok {
+			counts[owner]++
+		}
+	}
+	for _, mi := range m.Members() {
+		cs.Members = append(cs.Members, MemberStats{
+			Name:           mi.Name,
+			Local:          mi.Local,
+			LeaseAge:       mi.LeaseAge,
+			LeaseRemaining: mi.LeaseRemaining,
+			Objects:        counts[mi.Name],
+		})
+	}
+	return cs
+}
+
+// RecoverStrandedInvocations adopts asynchronous invocation records a
+// dead predecessor process left non-terminal in the shared backing
+// store into this platform's queue, and replays trigger delivery
+// cursors. Call it on a successor platform after redeploying classes
+// (dispatch needs the class runtimes); in-process node failures run
+// the same recovery automatically through the rebalance hook. Returns
+// how many records were adopted.
+func (p *Platform) RecoverStrandedInvocations(ctx context.Context) (int, error) {
+	n, err := p.queue.RecoverStranded(ctx)
+	if err == nil && p.own != nil {
+		p.own.recovered.Add(int64(n))
+	}
+	p.bus.ReplayCursors()
+	return n, err
+}
+
+// ClusterStats snapshots just the ownership layer (the gateway's
+// GET /api/cluster and ocli cluster), cheaper than the full Stats
+// walk.
+func (p *Platform) ClusterStats() ClusterStats {
+	p.mu.Lock()
+	cs := p.clusterStatsLocked()
+	p.mu.Unlock()
+	if p.own != nil {
+		cs.Requeued = p.queue.Stats().Requeued
+	}
+	return cs
+}
+
+// newOwnership builds the membership layer over the backing store and
+// joins every cluster node. Callers wire OnRebalance before any lease
+// can lapse because the monitor only starts inside NewMembership.
+func newOwnership(p *Platform, cfg Config) (*ownership, error) {
+	hb := cfg.OwnershipHeartbeat
+	if hb <= 0 {
+		hb = cfg.OwnershipLeaseTTL / 3
+	}
+	window := cfg.OwnershipTransitionWindow
+	if window <= 0 {
+		window = hb
+	}
+	o := &ownership{forward: cfg.ForwardLatency, retryAfter: window}
+	members, err := cluster.NewMembership(cluster.MembershipConfig{
+		Backing:          p.backing,
+		Clock:            cfg.Clock,
+		LeaseTTL:         cfg.OwnershipLeaseTTL,
+		Heartbeat:        cfg.OwnershipHeartbeat,
+		TransitionWindow: window,
+		JitterSeed:       cfg.Chaos.Seed,
+		OnRebalance:      p.onRebalance,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: membership: %w", err)
+	}
+	o.members = members
+	for _, n := range p.cluster.Nodes() {
+		if err := members.Join(n.Name()); err != nil {
+			members.Close()
+			return nil, fmt.Errorf("core: joining %s: %w", n.Name(), err)
+		}
+	}
+	return o, nil
+}

@@ -108,6 +108,27 @@ type Config struct {
 	// invocation whose client region differs from the object's home
 	// region (see InvokeFrom). Defaults to 0.
 	InterRegionLatency time.Duration
+	// OwnershipLeaseTTL enables the lease-based ownership layer when
+	// positive: every worker VM holds a kvstore-persisted lease renewed
+	// on a jittered heartbeat, objects map to live workers by
+	// rendezvous hash, every state commit is epoch-fenced, and lease
+	// expiry triggers rebalancing plus requeue of the dead node's
+	// durable async work (see internal/cluster.Membership). Zero — the
+	// default — disables the layer entirely: no heartbeats, no fence,
+	// no hot-path overhead.
+	OwnershipLeaseTTL time.Duration
+	// OwnershipHeartbeat overrides the lease renewal interval
+	// (defaults to OwnershipLeaseTTL/3).
+	OwnershipHeartbeat time.Duration
+	// OwnershipTransitionWindow is how long routed invocations
+	// fast-fail with a retryable "ownership moving" error after a
+	// rebalance (defaults to the heartbeat interval).
+	OwnershipTransitionWindow time.Duration
+	// ForwardLatency is the one-way latency charged per ingress→owner
+	// forwarding hop when a routed invocation lands on a node that
+	// does not own the object (round trip: 2×, mirroring
+	// InterRegionLatency's charge model). Zero charges nothing.
+	ForwardLatency time.Duration
 	// AsyncWorkers sizes the asynchronous invocation worker pool.
 	// Defaults to 4.
 	AsyncWorkers int
@@ -302,6 +323,9 @@ type Platform struct {
 	bus       *trigger.Bus
 	elog      *eventlog.Log
 	breaker   *resilience.Breaker
+	// own is the lease-based ownership layer; nil unless
+	// Config.OwnershipLeaseTTL enabled it.
+	own *ownership
 
 	// ownsBacking is false when Config.Backing injected the store; the
 	// caller then keeps it open across platform restarts.
@@ -427,6 +451,7 @@ func New(cfg Config) (*Platform, error) {
 		WebhookMaxRetries: cfg.WebhookMaxRetries,
 		WebhookBackoff:    cfg.WebhookRetryBackoff,
 		WebhookTimeout:    cfg.WebhookTimeout,
+		JitterSeed:        cfg.Chaos.Seed,
 		Clock:             cfg.Clock,
 	})
 	if err != nil {
@@ -439,6 +464,13 @@ func New(cfg Config) (*Platform, error) {
 	// Terminal records publish InvocationCompleted/InvocationFailed
 	// events, and the queue's Close drains the bus so pending webhook
 	// deliveries flush before teardown.
+	// Ownership fence/transition errors mean "the work is fine, the
+	// owner moved": the queue requeues such tasks to be re-dispatched
+	// under the new ownership instead of failing them.
+	var requeue func(error) bool
+	if cfg.OwnershipLeaseTTL > 0 {
+		requeue = requeueable
+	}
 	p.queue, err = asyncq.New(asyncq.Config{
 		Invoke:       p.Invoke,
 		InvokeBatch:  p.invokeCoalesced,
@@ -456,6 +488,7 @@ func New(cfg Config) (*Platform, error) {
 		OnTerminal:   p.onAsyncTerminal,
 		Drain:        p.bus.Drain,
 		Backing:      p.backing,
+		Requeue:      requeue,
 		Clock:        cfg.Clock,
 	})
 	if err != nil {
@@ -464,11 +497,29 @@ func New(cfg Config) (*Platform, error) {
 		closeBacking()
 		return nil, fmt.Errorf("core: async queue: %w", err)
 	}
+	// The ownership layer joins every worker VM once the queue and bus
+	// exist, because its rebalance hook requeues stranded async work
+	// through them.
+	if cfg.OwnershipLeaseTTL > 0 {
+		p.own, err = newOwnership(p, cfg)
+		if err != nil {
+			p.queue.Close()
+			p.elog.Close()
+			closeBacking()
+			return nil, err
+		}
+	}
+	closeOwnership := func() {
+		if p.own != nil {
+			p.own.members.Close()
+		}
+	}
 	// Recover durable control-plane state from the backing store: the
 	// object directory and named trigger subscriptions. Re-registering
 	// a subscription schedules redelivery of any backlog its stored
 	// cursors point at, so deliveries a crash interrupted resume here.
 	if err := p.recover(context.Background()); err != nil {
+		closeOwnership()
 		p.queue.Close()
 		p.elog.Close()
 		closeBacking()
@@ -477,6 +528,7 @@ func New(cfg Config) (*Platform, error) {
 	if *cfg.ServeObjectStore {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
+			closeOwnership()
 			p.queue.Close()
 			p.elog.Close()
 			closeBacking()
@@ -739,7 +791,7 @@ func (p *Platform) Templates() *runtime.TemplateRegistry { return p.templates }
 
 // infra assembles the Infra view handed to class runtimes.
 func (p *Platform) infra() runtime.Infra {
-	return runtime.Infra{
+	inf := runtime.Infra{
 		Cluster:              p.cluster,
 		Transport:            newRoutingTransport(p.images),
 		Backing:              p.backing,
@@ -760,6 +812,12 @@ func (p *Platform) infra() runtime.Infra {
 		Degraded:             p.Degraded,
 		Clock:                p.cfg.Clock,
 	}
+	if p.own != nil {
+		// Only installed when the ownership layer exists, so a platform
+		// without it pays nothing on the commit path.
+		inf.Fence = p.fence
+	}
+	return inf
 }
 
 // Breaker exposes the backing-store circuit breaker.
@@ -1058,6 +1116,9 @@ func (p *Platform) Invoke(ctx context.Context, objectID, member string, payload 
 	if err != nil {
 		return nil, err
 	}
+	if ctx, err = p.admitCtx(ctx, objectID); err != nil {
+		return nil, err
+	}
 	class := rt.Class()
 	if _, ok := class.Function(member); ok {
 		return rt.Invoke(ctx, objectID, member, payload, args)
@@ -1084,6 +1145,9 @@ func (p *Platform) Invoke(ctx context.Context, objectID, member string, payload 
 func (p *Platform) InvokeBatch(ctx context.Context, objectID string, calls []runtime.BatchCall) ([]runtime.BatchCallResult, error) {
 	rt, _, err := p.objectRuntime(objectID)
 	if err != nil {
+		return nil, err
+	}
+	if ctx, err = p.admitCtx(ctx, objectID); err != nil {
 		return nil, err
 	}
 	class := rt.Class()
@@ -1292,6 +1356,7 @@ type Stats struct {
 	Concurrency map[string]runtime.ConcurrencyStats `json:"concurrency"`
 	Triggers    trigger.Stats                       `json:"triggers"`
 	Resilience  ResilienceStats                     `json:"resilience"`
+	Cluster     ClusterStats                        `json:"cluster"`
 }
 
 // Stats snapshots the platform.
@@ -1316,6 +1381,8 @@ func (p *Platform) Stats() Stats {
 		Degraded: p.breaker.State() != resilience.StateClosed,
 		Expired:  s.Async.Expired,
 	}
+	s.Cluster = p.clusterStatsLocked()
+	s.Cluster.Requeued = s.Async.Requeued
 	for name, rt := range p.runtimes {
 		s.ByClass[name] = rt.ThroughputRPS()
 		s.Invocations += rt.Metrics().Counter("invoke.total").Value()
@@ -1346,6 +1413,12 @@ func (p *Platform) Flush(ctx context.Context) {
 // the final flushes' window and closes live streams), object store
 // server, and document store.
 func (p *Platform) Close() {
+	// Stop membership first: no rebalance may fire into a tearing-down
+	// queue/bus. The fence stays answerable (epoch is in memory) for
+	// invocations the queue drains below.
+	if p.own != nil {
+		p.own.members.Close()
+	}
 	// Drain before marking closed: queued invocations still route
 	// through Invoke, which rejects work on a closed platform.
 	p.queue.Close()
@@ -1395,6 +1468,11 @@ func (p *Platform) Kill() {
 		rts = append(rts, rt)
 	}
 	p.mu.Unlock()
+	if p.own != nil {
+		// Heartbeats stop but leases are left to expire, so a successor
+		// platform against the same backing store sees the death.
+		p.own.members.Close()
+	}
 	p.optim.Stop()
 	p.queue.Kill()
 	p.bus.Kill()

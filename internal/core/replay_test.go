@@ -165,7 +165,19 @@ func TestCrashReplayRedeliversEvents(t *testing.T) {
 	waitUntil(t, "webhook redelivery of every pre-crash event", func() bool {
 		mu.Lock()
 		defer mu.Unlock()
-		return len(acked) >= writes
+		// Redelivery is at-least-once, so duplicates are legal and a
+		// bare length check can be satisfied before every offset has
+		// arrived; wait for the full set.
+		seen := map[int64]bool{}
+		for _, off := range acked {
+			seen[off] = true
+		}
+		for off := int64(1); off <= writes; off++ {
+			if !seen[off] {
+				return false
+			}
+		}
+		return true
 	})
 	if preRestart < 2 {
 		t.Fatalf("pre-crash attempts = %d, want >= 2", preRestart)

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/hpcclab/oparaca-go/internal/asyncq"
+	"github.com/hpcclab/oparaca-go/internal/cluster"
 	"github.com/hpcclab/oparaca-go/internal/core"
 	"github.com/hpcclab/oparaca-go/internal/model"
 	"github.com/hpcclab/oparaca-go/internal/resilience"
@@ -53,6 +54,7 @@ func (g *Gateway) routes() {
 	g.mux.HandleFunc("GET /healthz", g.handleHealth)
 	g.mux.HandleFunc("GET /readyz", g.handleReady)
 	g.mux.HandleFunc("GET /api/stats", g.handleStats)
+	g.mux.HandleFunc("GET /api/cluster", g.handleCluster)
 	g.mux.HandleFunc("GET /api/classes", g.handleListClasses)
 	g.mux.HandleFunc("GET /api/classes/{name}", g.handleGetClass)
 	g.mux.HandleFunc("POST /api/packages", g.handleDeploy)
@@ -140,6 +142,22 @@ func writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, core.ErrOffsetCompacted):
 		status = http.StatusGone
 		code = "offset_compacted"
+	case errors.Is(err, cluster.ErrOwnershipMoving):
+		// A failover or drain is rebalancing object ownership; routing
+		// now would race the handoff. Retry-After carries the remaining
+		// transition window.
+		status = http.StatusServiceUnavailable
+		code = "ownership_moving"
+		var tr *cluster.TransitionError
+		if errors.As(err, &tr) && tr.RetryAfter > 0 {
+			secs := int((tr.RetryAfter + time.Second - 1) / time.Second)
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+		}
+	case errors.Is(err, cluster.ErrOwnershipMoved):
+		// The commit was fenced: ownership moved under the invocation.
+		// Nothing was persisted; a retry routes to the new owner.
+		status = http.StatusServiceUnavailable
+		code = "ownership_moved"
 	case errors.Is(err, resilience.ErrOpen):
 		// The backing-store circuit breaker is open: the write (or
 		// uncached read) was fast-failed without touching the store.
@@ -185,6 +203,13 @@ type readyView struct {
 	TriggerBacklog int64 `json:"trigger_backlog"`
 	// LeakedHandlers gauges deadline-abandoned handlers still running.
 	LeakedHandlers int64 `json:"leaked_handlers"`
+	// ClusterEnabled reports an active ownership layer; when it is on,
+	// readiness additionally requires ClusterConverged — the membership
+	// view reflects every live lease and no post-rebalance transition
+	// window is open.
+	ClusterEnabled   bool   `json:"cluster_enabled"`
+	ClusterConverged bool   `json:"cluster_converged"`
+	Epoch            uint64 `json:"epoch,omitempty"`
 }
 
 // handleReady reports whether the platform can take durable work
@@ -205,7 +230,13 @@ func (g *Gateway) handleReady(w http.ResponseWriter, _ *http.Request) {
 		TriggerBacklog: backlog,
 		LeakedHandlers: st.Resilience.LeakedHandlers,
 	}
-	view.Ready = !view.Degraded && st.Async.Depth < int64(st.Async.Capacity)
+	if mem := g.platform.Membership(); mem != nil {
+		view.ClusterEnabled = true
+		view.ClusterConverged = mem.Converge()
+		view.Epoch = mem.Epoch()
+	}
+	view.Ready = !view.Degraded && st.Async.Depth < int64(st.Async.Capacity) &&
+		(!view.ClusterEnabled || view.ClusterConverged)
 	status := http.StatusOK
 	if !view.Ready {
 		status = http.StatusServiceUnavailable
@@ -215,6 +246,13 @@ func (g *Gateway) handleReady(w http.ResponseWriter, _ *http.Request) {
 
 func (g *Gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, g.platform.Stats())
+}
+
+// handleCluster serves the ownership-layer snapshot: live members
+// with lease ages and per-node object counts, the epoch, and the
+// failover counters — without the full Stats walk.
+func (g *Gateway) handleCluster(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, g.platform.ClusterStats())
 }
 
 func (g *Gateway) handleListClasses(w http.ResponseWriter, _ *http.Request) {
@@ -401,10 +439,16 @@ func (g *Gateway) handleInvoke(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	out, err := g.platform.InvokeFrom(ctx, clientRegion(r), id, fn, payload, args)
+	// X-Oparaca-Node pins the ingress node (tests and node-affine
+	// clients); empty means the router's round-robin ingress. With the
+	// ownership layer disabled this degrades to InvokeFrom.
+	out, served, err := g.platform.InvokeRoutedFrom(ctx, clientRegion(r), r.Header.Get("X-Oparaca-Node"), id, fn, payload, args)
 	if err != nil {
 		writeError(w, err)
 		return
+	}
+	if served != "" {
+		w.Header().Set("X-Oparaca-Node", served)
 	}
 	writeJSON(w, http.StatusOK, map[string]json.RawMessage{"output": orNull(out)})
 }

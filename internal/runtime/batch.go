@@ -314,7 +314,12 @@ func (rt *ClassRuntime) batchLockedPlain(ctx context.Context, objectID string, g
 		puts[key] = v
 	}
 	err = nil
-	if len(puts) > 0 {
+	if (len(puts) > 0 || len(dels) > 0) && rt.infra.Fence != nil {
+		// Epoch fence: the whole merged group is one commit, so moved
+		// ownership fails every call in it (they all requeue).
+		err = rt.infra.Fence(ctx, objectID)
+	}
+	if err == nil && len(puts) > 0 {
 		err = rt.table.PutMany(ctx, puts)
 	}
 	for _, key := range dels {
@@ -422,6 +427,14 @@ func (rt *ClassRuntime) batchAttempt(ctx context.Context, objectID string, group
 			op.Value = v
 		}
 		ops[key] = op
+	}
+	// Epoch fence before the group CAS; a fence error is not
+	// ErrVersionMismatch, so the group retry loop propagates it and the
+	// whole group fails over to the new owner.
+	if rt.infra.Fence != nil {
+		if err := rt.infra.Fence(ctx, objectID); err != nil {
+			return err
+		}
 	}
 	return rt.table.PutManyIfVersion(ctx, ops)
 }

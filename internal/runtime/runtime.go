@@ -112,6 +112,16 @@ type Infra struct {
 	// during an outage are surfaced as degraded reads. nil means never
 	// degraded.
 	Degraded func() bool
+	// Fence, when set, is consulted at every commit exit (locked, OCC,
+	// adaptive, and group-commit) immediately before the state delta is
+	// persisted. A non-nil return aborts the commit without writing
+	// anything — the cluster ownership layer uses it to reject commits
+	// admitted under an ownership epoch that has since moved, so a
+	// paused or partitioned ex-owner can never double-commit. nil (the
+	// default, and whenever ownership is disabled) costs the warm path
+	// nothing. Read-only invocations and empty deltas never fence: they
+	// commit nothing, so there is nothing to protect.
+	Fence func(ctx context.Context, objectID string) error
 	// Clock supplies time; defaults to the real clock.
 	Clock vclock.Clock
 }
@@ -978,6 +988,16 @@ func (rt *ClassRuntime) invokeLockedPlain(ctx context.Context, objectID string, 
 		}
 		puts[key] = v
 	}
+	if len(puts) > 0 || len(dels) > 0 {
+		// Epoch fence: a commit admitted under moved ownership must not
+		// land even though we hold the local object lock — the lock
+		// means nothing to the new owner.
+		if rt.infra.Fence != nil {
+			if err := rt.infra.Fence(ctx, objectID); err != nil {
+				return nil, err
+			}
+		}
+	}
 	if len(puts) > 0 {
 		if err := rt.table.PutMany(ctx, puts); err != nil {
 			return nil, err
@@ -1098,6 +1118,15 @@ func (rt *ClassRuntime) occAttempt(ctx context.Context, objectID string, fn mode
 		return nil, err
 	}
 	if len(ops) > 0 {
+		// Epoch fence before the CAS: ownership that moved since
+		// admission fails the attempt outright (the fence error is not
+		// ErrVersionMismatch, so the OCC retry loop propagates it
+		// instead of re-running against state this node no longer owns).
+		if rt.infra.Fence != nil {
+			if err := rt.infra.Fence(ctx, objectID); err != nil {
+				return nil, err
+			}
+		}
 		if err := rt.table.PutManyIfVersion(ctx, ops); err != nil {
 			return nil, err
 		}

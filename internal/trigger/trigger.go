@@ -54,6 +54,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"sort"
 	"strconv"
@@ -277,6 +278,13 @@ type Config struct {
 	// WebhookBackoff is the delay before the first webhook retry,
 	// doubled per attempt. Defaults to 10ms.
 	WebhookBackoff time.Duration
+	// BackoffJitter spreads each webhook retry delay uniformly over
+	// [d*(1-j), d*(1+j)] so many endpoints failing at once don't
+	// re-POST in lockstep. Defaults to 0.2; negative disables.
+	BackoffJitter float64
+	// JitterSeed seeds the backoff jitter source (wired to the chaos
+	// RNG seed so runs replay). Zero seeds from 1.
+	JitterSeed int64
 	// WebhookTimeout bounds each delivery attempt. Defaults to 5s.
 	WebhookTimeout time.Duration
 	// Metrics receives the bus counters. A private registry is created
@@ -309,6 +317,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WebhookBackoff <= 0 {
 		c.WebhookBackoff = 10 * time.Millisecond
+	}
+	if c.BackoffJitter == 0 {
+		c.BackoffJitter = 0.2
+	}
+	if c.BackoffJitter < 0 {
+		c.BackoffJitter = 0
+	}
+	if c.JitterSeed == 0 {
+		c.JitterSeed = 1
 	}
 	if c.WebhookTimeout <= 0 {
 		c.WebhookTimeout = 5 * time.Second
@@ -426,6 +443,10 @@ type Bus struct {
 	subStatsMu sync.Mutex
 	subStats   map[string]*subCounters
 
+	// rnd drives webhook backoff jitter; guarded by rndMu.
+	rndMu sync.Mutex
+	rnd   *rand.Rand
+
 	// pubMu fences intake against Close: Publish holds the read side
 	// across its closed-check, log append and shard send; Close flips
 	// closed under the write side, so once Close proceeds no publisher
@@ -452,6 +473,7 @@ func New(cfg Config) (*Bus, error) {
 		streams:   make(map[string]map[*Stream]struct{}),
 		delState:  make(map[string]*consumerState),
 		subStats:  make(map[string]*subCounters),
+		rnd:       rand.New(rand.NewSource(cfg.JitterSeed)),
 	}
 	b.killCtx, b.killCancel = context.WithCancel(context.Background())
 	b.delCond = sync.NewCond(&b.delMu)
@@ -589,6 +611,43 @@ func (b *Bus) recoverSub(sub Subscription) {
 	for object := range b.cfg.Log.CursorsFor(sub.ID) {
 		b.notify(sub, object, 0)
 	}
+}
+
+// ReplayCursors re-runs cursor recovery for every registered
+// subscription — named and class-declared. The cluster rebalancer
+// calls it after an ownership change so deliveries a dead owner left
+// mid-backlog resume under the new owner without waiting for fresh
+// commits. At-least-once semantics make the occasional duplicate
+// delivery safe.
+func (b *Bus) ReplayCursors() {
+	if b.cfg.Log == nil {
+		return
+	}
+	b.subMu.RLock()
+	all := make([]Subscription, 0, len(b.subs))
+	for _, s := range b.subs {
+		all = append(all, s)
+	}
+	for _, subs := range b.classSubs {
+		all = append(all, subs...)
+	}
+	b.subMu.RUnlock()
+	for _, s := range all {
+		b.recoverSub(s)
+	}
+}
+
+// jittered spreads d uniformly over [d*(1-j), d*(1+j)] with the
+// seeded jitter source.
+func (b *Bus) jittered(d time.Duration) time.Duration {
+	j := b.cfg.BackoffJitter
+	if j <= 0 {
+		return d
+	}
+	b.rndMu.Lock()
+	f := 1 - j + 2*j*b.rnd.Float64()
+	b.rndMu.Unlock()
+	return time.Duration(float64(d) * f)
 }
 
 // Stream opens a live event tail for one object. buf bounds the
@@ -1077,7 +1136,7 @@ func (b *Bus) deliverWebhook(url string, ev Event, c *subCounters) bool {
 	backoff := b.cfg.WebhookBackoff
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
-			if err := b.cfg.Clock.Sleep(b.killCtx, backoff); err != nil {
+			if err := b.cfg.Clock.Sleep(b.killCtx, b.jittered(backoff)); err != nil {
 				return false
 			}
 			backoff *= 2

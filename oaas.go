@@ -326,6 +326,46 @@
 // testing; the platform's own chaos soak test drives it under the
 // race detector to hold the invariants above.
 //
+// # Cluster ownership & failover
+//
+// Config.OwnershipLeaseTTL turns the worker fleet into a failure
+// domain. Each worker VM holds a lease document in the backing store,
+// renewed on a jittered heartbeat (TTL/3 by default); objects map to
+// live lease holders by rendezvous hashing, so each object has exactly
+// one owner at a time and ownership moves minimally when the member
+// set changes. Every state commit — single invoke, OCC retry, group
+// window — carries the owner and epoch it was admitted under, and the
+// runtime fences the commit at its exit: if a rebalance has bumped the
+// epoch and the object's owner changed, the commit is rejected with
+// ErrOwnershipMoved before anything is persisted. A paused or
+// partitioned ex-owner therefore cannot double-commit after failover —
+// the same fencing-token discipline as Chubby/ZooKeeper locks.
+//
+// When a lease expires (crash, partition — simulate one with
+// Platform.KillNode) or a node drains explicitly (Platform.DrainNode),
+// the membership rebalances: the epoch is bumped, the dead node's
+// durable async invocation records — queued and in-flight work alike —
+// are re-adopted into the queue (Stats().Cluster.Recovered), and
+// trigger delivery cursors are replayed, so work that was acknowledged
+// before the failure is redelivered under the new ownership rather
+// than lost. At-least-once semantics are preserved end to end: an
+// async task whose commit is fenced is requeued
+// (Stats().Cluster.Requeued) and re-dispatched, not failed.
+//
+// The gateway routes synchronous invocations through the ownership
+// layer: a request landing on a non-owner ingress node is forwarded
+// one hop to the owner (charging 2×Config.ForwardLatency, the same
+// round-trip charge model as inter-region calls; the serving node is
+// reported in the X-Oparaca-Node response header). During the brief
+// post-rebalance transition window routing fast-fails with HTTP 503,
+// code "ownership_moving", and a Retry-After header instead of racing
+// the handoff. GET /api/cluster (`ocli cluster`) reports live members
+// with lease ages and per-node object counts, the epoch, and the
+// failover counters; GET /readyz additionally gates readiness on
+// membership convergence. With OwnershipLeaseTTL zero (the default)
+// none of this machinery exists: no heartbeats, no fence, no hot-path
+// overhead.
+//
 // The subpackages under internal/ implement the platform and every
 // substrate it depends on (cluster simulator, FaaS engines, document
 // store, distributed memtable, S3-style object store, dataflow engine,
@@ -579,6 +619,14 @@ var (
 	// ErrBackingUnavailable marks an operation fast-failed because the
 	// backing store's circuit breaker is open.
 	ErrBackingUnavailable = resilience.ErrOpen
+	// ErrOwnershipMoved marks a commit rejected by the epoch fence:
+	// ownership moved between admission and commit, nothing was
+	// persisted, and a retry routes to the new owner.
+	ErrOwnershipMoved = cluster.ErrOwnershipMoved
+	// ErrOwnershipMoving marks an invocation fast-failed during a
+	// post-rebalance transition window (HTTP 503, "ownership_moving",
+	// Retry-After at the gateway).
+	ErrOwnershipMoving = cluster.ErrOwnershipMoving
 )
 
 // Failure-semantics types (see internal/resilience and the "Failure
@@ -598,6 +646,22 @@ type (
 	// FaultPlan is a seeded probabilistic backing-store fault schedule
 	// (Config.Chaos) for fault-injection testing.
 	FaultPlan = kvstore.FaultPlan
+)
+
+// Cluster-ownership types (see the "Cluster ownership & failover"
+// section above).
+type (
+	// ClusterStats is the ownership-layer section of a platform
+	// snapshot: epoch, live members, fence/requeue/recovery counters
+	// (Stats().Cluster, GET /api/cluster).
+	ClusterStats = core.ClusterStats
+	// MemberStats describes one lease-holding worker: lease age and
+	// remaining TTL plus the objects currently hashed to it.
+	MemberStats = core.MemberStats
+	// TransitionError carries the Retry-After hint of an
+	// ownership-moving fast-fail; matches ErrOwnershipMoving under
+	// errors.Is.
+	TransitionError = cluster.TransitionError
 )
 
 // EventLogEntry is one stored record of an object's durable event
