@@ -681,7 +681,7 @@ func BenchmarkEventLogReplay(b *testing.B) {
 // Refresh it with (all guarded families in one run — the writer
 // rewrites the whole file from the metrics the run accumulated):
 //
-//	BENCH_SNAPSHOT=1 go test -bench='InvokeHotPath|AsyncDrainThroughput|TriggerFanout|EventLogAppend|EventLogReplay' -benchtime=2s -run='^$' .
+//	BENCH_SNAPSHOT=1 go test -bench='InvokeHotPath|InvokeTraced|AsyncDrainThroughput|TriggerFanout|EventLogAppend|EventLogReplay' -benchtime=2s -run='^$' .
 var invokeBench = struct {
 	mu      sync.Mutex
 	metrics map[string]float64
@@ -1003,6 +1003,79 @@ func BenchmarkInvokeHotPath(b *testing.B) {
 			b.ReportMetric(apo, "allocs/op")
 			recordInvokeBench("invoke/"+name, ops)
 			recordInvokeBench("invoke/"+name+"#allocs", apo)
+		})
+	}
+}
+
+// BenchmarkInvokeTraced prices the tracing layer on the warm invoke
+// path (the spread-warm workload: 512 warm objects, parallel clients):
+//
+//   - off: EnableTracing false — the PR 8 warm-path contract; the
+//     "invoketraced/off#allocs" key is guarded against the
+//     "invoke/spread-warm#allocs" baseline, proving a tracing-capable
+//     build costs nothing when tracing is disabled.
+//   - unsampled: tracing on with probabilistic keeps disabled — spans
+//     open and close on every stage but pooling keeps the steady-state
+//     near zero extra allocations.
+//   - sampled: SampleRate 1 keeps every trace — the worst case, paying
+//     view construction and ring retention per invocation.
+func BenchmarkInvokeTraced(b *testing.B) {
+	ctx := context.Background()
+	for _, bc := range []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"off", func(*Config) {}},
+		{"unsampled", func(cfg *Config) {
+			cfg.EnableTracing = true
+			cfg.TraceSampleRate = -1
+		}},
+		{"sampled", func(cfg *Config) {
+			cfg.EnableTracing = true
+			cfg.TraceSampleRate = 1
+		}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			plat := setupHotPathPlatform(b, 250*time.Microsecond, ConcurrencyAdaptive, bc.mutate)
+			defer plat.Close()
+			const working = 512
+			ids := make([]string, working)
+			for i := range ids {
+				id, err := plat.CreateObject(ctx, "Spread", fmt.Sprintf("spt-%04d", i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				ids[i] = id
+				for k := 0; k < hotPathKeys; k++ {
+					if err := plat.PutState(ctx, id, fmt.Sprintf("k%d", k), json.RawMessage(`{"v":1}`)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportAllocs()
+			b.SetParallelism(4)
+			allocs := allocCounter()
+			b.ResetTimer()
+			var next atomic.Int64
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(next.Add(1))
+					if _, err := plat.Invoke(ctx, ids[i%working], "touch", nil, nil); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			apo := allocs(b.N)
+			ops := float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(ops, "ops/s")
+			b.ReportMetric(apo, "allocs/op")
+			recordInvokeBench("invoketraced/"+bc.name, ops)
+			// Like invoke/spread-warm#allocs, baseline these keys from a
+			// -benchtime=200x run so CI's smoke pass compares like with
+			// like (RunParallel's fixed setup cost is visible at 200x).
+			recordInvokeBench("invoketraced/"+bc.name+"#allocs", apo)
 		})
 	}
 }

@@ -1,6 +1,7 @@
 // Command benchdiff is the CI bench regression guard: it parses a `go
 // test -bench` output stream, extracts every guarded sub-benchmark's
 // ops/s metric (BenchmarkInvokeHotPath as "invoke/<sub>",
+// BenchmarkInvokeTraced as "invoketraced/<sub>",
 // BenchmarkInvokeRouted as "invokerouted/<sub>",
 // BenchmarkAsyncDrainThroughput as "asyncdrain/<sub>",
 // BenchmarkTriggerFanout as "triggerfanout/<sub>" and
@@ -31,7 +32,7 @@
 //
 // Usage:
 //
-//	go test -bench='InvokeHotPath|InvokeRouted|AsyncDrainThroughput|TriggerFanout|EventLogAppend|EventLogReplay' -benchtime=200x -run='^$' . > bench.out
+//	go test -bench='InvokeHotPath|InvokeTraced|InvokeRouted|AsyncDrainThroughput|TriggerFanout|EventLogAppend|EventLogReplay' -benchtime=200x -run='^$' . > bench.out
 //	go run ./cmd/benchdiff -snapshot BENCH_invoke.json bench.out
 package main
 
@@ -53,7 +54,7 @@ import (
 //
 //	BenchmarkInvokeHotPath/hot-object-8  1234  567 ns/op  890 ops/s
 //	BenchmarkAsyncDrainThroughput/hot-object/w4/batch16-8  500  80901 ns/op  12361 ops/s
-var benchLine = regexp.MustCompile(`^Benchmark(InvokeHotPath|InvokeWithDeadline|InvokeRouted|AsyncDrainThroughput|TriggerFanout|EventLogAppend|EventLogReplay)/(\S+)\s.*?([0-9.]+(?:e[+-]?[0-9]+)?) ops/s`)
+var benchLine = regexp.MustCompile(`^Benchmark(InvokeHotPath|InvokeTraced|InvokeWithDeadline|InvokeRouted|AsyncDrainThroughput|TriggerFanout|EventLogAppend|EventLogReplay)/(\S+)\s.*?([0-9.]+(?:e[+-]?[0-9]+)?) ops/s`)
 
 // allocsMetric matches the allocs/op figure on a result line (either
 // testing's builtin -benchmem column or a ReportMetric override).
@@ -62,6 +63,7 @@ var allocsMetric = regexp.MustCompile(`([0-9.]+(?:e[+-]?[0-9]+)?) allocs/op`)
 // snapshotPrefix maps a benchmark family to its snapshot key prefix.
 var snapshotPrefix = map[string]string{
 	"InvokeHotPath":        "invoke/",
+	"InvokeTraced":         "invoketraced/",
 	"InvokeWithDeadline":   "invokedeadline/",
 	"InvokeRouted":         "invokerouted/",
 	"AsyncDrainThroughput": "asyncdrain/",

@@ -29,6 +29,9 @@
 //	unsubscribe <name>                 remove a trigger subscription
 //	tail <id> [-n max] [-t 30s] [-from N]  stream an object's events (SSE);
 //	                                   -from replays stored history from offset N
+//	traces [-n max]                    list kept invocation traces (newest first)
+//	trace <trace-id|invocation-id>     show one kept trace (by trace ID, or by
+//	                                   the async invocation ID it carried)
 //	stats                              platform statistics
 //	health                             readiness probe (breaker state, queue
 //	                                   depth, trigger backlog); exits 1 when
@@ -97,6 +100,7 @@ commands:
   file-url <id> <key> [GET|PUT|DELETE]
   triggers | subscribe <name> -class C -on EV [-prefix P] [-object O] [-fn F] [-url U]
   unsubscribe <name> | tail <id> [-n max] [-t 30s] [-from offset]
+  traces [-n max] | trace <trace-id|invocation-id>
   stats | health | actions | cluster
 `)
 }
@@ -172,6 +176,10 @@ func (c *client) dispatch(args []string) error {
 		return c.request(http.MethodDelete, "/api/triggers/"+url.PathEscape(rest[0]), "", nil, nil)
 	case "tail":
 		return c.tail(rest)
+	case "traces":
+		return c.traces(rest)
+	case "trace":
+		return c.trace(rest)
 	case "stats":
 		return c.getAndPrint("/api/stats")
 	case "cluster":
@@ -379,6 +387,34 @@ func (c *client) tail(args []string) error {
 		return err
 	}
 	return nil
+}
+
+// traces lists kept invocation traces, newest first.
+func (c *client) traces(args []string) error {
+	fs := flag.NewFlagSet("traces", flag.ContinueOnError)
+	max := fs.Int("n", 0, "cap the number of traces returned (0 = all retained)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path := "/api/traces"
+	if *max > 0 {
+		path += "?n=" + strconv.Itoa(*max)
+	}
+	return c.getAndPrint(path)
+}
+
+// trace shows one kept trace: the argument is tried as a hex trace ID
+// first, then as an async invocation ID (the gateway indexes kept
+// traces both ways).
+func (c *client) trace(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: trace <trace-id|invocation-id>")
+	}
+	id := url.PathEscape(args[0])
+	if err := c.getAndPrint("/api/traces/" + id); err == nil {
+		return nil
+	}
+	return c.getAndPrint("/api/invocations/" + id + "/trace")
 }
 
 // health probes GET /readyz and prints the readiness report. Unlike

@@ -13,6 +13,7 @@
 // Usage:
 //
 //	oparaca [-addr :8020] [-workers 3] [-db-write-cap 0] [-optimize] [-pprof addr]
+//	        [-trace] [-trace-sample 0.05] [-trace-capacity 256]
 package main
 
 import (
@@ -21,7 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"hash/fnv"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -52,8 +53,29 @@ func main() {
 			"serve net/http/pprof on this address (e.g. localhost:6060); empty disables profiling")
 		leaseTTL = flag.Duration("ownership-lease-ttl", 0,
 			"enable lease-based object ownership across the worker nodes with this lease TTL (0 = disabled)")
+		traceOn = flag.Bool("trace", true,
+			"record invocation traces (tail-sampled; served at /api/traces)")
+		traceSample = flag.Float64("trace-sample", 0,
+			"probabilistic keep rate for unremarkable traces (0 = default 0.05, negative = errors/slow only)")
+		traceCap = flag.Int("trace-capacity", 0,
+			"kept-trace ring capacity (0 = default 256)")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
+
+	// All daemon output is structured: one slog TextHandler on stderr,
+	// request lines carrying trace and invocation IDs via the gateway.
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "oparaca: bad -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+	slog.SetDefault(logger)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	// Profiling is opt-in and served on its own listener, never the
 	// gateway address: the debug endpoints expose heap contents and
@@ -66,9 +88,9 @@ func main() {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		go func() {
-			log.Printf("oparaca pprof listening on %s", *pprofAddr)
+			logger.Info("pprof listening", "addr", *pprofAddr)
 			if err := http.ListenAndServe(*pprofAddr, mux); err != nil && err != http.ErrServerClosed {
-				log.Printf("oparaca: pprof server: %v", err)
+				logger.Error("pprof server", "err", err)
 			}
 		}()
 	}
@@ -80,9 +102,15 @@ func main() {
 		AsyncRecordTTL:       *recordTTL,
 		DefaultInvokeTimeout: *invokeTimeout,
 		OwnershipLeaseTTL:    *leaseTTL,
+		EnableTracing:        *traceOn,
+		TraceSampleRate:      *traceSample,
+		TraceCapacity:        *traceCap,
+		// Handler goroutines carry class/function pprof labels only
+		// when a profiler is actually attached.
+		PprofLabels: *pprofAddr != "",
 	})
 	if err != nil {
-		log.Fatalf("oparaca: %v", err)
+		fatal("platform init", "err", err)
 	}
 	defer p.Close()
 	registerBuiltinImages(p.Images())
@@ -90,14 +118,17 @@ func main() {
 	if *apply != "" {
 		raw, err := os.ReadFile(*apply)
 		if err != nil {
-			log.Fatalf("oparaca: reading %s: %v", *apply, err)
+			fatal("reading package", "path", *apply, "err", err)
 		}
 		names, err := p.DeployYAML(context.Background(), raw)
 		if err != nil {
-			log.Fatalf("oparaca: deploying %s: %v", *apply, err)
+			fatal("deploying package", "path", *apply, "err", err)
 		}
-		log.Printf("deployed classes: %s", strings.Join(names, ", "))
+		logger.Info("deployed classes", "classes", strings.Join(names, ", "))
 	}
+
+	gw := gateway.New(p)
+	gw.SetLogger(logger)
 
 	// Slow-client protection: a peer that stalls mid-headers or never
 	// reads its response must not pin a handler goroutine forever. The
@@ -106,30 +137,31 @@ func main() {
 	// lifetime of the stream.
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           gateway.New(p),
+		Handler:           gw,
 		ReadHeaderTimeout: 5 * time.Second,
 		WriteTimeout:      60 * time.Second,
 	}
 	go func() {
-		log.Printf("oparaca gateway listening on %s (workers=%d, object store at %s)",
-			*addr, *workers, p.ObjectStoreURL())
+		logger.Info("gateway listening",
+			"addr", *addr, "workers", *workers, "object_store", p.ObjectStoreURL(),
+			"tracing", *traceOn)
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-			log.Fatalf("oparaca: %v", err)
+			fatal("gateway", "err", err)
 		}
 	}()
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	log.Println("oparaca: draining in-flight requests")
+	logger.Info("draining in-flight requests")
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("oparaca: forced shutdown with requests in flight: %v", err)
+		logger.Warn("forced shutdown with requests in flight", "err", err)
 	}
 	// The deferred platform Close drains queued async work before the
 	// process exits.
-	log.Println("oparaca: gateway stopped, draining async queue")
+	logger.Info("gateway stopped, draining async queue")
 }
 
 // registerBuiltinImages installs the stock function library. Each

@@ -66,6 +66,7 @@ import (
 	"github.com/hpcclab/oparaca-go/internal/kvstore"
 	"github.com/hpcclab/oparaca-go/internal/memtable"
 	"github.com/hpcclab/oparaca-go/internal/metrics"
+	"github.com/hpcclab/oparaca-go/internal/trace"
 	"github.com/hpcclab/oparaca-go/internal/vclock"
 )
 
@@ -312,6 +313,19 @@ type task struct {
 	// requeues counts how many times the Requeue classifier sent this
 	// task back to its shard (bounded by Config.MaxRequeues).
 	requeues int
+	// span is the open queue.wait span of the submission's trace (nil
+	// when the submitter carried none); link holds the trace open across
+	// the queue hop so it finalizes only once the task goes terminal.
+	span *trace.Span
+	link trace.Link
+}
+
+// dropTrace closes the task's wait span (recording err) and releases
+// its hold on the trace — the task will never execute.
+func (t *task) dropTrace(err error) {
+	t.span.Error(err)
+	t.span.End()
+	t.link.Release()
 }
 
 // Queue is the asynchronous invocation engine. It is safe for
@@ -456,6 +470,14 @@ func (q *Queue) Submit(ctx context.Context, objectID, member string, payload jso
 	if len(q.cfg.ClassQuotas) > 0 && q.cfg.ClassOf != nil {
 		t.class = q.cfg.ClassOf(objectID)
 	}
+	if sp := trace.FromContext(ctx); sp != nil {
+		// The queue hop outlives the submitter's request: a link keeps
+		// the trace open until the task goes terminal, and the wait span
+		// measures time-to-drain.
+		sp.SetInvocation(t.id)
+		t.link = sp.Link()
+		t.span = sp.Child("queue.wait")
+	}
 	// The pending record and depth gauge must exist before the task is
 	// visible to a worker: a fast worker would otherwise write the
 	// terminal record first and have it clobbered by a late pending
@@ -475,6 +497,7 @@ func (q *Queue) Submit(ctx context.Context, objectID, member string, payload jso
 		q.mu.Unlock()
 		m.Gauge("queue.depth").Add(-1)
 		_ = q.records.Delete(context.Background(), recordKey(t.id))
+		t.dropTrace(ErrClosed)
 		return "", ErrClosed
 	}
 	if quota, capped := q.cfg.ClassQuotas[t.class]; capped && t.class != "" && q.classPending[t.class] >= quota {
@@ -482,7 +505,9 @@ func (q *Queue) Submit(ctx context.Context, objectID, member string, payload jso
 		m.Gauge("queue.depth").Add(-1)
 		m.Counter("queue.quota_rejected").Inc()
 		_ = q.records.Delete(context.Background(), recordKey(t.id))
-		return "", fmt.Errorf("%w: class %s at quota %d", ErrClassQuotaExceeded, t.class, quota)
+		err := fmt.Errorf("%w: class %s at quota %d", ErrClassQuotaExceeded, t.class, quota)
+		t.dropTrace(err)
+		return "", err
 	}
 	select {
 	case q.shardFor(t.id) <- t:
@@ -491,7 +516,9 @@ func (q *Queue) Submit(ctx context.Context, objectID, member string, payload jso
 		m.Gauge("queue.depth").Add(-1)
 		m.Counter("queue.rejected").Inc()
 		_ = q.records.Delete(context.Background(), recordKey(t.id))
-		return "", fmt.Errorf("%w: object %s", ErrQueueFull, objectID)
+		err := fmt.Errorf("%w: object %s", ErrQueueFull, objectID)
+		t.dropTrace(err)
+		return "", err
 	}
 	if t.class != "" {
 		q.classPending[t.class]++
@@ -769,6 +796,7 @@ func (q *Queue) runBatch(batch []task) {
 			m.Histogram("queue.exec").Observe(0)
 			recs = append(recs, rec)
 			cancelled = append(cancelled, terminalHook{rec: rec, args: t.args})
+			t.dropTrace(err)
 			continue
 		}
 		if !t.deadline.IsZero() && !started.Before(t.deadline) {
@@ -782,8 +810,10 @@ func (q *Queue) runBatch(batch []task) {
 			m.Counter("queue.expired").Inc()
 			recs = append(recs, rec)
 			cancelled = append(cancelled, terminalHook{rec: rec, args: t.args})
+			t.dropTrace(errors.New(rec.Error))
 			continue
 		}
+		t.span.End() // the wait is over; drain spans take it from here
 		recs = append(recs, rec)
 		runnable = append(runnable, t)
 	}
@@ -812,9 +842,13 @@ func (q *Queue) runBatch(batch []task) {
 			t.requeues < q.cfg.MaxRequeues && t.ctx.Err() == nil &&
 			(t.deadline.IsZero() || q.cfg.Clock.Now().Before(t.deadline)) {
 			t.requeues++
+			// Back to the shard under the same trace: a fresh wait span
+			// opens so the re-run's queue time is visible too.
+			t.span = t.link.Start("queue.wait")
 			if q.requeue(t) {
 				continue
 			}
+			t.span.End()
 		}
 		rec := Record{
 			ID: t.id, Object: t.object, Member: t.member,
@@ -838,6 +872,7 @@ func (q *Queue) runBatch(batch []task) {
 		}
 		term = append(term, rec)
 		hooks = append(hooks, terminalHook{rec: rec, args: t.args})
+		t.link.Release() // terminal: the trace's queue hop is over
 	}
 	q.putRecords(term)
 	q.notifyTerminal(hooks)
@@ -1034,10 +1069,14 @@ func (q *Queue) executeGroups(tasks []task) []outcome {
 		}
 		q.cfg.Metrics.Counter("queue.coalesced").Add(int64(len(idxs)))
 		calls := make([]Call, len(idxs))
+		dspans := make([]*trace.Span, len(idxs))
 		var cancels []context.CancelFunc
 		for j, i := range idxs {
 			t := tasks[i]
-			cctx := t.ctx
+			dsp := t.link.Start("queue.drain")
+			dsp.SetInt("coalesced", len(idxs))
+			dspans[j] = dsp
+			cctx := trace.ContextWith(t.ctx, dsp)
 			if !t.deadline.IsZero() {
 				var cancel context.CancelFunc
 				cctx, cancel = context.WithDeadline(cctx, t.deadline)
@@ -1048,6 +1087,10 @@ func (q *Queue) executeGroups(tasks []task) []outcome {
 		results := q.invokeBatch(object, calls)
 		for _, cancel := range cancels {
 			cancel()
+		}
+		for j := range dspans {
+			dspans[j].Error(results[j].Err)
+			dspans[j].End()
 		}
 		for j, i := range idxs {
 			out, err := results[j].Output, results[j].Err
@@ -1139,15 +1182,21 @@ func (q *Queue) retry(t task, out json.RawMessage, err error) (json.RawMessage, 
 }
 
 // invoke calls the handler with panic isolation, capping the execution
-// context to the task's submission deadline.
+// context to the task's submission deadline. Each attempt runs under
+// its own queue.drain span of the submission's trace.
 func (q *Queue) invoke(t task) (out json.RawMessage, err error) {
+	dsp := t.link.Start("queue.drain")
+	defer func() {
+		dsp.Error(err)
+		dsp.End()
+	}()
 	defer func() {
 		if r := recover(); r != nil {
 			q.cfg.Metrics.Counter("queue.panics").Inc()
 			out, err = nil, fmt.Errorf("asyncq: handler panic: %v", r)
 		}
 	}()
-	ctx := t.ctx
+	ctx := trace.ContextWith(t.ctx, dsp)
 	if !t.deadline.IsZero() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithDeadline(ctx, t.deadline)

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"github.com/hpcclab/oparaca-go/internal/cluster"
+	"github.com/hpcclab/oparaca-go/internal/trace"
 )
 
 // ErrOwnershipDisabled is returned by ownership admin operations when
@@ -65,10 +66,14 @@ func (p *Platform) admitCtx(ctx context.Context, objectID string) (context.Conte
 	if _, ok := ctx.Value(ownerStampKey{}).(ownerStamp); ok {
 		return ctx, nil
 	}
+	sp := trace.FromContext(ctx).Child("admission")
 	owner, epoch, ok := p.own.members.Admit(objectID)
 	if !ok {
+		sp.End()
 		return ctx, nil // no live members: ownership inert
 	}
+	sp.SetAttr("owner", owner)
+	sp.End()
 	return context.WithValue(ctx, ownerStampKey{}, ownerStamp{owner: owner, epoch: epoch}), nil
 }
 
@@ -176,9 +181,14 @@ func (p *Platform) InvokeRoutedFrom(ctx context.Context, clientRegion, via, obje
 	if ingress == owner {
 		o.ownerLocal.Add(1)
 	} else {
+		fsp := trace.FromContext(ctx).Child("forward")
+		fsp.SetAttr("via", ingress)
+		fsp.SetAttr("owner", owner)
 		// One forwarding hop ingress→owner (and the response back).
 		if o.forward > 0 {
 			if err := p.cfg.Clock.Sleep(ctx, 2*o.forward); err != nil {
+				fsp.Error(err)
+				fsp.End()
 				return nil, "", err
 			}
 		}
@@ -187,10 +197,14 @@ func (p *Platform) InvokeRoutedFrom(ctx context.Context, clientRegion, via, obje
 		// than hop again and race the rebalance around the ring.
 		owner2, epoch2, ok2 := o.members.Admit(objectID)
 		if !ok2 || owner2 != owner {
-			return nil, "", &cluster.TransitionError{RetryAfter: o.retryAfter}
+			terr := &cluster.TransitionError{RetryAfter: o.retryAfter}
+			fsp.Error(terr)
+			fsp.End()
+			return nil, "", terr
 		}
 		owner, epoch = owner2, epoch2
 		o.forwarded.Add(1)
+		fsp.End()
 	}
 	ctx = context.WithValue(ctx, ownerStampKey{}, ownerStamp{owner: owner, epoch: epoch})
 	out, err := p.InvokeFrom(ctx, clientRegion, objectID, member, payload, args)

@@ -34,6 +34,7 @@ import (
 	"github.com/hpcclab/oparaca-go/internal/optimizer"
 	"github.com/hpcclab/oparaca-go/internal/resilience"
 	"github.com/hpcclab/oparaca-go/internal/runtime"
+	"github.com/hpcclab/oparaca-go/internal/trace"
 	"github.com/hpcclab/oparaca-go/internal/trigger"
 	"github.com/hpcclab/oparaca-go/internal/vclock"
 )
@@ -97,6 +98,24 @@ type Config struct {
 	// EnableOptimizer starts the QoS control loop. Defaults off; the
 	// gateway/daemon turns it on.
 	EnableOptimizer bool
+	// EnableTracing turns on end-to-end invocation tracing: every
+	// gateway request / invocation opens a trace, spans cover each
+	// pipeline stage, and completed traces are tail-sampled into a
+	// bounded ring surfaced via the gateway's /api/traces. Defaults off
+	// (like EnableOptimizer); the daemon turns it on. Off, the warm
+	// invoke path pays zero allocations for the plumbing.
+	EnableTracing bool
+	// TraceCapacity bounds the kept-trace ring (default 256).
+	TraceCapacity int
+	// TraceSampleRate is the probabilistic keep rate for traces that
+	// are neither errored, forced, nor tail-latency outliers. 0 selects
+	// the 0.05 default; negative disables probabilistic keeps.
+	TraceSampleRate float64
+	// PprofLabels wraps handler execution in runtime/pprof.Do with
+	// class/function labels so CPU profiles attribute samples per
+	// method. Off by default: the goroutine label swap is measurable on
+	// the warm path.
+	PprofLabels bool
 	// OptimizerInterval overrides the control-loop period.
 	OptimizerInterval time.Duration
 	// Regions adds extra data centers beyond the default region's
@@ -323,6 +342,9 @@ type Platform struct {
 	bus       *trigger.Bus
 	elog      *eventlog.Log
 	breaker   *resilience.Breaker
+	// tracer is the invocation trace collector; nil unless
+	// Config.EnableTracing turned the subsystem on.
+	tracer *trace.Tracer
 	// own is the lease-based ownership layer; nil unless
 	// Config.OwnershipLeaseTTL enabled it.
 	own *ownership
@@ -413,6 +435,14 @@ func New(cfg Config) (*Platform, error) {
 		}
 	}
 	p.optim = optimizer.New(optimizer.Config{Interval: cfg.OptimizerInterval, Clock: cfg.Clock})
+	if cfg.EnableTracing {
+		p.tracer = trace.New(trace.Config{
+			Capacity:   cfg.TraceCapacity,
+			SampleRate: cfg.TraceSampleRate,
+			Seed:       uint64(cfg.Chaos.Seed),
+			Now:        cfg.Clock.Now,
+		})
+	}
 	// The durable event log: every published event is appended (one
 	// write-through batch per publication) before dispatch, and sink
 	// delivery cursors persist beside it, so committed events and
@@ -452,6 +482,7 @@ func New(cfg Config) (*Platform, error) {
 		WebhookBackoff:    cfg.WebhookRetryBackoff,
 		WebhookTimeout:    cfg.WebhookTimeout,
 		JitterSeed:        cfg.Chaos.Seed,
+		Tracer:            p.tracer,
 		Clock:             cfg.Clock,
 	})
 	if err != nil {
@@ -810,6 +841,7 @@ func (p *Platform) infra() runtime.Infra {
 		TombstoneTTL:         p.cfg.TombstoneTTL,
 		TombstoneGCInterval:  p.cfg.TombstoneGCInterval,
 		Degraded:             p.Degraded,
+		PprofLabels:          p.cfg.PprofLabels,
 		Clock:                p.cfg.Clock,
 	}
 	if p.own != nil {
@@ -822,6 +854,11 @@ func (p *Platform) infra() runtime.Infra {
 
 // Breaker exposes the backing-store circuit breaker.
 func (p *Platform) Breaker() *resilience.Breaker { return p.breaker }
+
+// Tracer exposes the invocation trace collector (nil when tracing is
+// disabled). The gateway roots request spans here and serves the kept
+// ring via /api/traces.
+func (p *Platform) Tracer() *trace.Tracer { return p.tracer }
 
 // Degraded reports whether the platform is in degraded mode: the
 // backing-store breaker is not closed, so reads serve from the
@@ -1111,10 +1148,22 @@ func (p *Platform) InvokeFrom(ctx context.Context, clientRegion, objectID, membe
 
 // Invoke executes a method or dataflow on an object. Dataflow results
 // return the designated output step's output.
-func (p *Platform) Invoke(ctx context.Context, objectID, member string, payload json.RawMessage, args map[string]string) (json.RawMessage, error) {
+func (p *Platform) Invoke(ctx context.Context, objectID, member string, payload json.RawMessage, args map[string]string) (out json.RawMessage, err error) {
 	rt, _, err := p.objectRuntime(objectID)
 	if err != nil {
 		return nil, err
+	}
+	if p.tracer != nil && trace.FromContext(ctx) == nil {
+		// Library callers (benches, embedded use) get a root span here;
+		// gateway and async-drain callers arrive with one already.
+		sp := p.tracer.Root("invoke", "")
+		sp.SetAttr("object", objectID)
+		sp.SetAttr("fn", member)
+		ctx = trace.ContextWith(ctx, sp)
+		defer func() {
+			sp.Error(err)
+			sp.End()
+		}()
 	}
 	if ctx, err = p.admitCtx(ctx, objectID); err != nil {
 		return nil, err
@@ -1235,9 +1284,21 @@ func (p *Platform) checkInvokeTarget(objectID, member string) error {
 // unknown objects/members fail fast; execution errors surface in the
 // polled record. Backpressure: ErrQueueFull once the queue is at
 // capacity.
-func (p *Platform) InvokeAsync(ctx context.Context, objectID, member string, payload json.RawMessage, args map[string]string) (string, error) {
+func (p *Platform) InvokeAsync(ctx context.Context, objectID, member string, payload json.RawMessage, args map[string]string) (id string, err error) {
 	if err := p.checkInvokeTarget(objectID, member); err != nil {
 		return "", err
+	}
+	if p.tracer != nil && trace.FromContext(ctx) == nil {
+		// The submit span ends at acceptance; the queue's link keeps the
+		// trace open until the invocation goes terminal.
+		sp := p.tracer.Root("invoke.async", "")
+		sp.SetAttr("object", objectID)
+		sp.SetAttr("fn", member)
+		ctx = trace.ContextWith(ctx, sp)
+		defer func() {
+			sp.Error(err)
+			sp.End()
+		}()
 	}
 	return p.queue.Submit(ctx, objectID, member, payload, args)
 }

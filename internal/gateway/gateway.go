@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"strings"
@@ -21,8 +22,10 @@ import (
 	"github.com/hpcclab/oparaca-go/internal/asyncq"
 	"github.com/hpcclab/oparaca-go/internal/cluster"
 	"github.com/hpcclab/oparaca-go/internal/core"
+	"github.com/hpcclab/oparaca-go/internal/metrics"
 	"github.com/hpcclab/oparaca-go/internal/model"
 	"github.com/hpcclab/oparaca-go/internal/resilience"
+	"github.com/hpcclab/oparaca-go/internal/trace"
 	"github.com/hpcclab/oparaca-go/internal/trigger"
 )
 
@@ -30,6 +33,7 @@ import (
 type Gateway struct {
 	platform *core.Platform
 	mux      *http.ServeMux
+	logger   *slog.Logger
 }
 
 // New builds a gateway for the platform.
@@ -39,21 +43,131 @@ func New(p *core.Platform) *Gateway {
 	return g
 }
 
+// SetLogger installs a structured request logger. When nil (the
+// default) the gateway logs nothing; when set, every request emits one
+// slog record carrying method, path, status, duration, and — when
+// tracing is on — the trace ID plus any accepted async invocation ID.
+func (g *Gateway) SetLogger(l *slog.Logger) { g.logger = l }
+
+// statusRecorder captures the response status for the request span and
+// log line. It forwards Flush so SSE streaming keeps working through
+// the wrapper, and exposes Unwrap for http.ResponseController.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (s *statusRecorder) WriteHeader(code int) {
+	if s.status == 0 {
+		s.status = code
+	}
+	s.ResponseWriter.WriteHeader(code)
+}
+
+func (s *statusRecorder) Write(b []byte) (int, error) {
+	if s.status == 0 {
+		s.status = http.StatusOK
+	}
+	return s.ResponseWriter.Write(b)
+}
+
+func (s *statusRecorder) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (s *statusRecorder) Unwrap() http.ResponseWriter { return s.ResponseWriter }
+
+// invocationNote lets the async-invoke handler surface the accepted
+// invocation ID to the request logger wrapped around the mux.
+type invocationNote struct{ id string }
+
+type invNoteKey struct{}
+
 // ServeHTTP implements http.Handler. While the platform is in
 // degraded mode (backing-store breaker not closed) every response
 // carries X-Oparaca-Degraded so clients can tell a cache-served read
 // from a fully durable one.
+//
+// With tracing enabled each request runs under a "gateway" root span:
+// an inbound W3C traceparent header continues the caller's trace, and
+// the response carries the traceparent the request executed under so
+// clients can fetch the trace afterwards.
 func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if g.platform.Degraded() {
 		w.Header().Set("X-Oparaca-Degraded", "true")
 	}
-	g.mux.ServeHTTP(w, r)
+	tr := g.platform.Tracer()
+	if tr == nil && g.logger == nil {
+		g.mux.ServeHTTP(w, r)
+		return
+	}
+	start := time.Now()
+	sw := &statusRecorder{ResponseWriter: w}
+	ctx := r.Context()
+	var sp *trace.Span
+	if tr != nil {
+		sp = tr.Root("gateway", r.Header.Get("traceparent"))
+		sp.SetAttr("method", r.Method)
+		sp.SetAttr("path", r.URL.Path)
+		if tp := sp.Traceparent(); tp != "" {
+			w.Header().Set("Traceparent", tp)
+		}
+		ctx = trace.ContextWith(ctx, sp)
+	}
+	var note *invocationNote
+	if g.logger != nil {
+		note = &invocationNote{}
+		ctx = context.WithValue(ctx, invNoteKey{}, note)
+	}
+	g.mux.ServeHTTP(sw, r.WithContext(ctx))
+	status := sw.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	var traceID string
+	if sp != nil {
+		traceID = sp.TraceIDString()
+		sp.SetInt("status", status)
+		if status >= http.StatusInternalServerError {
+			sp.Error(fmt.Errorf("HTTP %d", status))
+		}
+		sp.End()
+	}
+	if g.logger != nil {
+		lvl := slog.LevelInfo
+		switch {
+		case status >= http.StatusInternalServerError:
+			lvl = slog.LevelError
+		case status >= http.StatusBadRequest:
+			lvl = slog.LevelWarn
+		}
+		attrs := make([]any, 0, 12)
+		attrs = append(attrs,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", status,
+			"duration", time.Since(start),
+		)
+		if traceID != "" {
+			attrs = append(attrs, "trace", traceID)
+		}
+		if note.id != "" {
+			attrs = append(attrs, "invocation", note.id)
+		}
+		g.logger.Log(r.Context(), lvl, "request", attrs...)
+	}
 }
 
 func (g *Gateway) routes() {
 	g.mux.HandleFunc("GET /healthz", g.handleHealth)
 	g.mux.HandleFunc("GET /readyz", g.handleReady)
+	g.mux.HandleFunc("GET /metrics", g.handleMetrics)
 	g.mux.HandleFunc("GET /api/stats", g.handleStats)
+	g.mux.HandleFunc("GET /api/traces", g.handleListTraces)
+	g.mux.HandleFunc("GET /api/traces/{id}", g.handleGetTrace)
+	g.mux.HandleFunc("GET /api/invocations/{id}/trace", g.handleInvocationTrace)
 	g.mux.HandleFunc("GET /api/cluster", g.handleCluster)
 	g.mux.HandleFunc("GET /api/classes", g.handleListClasses)
 	g.mux.HandleFunc("GET /api/classes/{name}", g.handleGetClass)
@@ -212,12 +326,11 @@ type readyView struct {
 	Epoch            uint64 `json:"epoch,omitempty"`
 }
 
-// handleReady reports whether the platform can take durable work
-// right now: 200 when the backing-store breaker is closed and the
-// async queue has headroom, 503 (with the same body) otherwise so
-// load balancers can steer traffic away during degraded mode.
-func (g *Gateway) handleReady(w http.ResponseWriter, _ *http.Request) {
-	st := g.platform.Stats()
+// readiness derives the readiness view from one platform snapshot. It
+// is the single source for both /readyz and the degradation gauges on
+// /metrics, so a scrape and a probe can never disagree about whether
+// the node is taking durable work.
+func (g *Gateway) readiness(st core.Stats) readyView {
 	var backlog int64
 	for _, sub := range st.Triggers.Subscriptions {
 		backlog += sub.CursorLag
@@ -237,11 +350,174 @@ func (g *Gateway) handleReady(w http.ResponseWriter, _ *http.Request) {
 	}
 	view.Ready = !view.Degraded && st.Async.Depth < int64(st.Async.Capacity) &&
 		(!view.ClusterEnabled || view.ClusterConverged)
+	return view
+}
+
+// handleReady reports whether the platform can take durable work
+// right now: 200 when the backing-store breaker is closed and the
+// async queue has headroom, 503 (with the same body) otherwise so
+// load balancers can steer traffic away during degraded mode.
+func (g *Gateway) handleReady(w http.ResponseWriter, _ *http.Request) {
+	view := g.readiness(g.platform.Stats())
 	status := http.StatusOK
 	if !view.Ready {
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, view)
+}
+
+// b01 renders a boolean as a 0/1 gauge value.
+func b01(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// handleMetrics serves the Prometheus text exposition: platform-level
+// degradation and queue gauges, breaker and cluster counters, tracer
+// tail-sampling counters, per-node ownership series, and every
+// registry metric — per-class runtime registries labeled {class=...},
+// plus the async-queue and trigger-bus registries — merged by family
+// so each family stays contiguous as the format requires.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := g.platform.Stats()
+	view := g.readiness(st)
+	pw := metrics.NewPromWriter()
+
+	// Degradation context (PR contract: /readyz and a scrape share one
+	// snapshot). Breaker state is a one-hot labeled gauge so dashboards
+	// can plot transitions without string parsing.
+	pw.Gauge("oparaca_ready", "", b01(view.Ready))
+	pw.Gauge("oparaca_degraded", "", b01(view.Degraded))
+	for _, state := range []string{"closed", "open", "half-open"} {
+		pw.Gauge("oparaca_breaker_state", metrics.Labels("state", state), b01(view.Breaker == state))
+	}
+	br := st.Resilience.Breaker
+	pw.Counter("oparaca_breaker_opened_total", "", float64(br.Opened))
+	pw.Counter("oparaca_breaker_half_opens_total", "", float64(br.HalfOpens))
+	pw.Counter("oparaca_breaker_closes_total", "", float64(br.Closes))
+	pw.Counter("oparaca_breaker_rejected_total", "", float64(br.Rejected))
+	pw.Gauge("oparaca_degraded_reads", "", float64(st.Resilience.DegradedReads))
+	pw.Gauge("oparaca_leaked_handlers", "", float64(view.LeakedHandlers))
+
+	// Async queue pressure: depth/capacity are the readiness inputs.
+	pw.Gauge("oparaca_async_depth", "", float64(st.Async.Depth))
+	pw.Gauge("oparaca_async_capacity", "", float64(st.Async.Capacity))
+	pw.Gauge("oparaca_async_in_flight", "", float64(st.Async.InFlight))
+	pw.Counter("oparaca_async_enqueued_total", "", float64(st.Async.Enqueued))
+	pw.Counter("oparaca_async_rejected_total", "", float64(st.Async.Rejected))
+	pw.Counter("oparaca_async_completed_total", "", float64(st.Async.Completed))
+	pw.Counter("oparaca_async_failed_total", "", float64(st.Async.Failed))
+	pw.Counter("oparaca_async_expired_total", "", float64(st.Async.Expired))
+	pw.Counter("oparaca_async_retried_total", "", float64(st.Async.Retried))
+	pw.Counter("oparaca_async_requeued_total", "", float64(st.Async.Requeued))
+	pw.Counter("oparaca_async_coalesced_total", "", float64(st.Async.Coalesced))
+	pw.Gauge("oparaca_trigger_backlog", "", float64(view.TriggerBacklog))
+
+	// Ownership layer: transition window plus per-node series.
+	cs := st.Cluster
+	pw.Gauge("oparaca_cluster_enabled", "", b01(cs.Enabled))
+	if cs.Enabled {
+		pw.Gauge("oparaca_cluster_converged", "", b01(view.ClusterConverged))
+		pw.Gauge("oparaca_cluster_moving", "", b01(cs.Moving))
+		pw.Gauge("oparaca_cluster_epoch", "", float64(cs.Epoch))
+		pw.Counter("oparaca_cluster_rebalances_total", "", float64(cs.Rebalances))
+		pw.Counter("oparaca_cluster_fence_rejections_total", "", float64(cs.FenceRejections))
+		pw.Counter("oparaca_cluster_forwarded_total", "", float64(cs.Forwarded))
+		pw.Counter("oparaca_cluster_owner_local_total", "", float64(cs.OwnerLocal))
+		// One loop per family: samples of a family must stay contiguous.
+		for _, m := range cs.Members {
+			pw.Gauge("oparaca_cluster_member_objects", metrics.Labels("node", m.Name), float64(m.Objects))
+		}
+		for _, m := range cs.Members {
+			pw.Gauge("oparaca_cluster_member_lease_remaining_seconds", metrics.Labels("node", m.Name), m.LeaseRemaining.Seconds())
+		}
+	}
+
+	// Per-class throughput from the platform snapshot (the rest of the
+	// per-class series come from the runtime registries below).
+	for _, name := range st.Classes {
+		pw.Gauge("oparaca_class_throughput_rps", metrics.Labels("class", name), st.ByClass[name])
+	}
+
+	// Tracer tail-sampling counters, when tracing is on.
+	if tr := g.platform.Tracer(); tr != nil {
+		ts := tr.Stats()
+		pw.Counter("oparaca_traces_started_total", "", float64(ts.Started))
+		pw.Counter("oparaca_traces_kept_total", "", float64(ts.Kept))
+		pw.Counter("oparaca_traces_dropped_total", "", float64(ts.Dropped))
+		pw.Gauge("oparaca_traces_retained", "", float64(ts.Retained))
+	}
+
+	regs := make([]metrics.LabeledRegistry, 0, len(st.Classes)+2)
+	for _, name := range st.Classes {
+		if rt, err := g.platform.Runtime(name); err == nil {
+			regs = append(regs, metrics.LabeledRegistry{Labels: metrics.Labels("class", name), Reg: rt.Metrics()})
+		}
+	}
+	regs = append(regs,
+		metrics.LabeledRegistry{Reg: g.platform.AsyncQueue().Metrics()},
+		metrics.LabeledRegistry{Reg: g.platform.TriggerBus().Metrics()},
+	)
+	pw.Registries(regs...)
+
+	w.Header().Set("Content-Type", metrics.ContentType)
+	_, _ = w.Write(pw.Bytes())
+}
+
+// handleListTraces serves the newest kept traces (?n= caps the count)
+// plus the tracer's sampling counters.
+func (g *Gateway) handleListTraces(w http.ResponseWriter, r *http.Request) {
+	tr := g.platform.Tracer()
+	if tr == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "tracing disabled", Code: "tracing_disabled"})
+		return
+	}
+	n := 0
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad n %q: want a non-negative integer", raw)})
+			return
+		}
+		n = v
+	}
+	views := tr.Traces(n)
+	if views == nil {
+		views = []trace.TraceView{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": views, "stats": tr.Stats()})
+}
+
+func (g *Gateway) handleGetTrace(w http.ResponseWriter, r *http.Request) {
+	tr := g.platform.Tracer()
+	if tr == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "tracing disabled", Code: "tracing_disabled"})
+		return
+	}
+	v, ok := tr.TraceByID(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no kept trace with that ID"})
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// handleInvocationTrace maps an async invocation ID to the kept trace
+// that carried it (SetInvocation stamps the association at submit).
+func (g *Gateway) handleInvocationTrace(w http.ResponseWriter, r *http.Request) {
+	tr := g.platform.Tracer()
+	if tr == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "tracing disabled", Code: "tracing_disabled"})
+		return
+	}
+	v, ok := tr.ByInvocation(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no kept trace for that invocation"})
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
 }
 
 func (g *Gateway) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -472,6 +748,9 @@ func (g *Gateway) handleInvokeAsync(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, err)
 		return
+	}
+	if note, ok := r.Context().Value(invNoteKey{}).(*invocationNote); ok {
+		note.id = invID
 	}
 	writeJSON(w, http.StatusAccepted, map[string]string{"invocation": invID, "status": string(asyncq.StatusPending)})
 }

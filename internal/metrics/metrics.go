@@ -204,6 +204,29 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 }
 
+// Buckets returns the histogram's buckets in cumulative (Prometheus)
+// form: bounds[i] is the inclusive upper bound of bucket i and
+// cumulative[i] counts every sample ≤ bounds[i]. Samples beyond the
+// last bound are visible only in count (the implicit +Inf bucket).
+// Returns count 0 and nil slices before the first sample. The bounds
+// slice is shared and must not be mutated.
+func (h *Histogram) Buckets() (bounds []time.Duration, cumulative []int64, sum time.Duration, count int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	counts, total := h.loadCounts()
+	if total == 0 {
+		return nil, nil, 0, 0
+	}
+	bounds = histogramBuckets
+	cumulative = make([]int64, len(histogramBuckets))
+	var cum int64
+	for i := range histogramBuckets {
+		cum += counts[i]
+		cumulative[i] = cum
+	}
+	return bounds, cumulative, time.Duration(h.sum.Load()), total
+}
+
 func (h *Histogram) minVal() time.Duration {
 	if h.total.Load() == 0 {
 		return 0
@@ -267,22 +290,29 @@ func (m *Meter) slotIndex(t time.Time) int {
 	return int(t.UnixNano()/int64(m.slotSize)) % len(m.slots)
 }
 
-// Rate returns the event rate in events/second over the window,
-// excluding the current partial slot's extrapolation.
+// Rate returns the event rate in events/second over the sliding
+// window. The window covered is the (nSlots-1) completed slots plus
+// the elapsed fraction of the current slot, and events in the current
+// partial slot are included — numerator and denominator always cover
+// the same interval, so a steady-state source measures exactly its
+// true rate instead of being systematically underestimated. Slots
+// whose last activity predates the covered interval (idle gaps longer
+// than the window) contribute nothing.
 func (m *Meter) Rate() float64 {
 	t := m.now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	window := m.slotSize * time.Duration(len(m.slots))
-	cutoff := t.Add(-window)
+	curStart := t.Truncate(m.slotSize)
+	oldest := curStart.Add(-time.Duration(len(m.slots)-1) * m.slotSize)
 	var total int64
 	for i := range m.slots {
-		if m.times[i].After(cutoff) {
+		if !m.times[i].Before(oldest) && !m.times[i].IsZero() {
 			total += m.slots[i]
 		}
 	}
-	secs := window.Seconds()
-	if secs == 0 {
+	covered := time.Duration(len(m.slots)-1)*m.slotSize + t.Sub(curStart)
+	secs := covered.Seconds()
+	if secs <= 0 {
 		return 0
 	}
 	return float64(total) / secs

@@ -152,12 +152,26 @@ func TestHistogramQuantileBoundsProperty(t *testing.T) {
 func TestMeterRate(t *testing.T) {
 	now := time.Unix(1000, 0)
 	m := NewMeter(10*time.Second, 10, func() time.Time { return now })
-	for i := 0; i < 100; i++ {
-		m.Mark(1)
+	// A steady 10 events/sec source: the corrected Rate covers the
+	// completed slots plus the current partial slot, so steady state
+	// measures exactly the true rate.
+	for i := 0; i < 10; i++ {
+		m.Mark(10)
+		now = now.Add(time.Second)
 	}
-	// 100 events over a 10s window = 10/s.
 	if got := m.Rate(); got != 10 {
-		t.Fatalf("Rate = %v, want 10", got)
+		t.Fatalf("Rate = %v, want exactly 10", got)
+	}
+}
+
+func TestMeterPartialSlotCounted(t *testing.T) {
+	now := time.Unix(1000, 0)
+	m := NewMeter(10*time.Second, 10, func() time.Time { return now })
+	now = now.Add(500 * time.Millisecond)
+	m.Mark(19)
+	// 19 events, covered interval = 9 completed slots + 0.5s partial.
+	if got, want := m.Rate(), 19.0/9.5; got != want {
+		t.Fatalf("Rate = %v, want %v", got, want)
 	}
 }
 
@@ -178,9 +192,27 @@ func TestMeterSlotReuseResetsCount(t *testing.T) {
 	now = now.Add(2 * time.Second) // wraps to the same slot index
 	m.Mark(1)
 	// Only the new slot's 1 event should remain in-window along with
-	// nothing from the stale slot occupancy.
-	if got := m.Rate(); got != 0.5 {
-		t.Fatalf("Rate = %v, want 0.5", got)
+	// nothing from the stale slot occupancy; covered time is the one
+	// completed slot plus a zero-width partial slot.
+	if got := m.Rate(); got != 1 {
+		t.Fatalf("Rate = %v, want 1", got)
+	}
+}
+
+// TestMeterIdleGapLongerThanWindow marks, goes idle past the whole
+// window (landing back on the same slot index), and verifies the stale
+// slot is neither counted nor resurrected by the next Mark.
+func TestMeterIdleGapLongerThanWindow(t *testing.T) {
+	now := time.Unix(100, 0)
+	m := NewMeter(10*time.Second, 10, func() time.Time { return now })
+	m.Mark(50)
+	now = now.Add(20 * time.Second) // exactly two windows: same slot index
+	if got := m.Rate(); got != 0 {
+		t.Fatalf("Rate after idle gap = %v, want 0", got)
+	}
+	m.Mark(3)
+	if got, want := m.Rate(), 3.0/9.0; got != want {
+		t.Fatalf("Rate after slot reuse = %v, want %v (stale count leaked?)", got, want)
 	}
 }
 
@@ -247,6 +279,114 @@ func TestFormatRate(t *testing.T) {
 		if got := FormatRate(c.in); got != c.want {
 			t.Errorf("FormatRate(%v) = %q, want %q", c.in, got, c.want)
 		}
+	}
+}
+
+// TestHistogramSingleSampleQuantiles: every quantile of a one-sample
+// histogram must land inside the sample's bucket.
+func TestHistogramSingleSampleQuantiles(t *testing.T) {
+	var h Histogram
+	h.Observe(5 * time.Millisecond)
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		got := h.Quantile(q)
+		if got <= 0 || got > 10*time.Millisecond {
+			t.Fatalf("Quantile(%v) = %v, outside the 5ms sample's bucket", q, got)
+		}
+	}
+}
+
+// TestHistogramQuantileDuringConcurrentObserve reads quantiles while
+// observers hammer the histogram; estimates must stay inside the range
+// of values observed so far (Observe is lock-free, readers race it).
+func TestHistogramQuantileDuringConcurrentObserve(t *testing.T) {
+	var h Histogram
+	const workers, perEach = 4, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan string, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				q := h.Quantile(0.5)
+				if q < 0 || q > 2*time.Duration(workers*perEach)*time.Microsecond {
+					select {
+					case errs <- q.String():
+					default:
+					}
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perEach; i++ {
+				h.Observe(time.Duration(w*perEach+i+1) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	select {
+	case q := <-errs:
+		t.Fatalf("mid-flight quantile %s out of range", q)
+	default:
+	}
+}
+
+// TestRegistryConcurrentCreationSnapshot races metric creation against
+// snapshotting: snapshots must be internally consistent (never a nil
+// map entry, never a torn value) and the final snapshot complete.
+func TestRegistryConcurrentCreationSnapshot(t *testing.T) {
+	r := NewRegistry()
+	const workers, names = 8, 50
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var snapErr sync.Map
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := r.Snapshot()
+				for name, v := range s.Counters {
+					// Once visible, a counter is either still zero or
+					// already incremented to exactly 1.
+					if v != 0 && v != 1 {
+						snapErr.Store(name, v)
+					}
+				}
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < names; i++ {
+				name := string(rune('a'+w)) + "-" + time.Duration(i).String()
+				r.Counter(name).Inc()
+				r.Gauge(name).Set(int64(i))
+				r.Histogram(name).Observe(time.Millisecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	snapErr.Range(func(k, v any) bool {
+		t.Fatalf("snapshot saw torn counter %v = %v", k, v)
+		return false
+	})
+	s := r.Snapshot()
+	if len(s.Counters) != workers*names || len(s.Gauges) != workers*names || len(s.Histograms) != workers*names {
+		t.Fatalf("final snapshot incomplete: %d/%d/%d metrics, want %d each",
+			len(s.Counters), len(s.Gauges), len(s.Histograms), workers*names)
 	}
 }
 

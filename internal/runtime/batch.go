@@ -11,6 +11,7 @@ import (
 	"github.com/hpcclab/oparaca-go/internal/invoker"
 	"github.com/hpcclab/oparaca-go/internal/memtable"
 	"github.com/hpcclab/oparaca-go/internal/model"
+	"github.com/hpcclab/oparaca-go/internal/trace"
 	"github.com/hpcclab/oparaca-go/internal/trigger"
 )
 
@@ -314,19 +315,25 @@ func (rt *ClassRuntime) batchLockedPlain(ctx context.Context, objectID string, g
 		puts[key] = v
 	}
 	err = nil
-	if (len(puts) > 0 || len(dels) > 0) && rt.infra.Fence != nil {
-		// Epoch fence: the whole merged group is one commit, so moved
-		// ownership fails every call in it (they all requeue).
-		err = rt.infra.Fence(ctx, objectID)
-	}
-	if err == nil && len(puts) > 0 {
-		err = rt.table.PutMany(ctx, puts)
-	}
-	for _, key := range dels {
-		if err != nil {
-			break
+	if len(puts) > 0 || len(dels) > 0 {
+		csp := trace.FromContext(ctx).Child("commit")
+		csp.SetInt("calls", len(group))
+		if rt.infra.Fence != nil {
+			// Epoch fence: the whole merged group is one commit, so moved
+			// ownership fails every call in it (they all requeue).
+			err = rt.infra.Fence(ctx, objectID)
 		}
-		err = rt.table.Delete(ctx, key)
+		if err == nil && len(puts) > 0 {
+			err = rt.table.PutMany(ctx, puts)
+		}
+		for _, key := range dels {
+			if err != nil {
+				break
+			}
+			err = rt.table.Delete(ctx, key)
+		}
+		csp.Error(err)
+		csp.End()
 	}
 	if err != nil {
 		// The merged commit failed: every call that thought it
@@ -338,7 +345,7 @@ func (rt *ClassRuntime) batchLockedPlain(ctx context.Context, objectID string, g
 		}
 		return
 	}
-	rt.emitGroupCommits(objectID, group, results, callKeys)
+	rt.emitGroupCommits(ctx, objectID, group, results, callKeys)
 }
 
 // emitGroupCommits publishes one StateChanged event per call the
@@ -349,7 +356,7 @@ func (rt *ClassRuntime) batchLockedPlain(ctx context.Context, objectID string, g
 // whole group publishes in one call so the durable event log appends
 // it in one backing write (the commit itself was one write; its
 // events should not cost n).
-func (rt *ClassRuntime) emitGroupCommits(objectID string, group []writerCall, results []BatchCallResult, callKeys [][]string) {
+func (rt *ClassRuntime) emitGroupCommits(ctx context.Context, objectID string, group []writerCall, results []BatchCallResult, callKeys [][]string) {
 	if !rt.eventsNeeded() {
 		return
 	}
@@ -358,7 +365,7 @@ func (rt *ClassRuntime) emitGroupCommits(objectID string, group []writerCall, re
 			if results[w.idx].Err != nil {
 				continue
 			}
-			rt.emitCommitKeys(objectID, w.fn, callKeys[gi], w.call.Args)
+			rt.emitCommitKeys(callContext(ctx, w.call), objectID, w.fn, callKeys[gi], w.call.Args)
 		}
 		return
 	}
@@ -374,6 +381,7 @@ func (rt *ClassRuntime) emitGroupCommits(objectID string, group []writerCall, re
 			Function: w.fn.Name,
 			Keys:     callKeys[gi],
 			Depth:    trigger.DepthOf(w.call.Args),
+			Trace:    trace.FromContext(callContext(ctx, w.call)).Traceparent(),
 		})
 	}
 	if len(evs) > 0 {
@@ -431,12 +439,23 @@ func (rt *ClassRuntime) batchAttempt(ctx context.Context, objectID string, group
 	// Epoch fence before the group CAS; a fence error is not
 	// ErrVersionMismatch, so the group retry loop propagates it and the
 	// whole group fails over to the new owner.
+	csp := trace.FromContext(ctx).Child("commit")
+	csp.SetInt("calls", len(group))
 	if rt.infra.Fence != nil {
 		if err := rt.infra.Fence(ctx, objectID); err != nil {
+			csp.Error(err)
+			csp.End()
 			return err
 		}
 	}
-	return rt.table.PutManyIfVersion(ctx, ops)
+	err = rt.table.PutManyIfVersion(ctx, ops)
+	if err != nil && !errors.Is(err, memtable.ErrVersionMismatch) {
+		csp.Error(err)
+	} else if errors.Is(err, memtable.ErrVersionMismatch) {
+		csp.SetAttr("abort", "version_mismatch")
+	}
+	csp.End()
+	return err
 }
 
 // countGroupCommits books one occ.commit per call that landed in the
@@ -494,16 +513,23 @@ func (rt *ClassRuntime) batchRetryLoop(ctx context.Context, objectID string, gro
 		if attempt > 0 {
 			rt.reg.Counter("occ.retries").Inc()
 		}
-		err := rt.batchAttempt(ctx, objectID, group, results, callKeys)
+		asp := trace.FromContext(ctx).Child("occ.attempt")
+		asp.SetInt("attempt", attempt)
+		err := rt.batchAttempt(trace.ContextWith(ctx, asp), objectID, group, results, callKeys)
 		if err == nil {
+			asp.End()
 			tr.record(false)
 			rt.countGroupCommits(group, results)
-			rt.emitGroupCommits(objectID, group, results, callKeys)
+			rt.emitGroupCommits(ctx, objectID, group, results, callKeys)
 			return nil
 		}
 		if !errors.Is(err, memtable.ErrVersionMismatch) {
+			asp.Error(err)
+			asp.End()
 			return err
 		}
+		asp.SetAttr("abort", "version_mismatch")
+		asp.End()
 		tr.record(true)
 		rt.reg.Counter("occ.aborts").Inc()
 		lastErr = err

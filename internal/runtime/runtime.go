@@ -8,6 +8,7 @@ import (
 	"maps"
 	"math"
 	"net/http"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -24,6 +25,7 @@ import (
 	"github.com/hpcclab/oparaca-go/internal/model"
 	"github.com/hpcclab/oparaca-go/internal/objectstore"
 	"github.com/hpcclab/oparaca-go/internal/striped"
+	"github.com/hpcclab/oparaca-go/internal/trace"
 	"github.com/hpcclab/oparaca-go/internal/trigger"
 	"github.com/hpcclab/oparaca-go/internal/vclock"
 )
@@ -122,6 +124,11 @@ type Infra struct {
 	// nothing. Read-only invocations and empty deltas never fence: they
 	// commit nothing, so there is nothing to protect.
 	Fence func(ctx context.Context, objectID string) error
+	// PprofLabels wraps handler execution in runtime/pprof.Do with
+	// class/function labels so CPU profiles attribute samples to
+	// handlers. Off by default: a goroutine-label swap per invocation
+	// is measurable on the warm path.
+	PprofLabels bool
 	// Clock supplies time; defaults to the real clock.
 	Clock vclock.Clock
 }
@@ -153,6 +160,10 @@ type ClassRuntime struct {
 	// precomputed at construction so the hot path never re-concatenates
 	// it. Read-only after New.
 	fnKeys map[string]string
+	// pprofLabels holds the per-function class/fn label set used when
+	// Infra.PprofLabels is on, precomputed so the hot path never
+	// rebuilds it. Read-only after New.
+	pprofLabels map[string]pprof.LabelSet
 	// keyCache memoizes per-object table-key slices (see pool.go);
 	// keyCacheLen approximates its size for the wholesale-reset bound.
 	keyCache    sync.Map
@@ -358,6 +369,12 @@ func New(infra Infra, class *model.Class, tmpl Template) (*ClassRuntime, error) 
 	rt.fnKeys = make(map[string]string, len(class.Functions))
 	for _, fn := range class.Functions {
 		rt.fnKeys[fn.Name] = rt.fnKey(fn.Name)
+	}
+	if infra.PprofLabels {
+		rt.pprofLabels = make(map[string]pprof.LabelSet, len(class.Functions))
+		for _, fn := range class.Functions {
+			rt.pprofLabels[fn.Name] = pprof.Labels("class", class.Name, "fn", fn.Name)
+		}
 	}
 	rt.occKeysOnly = class.OCCValidate == model.OCCValidateKeys
 	rt.concMode = class.Concurrency
@@ -610,11 +627,13 @@ func (rt *ClassRuntime) PresignFile(objectID, key, method string) (string, error
 // one batched table read: every key of the object travels in a single
 // GetMany, so a fully cold object costs one backing-store round trip
 // instead of one per key.
-func (rt *ClassRuntime) loadState(ctx context.Context, objectID string) (map[string]json.RawMessage, error) {
+func (rt *ClassRuntime) loadState(ctx context.Context, objectID string) (_ map[string]json.RawMessage, err error) {
 	state := make(map[string]json.RawMessage, len(rt.stateSpecs))
 	if len(rt.stateSpecs) == 0 {
 		return state, nil
 	}
+	sp := trace.FromContext(ctx).Child("load")
+	defer func() { sp.Error(err); sp.End() }()
 	keys := rt.keysFor(objectID)
 	sc := getScratch()
 	defer sc.release()
@@ -834,16 +853,18 @@ func (rt *ClassRuntime) eventsNeeded() bool {
 // cycle-limited. Committed calls whose delta is empty emit nothing —
 // no state changed, so there is no mutation to react to — and neither
 // do stateless classes.
-func (rt *ClassRuntime) emitCommit(objectID string, fn model.FunctionDef, delta map[string]json.RawMessage, args map[string]string) {
+func (rt *ClassRuntime) emitCommit(ctx context.Context, objectID string, fn model.FunctionDef, delta map[string]json.RawMessage, args map[string]string) {
 	if len(delta) == 0 || !rt.eventsNeeded() {
 		return
 	}
-	rt.emitCommitKeys(objectID, fn, deltaKeys(delta), args)
+	rt.emitCommitKeys(ctx, objectID, fn, deltaKeys(delta), args)
 }
 
 // emitCommitKeys is emitCommit for callers that already hold the
-// delta's sorted key names (the group-commit path).
-func (rt *ClassRuntime) emitCommitKeys(objectID string, fn model.FunctionDef, keys []string, args map[string]string) {
+// delta's sorted key names (the group-commit path). The event carries
+// the committing invocation's traceparent so the trigger plane
+// (dispatch, webhook delivery) re-joins the trace.
+func (rt *ClassRuntime) emitCommitKeys(ctx context.Context, objectID string, fn model.FunctionDef, keys []string, args map[string]string) {
 	if len(keys) == 0 || rt.infra.Events == nil || !rt.eventsNeeded() {
 		return
 	}
@@ -854,6 +875,7 @@ func (rt *ClassRuntime) emitCommitKeys(objectID string, fn model.FunctionDef, ke
 		Function: fn.Name,
 		Keys:     keys,
 		Depth:    trigger.DepthOf(args),
+		Trace:    trace.FromContext(ctx).Traceparent(),
 	})
 }
 
@@ -871,10 +893,33 @@ func deltaKeys(delta map[string]json.RawMessage) []string {
 	return keys
 }
 
+// engineInvoke offloads one task to the FaaS engine, tagging the
+// handler's CPU samples with class/function pprof labels when
+// Infra.PprofLabels is on.
+func (rt *ClassRuntime) engineInvoke(ctx context.Context, fnk string, task invoker.Task) (invoker.Result, error) {
+	ls, ok := rt.pprofLabels[task.Function]
+	if !ok {
+		return rt.engine.Invoke(ctx, fnk, task)
+	}
+	var res invoker.Result
+	var err error
+	pprof.Do(ctx, ls, func(ctx context.Context) {
+		res, err = rt.engine.Invoke(ctx, fnk, task)
+	})
+	return res, err
+}
+
 // runTask bundles state and request into a standalone task and
 // offloads it to the FaaS engine (the pure-function contract, paper
-// §III-C).
-func (rt *ClassRuntime) runTask(ctx context.Context, objectID string, fn model.FunctionDef, payload json.RawMessage, args map[string]string, state map[string]json.RawMessage) (invoker.Result, error) {
+// §III-C). The stage runs under a "handler" span; a deadline expiry
+// surfaces as the span's error, which keeps the trace.
+func (rt *ClassRuntime) runTask(ctx context.Context, objectID string, fn model.FunctionDef, payload json.RawMessage, args map[string]string, state map[string]json.RawMessage) (_ invoker.Result, err error) {
+	hs := trace.FromContext(ctx).Child("handler")
+	if hs != nil {
+		hs.SetAttr("class", rt.class.Name)
+		hs.SetAttr("fn", fn.Name)
+		defer func() { hs.Error(err); hs.End() }()
+	}
 	refs, err := rt.buildRefs(objectID)
 	if err != nil {
 		return invoker.Result{}, err
@@ -892,7 +937,7 @@ func (rt *ClassRuntime) runTask(ctx context.Context, objectID string, fn model.F
 	fnk := rt.fnKeyFor(fn.Name)
 	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
 		// No deadline, no watchdog: the warm path stays a plain call.
-		return rt.engine.Invoke(ctx, fnk, task)
+		return rt.engineInvoke(ctx, fnk, task)
 	}
 	type outcome struct {
 		res invoker.Result
@@ -900,7 +945,7 @@ func (rt *ClassRuntime) runTask(ctx context.Context, objectID string, fn model.F
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		res, err := rt.engine.Invoke(ctx, fnk, task)
+		res, err := rt.engineInvoke(ctx, fnk, task)
 		done <- outcome{res, err}
 	}()
 	select {
@@ -989,26 +1034,34 @@ func (rt *ClassRuntime) invokeLockedPlain(ctx context.Context, objectID string, 
 		puts[key] = v
 	}
 	if len(puts) > 0 || len(dels) > 0 {
+		csp := trace.FromContext(ctx).Child("commit")
 		// Epoch fence: a commit admitted under moved ownership must not
 		// land even though we hold the local object lock — the lock
 		// means nothing to the new owner.
 		if rt.infra.Fence != nil {
 			if err := rt.infra.Fence(ctx, objectID); err != nil {
+				csp.Error(err)
+				csp.End()
 				return nil, err
 			}
 		}
-	}
-	if len(puts) > 0 {
-		if err := rt.table.PutMany(ctx, puts); err != nil {
-			return nil, err
+		if len(puts) > 0 {
+			if err := rt.table.PutMany(ctx, puts); err != nil {
+				csp.Error(err)
+				csp.End()
+				return nil, err
+			}
 		}
-	}
-	for _, key := range dels {
-		if err := rt.table.Delete(ctx, key); err != nil {
-			return nil, err
+		for _, key := range dels {
+			if err := rt.table.Delete(ctx, key); err != nil {
+				csp.Error(err)
+				csp.End()
+				return nil, err
+			}
 		}
+		csp.End()
 	}
-	rt.emitCommit(objectID, fn, res.State, args)
+	rt.emitCommit(ctx, objectID, fn, res.State, args)
 	return res.Output, nil
 }
 
@@ -1029,7 +1082,9 @@ type stateSnapshot struct {
 // version of every key (including absent ones, whose version anchors a
 // creating CAS), in one batched table read into the attempt's pooled
 // scratch.
-func (rt *ClassRuntime) loadStateVersioned(ctx context.Context, objectID string, sc *invokeScratch) (stateSnapshot, error) {
+func (rt *ClassRuntime) loadStateVersioned(ctx context.Context, objectID string, sc *invokeScratch) (_ stateSnapshot, err error) {
+	sp := trace.FromContext(ctx).Child("load")
+	defer func() { sp.Error(err); sp.End() }()
 	keys := rt.keysFor(objectID)
 	clear(sc.got) // retry attempts reuse the scratch
 	if err := rt.table.GetManyVersionedInto(ctx, keys.keys, sc.got); err != nil {
@@ -1098,7 +1153,25 @@ func (rt *ClassRuntime) buildCommit(objectID string, fn model.FunctionDef, snap 
 // scratch backing the snapshot and commit ops lives exactly as long as
 // the attempt (the deferred release covers every exit, panic unwind
 // included); only the never-pooled state map reaches the handler.
-func (rt *ClassRuntime) occAttempt(ctx context.Context, objectID string, fn model.FunctionDef, payload json.RawMessage, args map[string]string) (json.RawMessage, error) {
+//
+// Each pass runs under an "occ.attempt" span (the load/handler/commit
+// spans nest inside it). A version-mismatch abort is normal protocol
+// flow — it is recorded as a span attribute, not an error, so pure
+// contention alone never forces a trace to be kept; fence rejections
+// and real failures do surface as span errors.
+func (rt *ClassRuntime) occAttempt(ctx context.Context, objectID string, fn model.FunctionDef, payload json.RawMessage, args map[string]string, attempt int) (_ json.RawMessage, err error) {
+	if asp := trace.FromContext(ctx).Child("occ.attempt"); asp != nil {
+		asp.SetInt("attempt", attempt)
+		ctx = trace.ContextWith(ctx, asp)
+		defer func() {
+			if errors.Is(err, memtable.ErrVersionMismatch) {
+				asp.SetAttr("abort", "version_mismatch")
+			} else {
+				asp.Error(err)
+			}
+			asp.End()
+		}()
+	}
 	sc := getScratch()
 	defer sc.release()
 	snap, err := rt.loadStateVersioned(ctx, objectID, sc)
@@ -1118,24 +1191,32 @@ func (rt *ClassRuntime) occAttempt(ctx context.Context, objectID string, fn mode
 		return nil, err
 	}
 	if len(ops) > 0 {
+		csp := trace.FromContext(ctx).Child("commit")
 		// Epoch fence before the CAS: ownership that moved since
 		// admission fails the attempt outright (the fence error is not
 		// ErrVersionMismatch, so the OCC retry loop propagates it
 		// instead of re-running against state this node no longer owns).
 		if rt.infra.Fence != nil {
 			if err := rt.infra.Fence(ctx, objectID); err != nil {
+				csp.Error(err)
+				csp.End()
 				return nil, err
 			}
 		}
 		if err := rt.table.PutManyIfVersion(ctx, ops); err != nil {
+			if !errors.Is(err, memtable.ErrVersionMismatch) {
+				csp.Error(err)
+			}
+			csp.End()
 			return nil, err
 		}
+		csp.End()
 	}
 	// The validated commit landed (or there was nothing to commit):
 	// this is the one success exit of the optimistic retry loops, so
 	// the call's event is emitted exactly once — aborted passes return
 	// through the ErrVersionMismatch path above and emit nothing.
-	rt.emitCommit(objectID, fn, res.State, args)
+	rt.emitCommit(ctx, objectID, fn, res.State, args)
 	return res.Output, nil
 }
 
@@ -1156,7 +1237,7 @@ func (rt *ClassRuntime) invokeOCC(ctx context.Context, guard *sync.RWMutex, obje
 		if attempt > 0 {
 			rt.reg.Counter("occ.retries").Inc()
 		}
-		out, err := rt.occAttempt(ctx, objectID, fn, payload, args)
+		out, err := rt.occAttempt(ctx, objectID, fn, payload, args, attempt)
 		if err == nil {
 			tr.record(false)
 			rt.reg.Counter("occ.commits").Inc()
@@ -1191,7 +1272,7 @@ func (rt *ClassRuntime) invokeBarrier(ctx context.Context, guard *sync.RWMutex, 
 		if attempt > 0 {
 			rt.reg.Counter("occ.retries").Inc()
 		}
-		out, err := rt.occAttempt(ctx, objectID, fn, payload, args)
+		out, err := rt.occAttempt(ctx, objectID, fn, payload, args, attempt)
 		if err == nil {
 			tr.record(false)
 			rt.reg.Counter("occ.commits").Inc()

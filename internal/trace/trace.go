@@ -1,0 +1,848 @@
+// Package trace is the platform's dependency-free distributed-tracing
+// layer: one trace per end-to-end invocation, spans for every stage it
+// crosses (gateway HTTP, ownership admission, queue wait, drain
+// dispatch, state load, handler execution, OCC attempts, commit, event
+// log append, trigger dispatch, webhook delivery), linked across the
+// async submit→drain boundary and across forwarded ingress→owner hops
+// so a queued task's whole life is one trace.
+//
+// The design constraints come from the warm-path allocation contract
+// (see internal/runtime/pool.go): a nil *Tracer — and a nil *Span —
+// disables everything at the cost of a nil check, spans and trace
+// accumulators are pooled, and a trace that the tail-based sampler
+// drops returns every transient to its pool without materializing
+// anything. Only kept traces allocate (their immutable TraceView).
+//
+// Sampling is tail-based: the keep decision is made when the last span
+// (or cross-goroutine link) of a trace finishes, so it can see the
+// whole outcome. A trace is kept when any of:
+//
+//   - it was forced (the inbound W3C traceparent carried the sampled
+//     flag — CI and debugging force traces this way);
+//   - any span recorded an error (failures, fence rejections and
+//     deadline expiries all surface as span errors);
+//   - its root duration reaches the slowest-percentile threshold
+//     learned from recent roots (the "where did this one slow
+//     invocation go" case);
+//   - a seeded probabilistic sample (Config.SampleRate) selects it.
+//
+// Kept traces land in a bounded ring (Config.Capacity), indexed by
+// trace ID and by the invocation IDs the trace touched, and are served
+// by the gateway (`GET /api/traces`, `GET /api/invocations/{id}/trace`)
+// and `ocli trace`.
+//
+// Propagation is W3C traceparent ("00-<trace-id>-<span-id>-<flags>"):
+// the gateway accepts and emits the header, Event.Trace carries it into
+// the trigger/event-log plane, and Tracer.Attach re-joins a trace from
+// the bare header — attaching to the live trace when it is still open,
+// or appending a late span to the kept view when the trace already
+// finalized (late spans after a sampled-out drop are lost by design).
+package trace
+
+import (
+	"context"
+	"encoding/hex"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID is the 16-byte W3C trace identifier.
+type TraceID [16]byte
+
+// SpanID is the 8-byte W3C span identifier.
+type SpanID [8]byte
+
+// String returns the lowercase-hex form.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// String returns the lowercase-hex form.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// IsZero reports an all-zero (invalid per W3C) trace ID.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// maxAttrs bounds the per-span attribute array; attrs past the bound
+// are dropped. Fixed so attribute recording never allocates.
+const maxAttrs = 6
+
+// Attr is one span attribute. The fixed string/int split avoids
+// interface boxing on the record path.
+type Attr struct {
+	Key   string
+	Str   string
+	Int   int64
+	IsInt bool
+}
+
+// Config tunes a Tracer.
+type Config struct {
+	// Capacity bounds the kept-trace ring. Defaults to 256.
+	Capacity int
+	// SampleRate is the probabilistic keep rate for traces that are
+	// neither forced, errored, nor slow. Defaults to 0.05 when zero;
+	// negative disables probabilistic keeps entirely (forced / error /
+	// slow traces are still kept).
+	SampleRate float64
+	// Seed seeds the tracer's deterministic ID/sampling generator;
+	// zero picks a fixed default.
+	Seed uint64
+	// Now supplies time (the platform passes its vclock). Defaults to
+	// time.Now.
+	Now func() time.Time
+}
+
+// Tracer owns the active-trace table, the kept-trace ring, and the
+// span/trace pools. A nil *Tracer is a valid disabled tracer: every
+// method no-ops and Root/Attach return nil spans.
+type Tracer struct {
+	now        func() time.Time
+	sampleRate float64
+	capacity   int
+
+	rng atomic.Uint64 // splitmix64 state
+
+	mu     sync.Mutex
+	active map[TraceID]*traceData
+	ring   []*TraceView // circular, capacity entries
+	next   int
+	byID   map[TraceID]*TraceView
+	byInv  map[string]*TraceView
+	// recent holds the latest root durations; every recomputeEvery
+	// finalizations the slowest-percentile keep threshold is refreshed
+	// from it.
+	recent    []time.Duration
+	nRecent   int
+	finalizes int
+
+	slowNs atomic.Int64 // cached slow-keep threshold (0 = not yet learned)
+
+	started atomic.Int64
+	kept    atomic.Int64
+	dropped atomic.Int64
+}
+
+const (
+	recentWindow   = 128
+	recomputeEvery = 64
+	slowQuantile   = 0.95
+)
+
+// New builds a tracer.
+func New(cfg Config) *Tracer {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 256
+	}
+	if cfg.SampleRate == 0 {
+		cfg.SampleRate = 0.05
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 0x6f70617261636131 // arbitrary fixed default
+	}
+	t := &Tracer{
+		now:        cfg.Now,
+		sampleRate: cfg.SampleRate,
+		capacity:   cfg.Capacity,
+		active:     make(map[TraceID]*traceData),
+		ring:       make([]*TraceView, cfg.Capacity),
+		byID:       make(map[TraceID]*TraceView),
+		byInv:      make(map[string]*TraceView),
+		recent:     make([]time.Duration, 0, recentWindow),
+	}
+	t.rng.Store(cfg.Seed)
+	return t
+}
+
+// Enabled reports whether tracing is on (the nil tracer is off).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// rand is splitmix64 over an atomic counter: deterministic under a
+// fixed seed, allocation-free, and safe for concurrent use.
+func (t *Tracer) rand() uint64 {
+	x := t.rng.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+func (t *Tracer) newTraceID() TraceID {
+	var id TraceID
+	for id.IsZero() {
+		a, b := t.rand(), t.rand()
+		for i := 0; i < 8; i++ {
+			id[i] = byte(a >> (8 * i))
+			id[8+i] = byte(b >> (8 * i))
+		}
+	}
+	return id
+}
+
+func (t *Tracer) newSpanID() SpanID {
+	var id SpanID
+	for id == (SpanID{}) {
+		a := t.rand()
+		for i := 0; i < 8; i++ {
+			id[i] = byte(a >> (8 * i))
+		}
+	}
+	return id
+}
+
+// traceData accumulates one in-flight trace. It is pooled: finalize
+// returns it (and every parked span) to the pools whether the trace is
+// kept or dropped.
+type traceData struct {
+	tr     *Tracer
+	id     TraceID
+	start  time.Time
+	forced bool
+
+	mu sync.Mutex
+	// open is the reference count holding the trace alive: open spans
+	// plus outstanding Links. The trace finalizes when it hits zero.
+	open        int
+	done        bool
+	errored     bool
+	spans       []*Span // ended spans, parked until finalize
+	rootName    string
+	rootDur     time.Duration
+	invocations []string
+}
+
+var dataPool = sync.Pool{New: func() any { return &traceData{} }}
+
+var spanPool = sync.Pool{New: func() any { return &Span{} }}
+
+// Span is one stage of a trace. All methods are nil-receiver safe, so
+// instrumentation sites need no enabled-checks. A span is owned by one
+// goroutine at a time; End must be called exactly once.
+type Span struct {
+	td     *traceData
+	view   *TraceView // late-attach target when td is nil
+	tr     *Tracer    // set for late spans only
+	id     SpanID
+	parent SpanID
+	name   string
+	start  time.Time
+	dur    time.Duration
+	errMsg string
+	root   bool
+	attrs  [maxAttrs]Attr
+	nattrs int
+}
+
+func (t *Tracer) getSpan(td *traceData, parent SpanID, name string) *Span {
+	s := spanPool.Get().(*Span)
+	s.td = td
+	s.view = nil
+	s.tr = nil
+	s.id = t.newSpanID()
+	s.parent = parent
+	s.name = name
+	s.start = t.now()
+	s.dur = 0
+	s.errMsg = ""
+	s.root = false
+	s.nattrs = 0
+	return s
+}
+
+func releaseSpan(s *Span) {
+	s.td = nil
+	s.view = nil
+	s.tr = nil
+	s.name = ""
+	s.errMsg = ""
+	s.attrs = [maxAttrs]Attr{}
+	s.nattrs = 0
+	spanPool.Put(s)
+}
+
+// Root starts a new trace (or continues the one named by the inbound
+// W3C traceparent header; its sampled flag forces the keep decision)
+// and returns its root span. If the named trace is already active in
+// this process — the forwarded-hop case — the returned span joins it
+// as a child instead of colliding. Returns nil on a nil tracer.
+func (t *Tracer) Root(name, traceparent string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.started.Add(1)
+	var (
+		tid    TraceID
+		parent SpanID
+		forced bool
+	)
+	if p, ok := parseTraceparent(traceparent); ok {
+		tid, parent, forced = p.traceID, p.spanID, p.flags&1 == 1
+	} else {
+		tid = t.newTraceID()
+	}
+	t.mu.Lock()
+	if td := t.active[tid]; td != nil {
+		// The trace is already live here: a second ingress of the same
+		// trace (forwarded hop) joins it rather than forking it.
+		t.mu.Unlock()
+		td.mu.Lock()
+		if !td.done {
+			td.open++
+			td.mu.Unlock()
+			return t.getSpan(td, parent, name)
+		}
+		td.mu.Unlock()
+		// Lost the race against finalize; fall through to a fresh trace.
+		tid = t.newTraceID()
+		t.mu.Lock()
+	}
+	td := dataPool.Get().(*traceData)
+	td.tr = t
+	td.id = tid
+	td.start = t.now()
+	td.forced = forced
+	td.open = 1
+	td.done = false
+	td.errored = false
+	td.spans = td.spans[:0]
+	td.rootName = ""
+	td.rootDur = 0
+	td.invocations = td.invocations[:0]
+	t.active[tid] = td
+	t.mu.Unlock()
+	sp := t.getSpan(td, parent, name)
+	sp.root = true
+	sp.start = td.start
+	return sp
+}
+
+// Attach re-joins a trace from a bare traceparent (Event.Trace — the
+// publish/delivery planes have no context). An active trace gets a
+// normal child span; a finalized-and-kept trace gets a late span
+// appended to its stored view on End; anything else (unknown, or
+// sampled out) returns nil.
+func (t *Tracer) Attach(traceparent, name string) *Span {
+	if t == nil || traceparent == "" {
+		return nil
+	}
+	p, ok := parseTraceparent(traceparent)
+	if !ok {
+		return nil
+	}
+	t.mu.Lock()
+	td := t.active[p.traceID]
+	view := t.byID[p.traceID]
+	t.mu.Unlock()
+	if td != nil {
+		td.mu.Lock()
+		if !td.done {
+			td.open++
+			td.mu.Unlock()
+			return t.getSpan(td, p.spanID, name)
+		}
+		td.mu.Unlock()
+	}
+	if view == nil {
+		return nil
+	}
+	s := t.getSpan(nil, p.spanID, name)
+	s.view = view
+	s.tr = t
+	return s
+}
+
+// Child starts a sub-span. Nil-safe: a nil receiver returns nil.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.td == nil {
+		// Children of a late span stay on the same stored view.
+		c := s.tr.getSpan(nil, s.id, name)
+		c.view = s.view
+		c.tr = s.tr
+		return c
+	}
+	td := s.td
+	td.mu.Lock()
+	td.open++
+	td.mu.Unlock()
+	return td.tr.getSpan(td, s.id, name)
+}
+
+// SetAttr records a string attribute (dropped past the fixed bound).
+func (s *Span) SetAttr(key, val string) {
+	if s == nil || s.nattrs >= maxAttrs {
+		return
+	}
+	s.attrs[s.nattrs] = Attr{Key: key, Str: val}
+	s.nattrs++
+}
+
+// SetInt records an integer attribute (dropped past the fixed bound).
+func (s *Span) SetInt(key string, v int) {
+	if s == nil || s.nattrs >= maxAttrs {
+		return
+	}
+	s.attrs[s.nattrs] = Attr{Key: key, Int: int64(v), IsInt: true}
+	s.nattrs++
+}
+
+// Error records a failure on the span (and, at End, marks the whole
+// trace errored — errored traces are always kept). Nil err is a no-op.
+func (s *Span) Error(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.errMsg = err.Error()
+}
+
+// SetInvocation associates an asynchronous invocation ID with the
+// trace, so the kept view is retrievable by invocation.
+func (s *Span) SetInvocation(id string) {
+	if s == nil || s.td == nil || id == "" {
+		return
+	}
+	td := s.td
+	td.mu.Lock()
+	for _, have := range td.invocations {
+		if have == id {
+			td.mu.Unlock()
+			return
+		}
+	}
+	td.invocations = append(td.invocations, id)
+	td.mu.Unlock()
+}
+
+// TraceIDString returns the span's trace ID in hex ("" when disabled).
+func (s *Span) TraceIDString() string {
+	if s == nil {
+		return ""
+	}
+	if s.td != nil {
+		return s.td.id.String()
+	}
+	if s.view != nil {
+		return s.view.ID
+	}
+	return ""
+}
+
+// Traceparent renders the W3C header for propagating this span as a
+// parent ("" when disabled). The sampled flag carries the trace's
+// forced bit.
+func (s *Span) Traceparent() string {
+	if s == nil || s.td == nil {
+		return ""
+	}
+	var b [55]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	hex.Encode(b[3:35], s.td.id[:])
+	b[35] = '-'
+	hex.Encode(b[36:52], s.id[:])
+	b[52], b[53] = '-', '0'
+	if s.td.forced {
+		b[54] = '1'
+	} else {
+		b[54] = '0'
+	}
+	return string(b[:])
+}
+
+// End finishes the span. The last End (or Link.Release) of a trace
+// triggers finalization: the tail-based keep decision, then either the
+// immutable TraceView landing in the ring or every transient returning
+// to its pool. The span must not be used after End.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	if s.td == nil {
+		s.endLate()
+		return
+	}
+	td := s.td
+	s.dur = td.tr.now().Sub(s.start)
+	td.mu.Lock()
+	if s.errMsg != "" {
+		td.errored = true
+	}
+	if s.root {
+		td.rootName, td.rootDur = s.name, s.dur
+	}
+	td.spans = append(td.spans, s)
+	td.open--
+	fin := td.open == 0
+	td.mu.Unlock()
+	if fin {
+		td.tr.finalize(td)
+	}
+}
+
+// endLate appends a finished late span to its stored view.
+func (s *Span) endLate() {
+	s.dur = s.tr.now().Sub(s.start)
+	sv := s.toView()
+	tr := s.tr
+	view := s.view
+	tr.mu.Lock()
+	view.Spans = append(view.Spans, sv)
+	tr.mu.Unlock()
+	releaseSpan(s)
+}
+
+// Link is a cross-goroutine handle holding a trace open across an
+// asynchronous boundary (queue submit → worker drain). The zero Link
+// is inert. Release must be called exactly once per Link; Start may be
+// called any number of times before that.
+type Link struct {
+	td     *traceData
+	parent SpanID
+}
+
+// Link returns a handle pinning the span's trace open until Release.
+func (s *Span) Link() Link {
+	if s == nil || s.td == nil {
+		return Link{}
+	}
+	s.td.mu.Lock()
+	s.td.open++
+	s.td.mu.Unlock()
+	return Link{td: s.td, parent: s.id}
+}
+
+// Start opens a new span under the link's parent (nil on a zero Link).
+func (l Link) Start(name string) *Span {
+	if l.td == nil {
+		return nil
+	}
+	l.td.mu.Lock()
+	l.td.open++
+	l.td.mu.Unlock()
+	return l.td.tr.getSpan(l.td, l.parent, name)
+}
+
+// Release drops the link's hold on the trace, finalizing it if this
+// was the last reference.
+func (l Link) Release() {
+	if l.td == nil {
+		return
+	}
+	td := l.td
+	td.mu.Lock()
+	td.open--
+	fin := td.open == 0 && !td.done
+	td.mu.Unlock()
+	if fin {
+		td.tr.finalize(td)
+	}
+}
+
+// finalize makes the tail-based keep decision for a completed trace
+// and recycles its transients. Safe against concurrent late Attach:
+// the done flag is settled under td.mu before anything is torn down.
+func (t *Tracer) finalize(td *traceData) {
+	td.mu.Lock()
+	if td.open != 0 || td.done {
+		// An Attach/Link revived the trace between the zero-crossing
+		// and here; its eventual End re-finalizes.
+		td.mu.Unlock()
+		return
+	}
+	td.done = true
+	td.mu.Unlock()
+
+	t.mu.Lock()
+	delete(t.active, td.id)
+	// Learn the slowest-percentile threshold from recent roots.
+	if len(t.recent) < recentWindow {
+		t.recent = append(t.recent, td.rootDur)
+	} else {
+		t.recent[t.nRecent%recentWindow] = td.rootDur
+	}
+	t.nRecent++
+	t.finalizes++
+	if t.finalizes%recomputeEvery == 0 {
+		sorted := make([]time.Duration, len(t.recent))
+		copy(sorted, t.recent)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		idx := int(float64(len(sorted)) * slowQuantile)
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		thr := sorted[idx]
+		if thr > 0 {
+			t.slowNs.Store(int64(thr))
+		}
+	}
+	t.mu.Unlock()
+
+	reason := ""
+	switch {
+	case td.forced:
+		reason = "forced"
+	case td.errored:
+		reason = "error"
+	case t.slowNs.Load() > 0 && td.rootDur > time.Duration(t.slowNs.Load()):
+		reason = "slow"
+	case t.sampleRate > 0 && float64(t.rand()>>11)/(1<<53) < t.sampleRate:
+		reason = "sampled"
+	}
+	if reason == "" {
+		t.dropped.Add(1)
+		t.release(td)
+		return
+	}
+	t.kept.Add(1)
+	view := buildView(td, reason)
+	t.mu.Lock()
+	if old := t.ring[t.next]; old != nil {
+		delete(t.byID, old.tid)
+		for _, inv := range old.Invocations {
+			if t.byInv[inv] == old {
+				delete(t.byInv, inv)
+			}
+		}
+	}
+	t.ring[t.next] = view
+	t.next = (t.next + 1) % len(t.ring)
+	t.byID[td.id] = view
+	for _, inv := range view.Invocations {
+		t.byInv[inv] = view
+	}
+	t.mu.Unlock()
+	t.release(td)
+}
+
+// release recycles a finalized trace's spans and accumulator.
+func (t *Tracer) release(td *traceData) {
+	for i, s := range td.spans {
+		td.spans[i] = nil
+		releaseSpan(s)
+	}
+	td.spans = td.spans[:0]
+	td.invocations = td.invocations[:0]
+	td.tr = nil
+	dataPool.Put(td)
+}
+
+// SpanView is one finished span of a kept trace.
+type SpanView struct {
+	ID       string         `json:"id"`
+	Parent   string         `json:"parent,omitempty"`
+	Name     string         `json:"name"`
+	Start    time.Time      `json:"start"`
+	Duration time.Duration  `json:"duration_ns"`
+	Error    string         `json:"error,omitempty"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+}
+
+// TraceView is one kept trace: the immutable record served by the API.
+type TraceView struct {
+	tid         TraceID
+	ID          string        `json:"id"`
+	Root        string        `json:"root"`
+	Start       time.Time     `json:"start"`
+	Duration    time.Duration `json:"duration_ns"`
+	Reason      string        `json:"reason"`
+	Invocations []string      `json:"invocations,omitempty"`
+	Spans       []SpanView    `json:"spans"`
+}
+
+func (s *Span) toView() SpanView {
+	sv := SpanView{
+		ID:       s.id.String(),
+		Name:     s.name,
+		Start:    s.start,
+		Duration: s.dur,
+		Error:    s.errMsg,
+	}
+	if s.parent != (SpanID{}) {
+		sv.Parent = s.parent.String()
+	}
+	if s.nattrs > 0 {
+		sv.Attrs = make(map[string]any, s.nattrs)
+		for _, a := range s.attrs[:s.nattrs] {
+			if a.IsInt {
+				sv.Attrs[a.Key] = a.Int
+			} else {
+				sv.Attrs[a.Key] = a.Str
+			}
+		}
+	}
+	return sv
+}
+
+func buildView(td *traceData, reason string) *TraceView {
+	v := &TraceView{
+		tid:      td.id,
+		ID:       td.id.String(),
+		Root:     td.rootName,
+		Start:    td.start,
+		Duration: td.rootDur,
+		Reason:   reason,
+	}
+	if len(td.invocations) > 0 {
+		v.Invocations = append([]string(nil), td.invocations...)
+	}
+	v.Spans = make([]SpanView, len(td.spans))
+	for i, s := range td.spans {
+		v.Spans[i] = s.toView()
+	}
+	// Spans park in end order; serve them in start order so the view
+	// reads as a timeline.
+	sort.SliceStable(v.Spans, func(i, j int) bool { return v.Spans[i].Start.Before(v.Spans[j].Start) })
+	return v
+}
+
+// cloneView snapshots a stored view (late spans may still append).
+// Caller holds t.mu.
+func cloneView(v *TraceView) TraceView {
+	out := *v
+	out.Spans = append([]SpanView(nil), v.Spans...)
+	return out
+}
+
+// Traces returns up to limit kept traces, newest first (limit <= 0
+// returns all retained).
+func (t *Tracer) Traces(limit int) []TraceView {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceView, 0, len(t.byID))
+	for i := 0; i < len(t.ring); i++ {
+		idx := (t.next - 1 - i + 2*len(t.ring)) % len(t.ring)
+		v := t.ring[idx]
+		if v == nil {
+			continue
+		}
+		out = append(out, cloneView(v))
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// TraceByID returns one kept trace by hex trace ID.
+func (t *Tracer) TraceByID(id string) (TraceView, bool) {
+	if t == nil {
+		return TraceView{}, false
+	}
+	raw, err := hex.DecodeString(id)
+	if err != nil || len(raw) != 16 {
+		return TraceView{}, false
+	}
+	var tid TraceID
+	copy(tid[:], raw)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v := t.byID[tid]
+	if v == nil {
+		return TraceView{}, false
+	}
+	return cloneView(v), true
+}
+
+// ByInvocation returns the kept trace that touched an asynchronous
+// invocation ID.
+func (t *Tracer) ByInvocation(inv string) (TraceView, bool) {
+	if t == nil {
+		return TraceView{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v := t.byInv[inv]
+	if v == nil {
+		return TraceView{}, false
+	}
+	return cloneView(v), true
+}
+
+// Stats is a tracer snapshot.
+type Stats struct {
+	// Started counts root spans opened; Kept/Dropped partition the
+	// finalized traces by the tail-sampling decision.
+	Started int64 `json:"started"`
+	Kept    int64 `json:"kept"`
+	Dropped int64 `json:"dropped"`
+	// Retained is the number of traces currently in the ring.
+	Retained int `json:"retained"`
+}
+
+// Stats snapshots the tracer's counters.
+func (t *Tracer) Stats() Stats {
+	if t == nil {
+		return Stats{}
+	}
+	t.mu.Lock()
+	retained := len(t.byID)
+	t.mu.Unlock()
+	return Stats{
+		Started:  t.started.Load(),
+		Kept:     t.kept.Load(),
+		Dropped:  t.dropped.Load(),
+		Retained: retained,
+	}
+}
+
+// ctxKey carries the current span through context.
+type ctxKey struct{}
+
+// ContextWith returns ctx carrying the span (ctx unchanged for a nil
+// span, so the disabled path allocates nothing).
+func ContextWith(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// parsed is a decoded traceparent header.
+type parsed struct {
+	traceID TraceID
+	spanID  SpanID
+	flags   byte
+}
+
+// parseTraceparent decodes a W3C traceparent header
+// ("00-<32 hex>-<16 hex>-<2 hex>"). Unknown versions are accepted per
+// spec (the known fields parse identically); all-zero trace or span
+// IDs are rejected.
+func parseTraceparent(s string) (parsed, bool) {
+	var p parsed
+	if len(s) < 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return p, false
+	}
+	if s[0] == 'f' && s[1] == 'f' {
+		return p, false // version 0xff is forbidden
+	}
+	if _, err := hex.Decode(p.traceID[:], []byte(s[3:35])); err != nil {
+		return p, false
+	}
+	if _, err := hex.Decode(p.spanID[:], []byte(s[36:52])); err != nil {
+		return p, false
+	}
+	var fl [1]byte
+	if _, err := hex.Decode(fl[:], []byte(s[53:55])); err != nil {
+		return p, false
+	}
+	p.flags = fl[0]
+	if p.traceID.IsZero() || p.spanID == (SpanID{}) {
+		return p, false
+	}
+	return p, true
+}

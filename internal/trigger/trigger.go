@@ -64,6 +64,7 @@ import (
 
 	"github.com/hpcclab/oparaca-go/internal/eventlog"
 	"github.com/hpcclab/oparaca-go/internal/metrics"
+	"github.com/hpcclab/oparaca-go/internal/trace"
 	"github.com/hpcclab/oparaca-go/internal/vclock"
 )
 
@@ -148,6 +149,12 @@ type Event struct {
 	// Depth is the trigger-chain depth of the invocation that produced
 	// the event (0 = client-initiated).
 	Depth int `json:"depth,omitempty"`
+	// Trace is the W3C traceparent of the invocation that produced the
+	// event (empty when tracing is off or the trace was not sampled at
+	// the root). The bus re-joins the trace through it, so log append,
+	// dispatch and sink delivery appear as spans of the originating
+	// invocation's trace even though they run on bus goroutines.
+	Trace string `json:"trace,omitempty"`
 	// Time is the emission instant.
 	Time time.Time `json:"time"`
 }
@@ -290,6 +297,10 @@ type Config struct {
 	// Metrics receives the bus counters. A private registry is created
 	// when nil.
 	Metrics *metrics.Registry
+	// Tracer, when set, re-joins event traces (Event.Trace) so log
+	// appends, dispatch and webhook deliveries span under the
+	// originating invocation's trace. Nil disables bus-side spans.
+	Tracer *trace.Tracer
 	// Clock supplies time; defaults to the real clock.
 	Clock vclock.Clock
 }
@@ -691,6 +702,7 @@ func (b *Bus) Publish(ev Event) {
 		// never be lost to a crash. A failed append degrades to the
 		// fire-and-forget path (Offset zero) rather than losing the
 		// dispatch too.
+		asp := b.cfg.Tracer.Attach(ev.Trace, "eventlog.append")
 		_, err := b.cfg.Log.Append(b.killCtx, ev.Object, func(off int64) (json.RawMessage, error) {
 			ev.Offset = off
 			return json.Marshal(ev)
@@ -698,7 +710,9 @@ func (b *Bus) Publish(ev Event) {
 		if err != nil {
 			ev.Offset = 0
 			m.Counter("trigger.log_failed").Inc()
+			asp.Error(err)
 		}
+		asp.End()
 	}
 	b.enqueue(ev)
 }
@@ -731,6 +745,8 @@ func (b *Bus) PublishBatch(evs []Event) {
 		return
 	}
 	if b.cfg.Log != nil {
+		asp := b.cfg.Tracer.Attach(batchTrace(evs), "eventlog.append")
+		asp.SetInt("events", len(evs))
 		_, err := b.cfg.Log.AppendBatch(b.killCtx, evs[0].Object, len(evs), func(i int, off int64) (json.RawMessage, error) {
 			evs[i].Offset = off
 			return json.Marshal(evs[i])
@@ -740,11 +756,24 @@ func (b *Bus) PublishBatch(evs []Event) {
 				evs[i].Offset = 0
 			}
 			m.Counter("trigger.log_failed").Inc()
+			asp.Error(err)
 		}
+		asp.End()
 	}
 	for _, ev := range evs {
 		b.enqueue(ev)
 	}
+}
+
+// batchTrace picks the first traceparent a batch carries (groups are
+// appended in one backing write, so the one span stands for all).
+func batchTrace(evs []Event) string {
+	for _, ev := range evs {
+		if ev.Trace != "" {
+			return ev.Trace
+		}
+	}
+	return ""
 }
 
 // enqueue sends one stamped event to its shard under the overflow
@@ -825,6 +854,7 @@ func (b *Bus) NeedsEvents(class string) bool {
 // so a slow endpoint cannot stall this shard's queue (the head-of-line
 // defect the pool exists to fix).
 func (b *Bus) dispatch(ev Event, matched []Subscription) []Subscription {
+	dsp := b.cfg.Tracer.Attach(ev.Trace, "trigger.dispatch")
 	b.subMu.RLock()
 	for _, sub := range b.subs {
 		if sub.matches(ev) {
@@ -853,6 +883,9 @@ func (b *Bus) dispatch(ev Event, matched []Subscription) []Subscription {
 		b.deliverMethodCounted(sub, ev)
 	}
 	b.deliverStreams(ev)
+	dsp.SetInt("matched", len(matched))
+	dsp.SetAttr("type", string(ev.Type))
+	dsp.End()
 	return matched
 }
 
@@ -1129,14 +1162,21 @@ func (b *Bus) deliverMethodCounted(sub Subscription, ev Event) {
 // delivery pool, never a dispatch loop.
 func (b *Bus) deliverWebhook(url string, ev Event, c *subCounters) bool {
 	m := b.cfg.Metrics
+	wsp := b.cfg.Tracer.Attach(ev.Trace, "webhook.delivery")
+	wsp.SetAttr("url", url)
 	payload, err := json.Marshal(ev)
 	if err != nil {
+		wsp.Error(err)
+		wsp.End()
 		return false
 	}
 	backoff := b.cfg.WebhookBackoff
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			if err := b.cfg.Clock.Sleep(b.killCtx, b.jittered(backoff)); err != nil {
+				wsp.SetInt("attempts", attempt)
+				wsp.Error(err)
+				wsp.End()
 				return false
 			}
 			backoff *= 2
@@ -1146,9 +1186,14 @@ func (b *Bus) deliverWebhook(url string, ev Event, c *subCounters) bool {
 			}
 		}
 		if b.postWebhook(url, ev, payload) {
+			wsp.SetInt("attempts", attempt+1)
+			wsp.End()
 			return true
 		}
 		if attempt >= b.cfg.WebhookMaxRetries {
+			wsp.SetInt("attempts", attempt+1)
+			wsp.Error(errors.New("trigger: webhook retry budget exhausted"))
+			wsp.End()
 			return false
 		}
 	}

@@ -366,6 +366,49 @@
 // none of this machinery exists: no heartbeats, no fence, no hot-path
 // overhead.
 //
+// # Observability
+//
+// Config.EnableTracing records end-to-end invocation traces. Every
+// stage of an invocation's life opens a span under one trace — gateway
+// HTTP handling, ownership admission and forwarding, async queue wait
+// and drain, state load, handler execution, per-attempt OCC retries
+// (version-mismatch aborts are recorded as an "abort" attribute, not
+// errors), commit with fencing, event-log append, trigger dispatch,
+// and webhook delivery. The gateway accepts and emits the W3C
+// traceparent header, so an external caller's trace continues through
+// the platform, and an async submission's trace spans the queue hop:
+// the trace stays open until the queued task goes terminal, including
+// requeues after fence rejections. cmd/oparaca enables tracing by
+// default (-trace=false disables it).
+//
+// Sampling is tail-based: when a trace finishes, it is kept if it was
+// forced by the caller (traceparent sampled flag), contains an error
+// (including fence rejections and deadline expiries), is slower than
+// the recent p95 of root durations, or wins a probabilistic keep at
+// Config.TraceSampleRate (default 5%; negative disables probabilistic
+// keeps). Kept traces park in a bounded ring (Config.TraceCapacity,
+// default 256) served by GET /api/traces, GET /api/traces/{id}, and
+// GET /api/invocations/{id}/trace (`ocli traces`, `ocli trace`).
+// Spans are pooled and the disabled path costs zero allocations on
+// the warm invoke path (see BenchmarkInvokeTraced).
+//
+// GET /metrics serves the Prometheus text exposition: per-class
+// runtime series labeled {class="..."} (invocation counters, latency
+// histograms, OCC retry counters), async-queue and trigger-bus
+// registries, per-node ownership gauges labeled {node="..."}, tracer
+// tail-sampling counters, and the degradation context — breaker state
+// as a one-hot {state=...} gauge, queue depth/capacity, trigger
+// backlog, and the oparaca_ready gauge, all derived from the same
+// snapshot as /readyz so a scrape and a probe can never disagree.
+//
+// The daemon logs through log/slog (one TextHandler on stderr,
+// -log-level selects the floor); each gateway request emits one
+// structured record carrying method, path, status, duration, the
+// trace ID when tracing is on, and the invocation ID for accepted
+// async submissions. With Config.PprofLabels (or cmd/oparaca -pprof)
+// handler goroutines carry class/function pprof labels so CPU
+// profiles attribute samples per method.
+//
 // The subpackages under internal/ implement the platform and every
 // substrate it depends on (cluster simulator, FaaS engines, document
 // store, distributed memtable, S3-style object store, dataflow engine,
